@@ -1,0 +1,131 @@
+//! Criterion benchmarks for the attack primitives: norm probing, FGSM,
+//! single-pixel attacks, and surrogate training epochs with and without
+//! the power loss (the cost of using the side channel).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar_core::fgsm::{fgsm_batch, BoxConstraint};
+use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
+use xbar_core::pixel_attack::{
+    single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources,
+};
+use xbar_core::probe::probe_column_norms;
+use xbar_core::surrogate::{train_surrogate, QueryDataset, SurrogateConfig};
+use xbar_linalg::Matrix;
+use xbar_nn::activation::Activation;
+use xbar_nn::loss::Loss;
+use xbar_nn::network::SingleLayerNet;
+
+fn victim_net(n: usize) -> SingleLayerNet {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    SingleLayerNet::new_random(n, 10, Activation::Identity, &mut rng)
+}
+
+fn bench_probe(c: &mut Criterion) {
+    // The Case-1 probe: N power queries (here N = 784, MNIST-shaped).
+    let net = victim_net(784);
+    c.bench_function("probe_column_norms_784", |b| {
+        b.iter_batched(
+            || {
+                Oracle::new(
+                    net.clone(),
+                    &OracleConfig::ideal().with_access(OutputAccess::None),
+                    13,
+                )
+                .unwrap()
+            },
+            |mut oracle| black_box(probe_column_norms(&mut oracle, 1.0, 1).unwrap()),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_fgsm(c: &mut Criterion) {
+    let net = victim_net(784);
+    let mut rng = ChaCha8Rng::seed_from_u64(14);
+    let inputs = Matrix::random_uniform(100, 784, 0.0, 1.0, &mut rng);
+    let mut targets = Matrix::zeros(100, 10);
+    for i in 0..100 {
+        targets[(i, i % 10)] = 1.0;
+    }
+    c.bench_function("fgsm_batch100_784", |b| {
+        b.iter(|| {
+            black_box(
+                fgsm_batch(&net, &inputs, &targets, Loss::Mse, 0.1, BoxConstraint::None)
+                    .unwrap(),
+            )
+        });
+    });
+}
+
+fn bench_single_pixel(c: &mut Criterion) {
+    let net = victim_net(784);
+    let norms = net.column_l1_norms();
+    let mut rng = ChaCha8Rng::seed_from_u64(15);
+    let inputs = Matrix::random_uniform(100, 784, 0.0, 1.0, &mut rng);
+    let mut targets = Matrix::zeros(100, 10);
+    for i in 0..100 {
+        targets[(i, i % 10)] = 1.0;
+    }
+    c.bench_function("single_pixel_norm_plus_batch100", |b| {
+        b.iter(|| {
+            black_box(
+                single_pixel_attack_batch(
+                    PixelAttackMethod::NormPlus,
+                    &inputs,
+                    &targets,
+                    PixelAttackResources::norms_only(&norms),
+                    1.0,
+                    &mut rng,
+                )
+                .unwrap(),
+            )
+        });
+    });
+}
+
+/// Builds a synthetic query log of the given size.
+fn query_log(q: usize, n: usize) -> QueryDataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(16);
+    let net = victim_net(n);
+    let inputs = Matrix::random_uniform(q, n, 0.0, 1.0, &mut rng);
+    let targets = inputs.matmul(&net.weights().transpose());
+    let norms = net.column_l1_norms();
+    let powers: Vec<f64> = inputs
+        .rows_iter()
+        .map(|u| u.iter().zip(&norms).map(|(&a, &b)| a * b).sum())
+        .collect();
+    QueryDataset {
+        inputs,
+        targets,
+        powers,
+    }
+}
+
+fn bench_surrogate_training(c: &mut Criterion) {
+    // The Fig. 5 kernel: one surrogate training with and without the
+    // power loss — the side channel's computational overhead.
+    let q = query_log(100, 784);
+    let mut group = c.benchmark_group("surrogate_train_q100");
+    for (name, lambda) in [("lambda0", 0.0), ("lambda1", 1.0)] {
+        group.bench_function(name, |b| {
+            let mut cfg = SurrogateConfig::default().with_power_weight(lambda);
+            cfg.sgd.epochs = 10;
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(17);
+                black_box(train_surrogate(&q, &cfg, &mut rng).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_probe,
+    bench_fgsm,
+    bench_single_pixel,
+    bench_surrogate_training
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benchmarks for the crossbar simulator: programming, MVM,
+//! the Eq. 5 power computation, and tiling overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar_crossbar::array::CrossbarArray;
+use xbar_crossbar::device::DeviceModel;
+use xbar_crossbar::tile::TiledCrossbar;
+use xbar_linalg::Matrix;
+
+fn layer_weights(n: usize) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    Matrix::random_uniform(10, n, -1.0, 1.0, &mut rng)
+}
+
+fn bench_program(c: &mut Criterion) {
+    let mut group = c.benchmark_group("program");
+    for &n in &[784usize, 3072] {
+        let w = layer_weights(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = ChaCha8Rng::seed_from_u64(6);
+            b.iter(|| {
+                black_box(CrossbarArray::program(&w, &DeviceModel::ideal(), &mut rng).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mvm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvm");
+    for &n in &[784usize, 3072] {
+        let w = layer_weights(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let xbar = CrossbarArray::program(&w, &DeviceModel::ideal(), &mut rng).unwrap();
+        let v: Vec<f64> = (0..n).map(|j| (j as f64 * 0.01).fract()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(xbar.mvm(&v)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_total_current(c: &mut Criterion) {
+    // The side-channel observation itself (Eq. 5).
+    let w = layer_weights(784);
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let xbar = CrossbarArray::program(&w, &DeviceModel::ideal(), &mut rng).unwrap();
+    let v: Vec<f64> = (0..784).map(|j| (j as f64 * 0.013).fract()).collect();
+    c.bench_function("total_current_784", |b| {
+        b.iter(|| black_box(xbar.total_current(&v).unwrap()));
+    });
+}
+
+fn bench_tiled_mvm(c: &mut Criterion) {
+    let w = layer_weights(784);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let tiled = TiledCrossbar::program(&w, 8, 128, &DeviceModel::ideal(), &mut rng).unwrap();
+    let v: Vec<f64> = (0..784).map(|j| (j as f64 * 0.017).fract()).collect();
+    c.bench_function("tiled_mvm_784_8x128", |b| {
+        b.iter(|| black_box(tiled.mvm(&v).unwrap()));
+    });
+}
+
+fn bench_noisy_mvm(c: &mut Criterion) {
+    let w = layer_weights(784);
+    let mut rng = ChaCha8Rng::seed_from_u64(10);
+    let device = DeviceModel::ideal().with_read_sigma(0.01);
+    let xbar = CrossbarArray::program(&w, &device, &mut rng).unwrap();
+    let v: Vec<f64> = (0..784).map(|j| (j as f64 * 0.019).fract()).collect();
+    c.bench_function("noisy_mvm_784", |b| {
+        b.iter(|| black_box(xbar.noisy_mvm(&v, &mut rng).unwrap()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_program,
+    bench_mvm,
+    bench_total_current,
+    bench_tiled_mvm,
+    bench_noisy_mvm
+);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Criterion benchmarks of the end-to-end experiment kernels — one per
+//! paper table/figure, at reduced sizes so `cargo bench` finishes in
+//! minutes. The full-size regenerations live in the `table1`, `fig3`,
+//! `fig4`, `fig5`, `multipixel`, `recovery` and `ablations` binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar_bench::{train_victim, DatasetKind, HeadKind};
+use xbar_core::blackbox::{run_blackbox_attack, BlackBoxConfig};
+use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
+use xbar_core::pixel_attack::{
+    multi_pixel_norm_attack_batch, single_pixel_attack_batch, PixelAttackMethod,
+    PixelAttackResources,
+};
+use xbar_core::recovery::recover_weights_least_squares;
+use xbar_linalg::Matrix;
+use xbar_nn::sensitivity::{abs_input_gradients, mean_abs_sensitivity};
+use xbar_stats::correlation::{pearson, pearson_lenient};
+
+fn small_victim() -> xbar_bench::TrainedVictim {
+    train_victim(DatasetKind::Digits, HeadKind::LinearMse, 300, 1)
+}
+
+fn bench_table1_kernel(c: &mut Criterion) {
+    // Table I kernel: per-sample and mean sensitivity/1-norm correlations.
+    let v = small_victim();
+    let norms = v.net.column_l1_norms();
+    let targets = v.test.one_hot_targets();
+    c.bench_function("table1_correlations", |b| {
+        b.iter(|| {
+            let abs = abs_input_gradients(
+                &v.net,
+                v.test.inputs(),
+                &targets,
+                HeadKind::LinearMse.loss(),
+            )
+            .unwrap();
+            let mut acc = 0.0;
+            for i in 0..abs.rows() {
+                if let Some(r) = pearson_lenient(abs.row(i), &norms) {
+                    acc += r;
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_fig3_kernel(c: &mut Criterion) {
+    // Fig. 3 kernel: the dataset-mean sensitivity map.
+    let v = small_victim();
+    let targets = v.test.one_hot_targets();
+    c.bench_function("fig3_mean_sensitivity_map", |b| {
+        b.iter(|| {
+            black_box(
+                mean_abs_sensitivity(
+                    &v.net,
+                    v.test.inputs(),
+                    &targets,
+                    HeadKind::LinearMse.loss(),
+                )
+                .unwrap(),
+            )
+        });
+    });
+}
+
+fn bench_fig4_kernel(c: &mut Criterion) {
+    // Fig. 4 kernel: one attack-and-evaluate point of a panel.
+    let v = small_victim();
+    let oracle = Oracle::new(v.net.clone(), &OracleConfig::ideal(), 3).unwrap();
+    let norms = v.net.column_l1_norms();
+    let targets = v.test.one_hot_targets();
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    c.bench_function("fig4_attack_point", |b| {
+        b.iter(|| {
+            let adv = single_pixel_attack_batch(
+                PixelAttackMethod::NormPlus,
+                v.test.inputs(),
+                &targets,
+                PixelAttackResources::norms_only(&norms),
+                2.0,
+                &mut rng,
+            )
+            .unwrap();
+            black_box(oracle.eval_accuracy(&adv, v.test.labels()).unwrap())
+        });
+    });
+}
+
+fn bench_fig5_kernel(c: &mut Criterion) {
+    // Fig. 5 kernel: one full black-box run at a small query count.
+    let v = small_victim();
+    c.bench_function("fig5_blackbox_run_q50", |b| {
+        b.iter(|| {
+            let mut oracle = Oracle::new(
+                v.net.clone(),
+                &OracleConfig::ideal().with_access(OutputAccess::Raw),
+                5,
+            )
+            .unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(6);
+            let mut cfg = BlackBoxConfig::default()
+                .with_num_queries(50)
+                .with_power_weight(1.0);
+            cfg.surrogate.sgd.epochs = 20;
+            black_box(
+                run_blackbox_attack(&mut oracle, &v.train, &v.test, &cfg, &mut rng).unwrap(),
+            )
+        });
+    });
+}
+
+fn bench_multipixel_kernel(c: &mut Criterion) {
+    let v = small_victim();
+    let norms = v.net.column_l1_norms();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    c.bench_function("multipixel_attack_n4", |b| {
+        b.iter(|| {
+            black_box(
+                multi_pixel_norm_attack_batch(v.test.inputs(), &norms, 4, 2.0, &mut rng)
+                    .unwrap(),
+            )
+        });
+    });
+}
+
+fn bench_recovery_kernel(c: &mut Criterion) {
+    // Sec. IV kernel: least-squares recovery at reduced dimension.
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let w = Matrix::random_uniform(10, 128, -1.0, 1.0, &mut rng);
+    let u = Matrix::random_uniform(160, 128, 0.0, 1.0, &mut rng);
+    let y = u.matmul(&w.transpose());
+    c.bench_function("recovery_lstsq_160x128", |b| {
+        b.iter(|| black_box(recover_weights_least_squares(&u, &y).unwrap()));
+    });
+}
+
+fn bench_probe_correlation_kernel(c: &mut Criterion) {
+    // Ablation kernel: probe + correlation against ground truth.
+    let v = small_victim();
+    c.bench_function("ablation_probe_correlation", |b| {
+        b.iter_batched(
+            || {
+                Oracle::new(
+                    v.net.clone(),
+                    &OracleConfig::ideal().with_access(OutputAccess::None),
+                    9,
+                )
+                .unwrap()
+            },
+            |mut oracle| {
+                let probed =
+                    xbar_core::probe::probe_column_norms(&mut oracle, 1.0, 1).unwrap();
+                let truth = oracle.true_column_norms();
+                black_box(pearson(&probed, &truth).unwrap())
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table1_kernel,
+    bench_fig3_kernel,
+    bench_fig4_kernel,
+    bench_fig5_kernel,
+    bench_multipixel_kernel,
+    bench_recovery_kernel,
+    bench_probe_correlation_kernel
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the linear-algebra substrate: the
+//! kernels underneath every experiment (matmul for training, QR/pinv for
+//! the Sec. IV recovery attacks).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar_linalg::{qr, svd, Matrix};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for &n in &[32usize, 128, 256] {
+        let a = Matrix::random_uniform(n, n, -1.0, 1.0, &mut rng);
+        let b = Matrix::random_uniform(n, n, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matvec_training_shape(c: &mut Criterion) {
+    // The hot shape of surrogate training: batch x 784 times 784 x 10.
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let x = Matrix::random_uniform(32, 784, 0.0, 1.0, &mut rng);
+    let wt = Matrix::random_uniform(784, 10, -0.1, 0.1, &mut rng);
+    c.bench_function("matmul_batch32_784x10", |b| {
+        b.iter(|| black_box(x.matmul(&wt)));
+    });
+}
+
+fn bench_qr_lstsq(c: &mut Criterion) {
+    // The Sec. IV least-squares recovery kernel (reduced size).
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let u = Matrix::random_uniform(160, 128, 0.0, 1.0, &mut rng);
+    let w = Matrix::random_uniform(10, 128, -1.0, 1.0, &mut rng);
+    let y = u.matmul(&w.transpose());
+    c.bench_function("qr_lstsq_recovery_160x128", |b| {
+        b.iter(|| black_box(qr::lstsq_matrix(&u, &y).unwrap()));
+    });
+}
+
+fn bench_svd_pinv(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let a = Matrix::random_uniform(64, 48, -1.0, 1.0, &mut rng);
+    c.bench_function("svd_pinv_64x48", |b| {
+        b.iter(|| black_box(svd::pinv(&a).unwrap()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_matvec_training_shape,
+    bench_qr_lstsq,
+    bench_svd_pinv
+);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Extension (paper Sec. V future work): what does the power side channel
+//! reveal about a **multi-layer** network?
+//!
+//! On a crossbar accelerator each dense layer occupies its own array, and
+//! the *input-dependent* part of the first array's supply current is
+//! `Σ_j u_j ‖W₁[:,j]‖₁` — the same Eq. 5 leak, now about the first-layer
+//! weights only. This experiment measures whether those first-layer
+//! column norms still predict the *end-to-end* input sensitivity of a
+//! trained MLP (the quantity FGSM needs), reproducing the Table I
+//! methodology one layer up.
+//!
+//! Usage: `cargo run -p xbar-bench --release --bin multilayer [--quick] [--json results/multilayer.json]`
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use xbar_bench::{parse_args, write_json, DatasetKind};
+use xbar_core::report::{fmt, format_table};
+use xbar_nn::activation::Activation;
+use xbar_nn::loss::Loss;
+use xbar_nn::metrics::accuracy;
+use xbar_nn::mlp::{train_mlp, Mlp};
+use xbar_nn::train::SgdConfig;
+use xbar_stats::correlation::pearson;
+
+#[derive(Debug, Serialize)]
+struct MultilayerResult {
+    dataset: &'static str,
+    hidden_units: usize,
+    test_accuracy: f64,
+    corr_of_mean_first_layer: f64,
+    single_layer_reference: f64,
+}
+
+fn main() {
+    let (json_path, quick) = parse_args();
+    let num_samples = if quick { 800 } else { 3000 };
+    let mut results = Vec::new();
+    let mut rows = Vec::new();
+
+    for dataset in [DatasetKind::Digits, DatasetKind::Objects] {
+        let ds = dataset.generate(num_samples, 77);
+        let split = ds.split_frac(0.85).expect("fraction in range");
+        let mut rng = ChaCha8Rng::seed_from_u64(88);
+        let hidden = 64;
+        let mut mlp = Mlp::new_random(
+            &[ds.num_features(), hidden, ds.num_classes()],
+            Activation::Relu,
+            Activation::Softmax,
+            &mut rng,
+        )
+        .expect("valid sizes");
+        let cfg = SgdConfig {
+            learning_rate: 0.05,
+            momentum: 0.0,
+            epochs: if quick { 10 } else { 25 },
+            ..SgdConfig::default()
+        };
+        train_mlp(
+            &mut mlp,
+            split.train.inputs(),
+            &split.train.one_hot_targets(),
+            Loss::CrossEntropy,
+            &cfg,
+            &mut rng,
+        )
+        .expect("training succeeds");
+        let preds = mlp.predict_batch(split.test.inputs()).expect("shapes");
+        let acc = accuracy(&preds, split.test.labels());
+
+        // End-to-end mean |dL/du| of the MLP.
+        let targets = split.test.one_hot_targets();
+        let grads = mlp
+            .batch_input_gradients(split.test.inputs(), &targets, Loss::CrossEntropy)
+            .expect("shapes");
+        let mut mean_sens = vec![0.0; ds.num_features()];
+        for row in 0..grads.rows() {
+            for (s, &g) in mean_sens.iter_mut().zip(grads.row(row)) {
+                *s += g.abs();
+            }
+        }
+        for s in &mut mean_sens {
+            *s /= grads.rows() as f64;
+        }
+
+        // What the first crossbar array's power leaks: layer-1 column norms.
+        let layer1_norms = &mlp.per_layer_column_l1_norms()[0];
+        let r = pearson(&mean_sens, layer1_norms).unwrap_or(0.0);
+
+        // Reference: the single-layer Table I number for the same data.
+        let single = xbar_bench::train_victim(
+            dataset,
+            xbar_bench::HeadKind::SoftmaxCe,
+            num_samples,
+            77,
+        );
+        let s_targets = single.test.one_hot_targets();
+        let s_sens = xbar_nn::sensitivity::mean_abs_sensitivity(
+            &single.net,
+            single.test.inputs(),
+            &s_targets,
+            Loss::CrossEntropy,
+        )
+        .expect("shapes");
+        let r_single = pearson(&s_sens, &single.net.column_l1_norms()).unwrap_or(0.0);
+
+        rows.push(vec![
+            dataset.label().to_string(),
+            fmt(acc, 3),
+            fmt(r, 3),
+            fmt(r_single, 3),
+        ]);
+        results.push(MultilayerResult {
+            dataset: dataset.label(),
+            hidden_units: hidden,
+            test_accuracy: acc,
+            corr_of_mean_first_layer: r,
+            single_layer_reference: r_single,
+        });
+    }
+
+    println!("=== multi-layer extension: first-layer power leak vs end-to-end sensitivity ===");
+    println!(
+        "{}",
+        format_table(
+            &[
+                "dataset",
+                "mlp test acc",
+                "corr(mean |dL/du|, layer-1 norms)",
+                "single-layer reference",
+            ],
+            &rows
+        )
+    );
+    println!("Expected shape: the first-layer leak remains a useful (if weaker) proxy for");
+    println!("input sensitivity in a 2-layer network — supporting the paper's conjecture");
+    println!("that the attack surface extends to deep models.");
+
+    write_json(
+        &json_path.unwrap_or_else(|| "results/multilayer.json".into()),
+        &results,
+    );
+}

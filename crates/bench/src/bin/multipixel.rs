@@ -1,0 +1,168 @@
+//! Reproduces the paper's Sec. III multi-pixel observation: attacking the
+//! pixels with the top-N column 1-norms (each with a guessed ± direction)
+//! becomes *less* effective as N grows, because all N directions must be
+//! guessed right (odds `(1/2)^N`), while the white-box multi-pixel bound
+//! keeps getting stronger.
+//!
+//! Usage: `cargo run -p xbar-bench --release --bin multipixel [--quick] [--json results/multipixel.json]`
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use xbar_bench::{parse_args, train_victim, write_json, DatasetKind, HeadKind};
+use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
+use xbar_core::pixel_attack::{multi_pixel_norm_attack_batch, multi_pixel_worst_attack_batch};
+use xbar_core::probe::probe_column_norms;
+use xbar_core::report::{fmt, format_table};
+use xbar_linalg::vec_ops;
+use xbar_nn::sensitivity::batch_input_gradients;
+
+#[derive(Debug, Serialize)]
+struct MultiPixelResult {
+    dataset: &'static str,
+    clean_accuracy: f64,
+    num_pixels: Vec<usize>,
+    norm_guided_accuracy: Vec<f64>,
+    white_box_accuracy: Vec<f64>,
+    /// Fraction of (sample, guess) pairs where *all* N guessed directions
+    /// match the loss gradient — the paper's `(1/2)^N` argument measured
+    /// directly.
+    all_directions_correct: Vec<f64>,
+}
+
+fn main() {
+    let (json_path, quick) = parse_args();
+    let num_samples = if quick { 800 } else { 4000 };
+    let pixel_counts: Vec<usize> = (1..=8).collect();
+    let strength = 2.0;
+    let reps = if quick { 3 } else { 10 };
+
+    let mut results = Vec::new();
+    for dataset in [DatasetKind::Digits, DatasetKind::Objects] {
+        let victim = train_victim(dataset, HeadKind::SoftmaxCe, num_samples, 11);
+        let mut oracle = Oracle::new(
+            victim.net.clone(),
+            &OracleConfig::ideal().with_access(OutputAccess::None),
+            13,
+        )
+        .expect("ideal oracle");
+        let norms = probe_column_norms(&mut oracle, 1.0, 1).expect("probe succeeds");
+        let clean = oracle
+            .eval_accuracy(victim.test.inputs(), victim.test.labels())
+            .expect("shapes agree");
+        let targets = victim.test.one_hot_targets();
+
+        // The paper's (1/2)^N argument, measured directly: how often do N
+        // independent direction guesses at the top-norm pixels all agree
+        // with the white-box loss gradient?
+        let grads = batch_input_gradients(
+            &victim.net,
+            victim.test.inputs(),
+            &targets,
+            HeadKind::SoftmaxCe.loss(),
+        )
+        .expect("victim/data shapes agree");
+        let top_all = vec_ops::top_k_indices(&norms, 8);
+        let mut guess_rng = ChaCha8Rng::seed_from_u64(900);
+        let all_correct_for = |n: usize, rng: &mut ChaCha8Rng| -> f64 {
+            let mut hits = 0usize;
+            let trials = victim.test.len();
+            for i in 0..trials {
+                let g = grads.row(i);
+                let ok = top_all[..n].iter().all(|&j| {
+                    let guess = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                    guess == g[j].signum()
+                });
+                if ok {
+                    hits += 1;
+                }
+            }
+            hits as f64 / trials as f64
+        };
+
+        let mut norm_acc = Vec::new();
+        let mut worst_acc = Vec::new();
+        let mut all_correct = Vec::new();
+        for &n in &pixel_counts {
+            all_correct.push(all_correct_for(n, &mut guess_rng));
+            // Direction-guessing is stochastic: average over repetitions.
+            let mut acc_sum = 0.0;
+            for rep in 0..reps {
+                let mut rng = ChaCha8Rng::seed_from_u64(500 + rep);
+                let adv = multi_pixel_norm_attack_batch(
+                    victim.test.inputs(),
+                    &norms,
+                    n,
+                    strength,
+                    &mut rng,
+                )
+                .expect("attack parameters valid");
+                acc_sum += oracle
+                    .eval_accuracy(&adv, victim.test.labels())
+                    .expect("shapes agree");
+            }
+            norm_acc.push(acc_sum / reps as f64);
+
+            let adv = multi_pixel_worst_attack_batch(
+                &victim.net,
+                victim.test.inputs(),
+                &targets,
+                HeadKind::SoftmaxCe.loss(),
+                n,
+                strength,
+            )
+            .expect("attack parameters valid");
+            worst_acc.push(
+                oracle
+                    .eval_accuracy(&adv, victim.test.labels())
+                    .expect("shapes agree"),
+            );
+        }
+
+        println!(
+            "=== multi-pixel attacks: {} (clean acc {:.3}, strength {strength}) ===",
+            dataset.label(),
+            clean
+        );
+        let mut headers: Vec<String> = vec!["method".into()];
+        headers.extend(pixel_counts.iter().map(|n| format!("N={n}")));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut rows = Vec::new();
+        let mut r1 = vec!["norm-guided (guess ±)".to_string()];
+        r1.extend(norm_acc.iter().map(|&a| fmt(a, 3)));
+        rows.push(r1);
+        let mut r2 = vec!["white-box worst".to_string()];
+        r2.extend(worst_acc.iter().map(|&a| fmt(a, 3)));
+        rows.push(r2);
+        let mut r3 = vec!["P(all N guesses right)".to_string()];
+        r3.extend(all_correct.iter().map(|&a| fmt(a, 3)));
+        rows.push(r3);
+        let mut r4 = vec!["(1/2)^N reference".to_string()];
+        r4.extend(pixel_counts.iter().map(|&n| fmt(0.5_f64.powi(n as i32), 3)));
+        rows.push(r4);
+        println!("{}", format_table(&header_refs, &rows));
+
+        results.push(MultiPixelResult {
+            dataset: dataset.label(),
+            clean_accuracy: clean,
+            num_pixels: pixel_counts.clone(),
+            norm_guided_accuracy: norm_acc,
+            white_box_accuracy: worst_acc,
+            all_directions_correct: all_correct,
+        });
+    }
+
+    println!("Expected shape (paper Sec. III): the probability of guessing every");
+    println!("direction right collapses as (1/2)^N, so the norm-guided attack's");
+    println!("per-pixel efficiency falls further and further behind the white-box");
+    println!("bound as N grows. (Measured deviation: with a fixed per-pixel strength");
+    println!("the *absolute* norm-guided accuracy still drifts down with N — random");
+    println!("±ε on N pixels is a growing-variance perturbation — but its gap to the");
+    println!("white-box multi-pixel bound widens exactly as the paper argues.)");
+
+    write_json(
+        &json_path.unwrap_or_else(|| "results/multipixel.json".into()),
+        &results,
+    );
+}

@@ -1,0 +1,24 @@
+//! # xbar-bench
+//!
+//! The experiment and benchmark harness: shared setup code used by the
+//! binaries that regenerate every table and figure of the paper, plus the
+//! Criterion micro-benchmarks.
+//!
+//! Experiment binaries (run with `cargo run -p xbar-bench --release --bin <name>`):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table I — sensitivity / 1-norm correlations |
+//! | `fig3` | Fig. 3 — sensitivity and 1-norm heatmaps |
+//! | `fig4` | Fig. 4 — single-pixel attack curves |
+//! | `fig5` | Fig. 5 — surrogate black-box attacks |
+//! | `multipixel` | Sec. III multi-pixel discussion |
+//! | `recovery` | Sec. IV exact-recovery observations |
+//! | `ablations` | non-ideal-crossbar / defense extensions |
+//!
+//! Each binary prints the paper's rows/series as aligned tables and, when
+//! `--json <path>` is given, writes machine-readable results.
+
+pub mod setup;
+
+pub use setup::*;

@@ -1,0 +1,166 @@
+//! A small, dependency-free command-line parser for the `xbar` binary.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: one subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: HashMap<String, String>,
+}
+
+/// Errors produced while parsing or reading options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// A `--flag` had no value or an argument was not `--`-prefixed.
+    Malformed {
+        /// The offending token.
+        token: String,
+    },
+    /// A required option was absent.
+    MissingOption {
+        /// The option's name (without dashes).
+        name: &'static str,
+    },
+    /// An option's value failed to parse.
+    BadValue {
+        /// The option's name.
+        name: &'static str,
+        /// The raw value supplied.
+        value: String,
+    },
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingCommand => write!(f, "missing subcommand (try `xbar help`)"),
+            ArgsError::Malformed { token } => write!(f, "malformed argument: {token}"),
+            ArgsError::MissingOption { name } => write!(f, "missing required option --{name}"),
+            ArgsError::BadValue { name, value } => {
+                write!(f, "invalid value for --{name}: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl ParsedArgs {
+    /// Parses a token stream (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// * [`ArgsError::MissingCommand`] on an empty stream.
+    /// * [`ArgsError::Malformed`] on stray or value-less tokens.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgsError> {
+        let mut it = tokens.into_iter();
+        let command = it.next().ok_or(ArgsError::MissingCommand)?;
+        if command.starts_with('-') {
+            return Err(ArgsError::Malformed { token: command });
+        }
+        let mut options = HashMap::new();
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgsError::Malformed { token: tok });
+            };
+            let value = it.next().ok_or(ArgsError::Malformed { token: tok.clone() })?;
+            options.insert(key.to_string(), value);
+        }
+        Ok(ParsedArgs { command, options })
+    }
+
+    /// An optional string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::MissingOption`] if absent.
+    pub fn require(&self, name: &'static str) -> Result<&str, ArgsError> {
+        self.get(name).ok_or(ArgsError::MissingOption { name })
+    }
+
+    /// A parseable option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadValue`] if present but unparseable.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        name: &'static str,
+        default: T,
+    ) -> Result<T, ArgsError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgsError::BadValue {
+                name,
+                value: raw.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = ParsedArgs::parse(toks(&["train", "--dataset", "digits", "--seed", "7"]))
+            .unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.get("dataset"), Some("digits"));
+        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(a.get_or("samples", 500usize).unwrap(), 500);
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed() {
+        assert_eq!(ParsedArgs::parse(toks(&[])), Err(ArgsError::MissingCommand));
+        assert!(matches!(
+            ParsedArgs::parse(toks(&["--train"])),
+            Err(ArgsError::Malformed { .. })
+        ));
+        assert!(matches!(
+            ParsedArgs::parse(toks(&["train", "oops"])),
+            Err(ArgsError::Malformed { .. })
+        ));
+        assert!(matches!(
+            ParsedArgs::parse(toks(&["train", "--seed"])),
+            Err(ArgsError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn require_and_bad_value() {
+        let a = ParsedArgs::parse(toks(&["probe", "--strength", "abc"])).unwrap();
+        assert!(matches!(
+            a.require("model"),
+            Err(ArgsError::MissingOption { name: "model" })
+        ));
+        assert!(matches!(
+            a.get_or("strength", 1.0f64),
+            Err(ArgsError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!ArgsError::MissingCommand.to_string().is_empty());
+        assert!(ArgsError::MissingOption { name: "model" }
+            .to_string()
+            .contains("--model"));
+    }
+}

@@ -1,0 +1,352 @@
+//! The `xbar` subcommand implementations.
+
+use crate::args::{ArgsError, ParsedArgs};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar_core::blackbox::{run_blackbox_attack, BlackBoxConfig};
+use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
+use xbar_core::persist;
+use xbar_core::pixel_attack::{
+    single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources,
+};
+use xbar_core::probe::{probe_column_norms, probe_norms_compressed};
+use xbar_core::recovery::{recover_columns_by_basis_probes, relative_error};
+use xbar_core::report::{ascii_heatmap, fmt, format_table};
+use xbar_data::synth::digits::DigitsConfig;
+use xbar_data::synth::objects::ObjectsConfig;
+use xbar_data::Dataset;
+use xbar_nn::activation::Activation;
+use xbar_nn::loss::Loss;
+use xbar_nn::metrics::accuracy;
+use xbar_nn::network::SingleLayerNet;
+use xbar_nn::train::{train, SgdConfig};
+
+/// Any error a subcommand can produce.
+pub type CliError = Box<dyn std::error::Error>;
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns the subcommand's failure, or an [`ArgsError`] for an unknown
+/// command.
+pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
+    match args.command.as_str() {
+        "train" => cmd_train(args),
+        "probe" => cmd_probe(args),
+        "attack" => cmd_attack(args),
+        "blackbox" => cmd_blackbox(args),
+        "recover" => cmd_recover(args),
+        "help" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(Box::new(ArgsError::Malformed {
+            token: other.to_string(),
+        })),
+    }
+}
+
+/// Prints usage for every subcommand.
+pub fn print_help() {
+    println!(
+        "xbar — power side-channel attacks on NVM crossbar neural networks
+
+USAGE: xbar <command> [--option value]...
+
+COMMANDS:
+  train     train a victim and save it
+            --out FILE [--dataset digits|objects] [--head linear|softmax]
+            [--samples N] [--seed S]
+  probe     deploy a model on a crossbar and probe its column 1-norms
+            --model FILE [--seed S] [--compressed-queries K]
+  attack    run the Fig.4 single-pixel attacks against a deployed model
+            --model FILE [--strength X] [--dataset ...] [--samples N] [--seed S]
+  blackbox  run the Fig.5 surrogate pipeline against a deployed model
+            --model FILE --queries Q [--lambda L] [--eps E]
+            [--access label|raw] [--dataset ...] [--samples N] [--seed S]
+  recover   recover the weights of a linear model via basis probes
+            --model FILE [--seed S]
+  help      this message"
+    );
+}
+
+fn load_dataset(args: &ParsedArgs) -> Result<Dataset, CliError> {
+    let kind = args.get("dataset").unwrap_or("digits");
+    let samples: usize = args.get_or("samples", 1000)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    match kind {
+        "digits" => Ok(DigitsConfig::default()
+            .num_samples(samples)
+            .seed(seed)
+            .generate()),
+        "objects" => Ok(ObjectsConfig::default()
+            .num_samples(samples)
+            .seed(seed)
+            .generate()),
+        other => Err(Box::new(ArgsError::BadValue {
+            name: "dataset",
+            value: other.to_string(),
+        })),
+    }
+}
+
+fn cmd_train(args: &ParsedArgs) -> Result<(), CliError> {
+    let out = args.require("out")?.to_string();
+    let head = args.get("head").unwrap_or("softmax");
+    let seed: u64 = args.get_or("seed", 0)?;
+    let (activation, loss, lr) = match head {
+        "linear" => (Activation::Identity, Loss::Mse, 0.01),
+        "softmax" => (Activation::Softmax, Loss::CrossEntropy, 0.05),
+        other => {
+            return Err(Box::new(ArgsError::BadValue {
+                name: "head",
+                value: other.to_string(),
+            }))
+        }
+    };
+    let ds = load_dataset(args)?;
+    let split = ds.split_frac(0.85)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut net = SingleLayerNet::new_random(
+        ds.num_features(),
+        ds.num_classes(),
+        activation,
+        &mut rng,
+    );
+    let sgd = SgdConfig {
+        learning_rate: lr,
+        epochs: args.get_or("epochs", 25)?,
+        ..SgdConfig::default()
+    };
+    let report = train(&mut net, &split.train, loss, &sgd, &mut rng)?;
+    let test_acc = accuracy(
+        &net.predict_batch(split.test.inputs())?,
+        split.test.labels(),
+    );
+    println!(
+        "trained {head} head: loss {:.4} -> {:.4}, test accuracy {test_acc:.3}",
+        report.initial_loss, report.final_loss
+    );
+    persist::save_network(&out, &net)?;
+    println!("saved model to {out}");
+    Ok(())
+}
+
+fn cmd_probe(args: &ParsedArgs) -> Result<(), CliError> {
+    let net = persist::load_network(args.require("model")?)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let mut oracle = Oracle::new(
+        net,
+        &OracleConfig::ideal().with_access(OutputAccess::None),
+        seed,
+    )?;
+    let compressed: usize = args.get_or("compressed-queries", 0)?;
+    let norms = if compressed > 0 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC5);
+        probe_norms_compressed(&mut oracle, compressed, 1e-2, &mut rng)?
+    } else {
+        probe_column_norms(&mut oracle, 1.0, 1)?
+    };
+    println!(
+        "probed {} columns with {} power queries",
+        norms.len(),
+        oracle.query_count()
+    );
+    // Render as a heatmap when the dimension is a known image shape.
+    let n = norms.len();
+    let shape = match n {
+        784 => Some(xbar_data::ImageShape::new(28, 28, 1)),
+        3072 => Some(xbar_data::ImageShape::new(32, 32, 3)),
+        _ => None,
+    };
+    if let Some(shape) = shape {
+        println!("{}", ascii_heatmap(&norms, shape, 0));
+    }
+    let top = xbar_linalg::vec_ops::top_k_indices(&norms, 5);
+    println!("top-5 columns by probed 1-norm: {top:?}");
+    Ok(())
+}
+
+fn cmd_attack(args: &ParsedArgs) -> Result<(), CliError> {
+    let net = persist::load_network(args.require("model")?)?;
+    let strength: f64 = args.get_or("strength", 4.0)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let ds = load_dataset(args)?;
+    let split = ds.split_frac(0.85)?;
+    let loss = match net.activation() {
+        Activation::Softmax => Loss::CrossEntropy,
+        _ => Loss::Mse,
+    };
+    let mut oracle = Oracle::new(
+        net.clone(),
+        &OracleConfig::ideal().with_access(OutputAccess::None),
+        seed,
+    )?;
+    let norms = probe_column_norms(&mut oracle, 1.0, 1)?;
+    let clean = oracle.eval_accuracy(split.test.inputs(), split.test.labels())?;
+    let targets = split.test.one_hot_targets();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA7);
+    let mut rows = Vec::new();
+    for method in PixelAttackMethod::all() {
+        let adv = single_pixel_attack_batch(
+            method,
+            split.test.inputs(),
+            &targets,
+            PixelAttackResources::full(&norms, &net, loss),
+            strength,
+            &mut rng,
+        )?;
+        let acc = oracle.eval_accuracy(&adv, split.test.labels())?;
+        rows.push(vec![
+            method.paper_label().to_string(),
+            fmt(acc, 3),
+            fmt(clean - acc, 3),
+        ]);
+    }
+    println!("clean accuracy {clean:.3}; single-pixel attacks at strength {strength}:");
+    println!(
+        "{}",
+        format_table(&["method", "accuracy", "degradation"], &rows)
+    );
+    Ok(())
+}
+
+fn cmd_blackbox(args: &ParsedArgs) -> Result<(), CliError> {
+    let net = persist::load_network(args.require("model")?)?;
+    let queries: usize = args.get_or("queries", 200)?;
+    let lambda: f64 = args.get_or("lambda", 0.0)?;
+    let eps: f64 = args.get_or("eps", 0.1)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let access = match args.get("access").unwrap_or("label") {
+        "label" => OutputAccess::LabelOnly,
+        "raw" => OutputAccess::Raw,
+        other => {
+            return Err(Box::new(ArgsError::BadValue {
+                name: "access",
+                value: other.to_string(),
+            }))
+        }
+    };
+    let ds = load_dataset(args)?;
+    let split = ds.split_frac(0.85)?;
+    let mut oracle = Oracle::new(net, &OracleConfig::ideal().with_access(access), seed)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBB);
+    let mut cfg = BlackBoxConfig::default()
+        .with_num_queries(queries)
+        .with_power_weight(lambda)
+        .with_fgsm_eps(eps);
+    cfg.surrogate.sgd.epochs = (38_400 / queries).clamp(60, 2000);
+    let (out, _) = run_blackbox_attack(&mut oracle, &split.train, &split.test, &cfg, &mut rng)?;
+    println!(
+        "queries {queries}, power λ {lambda}: surrogate acc {:.3}, oracle {:.3} -> {:.3} (degradation {:.3})",
+        out.surrogate_test_accuracy,
+        out.oracle_clean_accuracy,
+        out.oracle_adversarial_accuracy,
+        out.degradation()
+    );
+    Ok(())
+}
+
+fn cmd_recover(args: &ParsedArgs) -> Result<(), CliError> {
+    let net = persist::load_network(args.require("model")?)?;
+    if net.activation() != Activation::Identity {
+        println!(
+            "note: model head is {}; basis-probe recovery assumes a linear head",
+            net.activation().name()
+        );
+    }
+    let seed: u64 = args.get_or("seed", 1)?;
+    let mut oracle = Oracle::new(
+        net.clone(),
+        &OracleConfig::ideal().with_access(OutputAccess::Raw),
+        seed,
+    )?;
+    let recovered = recover_columns_by_basis_probes(&mut oracle, 1.0)?;
+    let err = relative_error(&recovered, net.weights())?;
+    println!(
+        "recovered {}x{} weights in {} queries; relative error {err:.2e}",
+        recovered.rows(),
+        recovered.cols(),
+        oracle.query_count()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(tokens.iter().map(|t| t.to_string())).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("xbar-cli-test-{name}-{}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let args = parse(&["frobnicate"]);
+        assert!(dispatch(&args).is_err());
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert!(dispatch(&parse(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn train_probe_attack_recover_pipeline() {
+        let model = tmp("model");
+        // Small sizes keep the test fast.
+        dispatch(&parse(&[
+            "train", "--out", &model, "--head", "linear", "--samples", "200", "--epochs",
+            "5",
+        ]))
+        .unwrap();
+        dispatch(&parse(&["probe", "--model", &model])).unwrap();
+        dispatch(&parse(&[
+            "probe",
+            "--model",
+            &model,
+            "--compressed-queries",
+            "100",
+        ]))
+        .unwrap();
+        dispatch(&parse(&[
+            "attack", "--model", &model, "--samples", "200", "--strength", "3",
+        ]))
+        .unwrap();
+        dispatch(&parse(&["recover", "--model", &model])).unwrap();
+        std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn blackbox_pipeline() {
+        let model = tmp("bb-model");
+        dispatch(&parse(&[
+            "train", "--out", &model, "--head", "linear", "--samples", "200", "--epochs",
+            "5",
+        ]))
+        .unwrap();
+        dispatch(&parse(&[
+            "blackbox", "--model", &model, "--queries", "40", "--lambda", "1.0", "--samples",
+            "200",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn bad_option_values_rejected() {
+        let model = tmp("bad-model");
+        assert!(dispatch(&parse(&["train", "--out", &model, "--head", "quantum"])).is_err());
+        assert!(dispatch(&parse(&["train", "--out", &model, "--dataset", "imagenet"]))
+            .is_err());
+        assert!(dispatch(&parse(&["probe"])).is_err()); // missing --model
+        std::fs::remove_file(&model).ok();
+    }
+}

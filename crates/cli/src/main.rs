@@ -1,0 +1,32 @@
+//! `xbar` — command-line driver for the `xbar-power-attacks` workspace.
+//!
+//! ```text
+//! xbar train --out model.json --head softmax --dataset digits
+//! xbar probe --model model.json
+//! xbar attack --model model.json --strength 4
+//! xbar blackbox --model model.json --queries 200 --lambda 10 --access label
+//! xbar recover --model model.json
+//! ```
+//!
+//! Run `xbar help` for the full option list.
+
+mod args;
+mod commands;
+
+use args::ParsedArgs;
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match ParsedArgs::parse(tokens) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            commands::print_help();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = commands::dispatch(&parsed) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

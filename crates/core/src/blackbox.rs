@@ -1,0 +1,279 @@
+//! The end-to-end Case-2 black-box pipeline of the paper's Fig. 5:
+//! query the oracle → train a surrogate (with or without power loss) →
+//! run FGSM on the surrogate → evaluate the adversarial examples on the
+//! oracle.
+
+use crate::fgsm::{fgsm_batch, BoxConstraint};
+use crate::oracle::Oracle;
+use crate::surrogate::{collect_queries, train_surrogate, SurrogateConfig};
+use crate::{AttackError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use xbar_data::Dataset;
+use xbar_nn::loss::Loss;
+use xbar_nn::metrics::accuracy;
+use xbar_nn::network::SingleLayerNet;
+
+/// Configuration of a black-box attack run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlackBoxConfig {
+    /// Number of oracle queries used to train the surrogate (the paper's
+    /// x-axis in Fig. 5).
+    pub num_queries: usize,
+    /// The power-loss weight λ (Eq. 9); `0.0` is the no-power baseline.
+    pub power_weight: f64,
+    /// FGSM attack strength (the paper uses 0.1).
+    pub fgsm_eps: f64,
+    /// Surrogate SGD hyperparameters.
+    pub surrogate: SurrogateConfig,
+}
+
+impl Default for BlackBoxConfig {
+    fn default() -> Self {
+        BlackBoxConfig {
+            num_queries: 100,
+            power_weight: 0.0,
+            fgsm_eps: 0.1,
+            surrogate: SurrogateConfig::default(),
+        }
+    }
+}
+
+impl BlackBoxConfig {
+    /// Builder-style setter for the query count.
+    pub fn with_num_queries(mut self, q: usize) -> Self {
+        self.num_queries = q;
+        self
+    }
+
+    /// Builder-style setter for λ (also propagated into the surrogate
+    /// config).
+    pub fn with_power_weight(mut self, lambda: f64) -> Self {
+        self.power_weight = lambda;
+        self.surrogate.power_weight = lambda;
+        self
+    }
+
+    /// Builder-style setter for the FGSM strength.
+    pub fn with_fgsm_eps(mut self, eps: f64) -> Self {
+        self.fgsm_eps = eps;
+        self
+    }
+}
+
+/// The measurements of one black-box attack run — one point of each curve
+/// in the paper's Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlackBoxOutcome {
+    /// Surrogate accuracy on the clean test set (Fig. 5 left column).
+    pub surrogate_test_accuracy: f64,
+    /// Oracle accuracy on the clean test set (reference level).
+    pub oracle_clean_accuracy: f64,
+    /// Oracle accuracy on the surrogate-crafted adversarial test set
+    /// (Fig. 5 centre column; lower = stronger attack).
+    pub oracle_adversarial_accuracy: f64,
+    /// Oracle queries consumed by this run.
+    pub queries_used: usize,
+}
+
+impl BlackBoxOutcome {
+    /// The attack's accuracy degradation,
+    /// `clean accuracy − adversarial accuracy` (Fig. 5 right column
+    /// compares this between λ>0 and λ=0).
+    pub fn degradation(&self) -> f64 {
+        self.oracle_clean_accuracy - self.oracle_adversarial_accuracy
+    }
+}
+
+/// Runs the full pipeline once.
+///
+/// Query inputs are drawn from `train_pool` without replacement (with
+/// replacement once the pool is exhausted), matching the paper's
+/// "querying with Q inputs from the training set".
+///
+/// # Errors
+///
+/// * [`AttackError::InvalidParameter`] for a zero query count or an empty
+///   pool/test set.
+/// * Propagates query, training and attack errors.
+pub fn run_blackbox_attack<R: Rng + ?Sized>(
+    oracle: &mut Oracle,
+    train_pool: &Dataset,
+    test: &Dataset,
+    cfg: &BlackBoxConfig,
+    rng: &mut R,
+) -> Result<(BlackBoxOutcome, SingleLayerNet)> {
+    if cfg.num_queries == 0 {
+        return Err(AttackError::InvalidParameter { name: "num_queries" });
+    }
+    if train_pool.is_empty() || test.is_empty() {
+        return Err(AttackError::InvalidParameter { name: "dataset" });
+    }
+    let start_queries = oracle.query_count();
+
+    // 1. Pick query rows.
+    let indices = sample_indices(train_pool.len(), cfg.num_queries, rng);
+
+    // 2. Query the oracle.
+    let queries = collect_queries(oracle, train_pool.inputs(), &indices)?;
+
+    // 3. Train the surrogate with the configured λ.
+    let mut surrogate_cfg = cfg.surrogate;
+    surrogate_cfg.power_weight = cfg.power_weight;
+    let surrogate = train_surrogate(&queries, &surrogate_cfg, rng)?;
+
+    // 4. Surrogate quality on the clean test set.
+    let surrogate_preds = surrogate.predict_batch(test.inputs())?;
+    let surrogate_test_accuracy = accuracy(&surrogate_preds, test.labels());
+
+    // 5. FGSM on the surrogate, evaluated on the oracle.
+    let targets = test.one_hot_targets();
+    let adv = fgsm_batch(
+        &surrogate,
+        test.inputs(),
+        &targets,
+        Loss::Mse,
+        cfg.fgsm_eps,
+        BoxConstraint::None,
+    )?;
+    let oracle_clean_accuracy = oracle.eval_accuracy(test.inputs(), test.labels())?;
+    let oracle_adversarial_accuracy = oracle.eval_accuracy(&adv, test.labels())?;
+
+    Ok((
+        BlackBoxOutcome {
+            surrogate_test_accuracy,
+            oracle_clean_accuracy,
+            oracle_adversarial_accuracy,
+            queries_used: oracle.query_count() - start_queries,
+        },
+        surrogate,
+    ))
+}
+
+/// Draws `count` indices from `0..len`: a shuffled pass without
+/// replacement, switching to uniform with-replacement draws once the pool
+/// is exhausted.
+fn sample_indices<R: Rng + ?Sized>(len: usize, count: usize, rng: &mut R) -> Vec<usize> {
+    let mut base: Vec<usize> = (0..len).collect();
+    base.shuffle(rng);
+    if count <= len {
+        base.truncate(count);
+        base
+    } else {
+        let mut out = base;
+        while out.len() < count {
+            out.push(rng.gen_range(0..len));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{OracleConfig, OutputAccess};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use xbar_data::synth::blobs::BlobsConfig;
+    use xbar_nn::activation::Activation;
+    use xbar_nn::train::{train, SgdConfig};
+
+    fn trained_oracle(access: OutputAccess, seed: u64) -> (Oracle, Dataset, Dataset) {
+        let ds = BlobsConfig::new(3, 10)
+            .num_samples(400)
+            .seed(seed)
+            .spread(0.15)
+            .generate();
+        let split = ds.split_frac(0.75).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut net = SingleLayerNet::new_random(10, 3, Activation::Identity, &mut rng);
+        train(&mut net, &split.train, Loss::Mse, &SgdConfig::default(), &mut rng).unwrap();
+        let oracle = Oracle::new(
+            net,
+            &OracleConfig::ideal().with_access(access),
+            seed ^ 0xBEEF,
+        )
+        .unwrap();
+        (oracle, split.train, split.test)
+    }
+
+    #[test]
+    fn pipeline_produces_sane_numbers() {
+        let (mut oracle, train_pool, test) = trained_oracle(OutputAccess::Raw, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let cfg = BlackBoxConfig::default().with_num_queries(60);
+        let (out, surrogate) =
+            run_blackbox_attack(&mut oracle, &train_pool, &test, &cfg, &mut rng).unwrap();
+        assert_eq!(out.queries_used, 60);
+        assert!(out.oracle_clean_accuracy > 0.8, "{out:?}");
+        assert!((0.0..=1.0).contains(&out.surrogate_test_accuracy));
+        assert!(out.oracle_adversarial_accuracy <= out.oracle_clean_accuracy + 0.05);
+        assert_eq!(surrogate.num_inputs(), 10);
+    }
+
+    #[test]
+    fn attack_degrades_oracle_accuracy_with_enough_queries() {
+        let (mut oracle, train_pool, test) = trained_oracle(OutputAccess::Raw, 5);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let cfg = BlackBoxConfig::default()
+            .with_num_queries(200)
+            .with_fgsm_eps(0.3);
+        let (out, _) =
+            run_blackbox_attack(&mut oracle, &train_pool, &test, &cfg, &mut rng).unwrap();
+        assert!(
+            out.degradation() > 0.2,
+            "attack should bite with 200 queries: {out:?}"
+        );
+    }
+
+    #[test]
+    fn label_only_access_also_works() {
+        let (mut oracle, train_pool, test) = trained_oracle(OutputAccess::LabelOnly, 7);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let cfg = BlackBoxConfig::default().with_num_queries(100);
+        let (out, _) =
+            run_blackbox_attack(&mut oracle, &train_pool, &test, &cfg, &mut rng).unwrap();
+        assert!(out.surrogate_test_accuracy > 0.5, "{out:?}");
+    }
+
+    #[test]
+    fn power_weight_propagates() {
+        let cfg = BlackBoxConfig::default().with_power_weight(0.01);
+        assert_eq!(cfg.power_weight, 0.01);
+        assert_eq!(cfg.surrogate.power_weight, 0.01);
+    }
+
+    #[test]
+    fn degradation_definition() {
+        let out = BlackBoxOutcome {
+            surrogate_test_accuracy: 0.9,
+            oracle_clean_accuracy: 0.8,
+            oracle_adversarial_accuracy: 0.3,
+            queries_used: 10,
+        };
+        assert!((out.degradation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let (mut oracle, train_pool, test) = trained_oracle(OutputAccess::Raw, 9);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let cfg = BlackBoxConfig::default().with_num_queries(0);
+        assert!(run_blackbox_attack(&mut oracle, &train_pool, &test, &cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sample_indices_without_then_with_replacement() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let idx = sample_indices(10, 6, &mut rng);
+        assert_eq!(idx.len(), 6);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6, "no repeats when count <= len");
+        let big = sample_indices(4, 10, &mut rng);
+        assert_eq!(big.len(), 10);
+        assert!(big.iter().all(|&i| i < 4));
+    }
+}

@@ -1,0 +1,72 @@
+//! # xbar-core
+//!
+//! The paper's contribution: power side-channel–aided adversarial attacks
+//! on single-layer NVM crossbar neural networks
+//! (Merkel, *"Enhancing Adversarial Attacks on Single-Layer NVM
+//! Crossbar-Based Neural Networks with Power Consumption Information"*,
+//! SOCC 2022).
+//!
+//! The threat model: a victim network `ŷ = f(W u)` runs on an NVM
+//! crossbar; the attacker can drive inputs and measure the crossbar's
+//! total supply current (Eq. 5), which leaks an affine function of the
+//! weight-column 1-norms. Two cases:
+//!
+//! * **Case 1 — no output access** ([`probe`], [`pixel_attack`]): the
+//!   attacker recovers the column 1-norms by basis-input probing and uses
+//!   the largest-norm pixel as the target of a single-pixel evasion attack
+//!   (paper Sec. III, Fig. 4, Table I).
+//! * **Case 2 — output access** ([`surrogate`], [`blackbox`],
+//!   [`recovery`]): the attacker trains a surrogate model on query
+//!   input/output pairs with the combined loss
+//!   `L = L_out + λ·L_power` (Eq. 9) and runs FGSM on the surrogate
+//!   (paper Sec. IV, Fig. 5); or, with enough queries, recovers `W`
+//!   exactly via least squares.
+//!
+//! Supporting modules: [`oracle`] (the query-counted victim),
+//! [`fgsm`] (gradient evasion attacks, untargeted and targeted),
+//! [`defense`] (power-obfuscation countermeasures — an extension beyond
+//! the paper), [`detect`] (defender-side current-signature anomaly
+//! detection, after the paper's DetectX reference), [`persist`] (JSON
+//! round-tripping of attack artifacts), and [`report`] (table/heatmap
+//! formatting for the experiment harness).
+//!
+//! # Example: Case-1 probe and attack
+//!
+//! ```
+//! use xbar_core::oracle::{Oracle, OracleConfig};
+//! use xbar_core::probe::probe_column_norms;
+//! use xbar_data::synth::blobs::BlobsConfig;
+//! use xbar_nn::activation::Activation;
+//! use xbar_nn::network::SingleLayerNet;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let net = SingleLayerNet::new_random(6, 3, Activation::Identity, &mut rng);
+//! let mut oracle = Oracle::new(net, &OracleConfig::ideal(), 7)?;
+//! let norms = probe_column_norms(&mut oracle, 1.0, 1)?;
+//! assert_eq!(norms.len(), 6);
+//! assert_eq!(oracle.query_count(), 6);
+//! # Ok::<(), xbar_core::AttackError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod blackbox;
+pub mod defense;
+pub mod detect;
+mod error;
+pub mod fgsm;
+pub mod oracle;
+pub mod persist;
+pub mod pixel_attack;
+pub mod probe;
+pub mod recovery;
+pub mod report;
+pub mod surrogate;
+pub mod sweep;
+
+pub use error::AttackError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, AttackError>;

@@ -1,0 +1,428 @@
+//! The oracle: the victim network deployed on a crossbar, wrapped in a
+//! query-counted interface exposing exactly what the threat model allows.
+
+use crate::{AttackError, Result};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use xbar_crossbar::array::CrossbarArray;
+use xbar_crossbar::device::DeviceModel;
+use xbar_crossbar::power::PowerModel;
+use xbar_linalg::{vec_ops, Matrix};
+use xbar_nn::network::SingleLayerNet;
+
+/// What the attacker can see of the network's output per query.
+///
+/// Power is always observable (that is the premise of the paper); this
+/// enum controls the *digital* output channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OutputAccess {
+    /// Case 1 of the paper: no output access at all.
+    None,
+    /// Case 2, label-only rows of Fig. 5: only the argmax label.
+    LabelOnly,
+    /// Case 2, raw-output rows of Fig. 5: the full output vector.
+    Raw,
+}
+
+/// Configuration of the deployed oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OracleConfig {
+    /// Device model used when programming the crossbar.
+    pub device: DeviceModel,
+    /// Power measurement channel.
+    pub power: PowerModel,
+    /// Output access granted to the attacker.
+    pub access: OutputAccess,
+    /// Optional hard cap on the number of queries.
+    pub query_budget: Option<usize>,
+}
+
+impl OracleConfig {
+    /// The paper's idealised setting: ideal devices, noiseless power,
+    /// raw-output access, unlimited queries.
+    pub fn ideal() -> Self {
+        OracleConfig {
+            device: DeviceModel::ideal(),
+            power: PowerModel::default(),
+            access: OutputAccess::Raw,
+            query_budget: None,
+        }
+    }
+
+    /// Builder-style setter for the output access level.
+    pub fn with_access(mut self, access: OutputAccess) -> Self {
+        self.access = access;
+        self
+    }
+
+    /// Builder-style setter for the device model.
+    pub fn with_device(mut self, device: DeviceModel) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Builder-style setter for the power model.
+    pub fn with_power(mut self, power: PowerModel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Builder-style setter for the query budget.
+    pub fn with_query_budget(mut self, budget: usize) -> Self {
+        self.query_budget = Some(budget);
+        self
+    }
+}
+
+/// One query's worth of observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// Raw output vector, if [`OutputAccess::Raw`].
+    pub output: Option<Vec<f64>>,
+    /// Predicted label, if [`OutputAccess::LabelOnly`] or raw.
+    pub label: Option<usize>,
+    /// Calibrated power observation in weight units (see
+    /// [`Oracle::query`] for the calibration).
+    pub power: f64,
+}
+
+/// The victim: a trained [`SingleLayerNet`] programmed onto a
+/// [`CrossbarArray`], exposing queries according to an [`OracleConfig`].
+///
+/// Inference runs on the *crossbar* (i.e. on the as-programmed, possibly
+/// non-ideal weights), not on the floating-point network — the network is
+/// kept only for white-box baselines and evaluation.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    net: SingleLayerNet,
+    xbar: CrossbarArray,
+    config: OracleConfig,
+    query_count: usize,
+    rng: ChaCha8Rng,
+}
+
+impl Oracle {
+    /// Deploys a trained network onto a crossbar.
+    ///
+    /// `seed` drives the oracle's internal noise streams (programming
+    /// variation, read noise, measurement noise); the attacker has no
+    /// influence over or knowledge of it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates crossbar programming and configuration errors.
+    pub fn new(net: SingleLayerNet, config: &OracleConfig, seed: u64) -> Result<Self> {
+        config.power.validate()?;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let xbar = CrossbarArray::program(net.weights(), &config.device, &mut rng)?;
+        Ok(Oracle {
+            net,
+            xbar,
+            config: *config,
+            query_count: 0,
+            rng,
+        })
+    }
+
+    /// The oracle's configuration.
+    pub fn config(&self) -> &OracleConfig {
+        &self.config
+    }
+
+    /// Input dimension `N`.
+    pub fn num_inputs(&self) -> usize {
+        self.net.num_inputs()
+    }
+
+    /// Output dimension `M`.
+    pub fn num_outputs(&self) -> usize {
+        self.net.num_outputs()
+    }
+
+    /// Queries consumed so far.
+    pub fn query_count(&self) -> usize {
+        self.query_count
+    }
+
+    /// Resets the query counter (e.g. between experiment repetitions).
+    pub fn reset_query_count(&mut self) {
+        self.query_count = 0;
+    }
+
+    /// The white-box network (ground truth) — for evaluation and the
+    /// paper's "Worst" baseline only, never used by black-box attacks.
+    pub fn white_box_net(&self) -> &SingleLayerNet {
+        &self.net
+    }
+
+    /// The true column 1-norms of the *deployed* (as-programmed) weights —
+    /// ground truth for probe-fidelity experiments.
+    pub fn true_column_norms(&self) -> Vec<f64> {
+        self.xbar.effective_weights().col_l1_norms()
+    }
+
+    fn consume_query(&mut self) -> Result<()> {
+        if let Some(budget) = self.config.query_budget {
+            if self.query_count >= budget {
+                return Err(AttackError::QueryBudgetExhausted { budget });
+            }
+        }
+        self.query_count += 1;
+        Ok(())
+    }
+
+    /// Crossbar forward pass (with read noise if the device has any),
+    /// activation applied. Internal — all external access goes through
+    /// [`Oracle::query`].
+    fn crossbar_forward(&mut self, u: &[f64]) -> Result<Vec<f64>> {
+        let mut s = if self.xbar.device().read_sigma > 0.0 {
+            self.xbar.noisy_mvm(u, &mut self.rng)?
+        } else {
+            self.xbar.checked_mvm(u)?
+        };
+        self.net.activation().apply_row(&mut s);
+        Ok(s)
+    }
+
+    /// One attacker query: runs the input on the crossbar and returns what
+    /// the access level allows, plus the power observation.
+    ///
+    /// The power observation is *calibrated to weight units*: the raw
+    /// measured power `P = V_dd · i_total` is mapped through the known
+    /// hardware constants (`V_dd`, the mapping scale `k`, `g_min`, `M`) to
+    /// `(P/V_dd − 2 M g_min Σ_j u_j)/k = Σ_j u_j ‖W[:,j]‖₁` (exactly, for
+    /// ideal devices; plus scaled measurement noise otherwise). This is
+    /// the standard Kerckhoffs assumption that the accelerator design —
+    /// but not its weights — is public.
+    ///
+    /// # Errors
+    ///
+    /// * [`AttackError::QueryBudgetExhausted`] once the budget is spent.
+    /// * Crossbar errors on malformed inputs.
+    pub fn query(&mut self, u: &[f64]) -> Result<QueryRecord> {
+        self.consume_query()?;
+        let power = self.calibrated_power_internal(u)?;
+        let (output, label) = match self.config.access {
+            OutputAccess::None => (None, None),
+            OutputAccess::LabelOnly => {
+                let y = self.crossbar_forward(u)?;
+                (None, Some(vec_ops::argmax(&y)))
+            }
+            OutputAccess::Raw => {
+                let y = self.crossbar_forward(u)?;
+                let label = vec_ops::argmax(&y);
+                (Some(y), Some(label))
+            }
+        };
+        Ok(QueryRecord {
+            output,
+            label,
+            power,
+        })
+    }
+
+    /// Power-only query (Case 1): cheaper notation for
+    /// [`Oracle::query`]`.power` that works at any access level.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Oracle::query`].
+    pub fn query_power(&mut self, u: &[f64]) -> Result<f64> {
+        self.consume_query()?;
+        self.calibrated_power_internal(u)
+    }
+
+    fn calibrated_power_internal(&mut self, u: &[f64]) -> Result<f64> {
+        let raw = self
+            .config
+            .power
+            .measure(&self.xbar, u, &mut self.rng)?;
+        let mapping = self.xbar.mapping();
+        let m = self.xbar.num_outputs() as f64;
+        let baseline = 2.0 * m * mapping.g_min * u.iter().sum::<f64>();
+        Ok((raw / self.config.power.v_dd - baseline) / mapping.scale)
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation-side methods (free for the experimenter, not the
+    // attacker: they do not consume queries).
+    // ------------------------------------------------------------------
+
+    /// Deployed-model predictions for a batch (noiseless crossbar read).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension errors.
+    pub fn eval_predict_batch(&self, inputs: &Matrix) -> Result<Vec<usize>> {
+        let mut labels = Vec::with_capacity(inputs.rows());
+        for i in 0..inputs.rows() {
+            let mut s = self.xbar.checked_mvm(inputs.row(i))?;
+            self.net.activation().apply_row(&mut s);
+            labels.push(vec_ops::argmax(&s));
+        }
+        Ok(labels)
+    }
+
+    /// Deployed-model accuracy on a labelled set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension errors.
+    pub fn eval_accuracy(&self, inputs: &Matrix, labels: &[usize]) -> Result<f64> {
+        let preds = self.eval_predict_batch(inputs)?;
+        Ok(xbar_nn::metrics::accuracy(&preds, labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_nn::activation::Activation;
+
+    fn toy_oracle(access: OutputAccess) -> Oracle {
+        let net = SingleLayerNet::from_weights(
+            Matrix::from_rows(&[&[1.0, -0.5, 0.0], &[0.25, 0.5, -1.0]]),
+            Activation::Identity,
+        );
+        Oracle::new(net, &OracleConfig::ideal().with_access(access), 3).unwrap()
+    }
+
+    #[test]
+    fn raw_access_reveals_everything() {
+        let mut o = toy_oracle(OutputAccess::Raw);
+        let rec = o.query(&[1.0, 0.0, 0.0]).unwrap();
+        let out = rec.output.unwrap();
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        assert!((out[1] - 0.25).abs() < 1e-12);
+        assert_eq!(rec.label, Some(0));
+        assert_eq!(o.query_count(), 1);
+    }
+
+    #[test]
+    fn label_only_hides_raw_outputs() {
+        let mut o = toy_oracle(OutputAccess::LabelOnly);
+        let rec = o.query(&[1.0, 0.0, 0.0]).unwrap();
+        assert!(rec.output.is_none());
+        assert_eq!(rec.label, Some(0));
+    }
+
+    #[test]
+    fn no_access_reveals_only_power() {
+        let mut o = toy_oracle(OutputAccess::None);
+        let rec = o.query(&[1.0, 0.0, 0.0]).unwrap();
+        assert!(rec.output.is_none());
+        assert!(rec.label.is_none());
+        assert!(rec.power > 0.0);
+    }
+
+    #[test]
+    fn calibrated_power_equals_weighted_column_norms() {
+        // The central identity: power(u) = Σ_j u_j ‖W[:,j]‖₁ in weight
+        // units, for the ideal crossbar.
+        let mut o = toy_oracle(OutputAccess::None);
+        let norms = o.true_column_norms();
+        for j in 0..3 {
+            let mut e = vec![0.0; 3];
+            e[j] = 1.0;
+            let p = o.query_power(&e).unwrap();
+            assert!((p - norms[j]).abs() < 1e-9, "column {j}: {p} vs {}", norms[j]);
+        }
+        // Linearity in the input.
+        let p = o.query_power(&[0.5, 0.25, 1.0]).unwrap();
+        let want = 0.5 * norms[0] + 0.25 * norms[1] + 1.0 * norms[2];
+        assert!((p - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_cancels_gmin_offset() {
+        let net = SingleLayerNet::from_weights(
+            Matrix::from_rows(&[&[0.8, -0.4], &[0.2, 0.6]]),
+            Activation::Identity,
+        );
+        let device = DeviceModel {
+            g_min: 0.07,
+            g_max: 1.0,
+            ..DeviceModel::ideal()
+        };
+        let cfg = OracleConfig::ideal().with_device(device);
+        let mut o = Oracle::new(net.clone(), &cfg, 5).unwrap();
+        let norms = net.weights().col_l1_norms();
+        for j in 0..2 {
+            let mut e = vec![0.0; 2];
+            e[j] = 1.0;
+            let p = o.query_power(&e).unwrap();
+            assert!((p - norms[j]).abs() < 1e-9, "column {j}");
+        }
+    }
+
+    #[test]
+    fn query_budget_enforced() {
+        let net = SingleLayerNet::from_weights(
+            Matrix::from_rows(&[&[1.0, 0.5]]),
+            Activation::Identity,
+        );
+        let cfg = OracleConfig::ideal().with_query_budget(2);
+        let mut o = Oracle::new(net, &cfg, 1).unwrap();
+        assert!(o.query_power(&[1.0, 0.0]).is_ok());
+        assert!(o.query(&[0.0, 1.0]).is_ok());
+        assert!(matches!(
+            o.query_power(&[1.0, 1.0]),
+            Err(AttackError::QueryBudgetExhausted { budget: 2 })
+        ));
+        o.reset_query_count();
+        assert!(o.query_power(&[1.0, 0.0]).is_ok());
+    }
+
+    #[test]
+    fn eval_does_not_consume_queries() {
+        let o = toy_oracle(OutputAccess::None);
+        let inputs = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]]);
+        let preds = o.eval_predict_batch(&inputs).unwrap();
+        assert_eq!(preds, vec![0, 0]);
+        assert_eq!(o.query_count(), 0);
+        let acc = o.eval_accuracy(&inputs, &[0, 0]).unwrap();
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn noisy_power_is_noisy_but_centred() {
+        let net = SingleLayerNet::from_weights(
+            Matrix::from_rows(&[&[1.0, -0.5]]),
+            Activation::Identity,
+        );
+        let cfg = OracleConfig::ideal().with_power(PowerModel::default().with_noise(0.05));
+        let mut o = Oracle::new(net.clone(), &cfg, 11).unwrap();
+        let norms = net.weights().col_l1_norms();
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| o.query_power(&[1.0, 0.0]).unwrap())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - norms[0]).abs() < 0.02, "{mean} vs {}", norms[0]);
+        // Individual readings vary.
+        let a = o.query_power(&[1.0, 0.0]).unwrap();
+        let b = o.query_power(&[1.0, 0.0]).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let make = || {
+            let net = SingleLayerNet::from_weights(
+                Matrix::from_rows(&[&[1.0, -0.5]]),
+                Activation::Identity,
+            );
+            let cfg = OracleConfig::ideal().with_power(PowerModel::default().with_noise(0.1));
+            Oracle::new(net, &cfg, 42).unwrap()
+        };
+        let mut a = make();
+        let mut b = make();
+        for _ in 0..5 {
+            assert_eq!(
+                a.query_power(&[0.5, 0.5]).unwrap(),
+                b.query_power(&[0.5, 0.5]).unwrap()
+            );
+        }
+    }
+}

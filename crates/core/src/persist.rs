@@ -1,0 +1,177 @@
+//! Persistence for attack artifacts: trained networks, query logs, and
+//! probe results, as JSON files.
+//!
+//! Real attack campaigns are incremental — probing one session, training
+//! surrogates the next — so the attacker's state must round-trip through
+//! disk. Every serialisable artifact in the workspace derives serde;
+//! these helpers add the file plumbing with a version/kind header so a
+//! file can't be silently loaded as the wrong artifact.
+
+use crate::surrogate::QueryDataset;
+use crate::{AttackError, Result};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+use xbar_nn::network::SingleLayerNet;
+
+/// Format version written into every artifact file.
+const FORMAT_VERSION: u32 = 1;
+
+/// A typed, versioned envelope around a serialisable artifact.
+#[derive(Debug, Serialize, Deserialize)]
+struct Envelope<T> {
+    format_version: u32,
+    kind: String,
+    payload: T,
+}
+
+fn io_err(e: std::io::Error) -> AttackError {
+    // Reuse the InvalidParameter variant's spirit without widening the
+    // public error enum for io: wrap through a crossbar-free path.
+    AttackError::Io(e)
+}
+
+/// Writes an artifact of the given `kind` to a writer.
+///
+/// # Errors
+///
+/// Returns [`AttackError::Io`] on write failures or
+/// [`AttackError::Serde`] on serialisation failures.
+pub fn save_artifact<T: Serialize, W: Write>(writer: W, kind: &str, payload: &T) -> Result<()> {
+    let env = Envelope {
+        format_version: FORMAT_VERSION,
+        kind: kind.to_string(),
+        payload,
+    };
+    serde_json::to_writer_pretty(writer, &env).map_err(AttackError::Serde)
+}
+
+/// Reads an artifact of the given `kind` from a reader, verifying the
+/// header.
+///
+/// # Errors
+///
+/// * [`AttackError::Serde`] on malformed JSON.
+/// * [`AttackError::InvalidParameter`] if the file holds a different kind
+///   or format version.
+pub fn load_artifact<T: DeserializeOwned, R: Read>(reader: R, kind: &str) -> Result<T> {
+    let env: Envelope<T> = serde_json::from_reader(reader).map_err(AttackError::Serde)?;
+    if env.format_version != FORMAT_VERSION {
+        return Err(AttackError::InvalidParameter {
+            name: "format_version",
+        });
+    }
+    if env.kind != kind {
+        return Err(AttackError::InvalidParameter { name: "kind" });
+    }
+    Ok(env.payload)
+}
+
+/// Saves a trained network (e.g. a surrogate) to a JSON file.
+///
+/// # Errors
+///
+/// See [`save_artifact`]; file-creation failures map to
+/// [`AttackError::Io`].
+pub fn save_network<P: AsRef<Path>>(path: P, net: &SingleLayerNet) -> Result<()> {
+    let f = std::fs::File::create(path).map_err(io_err)?;
+    save_artifact(std::io::BufWriter::new(f), "single-layer-net", net)
+}
+
+/// Loads a network saved by [`save_network`].
+///
+/// # Errors
+///
+/// See [`load_artifact`].
+pub fn load_network<P: AsRef<Path>>(path: P) -> Result<SingleLayerNet> {
+    let f = std::fs::File::open(path).map_err(io_err)?;
+    load_artifact(std::io::BufReader::new(f), "single-layer-net")
+}
+
+/// Saves an attacker's query log.
+///
+/// # Errors
+///
+/// See [`save_artifact`].
+pub fn save_query_log<P: AsRef<Path>>(path: P, log: &QueryDataset) -> Result<()> {
+    let f = std::fs::File::create(path).map_err(io_err)?;
+    save_artifact(std::io::BufWriter::new(f), "query-log", log)
+}
+
+/// Loads a query log saved by [`save_query_log`].
+///
+/// # Errors
+///
+/// See [`load_artifact`].
+pub fn load_query_log<P: AsRef<Path>>(path: P) -> Result<QueryDataset> {
+    let f = std::fs::File::open(path).map_err(io_err)?;
+    load_artifact(std::io::BufReader::new(f), "query-log")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use xbar_linalg::Matrix;
+    use xbar_nn::activation::Activation;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("xbar-persist-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn network_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let net = SingleLayerNet::new_random(8, 3, Activation::Softmax, &mut rng);
+        let path = tmp("net");
+        save_network(&path, &net).unwrap();
+        let loaded = load_network(&path).unwrap();
+        assert_eq!(net, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_log_roundtrip() {
+        let log = QueryDataset {
+            inputs: Matrix::from_rows(&[&[0.1, 0.2], &[0.3, 0.4]]),
+            targets: Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]),
+            powers: vec![0.5, 0.7],
+        };
+        let path = tmp("log");
+        save_query_log(&path, &log).unwrap();
+        let loaded = load_query_log(&path).unwrap();
+        assert_eq!(log, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let log = QueryDataset {
+            inputs: Matrix::ones(1, 2),
+            targets: Matrix::ones(1, 1),
+            powers: vec![1.0],
+        };
+        let mut buf = Vec::new();
+        save_artifact(&mut buf, "query-log", &log).unwrap();
+        let res: Result<QueryDataset> = load_artifact(buf.as_slice(), "single-layer-net");
+        assert!(matches!(res, Err(AttackError::InvalidParameter { name: "kind" })));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        let res: Result<QueryDataset> = load_artifact(&b"not json"[..], "query-log");
+        assert!(matches!(res, Err(AttackError::Serde(_))));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_network("/nonexistent/path/net.json"),
+            Err(AttackError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,210 @@
+//! Reusable attack-evaluation sweeps — the measurement loops behind the
+//! paper's Fig. 4 curves, packaged as a library API so downstream users
+//! (and the experiment harness) don't hand-roll them.
+
+use crate::oracle::Oracle;
+use crate::pixel_attack::{
+    single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources,
+};
+use crate::{AttackError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use xbar_data::Dataset;
+use xbar_nn::loss::Loss;
+use xbar_nn::network::SingleLayerNet;
+
+/// One attack method's accuracy curve over a strength sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCurve {
+    /// The paper-legend label of the method ("RP", "+", "-", "RD",
+    /// "Worst").
+    pub method: String,
+    /// Oracle accuracy at each strength, aligned with the sweep's
+    /// `strengths`.
+    pub accuracies: Vec<f64>,
+}
+
+/// A full Fig. 4-style panel: accuracy-vs-strength curves for a set of
+/// single-pixel attack methods against one deployed oracle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrengthSweep {
+    /// Clean (unattacked) oracle accuracy.
+    pub clean_accuracy: f64,
+    /// The attack strengths evaluated.
+    pub strengths: Vec<f64>,
+    /// One curve per method, in the order requested.
+    pub curves: Vec<SweepCurve>,
+}
+
+impl StrengthSweep {
+    /// The curve for a given method label, if present.
+    pub fn curve(&self, label: &str) -> Option<&SweepCurve> {
+        self.curves.iter().find(|c| c.method == label)
+    }
+}
+
+/// Runs a Fig. 4-style sweep: every `method` at every strength, evaluated
+/// on the oracle's deployed weights. Stochastic methods (RP, RD) are
+/// averaged over `stochastic_reps` draws.
+///
+/// `norms` are the attacker's probed column norms; `white_box`/`loss`
+/// supply the Worst baseline (pass the victim net for the white-box
+/// bound).
+///
+/// # Errors
+///
+/// * [`AttackError::InvalidParameter`] for an empty strength list, zero
+///   `stochastic_reps`, or a strength that is negative/not finite.
+/// * Propagates attack and evaluation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn strength_sweep<R: Rng + ?Sized>(
+    oracle: &Oracle,
+    test: &Dataset,
+    methods: &[PixelAttackMethod],
+    norms: &[f64],
+    white_box: &SingleLayerNet,
+    loss: Loss,
+    strengths: &[f64],
+    stochastic_reps: usize,
+    rng: &mut R,
+) -> Result<StrengthSweep> {
+    if strengths.is_empty() {
+        return Err(AttackError::InvalidParameter { name: "strengths" });
+    }
+    if stochastic_reps == 0 {
+        return Err(AttackError::InvalidParameter { name: "stochastic_reps" });
+    }
+    let clean_accuracy = oracle.eval_accuracy(test.inputs(), test.labels())?;
+    let targets = test.one_hot_targets();
+    let resources = PixelAttackResources::full(norms, white_box, loss);
+    let mut curves = Vec::with_capacity(methods.len());
+    for &method in methods {
+        let reps = if matches!(
+            method,
+            PixelAttackMethod::RandomPixel | PixelAttackMethod::NormRandom
+        ) {
+            stochastic_reps
+        } else {
+            1
+        };
+        let mut accuracies = Vec::with_capacity(strengths.len());
+        for &eps in strengths {
+            let mut acc = 0.0;
+            for _ in 0..reps {
+                let adv = single_pixel_attack_batch(
+                    method,
+                    test.inputs(),
+                    &targets,
+                    resources,
+                    eps,
+                    rng,
+                )?;
+                acc += oracle.eval_accuracy(&adv, test.labels())?;
+            }
+            accuracies.push(acc / reps as f64);
+        }
+        curves.push(SweepCurve {
+            method: method.paper_label().to_string(),
+            accuracies,
+        });
+    }
+    Ok(StrengthSweep {
+        clean_accuracy,
+        strengths: strengths.to_vec(),
+        curves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{OracleConfig, OutputAccess};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use xbar_data::synth::blobs::BlobsConfig;
+    use xbar_nn::activation::Activation;
+    use xbar_nn::train::{train, SgdConfig};
+
+    fn setup() -> (Oracle, Dataset, SingleLayerNet, Vec<f64>) {
+        let ds = BlobsConfig::new(3, 12).num_samples(240).seed(4).generate();
+        let split = ds.split_frac(0.8).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut net = SingleLayerNet::new_random(12, 3, Activation::Identity, &mut rng);
+        train(&mut net, &split.train, Loss::Mse, &SgdConfig::default(), &mut rng).unwrap();
+        let norms = net.column_l1_norms();
+        let oracle = Oracle::new(
+            net.clone(),
+            &OracleConfig::ideal().with_access(OutputAccess::None),
+            5,
+        )
+        .unwrap();
+        (oracle, split.test, net, norms)
+    }
+
+    #[test]
+    fn sweep_has_expected_shape_and_monotone_worst() {
+        let (oracle, test, net, norms) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let strengths = [0.0, 1.0, 3.0, 6.0];
+        let sweep = strength_sweep(
+            &oracle,
+            &test,
+            &PixelAttackMethod::all(),
+            &norms,
+            &net,
+            Loss::Mse,
+            &strengths,
+            3,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(sweep.curves.len(), 5);
+        assert_eq!(sweep.strengths, strengths);
+        for c in &sweep.curves {
+            assert_eq!(c.accuracies.len(), 4);
+            // Strength 0 leaves accuracy at the clean level.
+            assert!((c.accuracies[0] - sweep.clean_accuracy).abs() < 1e-9);
+        }
+        // The white-box curve is (weakly) monotone decreasing.
+        let worst = sweep.curve("Worst").unwrap();
+        for w in worst.accuracies.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "worst curve must not recover: {worst:?}");
+        }
+        // And it lower-bounds every other method at the top strength.
+        let worst_final = *worst.accuracies.last().unwrap();
+        for c in &sweep.curves {
+            assert!(*c.accuracies.last().unwrap() >= worst_final - 1e-9);
+        }
+        assert!(sweep.curve("no-such-method").is_none());
+    }
+
+    #[test]
+    fn sweep_validates_parameters() {
+        let (oracle, test, net, norms) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        assert!(strength_sweep(
+            &oracle,
+            &test,
+            &PixelAttackMethod::all(),
+            &norms,
+            &net,
+            Loss::Mse,
+            &[],
+            3,
+            &mut rng
+        )
+        .is_err());
+        assert!(strength_sweep(
+            &oracle,
+            &test,
+            &PixelAttackMethod::all(),
+            &norms,
+            &net,
+            Loss::Mse,
+            &[1.0],
+            0,
+            &mut rng
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Input DAC and output ADC quantisation.
+//!
+//! Real crossbar accelerators drive the input lines through
+//! digital-to-analogue converters and read the output currents through
+//! analogue-to-digital converters; both quantise. These are ablation
+//! knobs on top of the paper's ideal analysis.
+
+use crate::{CrossbarError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A uniform quantiser over a fixed range with `bits` of resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    bits: u32,
+    lo: f64,
+    hi: f64,
+}
+
+impl Quantizer {
+    /// Creates a quantiser with `bits` resolution over `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] if `bits == 0`,
+    /// `bits > 24`, or the range is empty/not finite.
+    pub fn new(bits: u32, lo: f64, hi: f64) -> Result<Self> {
+        if bits == 0 || bits > 24 {
+            return Err(CrossbarError::InvalidConfig { name: "bits" });
+        }
+        if !(lo.is_finite() && hi.is_finite() && hi > lo) {
+            return Err(CrossbarError::InvalidConfig { name: "range" });
+        }
+        Ok(Quantizer { bits, lo, hi })
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of representable levels, `2^bits`.
+    pub fn levels(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// The step between adjacent levels.
+    pub fn step(&self) -> f64 {
+        (self.hi - self.lo) / (self.levels() - 1) as f64
+    }
+
+    /// Quantises one value (saturating at the range ends).
+    pub fn quantize(&self, x: f64) -> f64 {
+        let clamped = x.clamp(self.lo, self.hi);
+        let step = self.step();
+        self.lo + ((clamped - self.lo) / step).round() * step
+    }
+
+    /// Quantises a slice in place.
+    pub fn quantize_slice(&self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.quantize(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Quantizer::new(8, 0.0, 1.0).is_ok());
+        assert!(Quantizer::new(0, 0.0, 1.0).is_err());
+        assert!(Quantizer::new(32, 0.0, 1.0).is_err());
+        assert!(Quantizer::new(8, 1.0, 1.0).is_err());
+        assert!(Quantizer::new(8, 0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn one_bit_is_binary() {
+        let q = Quantizer::new(1, 0.0, 1.0).unwrap();
+        assert_eq!(q.levels(), 2);
+        assert_eq!(q.quantize(0.4), 0.0);
+        assert_eq!(q.quantize(0.6), 1.0);
+    }
+
+    #[test]
+    fn quantisation_error_bounded_by_half_step() {
+        let q = Quantizer::new(4, 0.0, 1.0).unwrap();
+        let half = q.step() / 2.0;
+        for i in 0..=100 {
+            let x = i as f64 / 100.0;
+            assert!((q.quantize(x) - x).abs() <= half + 1e-12);
+        }
+    }
+
+    #[test]
+    fn saturates_out_of_range() {
+        let q = Quantizer::new(8, -1.0, 1.0).unwrap();
+        assert_eq!(q.quantize(5.0), 1.0);
+        assert_eq!(q.quantize(-5.0), -1.0);
+    }
+
+    #[test]
+    fn endpoints_are_representable() {
+        let q = Quantizer::new(3, 0.2, 0.8).unwrap();
+        assert_eq!(q.quantize(0.2), 0.2);
+        assert_eq!(q.quantize(0.8), 0.8);
+    }
+
+    #[test]
+    fn slice_quantisation() {
+        let q = Quantizer::new(1, 0.0, 1.0).unwrap();
+        let mut xs = vec![0.1, 0.9, 0.5001];
+        q.quantize_slice(&mut xs);
+        assert_eq!(xs, vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn high_resolution_is_near_exact() {
+        let q = Quantizer::new(16, 0.0, 1.0).unwrap();
+        assert!((q.quantize(0.123456) - 0.123456).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,435 @@
+//! The crossbar array: programming, matrix-vector multiplication, and the
+//! total-current side channel.
+
+use crate::device::DeviceModel;
+use crate::mapping::WeightMapping;
+use crate::{CrossbarError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use xbar_linalg::Matrix;
+
+/// An `M x N` NVM crossbar array holding one neural-network layer as
+/// differential conductance pairs.
+///
+/// All currents and conductances are in the paper's normalised units
+/// (Eq. 4); [`crate::power::PowerModel`] converts to physical units when
+/// reporting.
+///
+/// # Example
+///
+/// ```
+/// use xbar_crossbar::array::CrossbarArray;
+/// use xbar_crossbar::device::DeviceModel;
+/// use xbar_linalg::Matrix;
+/// use rand::SeedableRng;
+///
+/// let w = Matrix::from_rows(&[&[1.0, -0.5]]);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let xbar = CrossbarArray::program(&w, &DeviceModel::ideal(), &mut rng)?;
+/// // Differential output equals W·u for the ideal device.
+/// assert!((xbar.mvm(&[0.2, 0.4])[0] - 0.0).abs() < 1e-12);
+/// # Ok::<(), xbar_crossbar::CrossbarError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarArray {
+    g_plus: Matrix,
+    g_minus: Matrix,
+    mapping: WeightMapping,
+    device: DeviceModel,
+}
+
+impl CrossbarArray {
+    /// Programs a weight matrix onto a fresh array under the given device
+    /// model. Device non-idealities (quantisation, variation, faults) are
+    /// applied per device during programming; read noise is applied per
+    /// operation at inference time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and device-validation errors.
+    pub fn program<R: Rng + ?Sized>(
+        weights: &Matrix,
+        device: &DeviceModel,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let mapping = WeightMapping::for_weights(weights, device)?;
+        let (target_p, target_m) = mapping.map_matrix(weights);
+        let mut g_plus = target_p;
+        let mut g_minus = target_m;
+        for v in g_plus.as_mut_slice() {
+            *v = device.program(*v, rng);
+        }
+        for v in g_minus.as_mut_slice() {
+            *v = device.program(*v, rng);
+        }
+        Ok(CrossbarArray {
+            g_plus,
+            g_minus,
+            mapping,
+            device: *device,
+        })
+    }
+
+    /// Programs a weight matrix whose values are already normalised to
+    /// `[-1, 1]`, pinning the mapping scale to the full conductance span
+    /// per unit weight. Used by [`crate::tile::TiledCrossbar`] so that all
+    /// tiles share one global scale and partial sums compose.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-validation errors; rejects empty matrices.
+    pub fn program_with_unit_scale<R: Rng + ?Sized>(
+        normalized_weights: &Matrix,
+        device: &DeviceModel,
+        rng: &mut R,
+    ) -> Result<Self> {
+        device.validate()?;
+        if normalized_weights.is_empty() {
+            return Err(CrossbarError::UnmappableWeights { reason: "empty weight matrix" });
+        }
+        let mapping = WeightMapping {
+            scale: device.g_max - device.g_min,
+            g_min: device.g_min,
+        };
+        let (mut g_plus, mut g_minus) = mapping.map_matrix(normalized_weights);
+        for v in g_plus.as_mut_slice() {
+            *v = device.program(*v, rng);
+        }
+        for v in g_minus.as_mut_slice() {
+            *v = device.program(*v, rng);
+        }
+        Ok(CrossbarArray {
+            g_plus,
+            g_minus,
+            mapping,
+            device: *device,
+        })
+    }
+
+    /// Number of output rows `M`.
+    pub fn num_outputs(&self) -> usize {
+        self.g_plus.rows()
+    }
+
+    /// Number of input columns `N`.
+    pub fn num_inputs(&self) -> usize {
+        self.g_plus.cols()
+    }
+
+    /// The weight↔conductance mapping in effect.
+    pub fn mapping(&self) -> WeightMapping {
+        self.mapping
+    }
+
+    /// The device model in effect.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// The programmed `G⁺` matrix.
+    pub fn g_plus(&self) -> &Matrix {
+        &self.g_plus
+    }
+
+    /// The programmed `G⁻` matrix.
+    pub fn g_minus(&self) -> &Matrix {
+        &self.g_minus
+    }
+
+    /// The weights the array actually realises,
+    /// `(G⁺ - G⁻) / k` — equal to the programmed weights for ideal
+    /// devices, and the as-fabricated weights otherwise.
+    pub fn effective_weights(&self) -> Matrix {
+        let diff = &self.g_plus - &self.g_minus;
+        diff.scaled(1.0 / self.mapping.scale)
+    }
+
+    /// Noiseless differential MVM in weight units: `i = W_eff · v`
+    /// (Eq. 3-4 with the normalisation folded in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.num_inputs()`; use [`Self::checked_mvm`]
+    /// for a fallible variant.
+    pub fn mvm(&self, v: &[f64]) -> Vec<f64> {
+        self.checked_mvm(v).expect("mvm: input length mismatch")
+    }
+
+    /// Fallible noiseless differential MVM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLenMismatch`] on a length mismatch.
+    pub fn checked_mvm(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.num_inputs() {
+            return Err(CrossbarError::InputLenMismatch {
+                expected: self.num_inputs(),
+                got: v.len(),
+            });
+        }
+        Ok(self.effective_weights().matvec(v))
+    }
+
+    /// Differential MVM with per-read device noise applied to every
+    /// conductance (one fresh noise draw per device per call).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLenMismatch`] on a length mismatch.
+    pub fn noisy_mvm<R: Rng + ?Sized>(&self, v: &[f64], rng: &mut R) -> Result<Vec<f64>> {
+        if v.len() != self.num_inputs() {
+            return Err(CrossbarError::InputLenMismatch {
+                expected: self.num_inputs(),
+                got: v.len(),
+            });
+        }
+        if self.device.read_sigma == 0.0 {
+            return self.checked_mvm(v);
+        }
+        let (m, n) = (self.num_outputs(), self.num_inputs());
+        let mut out = vec![0.0; m];
+        for i in 0..m {
+            let mut acc = 0.0;
+            for j in 0..n {
+                let gp = self.device.read(self.g_plus[(i, j)], rng);
+                let gm = self.device.read(self.g_minus[(i, j)], rng);
+                acc += (gp - gm) * v[j];
+            }
+            out[i] = acc / self.mapping.scale;
+        }
+        Ok(out)
+    }
+
+    /// Differential MVM under IR drop (finite wire resistance): returns
+    /// `(output currents in weight units, total supply current in
+    /// conductance·voltage units)`. With `cfg.r_wire = 0` this equals
+    /// ([`Self::mvm`], [`Self::total_current`]) exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver and input-length errors.
+    pub fn ir_drop_mvm(
+        &self,
+        v: &[f64],
+        cfg: &crate::irdrop::IrDropConfig,
+    ) -> Result<(Vec<f64>, f64)> {
+        let (mut out, total) =
+            crate::irdrop::solve_differential(&self.g_plus, &self.g_minus, v, cfg)?;
+        for o in &mut out {
+            *o /= self.mapping.scale;
+        }
+        Ok((out, total))
+    }
+
+    /// Per-input-line total conductance `G_j = Σ_i (G⁺_ij + G⁻_ij)` —
+    /// the paper's Eq. 5 coefficients.
+    pub fn input_line_conductances(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_inputs()];
+        for i in 0..self.num_outputs() {
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += self.g_plus[(i, j)] + self.g_minus[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Total steady-state current for an input (Eq. 5):
+    /// `i_total = Σ_j v_j G_j`, in normalised conductance·voltage units.
+    ///
+    /// This is the raw side-channel quantity; measurement noise lives in
+    /// [`crate::power::PowerModel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLenMismatch`] on a length mismatch.
+    pub fn total_current(&self, v: &[f64]) -> Result<f64> {
+        if v.len() != self.num_inputs() {
+            return Err(CrossbarError::InputLenMismatch {
+                expected: self.num_inputs(),
+                got: v.len(),
+            });
+        }
+        Ok(self
+            .input_line_conductances()
+            .iter()
+            .zip(v)
+            .map(|(&g, &vj)| g * vj)
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(3)
+    }
+
+    fn ideal_array(w: &Matrix) -> CrossbarArray {
+        CrossbarArray::program(w, &DeviceModel::ideal(), &mut rng()).unwrap()
+    }
+
+    #[test]
+    fn ideal_mvm_equals_exact_matvec() {
+        let w = Matrix::from_rows(&[&[0.5, -1.0, 0.25], &[0.0, 0.75, -0.5]]);
+        let xbar = ideal_array(&w);
+        let v = [0.3, 0.9, 0.1];
+        let got = xbar.mvm(&v);
+        let want = w.matvec(&v);
+        for (g, e) in got.iter().zip(&want) {
+            assert!((g - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn effective_weights_match_programmed_for_ideal() {
+        let w = Matrix::from_rows(&[&[1.0, -0.5], &[0.3, 0.0]]);
+        let xbar = ideal_array(&w);
+        assert!(xbar.effective_weights().approx_eq(&w, 1e-12));
+    }
+
+    #[test]
+    fn total_current_is_affine_in_column_norms() {
+        // i_total(e_j · Vdd=1) = 2 M g_min + k ‖W[:,j]‖₁, exactly Eq. 5.
+        let device = DeviceModel {
+            g_min: 0.03,
+            g_max: 1.0,
+            ..DeviceModel::ideal()
+        };
+        let w = Matrix::from_rows(&[&[0.6, -0.9], &[-0.2, 0.4]]);
+        let xbar = CrossbarArray::program(&w, &device, &mut rng()).unwrap();
+        let norms = w.col_l1_norms();
+        let k = xbar.mapping().scale;
+        for j in 0..2 {
+            let mut e = vec![0.0; 2];
+            e[j] = 1.0;
+            let i_total = xbar.total_current(&e).unwrap();
+            let want = 2.0 * 2.0 * device.g_min + k * norms[j];
+            assert!((i_total - want).abs() < 1e-12, "column {j}");
+        }
+    }
+
+    #[test]
+    fn total_current_is_linear_in_input() {
+        let w = Matrix::from_rows(&[&[0.6, -0.9], &[-0.2, 0.4]]);
+        let xbar = ideal_array(&w);
+        let a = xbar.total_current(&[1.0, 0.0]).unwrap();
+        let b = xbar.total_current(&[0.0, 1.0]).unwrap();
+        let ab = xbar.total_current(&[1.0, 1.0]).unwrap();
+        assert!((ab - (a + b)).abs() < 1e-12);
+        let half = xbar.total_current(&[0.5, 0.0]).unwrap();
+        assert!((half - 0.5 * a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_current_nonnegative_for_nonnegative_inputs() {
+        let w = Matrix::from_rows(&[&[0.6, -0.9], &[-0.2, 0.4]]);
+        let xbar = ideal_array(&w);
+        let mut r = rng();
+        for _ in 0..20 {
+            let v = [r.gen_range(0.0..1.0), r.gen_range(0.0..1.0)];
+            assert!(xbar.total_current(&v).unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn quantised_devices_distort_weights() {
+        let device = DeviceModel::ideal().with_levels(4);
+        let w = Matrix::from_rows(&[&[0.1, 0.21, -0.37, 0.93]]);
+        let xbar = CrossbarArray::program(&w, &device, &mut rng()).unwrap();
+        let eff = xbar.effective_weights();
+        // Distorted but within one quantisation step (scale⁻¹·span/(L-1)).
+        let step = (1.0 / xbar.mapping().scale) / 3.0;
+        for j in 0..4 {
+            let d = (eff[(0, j)] - w[(0, j)]).abs();
+            assert!(d <= step / 2.0 + 1e-12, "weight {j} off by {d}");
+        }
+        // At least one weight actually moved.
+        assert!(!eff.approx_eq(&w, 1e-9));
+    }
+
+    #[test]
+    fn stuck_faults_change_weights() {
+        let device = DeviceModel::ideal().with_stuck_rate(0.5);
+        let w = Matrix::from_rows(&[&[0.5; 8]]);
+        let xbar = CrossbarArray::program(&w, &device, &mut rng()).unwrap();
+        assert!(!xbar.effective_weights().approx_eq(&w, 1e-6));
+    }
+
+    #[test]
+    fn noisy_mvm_centres_on_ideal() {
+        let device = DeviceModel::ideal().with_read_sigma(0.01);
+        let w = Matrix::from_rows(&[&[0.5, -0.25], &[0.75, 0.1]]);
+        let xbar = CrossbarArray::program(&w, &device, &mut rng()).unwrap();
+        let v = [0.8, 0.4];
+        let exact = w.matvec(&v);
+        let mut r = rng();
+        let mut mean = vec![0.0; 2];
+        let reps = 500;
+        for _ in 0..reps {
+            let out = xbar.noisy_mvm(&v, &mut r).unwrap();
+            for (m, o) in mean.iter_mut().zip(&out) {
+                *m += o / reps as f64;
+            }
+        }
+        for (m, e) in mean.iter().zip(&exact) {
+            assert!((m - e).abs() < 0.02, "noisy mean {m} vs exact {e}");
+        }
+        // Individual reads differ from the exact value.
+        let one = xbar.noisy_mvm(&v, &mut r).unwrap();
+        assert!(one.iter().zip(&exact).any(|(a, b)| (a - b).abs() > 1e-9));
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let xbar = ideal_array(&Matrix::from_rows(&[&[1.0, 2.0]]));
+        assert!(matches!(
+            xbar.checked_mvm(&[1.0]),
+            Err(CrossbarError::InputLenMismatch { expected: 2, got: 1 })
+        ));
+        assert!(xbar.total_current(&[1.0, 2.0, 3.0]).is_err());
+        assert!(xbar.noisy_mvm(&[1.0], &mut rng()).is_err());
+    }
+
+    #[test]
+    fn ir_drop_mvm_matches_ideal_at_zero_resistance() {
+        let w = Matrix::from_rows(&[&[0.5, -1.0, 0.25], &[0.0, 0.75, -0.5]]);
+        let xbar = ideal_array(&w);
+        let v = [0.3, 0.9, 0.1];
+        let cfg = crate::irdrop::IrDropConfig {
+            r_wire: 0.0,
+            ..crate::irdrop::IrDropConfig::default()
+        };
+        let (out, total) = xbar.ir_drop_mvm(&v, &cfg).unwrap();
+        let ideal = xbar.mvm(&v);
+        for (a, b) in out.iter().zip(&ideal) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!((total - xbar.total_current(&v).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ir_drop_mvm_attenuates_with_resistance() {
+        let w = Matrix::from_rows(&[&[1.0, 0.8, 0.6], &[0.7, 0.9, 0.5]]);
+        let xbar = ideal_array(&w);
+        let v = [1.0, 1.0, 1.0];
+        let cfg = crate::irdrop::IrDropConfig {
+            r_wire: 0.1,
+            ..crate::irdrop::IrDropConfig::default()
+        };
+        let (_, total) = xbar.ir_drop_mvm(&v, &cfg).unwrap();
+        assert!(total < xbar.total_current(&v).unwrap());
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn shapes() {
+        let xbar = ideal_array(&Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]]));
+        assert_eq!(xbar.num_outputs(), 2);
+        assert_eq!(xbar.num_inputs(), 3);
+        assert_eq!(xbar.input_line_conductances().len(), 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Physical energy accounting: converting the simulator's normalised
+//! quantities into watts and joules.
+//!
+//! The rest of the crate works in the paper's normalised units (Eq. 4).
+//! For power budgeting — e.g. sizing the dummy-conductance defense's
+//! overhead, or reporting per-inference energy — this module applies a
+//! physical scale: a unit conductance of `g_unit` siemens and a supply
+//! of `v_dd` volts.
+
+use crate::array::CrossbarArray;
+use crate::{CrossbarError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Physical scaling for energy reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Physical conductance of one normalised unit, in siemens. Typical
+    /// ReRAM on-state conductances are in the 1–100 µS range.
+    pub g_unit: f64,
+    /// Supply voltage in volts (read voltages are typically 0.1–0.5 V).
+    pub v_dd: f64,
+    /// Read-pulse width in seconds (typically 1–100 ns).
+    pub pulse_width: f64,
+}
+
+impl Default for EnergyModel {
+    /// 10 µS unit conductance, 0.2 V reads, 10 ns pulses — mid-range
+    /// figures for ReRAM inference arrays.
+    fn default() -> Self {
+        EnergyModel {
+            g_unit: 10e-6,
+            v_dd: 0.2,
+            pulse_width: 10e-9,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] naming the first invalid
+    /// field.
+    pub fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("g_unit", self.g_unit),
+            ("v_dd", self.v_dd),
+            ("pulse_width", self.pulse_width),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(CrossbarError::InvalidConfig { name });
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantaneous power in watts for a normalised total current
+    /// (`P = V_dd² · g_unit · i_norm`, since normalised current is
+    /// conductance·voltage-fraction units).
+    pub fn power_watts(&self, normalized_current: f64) -> f64 {
+        self.v_dd * self.v_dd * self.g_unit * normalized_current
+    }
+
+    /// Energy in joules of one read pulse at the given normalised current.
+    pub fn read_energy_joules(&self, normalized_current: f64) -> f64 {
+        self.power_watts(normalized_current) * self.pulse_width
+    }
+
+    /// Per-inference energy of an array on one input, in joules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates input-length mismatches and validation failures.
+    pub fn inference_energy(&self, array: &CrossbarArray, input: &[f64]) -> Result<f64> {
+        self.validate()?;
+        Ok(self.read_energy_joules(array.total_current(input)?))
+    }
+
+    /// Static (input-independent) power floor of an array in watts: the
+    /// current drawn if every input were held at `V_dd` — an upper bound
+    /// used for defense-overhead budgeting.
+    pub fn static_power_ceiling(&self, array: &CrossbarArray) -> f64 {
+        let total_g: f64 = array.input_line_conductances().iter().sum();
+        self.v_dd * self.v_dd * self.g_unit * total_g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use xbar_linalg::Matrix;
+
+    fn array() -> CrossbarArray {
+        let w = Matrix::from_rows(&[&[1.0, -0.5], &[0.25, 0.75]]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        CrossbarArray::program(&w, &DeviceModel::ideal(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(EnergyModel::default().validate().is_ok());
+        for bad in [
+            EnergyModel { g_unit: 0.0, ..EnergyModel::default() },
+            EnergyModel { v_dd: -1.0, ..EnergyModel::default() },
+            EnergyModel { pulse_width: f64::NAN, ..EnergyModel::default() },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn power_scales_quadratically_with_vdd() {
+        let base = EnergyModel::default();
+        let double = EnergyModel { v_dd: 2.0 * base.v_dd, ..base };
+        let i = 3.7;
+        assert!((double.power_watts(i) - 4.0 * base.power_watts(i)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn energy_is_power_times_pulse() {
+        let m = EnergyModel::default();
+        let i = 2.0;
+        assert!((m.read_energy_joules(i) - m.power_watts(i) * m.pulse_width).abs() < 1e-24);
+    }
+
+    #[test]
+    fn inference_energy_in_plausible_range() {
+        // 2x2 array, µS conductances, 0.2 V, 10 ns: femtojoule scale.
+        let a = array();
+        let e = EnergyModel::default()
+            .inference_energy(&a, &[1.0, 1.0])
+            .unwrap();
+        assert!(e > 1e-18 && e < 1e-12, "energy {e} J out of plausible range");
+    }
+
+    #[test]
+    fn static_ceiling_bounds_any_input() {
+        let a = array();
+        let m = EnergyModel::default();
+        let ceiling = m.static_power_ceiling(&a);
+        for v in [[0.0, 0.0], [1.0, 0.0], [0.5, 0.5], [1.0, 1.0]] {
+            let p = m.power_watts(a.total_current(&v).unwrap());
+            assert!(p <= ceiling + 1e-18);
+        }
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        let a = array();
+        assert!(EnergyModel::default().inference_energy(&a, &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Errors produced by the crossbar simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CrossbarError {
+    /// An input vector's length does not match the array width.
+    InputLenMismatch {
+        /// Expected length (number of crossbar input lines).
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// A device or power model parameter is outside its valid domain.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// The weight matrix cannot be mapped (e.g. empty, or all-zero with a
+    /// zero max-weight normalisation).
+    UnmappableWeights {
+        /// Why the mapping failed.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CrossbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossbarError::InputLenMismatch { expected, got } => {
+                write!(f, "input length mismatch: expected {expected}, got {got}")
+            }
+            CrossbarError::InvalidConfig { name } => {
+                write!(f, "invalid crossbar configuration parameter: {name}")
+            }
+            CrossbarError::UnmappableWeights { reason } => {
+                write!(f, "weights cannot be mapped to conductances: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrossbarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            CrossbarError::InputLenMismatch { expected: 4, got: 2 },
+            CrossbarError::InvalidConfig { name: "g_max" },
+            CrossbarError::UnmappableWeights { reason: "empty" },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

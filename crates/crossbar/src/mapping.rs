@@ -1,0 +1,179 @@
+//! Weight ↔ conductance mapping.
+//!
+//! The paper's one-sided differential mapping (after Eq. 5): a positive
+//! weight is realised entirely on the `G⁺` device with `G⁻` at the off
+//! state, and symmetrically for negative weights. This is the
+//! lowest-power realisation of a given weight matrix and makes each
+//! weight's conductance pair unique, so
+//! `G⁺_ij + G⁻_ij = 2 g_min + k·|w_ij|` (Eq. 6's proportionality).
+
+use crate::device::DeviceModel;
+use crate::{CrossbarError, Result};
+use serde::{Deserialize, Serialize};
+use xbar_linalg::Matrix;
+
+/// A linear weight→conductance scaling for a particular weight matrix.
+///
+/// The scale `k` maps the largest absolute weight onto the full
+/// conductance span: `k = (g_max - g_min) / w_absmax`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightMapping {
+    /// Conductance units per weight unit.
+    pub scale: f64,
+    /// Off-state conductance used as the baseline for both devices.
+    pub g_min: f64,
+}
+
+impl WeightMapping {
+    /// Derives the mapping for a weight matrix under a device model.
+    ///
+    /// # Errors
+    ///
+    /// * [`CrossbarError::UnmappableWeights`] if the matrix is empty or
+    ///   all-zero (no scale can be derived).
+    /// * Propagates [`DeviceModel::validate`] failures.
+    pub fn for_weights(weights: &Matrix, device: &DeviceModel) -> Result<Self> {
+        device.validate()?;
+        if weights.is_empty() {
+            return Err(CrossbarError::UnmappableWeights { reason: "empty weight matrix" });
+        }
+        let w_max = weights.max_abs();
+        if w_max == 0.0 {
+            return Err(CrossbarError::UnmappableWeights {
+                reason: "all-zero weight matrix has no scale",
+            });
+        }
+        Ok(WeightMapping {
+            scale: (device.g_max - device.g_min) / w_max,
+            g_min: device.g_min,
+        })
+    }
+
+    /// Target conductance pair `(g_plus, g_minus)` for a weight.
+    pub fn to_conductances(&self, w: f64) -> (f64, f64) {
+        if w >= 0.0 {
+            (self.g_min + self.scale * w, self.g_min)
+        } else {
+            (self.g_min, self.g_min - self.scale * w)
+        }
+    }
+
+    /// Effective weight realised by a conductance pair (exact inverse for
+    /// ideal devices; the best linear estimate otherwise).
+    pub fn to_weight(&self, g_plus: f64, g_minus: f64) -> f64 {
+        (g_plus - g_minus) / self.scale
+    }
+
+    /// Maps a full weight matrix to target `(G⁺, G⁻)` matrices (before
+    /// device non-idealities are applied).
+    pub fn map_matrix(&self, weights: &Matrix) -> (Matrix, Matrix) {
+        let mut g_plus = Matrix::zeros(weights.rows(), weights.cols());
+        let mut g_minus = Matrix::zeros(weights.rows(), weights.cols());
+        for i in 0..weights.rows() {
+            for j in 0..weights.cols() {
+                let (p, m) = self.to_conductances(weights[(i, j)]);
+                g_plus[(i, j)] = p;
+                g_minus[(i, j)] = m;
+            }
+        }
+        (g_plus, g_minus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ideal_mapping_for(w: &Matrix) -> WeightMapping {
+        WeightMapping::for_weights(w, &DeviceModel::ideal()).unwrap()
+    }
+
+    #[test]
+    fn scale_uses_max_abs_weight() {
+        let w = Matrix::from_rows(&[&[0.5, -2.0], &[1.0, 0.0]]);
+        let m = ideal_mapping_for(&w);
+        assert!((m.scale - 0.5).abs() < 1e-12); // (1-0)/2
+    }
+
+    #[test]
+    fn one_sided_rule() {
+        let w = Matrix::from_rows(&[&[1.0, -1.0]]);
+        let m = ideal_mapping_for(&w);
+        let (p, n) = m.to_conductances(0.6);
+        assert!((p - 0.6).abs() < 1e-12);
+        assert_eq!(n, 0.0);
+        let (p, n) = m.to_conductances(-0.6);
+        assert_eq!(p, 0.0);
+        assert!((n - 0.6).abs() < 1e-12);
+        // Zero weight: both at g_min.
+        let (p, n) = m.to_conductances(0.0);
+        assert_eq!((p, n), (0.0, 0.0));
+    }
+
+    #[test]
+    fn weight_roundtrip() {
+        let w = Matrix::from_rows(&[&[0.7, -0.3, 0.0, 1.0]]);
+        let m = ideal_mapping_for(&w);
+        for &wi in w.row(0) {
+            let (p, n) = m.to_conductances(wi);
+            assert!((m.to_weight(p, n) - wi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gmin_offset_cancels_in_differential() {
+        let device = DeviceModel {
+            g_min: 0.05,
+            g_max: 1.0,
+            ..DeviceModel::ideal()
+        };
+        let w = Matrix::from_rows(&[&[0.8, -0.4]]);
+        let m = WeightMapping::for_weights(&w, &device).unwrap();
+        for &wi in w.row(0) {
+            let (p, n) = m.to_conductances(wi);
+            assert!((m.to_weight(p, n) - wi).abs() < 1e-12);
+            assert!(p >= 0.05 && n >= 0.05);
+        }
+    }
+
+    #[test]
+    fn map_matrix_sum_is_affine_in_column_l1_norm() {
+        // The key identity behind the power side channel (Eq. 5-6):
+        // Σ_i (G⁺+G⁻)_ij = 2 M g_min + k ‖W[:,j]‖₁.
+        let device = DeviceModel {
+            g_min: 0.02,
+            g_max: 1.0,
+            ..DeviceModel::ideal()
+        };
+        let w = Matrix::from_rows(&[&[0.5, -1.0, 0.0], &[-0.25, 0.75, 0.1]]);
+        let m = WeightMapping::for_weights(&w, &device).unwrap();
+        let (gp, gm) = m.map_matrix(&w);
+        let norms = w.col_l1_norms();
+        for j in 0..3 {
+            let g_j: f64 = (0..2).map(|i| gp[(i, j)] + gm[(i, j)]).sum();
+            let want = 2.0 * 2.0 * device.g_min + m.scale * norms[j];
+            assert!((g_j - want).abs() < 1e-12, "column {j}");
+        }
+    }
+
+    #[test]
+    fn unmappable_weights_rejected() {
+        assert!(matches!(
+            WeightMapping::for_weights(&Matrix::default(), &DeviceModel::ideal()),
+            Err(CrossbarError::UnmappableWeights { .. })
+        ));
+        assert!(matches!(
+            WeightMapping::for_weights(&Matrix::zeros(2, 2), &DeviceModel::ideal()),
+            Err(CrossbarError::UnmappableWeights { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_device_rejected() {
+        let bad = DeviceModel {
+            g_max: -1.0,
+            ..DeviceModel::ideal()
+        };
+        assert!(WeightMapping::for_weights(&Matrix::ones(1, 1), &bad).is_err());
+    }
+}

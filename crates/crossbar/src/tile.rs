@@ -1,0 +1,270 @@
+//! Tiling large weight matrices onto fixed-size crossbar arrays.
+//!
+//! Physical crossbars are bounded (typically 128x128 to 512x512 devices);
+//! a 10x784 or 10x3072 layer therefore spans several arrays. Outputs of
+//! row-tiles sharing the same input columns are produced by different
+//! arrays; partial sums of column-tiles are accumulated digitally. The
+//! total power on a shared supply rail is the *sum* of the per-tile Eq. 5
+//! currents — which preserves the column-1-norm leak exactly, since each
+//! input line's conductance just splits across tiles.
+
+use crate::array::CrossbarArray;
+use crate::device::DeviceModel;
+use crate::{CrossbarError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use xbar_linalg::Matrix;
+
+/// A logical crossbar built from a grid of physical tiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TiledCrossbar {
+    /// Tile grid, row-major: `tiles[r][c]` covers output rows
+    /// `r·tile_rows..` and input columns `c·tile_cols..`.
+    tiles: Vec<Vec<CrossbarArray>>,
+    tile_rows: usize,
+    tile_cols: usize,
+    num_outputs: usize,
+    num_inputs: usize,
+}
+
+impl TiledCrossbar {
+    /// Programs a weight matrix across tiles of at most
+    /// `tile_rows x tile_cols` devices per polarity.
+    ///
+    /// # Errors
+    ///
+    /// * [`CrossbarError::InvalidConfig`] if either tile dimension is zero.
+    /// * Propagates mapping/device errors. Note: each tile derives its
+    ///   scale from the *global* weight maximum so partial sums compose,
+    ///   which is achieved by seeding every tile with the same mapping via
+    ///   a shared normalisation.
+    pub fn program<R: Rng + ?Sized>(
+        weights: &Matrix,
+        tile_rows: usize,
+        tile_cols: usize,
+        device: &DeviceModel,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if tile_rows == 0 {
+            return Err(CrossbarError::InvalidConfig { name: "tile_rows" });
+        }
+        if tile_cols == 0 {
+            return Err(CrossbarError::InvalidConfig { name: "tile_cols" });
+        }
+        if weights.is_empty() {
+            return Err(CrossbarError::UnmappableWeights { reason: "empty weight matrix" });
+        }
+        let w_max = weights.max_abs();
+        if w_max == 0.0 {
+            return Err(CrossbarError::UnmappableWeights {
+                reason: "all-zero weight matrix has no scale",
+            });
+        }
+        let (m, n) = weights.shape();
+        let grid_rows = m.div_ceil(tile_rows);
+        let grid_cols = n.div_ceil(tile_cols);
+        let mut tiles = Vec::with_capacity(grid_rows);
+        for tr in 0..grid_rows {
+            let r0 = tr * tile_rows;
+            let r1 = (r0 + tile_rows).min(m);
+            let mut row_tiles = Vec::with_capacity(grid_cols);
+            for tc in 0..grid_cols {
+                let c0 = tc * tile_cols;
+                let c1 = (c0 + tile_cols).min(n);
+                // Normalise the sub-block by the *global* weight maximum so
+                // every tile shares one scale and partial sums compose.
+                let block = Matrix::from_fn(r1 - r0, c1 - c0, |i, j| {
+                    weights[(r0 + i, c0 + j)] / w_max
+                });
+                row_tiles.push(CrossbarArray::program_with_unit_scale(&block, device, rng)?);
+            }
+            tiles.push(row_tiles);
+        }
+        Ok(TiledCrossbar {
+            tiles,
+            tile_rows,
+            tile_cols,
+            num_outputs: m,
+            num_inputs: n,
+        })
+    }
+
+    /// Number of logical output rows.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Number of logical input columns.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of physical tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.iter().map(Vec::len).sum()
+    }
+
+    /// The effective logical weight matrix realised across the tiles
+    /// (de-normalised back to the original weight units).
+    pub fn effective_weights(&self, global_w_max: f64) -> Matrix {
+        let mut w = Matrix::zeros(self.num_outputs, self.num_inputs);
+        for (tr, row_tiles) in self.tiles.iter().enumerate() {
+            for (tc, tile) in row_tiles.iter().enumerate() {
+                let eff = tile.effective_weights();
+                for i in 0..eff.rows() {
+                    for j in 0..eff.cols() {
+                        w[(tr * self.tile_rows + i, tc * self.tile_cols + j)] =
+                            eff[(i, j)] * global_w_max;
+                    }
+                }
+            }
+        }
+        w
+    }
+
+    /// Logical MVM: per-tile MVMs with digital accumulation of column-tile
+    /// partial sums, in *normalised* weight units (multiply by the global
+    /// weight max to recover original units).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLenMismatch`] on a length mismatch.
+    pub fn mvm(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.num_inputs {
+            return Err(CrossbarError::InputLenMismatch {
+                expected: self.num_inputs,
+                got: v.len(),
+            });
+        }
+        let mut out = vec![0.0; self.num_outputs];
+        for (tr, row_tiles) in self.tiles.iter().enumerate() {
+            for (tc, tile) in row_tiles.iter().enumerate() {
+                let c0 = tc * self.tile_cols;
+                let c1 = (c0 + self.tile_cols).min(self.num_inputs);
+                let partial = tile.mvm(&v[c0..c1]);
+                for (i, p) in partial.iter().enumerate() {
+                    out[tr * self.tile_rows + i] += p;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total current over all tiles (shared supply rail) — the tiled
+    /// Eq. 5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLenMismatch`] on a length mismatch.
+    pub fn total_current(&self, v: &[f64]) -> Result<f64> {
+        if v.len() != self.num_inputs {
+            return Err(CrossbarError::InputLenMismatch {
+                expected: self.num_inputs,
+                got: v.len(),
+            });
+        }
+        let mut total = 0.0;
+        for row_tiles in &self.tiles {
+            for (tc, tile) in row_tiles.iter().enumerate() {
+                let c0 = tc * self.tile_cols;
+                let c1 = (c0 + self.tile_cols).min(self.num_inputs);
+                total += tile.total_current(&v[c0..c1])?;
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(9)
+    }
+
+    fn weights() -> Matrix {
+        Matrix::from_fn(5, 7, |i, j| ((i * 7 + j) as f64 * 0.37).sin())
+    }
+
+    #[test]
+    fn tiled_mvm_matches_monolithic() {
+        let w = weights();
+        let mono = CrossbarArray::program(&w, &DeviceModel::ideal(), &mut rng()).unwrap();
+        let tiled = TiledCrossbar::program(&w, 2, 3, &DeviceModel::ideal(), &mut rng()).unwrap();
+        let v: Vec<f64> = (0..7).map(|j| (j as f64 * 0.1) + 0.1).collect();
+        let got = tiled.mvm(&v).unwrap();
+        let want = mono.mvm(&v);
+        let w_max = w.max_abs();
+        for (g, e) in got.iter().zip(&want) {
+            assert!((g * w_max - e).abs() < 1e-9, "tiled {g} vs mono {e}");
+        }
+    }
+
+    #[test]
+    fn tiled_power_matches_monolithic_for_gmin_zero() {
+        // With g_min = 0 the supply current is scale-linear in the column
+        // norms, and tiling splits each column's conductance without loss.
+        let w = weights();
+        let mono = CrossbarArray::program(&w, &DeviceModel::ideal(), &mut rng()).unwrap();
+        let tiled = TiledCrossbar::program(&w, 2, 3, &DeviceModel::ideal(), &mut rng()).unwrap();
+        let v: Vec<f64> = (0..7).map(|j| 0.05 * j as f64 + 0.2).collect();
+        let mono_i = mono.total_current(&v).unwrap();
+        let tiled_i = tiled.total_current(&v).unwrap();
+        assert!((mono_i - tiled_i).abs() < 1e-9, "{mono_i} vs {tiled_i}");
+    }
+
+    #[test]
+    fn tile_count_is_grid_size() {
+        let w = weights(); // 5x7
+        let tiled = TiledCrossbar::program(&w, 2, 3, &DeviceModel::ideal(), &mut rng()).unwrap();
+        // ceil(5/2) * ceil(7/3) = 3 * 3.
+        assert_eq!(tiled.num_tiles(), 9);
+        assert_eq!(tiled.num_outputs(), 5);
+        assert_eq!(tiled.num_inputs(), 7);
+    }
+
+    #[test]
+    fn effective_weights_roundtrip() {
+        let w = weights();
+        let tiled = TiledCrossbar::program(&w, 3, 4, &DeviceModel::ideal(), &mut rng()).unwrap();
+        let eff = tiled.effective_weights(w.max_abs());
+        assert!(eff.approx_eq(&w, 1e-9));
+    }
+
+    #[test]
+    fn single_tile_degenerates_to_monolithic() {
+        let w = weights();
+        let tiled = TiledCrossbar::program(&w, 10, 10, &DeviceModel::ideal(), &mut rng()).unwrap();
+        assert_eq!(tiled.num_tiles(), 1);
+    }
+
+    #[test]
+    fn zero_block_tile_handled() {
+        // A block of zeros inside an otherwise nonzero matrix.
+        let mut w = Matrix::zeros(4, 4);
+        w[(0, 0)] = 1.0; // only the top-left tile has signal
+        let tiled = TiledCrossbar::program(&w, 2, 2, &DeviceModel::ideal(), &mut rng()).unwrap();
+        let eff = tiled.effective_weights(1.0);
+        assert!(eff.approx_eq(&w, 1e-9));
+        let out = tiled.mvm(&[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!((out[0] - 1.0).abs() < 1e-9);
+        assert!(out[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let w = weights();
+        assert!(TiledCrossbar::program(&w, 0, 3, &DeviceModel::ideal(), &mut rng()).is_err());
+        assert!(TiledCrossbar::program(&w, 3, 0, &DeviceModel::ideal(), &mut rng()).is_err());
+        assert!(
+            TiledCrossbar::program(&Matrix::zeros(2, 2), 2, 2, &DeviceModel::ideal(), &mut rng())
+                .is_err()
+        );
+        let tiled = TiledCrossbar::program(&w, 2, 3, &DeviceModel::ideal(), &mut rng()).unwrap();
+        assert!(tiled.mvm(&[0.0; 3]).is_err());
+        assert!(tiled.total_current(&[0.0; 3]).is_err());
+    }
+}

@@ -1,0 +1,360 @@
+use crate::{DataError, ImageShape, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use xbar_linalg::Matrix;
+
+/// A labelled dataset: a `samples x features` input matrix plus one integer
+/// class label per sample, with an optional spatial [`ImageShape`].
+///
+/// # Example
+///
+/// ```
+/// use xbar_data::Dataset;
+/// use xbar_linalg::Matrix;
+///
+/// let inputs = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+/// let ds = Dataset::new(inputs, vec![0, 1], 2)?;
+/// assert_eq!(ds.len(), 2);
+/// let one_hot = ds.one_hot_targets();
+/// assert_eq!(one_hot.row(0), &[1.0, 0.0]);
+/// # Ok::<(), xbar_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    inputs: Matrix,
+    labels: Vec<usize>,
+    num_classes: usize,
+    image_shape: Option<ImageShape>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that labels match the inputs.
+    ///
+    /// # Errors
+    ///
+    /// * [`DataError::SampleCountMismatch`] if `labels.len()` differs from
+    ///   the number of input rows.
+    /// * [`DataError::LabelOutOfRange`] if any label is `>= num_classes`.
+    pub fn new(inputs: Matrix, labels: Vec<usize>, num_classes: usize) -> Result<Self> {
+        if inputs.rows() != labels.len() {
+            return Err(DataError::SampleCountMismatch {
+                inputs: inputs.rows(),
+                labels: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DataError::LabelOutOfRange {
+                label: bad,
+                num_classes,
+            });
+        }
+        Ok(Dataset {
+            inputs,
+            labels,
+            num_classes,
+            image_shape: None,
+        })
+    }
+
+    /// Attaches a spatial shape to the feature dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::ShapeMismatch`] if `shape.len()` differs from
+    /// the number of features.
+    pub fn with_image_shape(mut self, shape: ImageShape) -> Result<Self> {
+        if shape.len() != self.inputs.cols() {
+            return Err(DataError::ShapeMismatch {
+                features: self.inputs.cols(),
+                shape_len: shape.len(),
+            });
+        }
+        self.image_shape = Some(shape);
+        Ok(self)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has zero samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of input features per sample.
+    pub fn num_features(&self) -> usize {
+        self.inputs.cols()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The input matrix (`samples x features`).
+    pub fn inputs(&self) -> &Matrix {
+        &self.inputs
+    }
+
+    /// The labels, one per sample.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The attached spatial shape, if any.
+    pub fn image_shape(&self) -> Option<ImageShape> {
+        self.image_shape
+    }
+
+    /// One sample's feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn input(&self, i: usize) -> &[f64] {
+        self.inputs.row(i)
+    }
+
+    /// One sample's label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// One-hot target matrix (`samples x classes`).
+    pub fn one_hot_targets(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.len(), self.num_classes);
+        for (i, &l) in self.labels.iter().enumerate() {
+            t[(i, l)] = 1.0;
+        }
+        t
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// A new dataset holding the given sample indices (repeats allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            inputs: self.inputs.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+            image_shape: self.image_shape,
+        }
+    }
+
+    /// Shuffles the samples in place with the supplied RNG.
+    pub fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        let shuffled = self.subset(&order);
+        *self = shuffled;
+    }
+
+    /// Splits into `(first, second)` at sample index `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSplit`] if `at > self.len()`.
+    pub fn split_at(&self, at: usize) -> Result<TrainTestSplit> {
+        if at > self.len() {
+            return Err(DataError::InvalidSplit { at, len: self.len() });
+        }
+        let train_idx: Vec<usize> = (0..at).collect();
+        let test_idx: Vec<usize> = (at..self.len()).collect();
+        Ok(TrainTestSplit {
+            train: self.subset(&train_idx),
+            test: self.subset(&test_idx),
+        })
+    }
+
+    /// Splits into train/test with the given train fraction in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSplit`] if `frac` is not a finite value
+    /// in `[0, 1]`.
+    pub fn split_frac(&self, frac: f64) -> Result<TrainTestSplit> {
+        if !(0.0..=1.0).contains(&frac) {
+            return Err(DataError::InvalidSplit {
+                at: usize::MAX,
+                len: self.len(),
+            });
+        }
+        self.split_at((self.len() as f64 * frac).round() as usize)
+    }
+
+    /// Iterator over `(inputs, labels)` minibatches of at most
+    /// `batch_size` samples, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = (Matrix, &[usize])> + '_ {
+        assert!(batch_size > 0, "batch_size must be positive");
+        (0..self.len()).step_by(batch_size).map(move |start| {
+            let end = (start + batch_size).min(self.len());
+            (self.inputs.slice_rows(start, end), &self.labels[start..end])
+        })
+    }
+}
+
+/// The result of splitting a [`Dataset`] into train and test portions.
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit {
+    /// The training portion.
+    pub train: Dataset,
+    /// The held-out test portion.
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn toy() -> Dataset {
+        let inputs = Matrix::from_rows(&[
+            &[0.0, 0.1],
+            &[1.0, 1.1],
+            &[2.0, 2.1],
+            &[3.0, 3.1],
+            &[4.0, 4.1],
+        ]);
+        Dataset::new(inputs, vec![0, 1, 2, 0, 1], 3).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 5);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.num_features(), 2);
+        assert_eq!(ds.num_classes(), 3);
+        assert_eq!(ds.input(2), &[2.0, 2.1]);
+        assert_eq!(ds.label(2), 2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let inputs = Matrix::zeros(2, 2);
+        assert!(matches!(
+            Dataset::new(inputs.clone(), vec![0], 2),
+            Err(DataError::SampleCountMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(inputs, vec![0, 5], 2),
+            Err(DataError::LabelOutOfRange { label: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn one_hot_targets_rows_sum_to_one() {
+        let t = toy().one_hot_targets();
+        assert_eq!(t.shape(), (5, 3));
+        for i in 0..5 {
+            assert_eq!(t.row(i).iter().sum::<f64>(), 1.0);
+        }
+        assert_eq!(t[(2, 2)], 1.0);
+        assert_eq!(t[(2, 0)], 0.0);
+    }
+
+    #[test]
+    fn class_counts_known() {
+        assert_eq!(toy().class_counts(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn subset_selects() {
+        let s = toy().subset(&[4, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.input(0), &[4.0, 4.1]);
+        assert_eq!(s.label(1), 0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut ds = toy();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        ds.shuffle(&mut rng);
+        assert_eq!(ds.len(), 5);
+        let mut counts = ds.class_counts();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 2, 2]);
+        // Inputs still pair with their labels: feature value encodes origin.
+        for i in 0..ds.len() {
+            let idx = ds.input(i)[0] as usize;
+            assert_eq!(ds.label(i), [0, 1, 2, 0, 1][idx]);
+        }
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let split = toy().split_at(3).unwrap();
+        assert_eq!(split.train.len(), 3);
+        assert_eq!(split.test.len(), 2);
+        assert_eq!(split.test.input(0), &[3.0, 3.1]);
+        assert!(toy().split_at(6).is_err());
+    }
+
+    #[test]
+    fn split_frac_rounds() {
+        let split = toy().split_frac(0.8).unwrap();
+        assert_eq!(split.train.len(), 4);
+        assert_eq!(split.test.len(), 1);
+        assert!(toy().split_frac(1.5).is_err());
+        assert!(toy().split_frac(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn batches_cover_everything_in_order() {
+        let ds = toy();
+        let batches: Vec<_> = ds.batches(2).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].0.rows(), 2);
+        assert_eq!(batches[2].0.rows(), 1);
+        assert_eq!(batches[2].1, &[1]);
+        let total: usize = batches.iter().map(|(m, _)| m.rows()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn image_shape_attachment() {
+        let inputs = Matrix::zeros(2, 4);
+        let ds = Dataset::new(inputs, vec![0, 1], 2)
+            .unwrap()
+            .with_image_shape(ImageShape::new(2, 2, 1))
+            .unwrap();
+        assert_eq!(ds.image_shape().unwrap().len(), 4);
+        let bad = Dataset::new(Matrix::zeros(2, 4), vec![0, 1], 2)
+            .unwrap()
+            .with_image_shape(ImageShape::new(3, 3, 1));
+        assert!(matches!(bad, Err(DataError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn subset_preserves_image_shape() {
+        let ds = Dataset::new(Matrix::zeros(3, 4), vec![0, 1, 0], 2)
+            .unwrap()
+            .with_image_shape(ImageShape::new(2, 2, 1))
+            .unwrap();
+        assert!(ds.subset(&[1]).image_shape().is_some());
+    }
+}

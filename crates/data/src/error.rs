@@ -1,0 +1,104 @@
+use std::fmt;
+
+/// Errors produced by dataset construction and I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DataError {
+    /// Labels and inputs disagree about the number of samples.
+    SampleCountMismatch {
+        /// Rows in the input matrix.
+        inputs: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A label value is out of range for the declared number of classes.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes declared.
+        num_classes: usize,
+    },
+    /// The declared image shape does not match the feature dimension.
+    ShapeMismatch {
+        /// Features per sample in the input matrix.
+        features: usize,
+        /// `height * width * channels` of the declared shape.
+        shape_len: usize,
+    },
+    /// An I/O failure while reading or writing a dataset file.
+    Io(std::io::Error),
+    /// A malformed IDX file.
+    InvalidIdx {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A split fraction or index was out of range.
+    InvalidSplit {
+        /// The offending boundary.
+        at: usize,
+        /// The dataset size.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::SampleCountMismatch { inputs, labels } => {
+                write!(f, "input rows ({inputs}) and labels ({labels}) disagree")
+            }
+            DataError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+            DataError::ShapeMismatch { features, shape_len } => write!(
+                f,
+                "feature dimension {features} does not match image shape length {shape_len}"
+            ),
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::InvalidIdx { reason } => write!(f, "invalid idx file: {reason}"),
+            DataError::InvalidSplit { at, len } => {
+                write!(f, "split boundary {at} out of range for {len} samples")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = DataError::SampleCountMismatch {
+            inputs: 3,
+            labels: 4,
+        };
+        assert!(e.to_string().contains('3'));
+        let e = DataError::InvalidIdx {
+            reason: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = DataError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,250 @@
+//! The IDX binary container format (the format MNIST ships in).
+//!
+//! The procedural generators in [`crate::synth`] are the default data
+//! source in this reproduction, but if real MNIST files are available they
+//! can be loaded with [`load_images`]/[`load_labels`] and used unchanged —
+//! the substitution is then a drop-in swap.
+//!
+//! Format: `[0x00, 0x00, dtype, ndims]` magic, then `ndims` big-endian
+//! `u32` dimension sizes, then the data. Only `dtype = 0x08` (unsigned
+//! byte) is supported, which is what MNIST uses.
+
+use crate::{DataError, Dataset, ImageShape, Result};
+use std::io::{Read, Write};
+use xbar_linalg::Matrix;
+
+/// Data type code for unsigned bytes in the IDX magic number.
+const DTYPE_U8: u8 = 0x08;
+
+/// A parsed IDX tensor of unsigned bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdxTensor {
+    /// Dimension sizes, outermost first.
+    pub dims: Vec<usize>,
+    /// Flat data in row-major order.
+    pub data: Vec<u8>,
+}
+
+impl IdxTensor {
+    /// Total number of elements implied by `dims`.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Reads an IDX tensor of unsigned bytes from a reader.
+///
+/// # Errors
+///
+/// * [`DataError::Io`] on read failures.
+/// * [`DataError::InvalidIdx`] on a malformed header or truncated data.
+pub fn read_idx<R: Read>(mut reader: R) -> Result<IdxTensor> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic[0] != 0 || magic[1] != 0 {
+        return Err(DataError::InvalidIdx {
+            reason: format!("bad magic prefix {:02x}{:02x}", magic[0], magic[1]),
+        });
+    }
+    if magic[2] != DTYPE_U8 {
+        return Err(DataError::InvalidIdx {
+            reason: format!("unsupported dtype 0x{:02x} (only u8 supported)", magic[2]),
+        });
+    }
+    let ndims = magic[3] as usize;
+    if ndims == 0 || ndims > 4 {
+        return Err(DataError::InvalidIdx {
+            reason: format!("unsupported dimensionality {ndims}"),
+        });
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        let mut b = [0u8; 4];
+        reader.read_exact(&mut b)?;
+        dims.push(u32::from_be_bytes(b) as usize);
+    }
+    let total: usize = dims.iter().product();
+    let mut data = vec![0u8; total];
+    reader.read_exact(&mut data)?;
+    Ok(IdxTensor { dims, data })
+}
+
+/// Writes an IDX tensor of unsigned bytes.
+///
+/// # Errors
+///
+/// * [`DataError::InvalidIdx`] if `dims` is empty, has more than four
+///   entries, or disagrees with `data.len()`.
+/// * [`DataError::Io`] on write failures.
+pub fn write_idx<W: Write>(mut writer: W, dims: &[usize], data: &[u8]) -> Result<()> {
+    if dims.is_empty() || dims.len() > 4 {
+        return Err(DataError::InvalidIdx {
+            reason: format!("unsupported dimensionality {}", dims.len()),
+        });
+    }
+    let total: usize = dims.iter().product();
+    if total != data.len() {
+        return Err(DataError::InvalidIdx {
+            reason: format!("dims imply {total} elements but data has {}", data.len()),
+        });
+    }
+    writer.write_all(&[0, 0, DTYPE_U8, dims.len() as u8])?;
+    for &d in dims {
+        writer.write_all(&(d as u32).to_be_bytes())?;
+    }
+    writer.write_all(data)?;
+    Ok(())
+}
+
+/// Reads an MNIST-style image file (3-D tensor `count x height x width`)
+/// into a `samples x (height*width)` matrix with pixels scaled to `[0, 1]`.
+///
+/// # Errors
+///
+/// Propagates [`read_idx`] errors; additionally rejects tensors that are
+/// not 3-dimensional.
+pub fn load_images<R: Read>(reader: R) -> Result<(Matrix, ImageShape)> {
+    let t = read_idx(reader)?;
+    if t.dims.len() != 3 {
+        return Err(DataError::InvalidIdx {
+            reason: format!("image file must be 3-d, got {}-d", t.dims.len()),
+        });
+    }
+    let (count, h, w) = (t.dims[0], t.dims[1], t.dims[2]);
+    let data: Vec<f64> = t.data.iter().map(|&b| b as f64 / 255.0).collect();
+    Ok((
+        Matrix::from_vec(count, h * w, data),
+        ImageShape::new(h, w, 1),
+    ))
+}
+
+/// Reads an MNIST-style label file (1-D tensor) into a label vector.
+///
+/// # Errors
+///
+/// Propagates [`read_idx`] errors; additionally rejects tensors that are
+/// not 1-dimensional.
+pub fn load_labels<R: Read>(reader: R) -> Result<Vec<usize>> {
+    let t = read_idx(reader)?;
+    if t.dims.len() != 1 {
+        return Err(DataError::InvalidIdx {
+            reason: format!("label file must be 1-d, got {}-d", t.dims.len()),
+        });
+    }
+    Ok(t.data.iter().map(|&b| b as usize).collect())
+}
+
+/// Combines IDX image and label readers into a [`Dataset`].
+///
+/// # Errors
+///
+/// Propagates loader errors plus [`Dataset::new`] validation.
+pub fn load_dataset<R1: Read, R2: Read>(
+    images: R1,
+    labels: R2,
+    num_classes: usize,
+) -> Result<Dataset> {
+    let (inputs, shape) = load_images(images)?;
+    let labels = load_labels(labels)?;
+    Dataset::new(inputs, labels, num_classes)?.with_image_shape(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_3d() {
+        let dims = [2usize, 2, 3];
+        let data: Vec<u8> = (0..12).collect();
+        let mut buf = Vec::new();
+        write_idx(&mut buf, &dims, &data).unwrap();
+        let t = read_idx(buf.as_slice()).unwrap();
+        assert_eq!(t.dims, dims);
+        assert_eq!(t.data, data);
+        assert_eq!(t.len(), 12);
+    }
+
+    #[test]
+    fn roundtrip_1d() {
+        let mut buf = Vec::new();
+        write_idx(&mut buf, &[3], &[7, 8, 9]).unwrap();
+        let t = read_idx(buf.as_slice()).unwrap();
+        assert_eq!(t.dims, vec![3]);
+        assert_eq!(t.data, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = [1u8, 0, 8, 1, 0, 0, 0, 0];
+        assert!(matches!(
+            read_idx(buf.as_slice()),
+            Err(DataError::InvalidIdx { .. })
+        ));
+    }
+
+    #[test]
+    fn unsupported_dtype_rejected() {
+        let buf = [0u8, 0, 0x0D, 1, 0, 0, 0, 0];
+        assert!(matches!(
+            read_idx(buf.as_slice()),
+            Err(DataError::InvalidIdx { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_data_rejected() {
+        let mut buf = Vec::new();
+        write_idx(&mut buf, &[4], &[1, 2, 3, 4]).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_idx(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn write_validates_dims() {
+        let mut buf = Vec::new();
+        assert!(write_idx(&mut buf, &[], &[]).is_err());
+        assert!(write_idx(&mut buf, &[2], &[1]).is_err());
+        assert!(write_idx(&mut buf, &[1, 1, 1, 1, 1], &[1]).is_err());
+    }
+
+    #[test]
+    fn load_images_scales_to_unit_interval() {
+        let mut buf = Vec::new();
+        write_idx(&mut buf, &[1, 2, 2], &[0, 128, 255, 64]).unwrap();
+        let (m, shape) = load_images(buf.as_slice()).unwrap();
+        assert_eq!(m.shape(), (1, 4));
+        assert_eq!(shape, ImageShape::new(2, 2, 1));
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(0, 2)], 1.0);
+        assert!((m[(0, 1)] - 128.0 / 255.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_dataset_end_to_end() {
+        let mut img_buf = Vec::new();
+        write_idx(&mut img_buf, &[2, 2, 2], &[0, 255, 0, 255, 255, 0, 255, 0]).unwrap();
+        let mut lbl_buf = Vec::new();
+        write_idx(&mut lbl_buf, &[2], &[0, 1]).unwrap();
+        let ds = load_dataset(img_buf.as_slice(), lbl_buf.as_slice(), 2).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.num_features(), 4);
+        assert_eq!(ds.labels(), &[0, 1]);
+        assert!(ds.image_shape().is_some());
+    }
+
+    #[test]
+    fn wrong_rank_rejected_by_loaders() {
+        let mut buf = Vec::new();
+        write_idx(&mut buf, &[4], &[1, 2, 3, 4]).unwrap();
+        assert!(load_images(buf.as_slice()).is_err());
+        let mut buf3 = Vec::new();
+        write_idx(&mut buf3, &[1, 2, 2], &[1, 2, 3, 4]).unwrap();
+        assert!(load_labels(buf3.as_slice()).is_err());
+    }
+}

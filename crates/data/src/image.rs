@@ -1,0 +1,247 @@
+use serde::{Deserialize, Serialize};
+
+/// The spatial shape of image-like samples: `height x width x channels`,
+/// stored channel-last in row-major order (HWC), matching how the flat
+/// feature rows of a [`crate::Dataset`] are laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ImageShape {
+    /// Image height in pixels.
+    pub height: usize,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Number of colour channels (1 for grayscale, 3 for RGB).
+    pub channels: usize,
+}
+
+impl ImageShape {
+    /// Creates a new shape.
+    pub fn new(height: usize, width: usize, channels: usize) -> Self {
+        ImageShape {
+            height,
+            width,
+            channels,
+        }
+    }
+
+    /// Total number of scalar features (`height * width * channels`).
+    pub fn len(&self) -> usize {
+        self.height * self.width * self.channels
+    }
+
+    /// Whether the shape has zero features.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of pixel `(row, col)` in channel `ch` (HWC layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    #[inline]
+    pub fn index(&self, row: usize, col: usize, ch: usize) -> usize {
+        assert!(
+            row < self.height && col < self.width && ch < self.channels,
+            "pixel ({row},{col},{ch}) out of range for {self:?}"
+        );
+        (row * self.width + col) * self.channels + ch
+    }
+
+    /// Inverse of [`ImageShape::index`]: `(row, col, channel)` of a flat
+    /// feature index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat >= self.len()`.
+    #[inline]
+    pub fn coords(&self, flat: usize) -> (usize, usize, usize) {
+        assert!(flat < self.len(), "flat index {flat} out of range");
+        let ch = flat % self.channels;
+        let pix = flat / self.channels;
+        (pix / self.width, pix % self.width, ch)
+    }
+}
+
+/// A single owned image with an explicit [`ImageShape`].
+///
+/// Used primarily by the procedural generators while rendering; training
+/// code works on the flat rows of a [`crate::Dataset`] instead.
+///
+/// # Example
+///
+/// ```
+/// use xbar_data::{Image, ImageShape};
+///
+/// let mut img = Image::zeros(ImageShape::new(2, 2, 1));
+/// img.set(0, 1, 0, 0.5);
+/// assert_eq!(img.get(0, 1, 0), 0.5);
+/// assert_eq!(img.as_slice(), &[0.0, 0.5, 0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    shape: ImageShape,
+    data: Vec<f64>,
+}
+
+impl Image {
+    /// Creates an all-zero image.
+    pub fn zeros(shape: ImageShape) -> Self {
+        Image {
+            data: vec![0.0; shape.len()],
+            shape,
+        }
+    }
+
+    /// Wraps existing flat data (HWC order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.len()`.
+    pub fn from_vec(shape: ImageShape, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), shape.len(), "image data length mismatch");
+        Image { shape, data }
+    }
+
+    /// The image's shape.
+    pub fn shape(&self) -> ImageShape {
+        self.shape
+    }
+
+    /// Pixel value at `(row, col, ch)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize, ch: usize) -> f64 {
+        self.data[self.shape.index(row, col, ch)]
+    }
+
+    /// Sets the pixel at `(row, col, ch)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, ch: usize, v: f64) {
+        let i = self.shape.index(row, col, ch);
+        self.data[i] = v;
+    }
+
+    /// Takes the elementwise maximum with `v` at the pixel (used for
+    /// max-splat stroke rendering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn splat_max(&mut self, row: usize, col: usize, ch: usize, v: f64) {
+        let i = self.shape.index(row, col, ch);
+        if v > self.data[i] {
+            self.data[i] = v;
+        }
+    }
+
+    /// The flat HWC data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat HWC data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the image and returns the flat data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Clamps all pixels into `[lo, hi]`.
+    pub fn clamp(&mut self, lo: f64, hi: f64) {
+        for v in &mut self.data {
+            *v = v.clamp(lo, hi);
+        }
+    }
+
+    /// Mean pixel value (`0.0` for an empty image).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_len_and_index() {
+        let s = ImageShape::new(4, 3, 2);
+        assert_eq!(s.len(), 24);
+        assert!(!s.is_empty());
+        assert_eq!(s.index(0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 1), 1);
+        assert_eq!(s.index(0, 1, 0), 2);
+        assert_eq!(s.index(1, 0, 0), 6);
+        assert_eq!(s.index(3, 2, 1), 23);
+    }
+
+    #[test]
+    fn coords_inverts_index() {
+        let s = ImageShape::new(5, 7, 3);
+        for flat in 0..s.len() {
+            let (r, c, ch) = s.coords(flat);
+            assert_eq!(s.index(r, c, ch), flat);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_bounds_checked() {
+        let s = ImageShape::new(2, 2, 1);
+        let _ = s.index(2, 0, 0);
+    }
+
+    #[test]
+    fn image_get_set() {
+        let mut img = Image::zeros(ImageShape::new(3, 3, 1));
+        img.set(1, 2, 0, 0.7);
+        assert_eq!(img.get(1, 2, 0), 0.7);
+        assert_eq!(img.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn splat_max_keeps_larger() {
+        let mut img = Image::zeros(ImageShape::new(1, 1, 1));
+        img.splat_max(0, 0, 0, 0.4);
+        img.splat_max(0, 0, 0, 0.2);
+        assert_eq!(img.get(0, 0, 0), 0.4);
+        img.splat_max(0, 0, 0, 0.9);
+        assert_eq!(img.get(0, 0, 0), 0.9);
+    }
+
+    #[test]
+    fn clamp_and_mean() {
+        let mut img = Image::from_vec(ImageShape::new(1, 4, 1), vec![-1.0, 0.5, 2.0, 1.0]);
+        img.clamp(0.0, 1.0);
+        assert_eq!(img.as_slice(), &[0.0, 0.5, 1.0, 1.0]);
+        assert!((img.mean() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let data = vec![1.0, 2.0, 3.0, 4.0];
+        let img = Image::from_vec(ImageShape::new(2, 2, 1), data.clone());
+        assert_eq!(img.into_vec(), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_validates() {
+        let _ = Image::from_vec(ImageShape::new(2, 2, 1), vec![0.0; 3]);
+    }
+}

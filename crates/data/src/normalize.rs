@@ -1,0 +1,89 @@
+//! Input normalisation utilities.
+//!
+//! The crossbar maps inputs to voltages, so the attack pipeline assumes
+//! features in `[0, 1]` (normalised voltage units, Eq. 4 of the paper).
+
+use xbar_linalg::Matrix;
+
+/// Rescales every entry linearly so the global minimum maps to 0 and the
+/// global maximum maps to 1. A constant matrix maps to all zeros.
+pub fn min_max_scale(m: &Matrix) -> Matrix {
+    let lo = m.as_slice().iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = m
+        .as_slice()
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let range = hi - lo;
+    if !range.is_finite() || range == 0.0 {
+        return Matrix::zeros(m.rows(), m.cols());
+    }
+    m.map(|x| (x - lo) / range)
+}
+
+/// Standardises each column to zero mean and unit (population) variance.
+/// Constant columns become all zeros.
+pub fn standardize_columns(m: &Matrix) -> Matrix {
+    let means = m.col_means();
+    let mut vars = vec![0.0; m.cols()];
+    for row in m.rows_iter() {
+        for (v, (&x, &mu)) in vars.iter_mut().zip(row.iter().zip(&means)) {
+            let d = x - mu;
+            *v += d * d;
+        }
+    }
+    let n = m.rows().max(1) as f64;
+    let stds: Vec<f64> = vars.iter().map(|v| (v / n).sqrt()).collect();
+    Matrix::from_fn(m.rows(), m.cols(), |i, j| {
+        if stds[j] == 0.0 {
+            0.0
+        } else {
+            (m[(i, j)] - means[j]) / stds[j]
+        }
+    })
+}
+
+/// Clamps every entry into `[lo, hi]`.
+pub fn clamp(m: &Matrix, lo: f64, hi: f64) -> Matrix {
+    m.map(|x| x.clamp(lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_scale_hits_bounds() {
+        let m = Matrix::from_rows(&[&[2.0, 4.0], &[6.0, 10.0]]);
+        let s = min_max_scale(&m);
+        assert_eq!(s[(0, 0)], 0.0);
+        assert_eq!(s[(1, 1)], 1.0);
+        assert!((s[(0, 1)] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_scale_constant_is_zero() {
+        let m = Matrix::filled(2, 2, 5.0);
+        assert_eq!(min_max_scale(&m), Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn standardize_columns_moments() {
+        let m = Matrix::from_rows(&[&[1.0, 10.0], &[3.0, 10.0], &[5.0, 10.0]]);
+        let s = standardize_columns(&m);
+        // Column 0: mean 0, unit variance.
+        let col: Vec<f64> = s.col(0);
+        let mean: f64 = col.iter().sum::<f64>() / 3.0;
+        assert!(mean.abs() < 1e-12);
+        let var: f64 = col.iter().map(|x| x * x).sum::<f64>() / 3.0;
+        assert!((var - 1.0).abs() < 1e-12);
+        // Constant column 1 becomes zeros.
+        assert!(s.col(1).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let m = Matrix::from_rows(&[&[-1.0, 0.5, 2.0]]);
+        assert_eq!(clamp(&m, 0.0, 1.0), Matrix::from_rows(&[&[0.0, 0.5, 1.0]]));
+    }
+}

@@ -1,0 +1,246 @@
+//! Stroke primitives for procedural glyph rendering.
+
+use crate::Image;
+
+/// A renderable stroke in the unit square `[0, 1]²` (x right, y down).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stroke {
+    /// A straight segment from `a` to `b`.
+    Line {
+        /// Start point `(x, y)`.
+        a: (f64, f64),
+        /// End point `(x, y)`.
+        b: (f64, f64),
+    },
+    /// An elliptical arc, parameterised counter-clockwise in degrees
+    /// (`0°` points along +x; y grows downward, so visually the sweep is
+    /// clockwise).
+    Arc {
+        /// Ellipse centre `(x, y)`.
+        center: (f64, f64),
+        /// Horizontal radius.
+        rx: f64,
+        /// Vertical radius.
+        ry: f64,
+        /// Sweep start angle in degrees.
+        start_deg: f64,
+        /// Sweep end angle in degrees.
+        end_deg: f64,
+    },
+}
+
+impl Stroke {
+    /// Approximate arc length (used to pick sampling density).
+    pub fn length(&self) -> f64 {
+        match *self {
+            Stroke::Line { a, b } => ((b.0 - a.0).powi(2) + (b.1 - a.1).powi(2)).sqrt(),
+            Stroke::Arc {
+                rx, ry, start_deg, end_deg, ..
+            } => {
+                // Ramanujan-style bound scaled by sweep fraction.
+                let sweep = (end_deg - start_deg).abs().to_radians();
+                sweep * 0.5 * (rx + ry)
+            }
+        }
+    }
+
+    /// Point at parameter `t` in `[0, 1]` along the stroke.
+    pub fn point_at(&self, t: f64) -> (f64, f64) {
+        match *self {
+            Stroke::Line { a, b } => (a.0 + t * (b.0 - a.0), a.1 + t * (b.1 - a.1)),
+            Stroke::Arc {
+                center,
+                rx,
+                ry,
+                start_deg,
+                end_deg,
+            } => {
+                let ang = (start_deg + t * (end_deg - start_deg)).to_radians();
+                (center.0 + rx * ang.cos(), center.1 + ry * ang.sin())
+            }
+        }
+    }
+}
+
+/// An affine transform of unit-square glyph coordinates: rotate about the
+/// glyph centre, scale, then translate (all before pixel mapping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlyphTransform {
+    /// Rotation angle in radians about (0.5, 0.5).
+    pub rotation: f64,
+    /// Isotropic scale about (0.5, 0.5).
+    pub scale: f64,
+    /// Translation in unit coordinates.
+    pub translate: (f64, f64),
+}
+
+impl Default for GlyphTransform {
+    fn default() -> Self {
+        GlyphTransform {
+            rotation: 0.0,
+            scale: 1.0,
+            translate: (0.0, 0.0),
+        }
+    }
+}
+
+impl GlyphTransform {
+    /// Applies the transform to a unit-square point.
+    pub fn apply(&self, (x, y): (f64, f64)) -> (f64, f64) {
+        let (cx, cy) = (0.5, 0.5);
+        let (dx, dy) = (x - cx, y - cy);
+        let (s, c) = self.rotation.sin_cos();
+        let xr = self.scale * (c * dx - s * dy) + cx + self.translate.0;
+        let yr = self.scale * (s * dx + c * dy) + cy + self.translate.1;
+        (xr, yr)
+    }
+}
+
+/// Renders strokes into channel 0 of `img` using Gaussian max-splatting:
+/// each sampled stroke point deposits `exp(-d² / 2σ²)` into nearby pixels,
+/// keeping the per-pixel maximum, which yields clean anti-aliased strokes
+/// with peak intensity 1.
+pub fn render_strokes(
+    img: &mut Image,
+    strokes: &[Stroke],
+    transform: &GlyphTransform,
+    sigma_px: f64,
+) {
+    let shape = img.shape();
+    let (h, w) = (shape.height as f64, shape.width as f64);
+    let radius = (3.0 * sigma_px).ceil() as isize;
+    for stroke in strokes {
+        // Sample densely relative to pixel size.
+        let len_px = stroke.length() * w.max(h);
+        let steps = (len_px * 3.0).ceil().max(2.0) as usize;
+        for step in 0..=steps {
+            let t = step as f64 / steps as f64;
+            let p = transform.apply(stroke.point_at(t));
+            // Unit coords -> pixel coords (pixel centres at +0.5).
+            let px = p.0 * w - 0.5;
+            let py = p.1 * h - 0.5;
+            let ci = px.round() as isize;
+            let ri = py.round() as isize;
+            for r in (ri - radius)..=(ri + radius) {
+                if r < 0 || r >= shape.height as isize {
+                    continue;
+                }
+                for c in (ci - radius)..=(ci + radius) {
+                    if c < 0 || c >= shape.width as isize {
+                        continue;
+                    }
+                    let d2 = (c as f64 - px).powi(2) + (r as f64 - py).powi(2);
+                    let v = (-d2 / (2.0 * sigma_px * sigma_px)).exp();
+                    if v > 1e-4 {
+                        img.splat_max(r as usize, c as usize, 0, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ImageShape;
+
+    #[test]
+    fn line_endpoints() {
+        let s = Stroke::Line {
+            a: (0.0, 0.0),
+            b: (1.0, 0.5),
+        };
+        assert_eq!(s.point_at(0.0), (0.0, 0.0));
+        assert_eq!(s.point_at(1.0), (1.0, 0.5));
+        let (x, y) = s.point_at(0.5);
+        assert!((x - 0.5).abs() < 1e-12 && (y - 0.25).abs() < 1e-12);
+        assert!((s.length() - (1.25_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arc_points_lie_on_ellipse() {
+        let s = Stroke::Arc {
+            center: (0.5, 0.5),
+            rx: 0.2,
+            ry: 0.3,
+            start_deg: 0.0,
+            end_deg: 360.0,
+        };
+        for i in 0..10 {
+            let (x, y) = s.point_at(i as f64 / 10.0);
+            let e = ((x - 0.5) / 0.2).powi(2) + ((y - 0.5) / 0.3).powi(2);
+            assert!((e - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn identity_transform_is_noop() {
+        let t = GlyphTransform::default();
+        let p = (0.3, 0.8);
+        let q = t.apply(p);
+        assert!((p.0 - q.0).abs() < 1e-12 && (p.1 - q.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_distance_from_center() {
+        let t = GlyphTransform {
+            rotation: 1.0,
+            scale: 1.0,
+            translate: (0.0, 0.0),
+        };
+        let p = (0.8, 0.6);
+        let q = t.apply(p);
+        let d0 = ((p.0 - 0.5_f64).powi(2) + (p.1 - 0.5_f64).powi(2)).sqrt();
+        let d1 = ((q.0 - 0.5_f64).powi(2) + (q.1 - 0.5_f64).powi(2)).sqrt();
+        assert!((d0 - d1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_and_translate_compose() {
+        let t = GlyphTransform {
+            rotation: 0.0,
+            scale: 2.0,
+            translate: (0.1, -0.1),
+        };
+        let q = t.apply((0.75, 0.5));
+        assert!((q.0 - (0.5 + 2.0 * 0.25 + 0.1)).abs() < 1e-12);
+        assert!((q.1 - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_marks_stroke_pixels() {
+        let mut img = Image::zeros(ImageShape::new(16, 16, 1));
+        render_strokes(
+            &mut img,
+            &[Stroke::Line {
+                a: (0.2, 0.5),
+                b: (0.8, 0.5),
+            }],
+            &GlyphTransform::default(),
+            1.0,
+        );
+        // The stroke row should be bright, the far corner dark.
+        let mid = img.get(7, 8, 0).max(img.get(8, 8, 0));
+        assert!(mid > 0.8, "stroke centre should be bright, got {mid}");
+        assert!(img.get(0, 0, 0) < 0.05);
+        // Max-splat never exceeds 1.
+        assert!(img.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn render_stays_in_bounds_when_stroke_exits_canvas() {
+        let mut img = Image::zeros(ImageShape::new(8, 8, 1));
+        render_strokes(
+            &mut img,
+            &[Stroke::Line {
+                a: (-0.5, 0.5),
+                b: (1.5, 0.5),
+            }],
+            &GlyphTransform::default(),
+            1.5,
+        );
+        // Must not panic; edge pixels get painted.
+        assert!(img.get(4, 0, 0) > 0.5);
+    }
+}

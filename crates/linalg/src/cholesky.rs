@@ -1,0 +1,294 @@
+//! Cholesky factorisation of symmetric positive-definite matrices and
+//! ridge-regularised least squares.
+//!
+//! The attack library's noise-robust weight-recovery path solves the normal
+//! equations `(UᵀU + λI) Wᵀ = Uᵀ Ŷ` with [`ridge_solve`], which is the
+//! numerically cheap route when the query matrix is large and noisy.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// A Cholesky factorisation `A = L Lᵀ` of a symmetric positive-definite
+/// matrix, with `L` lower triangular.
+///
+/// # Example
+///
+/// ```
+/// use xbar_linalg::{Matrix, cholesky::CholeskyDecomposition};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let ch = CholeskyDecomposition::new(&a)?;
+/// let l = ch.l();
+/// assert!(l.matmul(&l.transpose()).approx_eq(&a, 1e-10));
+/// # Ok::<(), xbar_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CholeskyDecomposition {
+    l: Matrix,
+}
+
+impl CholeskyDecomposition {
+    /// Factors the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry is assumed, not
+    /// verified.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] if `a` has no elements.
+    /// * [`LinalgError::NotSquare`] if `a` is rectangular.
+    /// * [`LinalgError::NotPositiveDefinite`] if a non-positive pivot is
+    ///   encountered.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(CholeskyDecomposition { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` using the factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Back substitution Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.l[(j, i)] * x[j];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column-by-column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky_solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut x = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let xj = self.solve(&b.col(j))?;
+            x.set_col(j, &xj);
+        }
+        Ok(x)
+    }
+}
+
+/// Ridge-regularised least squares: solves
+/// `min_X ‖A X - B‖_F² + λ ‖X‖_F²` via the normal equations
+/// `(AᵀA + λ I) X = Aᵀ B`.
+///
+/// With `lambda = 0` and a full-column-rank `A` this equals the ordinary
+/// least-squares solution; a small positive `lambda` keeps the solve stable
+/// when `A` is rank deficient or noisy.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `a.rows() != b.rows()`.
+/// * [`LinalgError::NotPositiveDefinite`] if `AᵀA + λI` is not positive
+///   definite (possible only for `lambda = 0` with rank-deficient `A`).
+pub fn ridge_solve(a: &Matrix, b: &Matrix, lambda: f64) -> Result<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "ridge_solve",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let at = a.transpose();
+    let mut ata = at.matmul(a);
+    for i in 0..ata.rows() {
+        ata[(i, i)] += lambda;
+    }
+    let atb = at.matmul(b);
+    CholeskyDecomposition::new(&ata)?.solve_matrix(&atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(13)
+    }
+
+    /// Builds a random SPD matrix as `M Mᵀ + n I`.
+    fn random_spd(n: usize, r: &mut ChaCha8Rng) -> Matrix {
+        let m = Matrix::random_uniform(n, n, -1.0, 1.0, r);
+        let mut spd = m.matmul(&m.transpose());
+        for i in 0..n {
+            spd[(i, i)] += n as f64;
+        }
+        spd
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let mut r = rng();
+        let a = random_spd(10, &mut r);
+        let ch = CholeskyDecomposition::new(&a).unwrap();
+        let l = ch.l();
+        assert!(l.matmul(&l.transpose()).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn l_is_lower_triangular_with_positive_diagonal() {
+        let mut r = rng();
+        let a = random_spd(6, &mut r);
+        let l = CholeskyDecomposition::new(&a).unwrap().l().clone();
+        for i in 0..6 {
+            assert!(l[(i, i)] > 0.0);
+            for j in (i + 1)..6 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let mut r = rng();
+        let a = random_spd(8, &mut r);
+        let x_true: Vec<f64> = (0..8).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let b = a.matvec(&x_true);
+        let x = CholeskyDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        for (g, w) in x.iter().zip(&x_true) {
+            assert!((g - w).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_roundtrip() {
+        let mut r = rng();
+        let a = random_spd(5, &mut r);
+        let x_true = Matrix::random_uniform(5, 3, -1.0, 1.0, &mut r);
+        let b = a.matmul(&x_true);
+        let x = CholeskyDecomposition::new(&a)
+            .unwrap()
+            .solve_matrix(&b)
+            .unwrap();
+        assert!(x.approx_eq(&x_true, 1e-8));
+    }
+
+    #[test]
+    fn not_positive_definite_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            CholeskyDecomposition::new(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(matches!(
+            CholeskyDecomposition::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            CholeskyDecomposition::new(&Matrix::default()),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn ridge_solve_zero_lambda_matches_lstsq() {
+        let mut r = rng();
+        let a = Matrix::random_uniform(30, 6, -1.0, 1.0, &mut r);
+        let x_true = Matrix::random_uniform(6, 2, -1.0, 1.0, &mut r);
+        let b = a.matmul(&x_true);
+        let x = ridge_solve(&a, &b, 0.0).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-7));
+    }
+
+    #[test]
+    fn ridge_solve_shrinks_solution() {
+        let mut r = rng();
+        let a = Matrix::random_uniform(30, 6, -1.0, 1.0, &mut r);
+        let x_true = Matrix::random_uniform(6, 2, -1.0, 1.0, &mut r);
+        let b = a.matmul(&x_true);
+        let x0 = ridge_solve(&a, &b, 0.0).unwrap();
+        let x_big = ridge_solve(&a, &b, 1e3).unwrap();
+        assert!(x_big.fro_norm() < x0.fro_norm());
+    }
+
+    #[test]
+    fn ridge_solve_handles_rank_deficiency() {
+        // Duplicate column: rank deficient, but lambda > 0 keeps it solvable.
+        let base = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let a = base.hstack(&base).unwrap();
+        let b = Matrix::from_rows(&[&[2.0], &[4.0], &[6.0]]);
+        let x = ridge_solve(&a, &b, 1e-6).unwrap();
+        // Both coefficients share the weight; their sum predicts b.
+        let pred = a.matmul(&x);
+        assert!(pred.approx_eq(&b, 1e-3));
+    }
+
+    #[test]
+    fn ridge_solve_dimension_mismatch() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(4, 1);
+        assert!(ridge_solve(&a, &b, 0.1).is_err());
+    }
+}

@@ -1,0 +1,283 @@
+//! LU factorisation with partial pivoting, plus determinant, inverse, and
+//! square-system solves.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// An LU factorisation `P A = L U` of a square matrix with partial
+/// (row) pivoting.
+///
+/// # Example
+///
+/// ```
+/// use xbar_linalg::{Matrix, lu::LuDecomposition};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+/// let lu = LuDecomposition::new(&a)?;
+/// let x = lu.solve(&[10.0, 12.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-10);
+/// assert!((x[1] - 2.0).abs() < 1e-10);
+/// # Ok::<(), xbar_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Packed LU factors: strictly lower triangle holds `L` (unit diagonal
+    /// implied), upper triangle holds `U`.
+    packed: Matrix,
+    /// Row permutation: row `i` of the factored matrix is row `perm[i]` of
+    /// the original.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1 or -1), used for the determinant.
+    perm_sign: f64,
+}
+
+impl LuDecomposition {
+    /// Factors the square matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] if `a` has no elements.
+    /// * [`LinalgError::NotSquare`] if `a` is rectangular.
+    /// * [`LinalgError::Singular`] if a zero pivot is encountered.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut packed = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Find the pivot row.
+            let mut pivot_row = k;
+            let mut pivot_val = packed[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = packed[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                // Swap rows k and pivot_row.
+                for j in 0..n {
+                    let tmp = packed[(k, j)];
+                    packed[(k, j)] = packed[(pivot_row, j)];
+                    packed[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = packed[(k, k)];
+            for i in (k + 1)..n {
+                let factor = packed[(i, k)] / pivot;
+                packed[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let pkj = packed[(k, j)];
+                    packed[(i, j)] -= factor * pkj;
+                }
+            }
+        }
+
+        Ok(LuDecomposition {
+            packed,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.packed[(i, i)];
+        }
+        d
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply the permutation, then forward/back substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.packed[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.packed[(i, j)] * x[j];
+            }
+            x[i] = s / self.packed[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes the inverse of the original matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LuDecomposition::solve`].
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            inv.set_col(j, &col);
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+/// Solves the square system `A x = b` via LU with partial pivoting.
+///
+/// # Errors
+///
+/// See [`LuDecomposition::new`] and [`LuDecomposition::solve`].
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+/// Computes the determinant of a square matrix.
+///
+/// # Errors
+///
+/// Returns the factorisation errors of [`LuDecomposition::new`]; a singular
+/// matrix yields `Ok(0.0)` only when the zero pivot appears at the last
+/// elimination step, otherwise [`LinalgError::Singular`] is returned (use
+/// this function for well-conditioned matrices).
+pub fn det(a: &Matrix) -> Result<f64> {
+    Ok(LuDecomposition::new(a)?.det())
+}
+
+/// Computes the inverse of a square matrix.
+///
+/// # Errors
+///
+/// See [`LuDecomposition::new`] and [`LuDecomposition::inverse`].
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    LuDecomposition::new(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let x = solve(&a, &[8.0, -11.0, -3.0]).unwrap();
+        let want = [2.0, 3.0, -1.0];
+        for (g, w) in x.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_random_roundtrip() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let a = Matrix::random_uniform(12, 12, -2.0, 2.0, &mut r);
+            let x_true: Vec<f64> = (0..12).map(|i| (i as f64).sin()).collect();
+            let b = a.matvec(&x_true);
+            let x = solve(&a, &b).unwrap();
+            for (g, w) in x.iter().zip(&x_true) {
+                assert!((g - w).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn det_known() {
+        let a = Matrix::from_rows(&[&[3.0, 8.0], &[4.0, 6.0]]);
+        assert!((det(&a).unwrap() - (-14.0)).abs() < 1e-10);
+        assert!((det(&Matrix::identity(5)).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_of_permutation_matrix_is_signed() {
+        // Swap of two rows of the identity: determinant -1.
+        let p = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((det(&p).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut r = rng();
+        let a = Matrix::random_uniform(8, 8, -1.0, 1.0, &mut r);
+        let inv = inverse(&a).unwrap();
+        assert!(a.matmul(&inv).approx_eq(&Matrix::identity(8), 1e-8));
+        assert!(inv.matmul(&a).approx_eq(&Matrix::identity(8), 1e-8));
+    }
+
+    #[test]
+    fn singular_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(LuDecomposition::new(&a), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn not_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::NotSquare { shape: (2, 3) })
+        ));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            LuDecomposition::new(&Matrix::default()),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[3.0, 5.0]).unwrap();
+        assert_eq!(x, vec![5.0, 3.0]);
+    }
+
+    #[test]
+    fn wrong_rhs_length_rejected() {
+        let lu = LuDecomposition::new(&Matrix::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,382 @@
+//! Singular value decomposition via one-sided Jacobi rotations, and the
+//! Moore–Penrose pseudoinverse built on it.
+//!
+//! The paper's Section IV notes that when the attacker's queries span the
+//! input space, the oracle weights follow from `W = U† Ŷ`. [`pinv`] is the
+//! `†` in that equation; `xbar-core`'s `recovery` module uses it.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 60;
+
+/// A (thin) singular value decomposition `A = U Σ Vᵀ`.
+///
+/// For an `m x n` input with `k = min(m, n)`, `u` is `m x k`, `singular_values`
+/// has length `k` (non-negative, descending), and `v` is `n x k`.
+///
+/// # Example
+///
+/// ```
+/// use xbar_linalg::{Matrix, svd::Svd};
+///
+/// let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]]);
+/// let svd = Svd::new(&a)?;
+/// assert!((svd.singular_values()[0] - 3.0).abs() < 1e-10);
+/// assert!((svd.singular_values()[1] - 2.0).abs() < 1e-10);
+/// # Ok::<(), xbar_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Svd {
+    u: Matrix,
+    singular_values: Vec<f64>,
+    v: Matrix,
+}
+
+impl Svd {
+    /// Computes the thin SVD of `a` using one-sided Jacobi rotations.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] if `a` has no elements.
+    /// * [`LinalgError::NoConvergence`] if the Jacobi sweeps fail to
+    ///   orthogonalise the columns (does not happen for well-scaled inputs).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        if a.rows() >= a.cols() {
+            Self::one_sided_jacobi(a)
+        } else {
+            // SVD of Aᵀ = U Σ Vᵀ  =>  A = V Σ Uᵀ.
+            let t = Self::one_sided_jacobi(&a.transpose())?;
+            Ok(Svd {
+                u: t.v,
+                singular_values: t.singular_values,
+                v: t.u,
+            })
+        }
+    }
+
+    /// Core one-sided Jacobi algorithm, requires `rows >= cols`.
+    fn one_sided_jacobi(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        debug_assert!(m >= n);
+        // Work on columns of `u`, accumulate rotations in `v`.
+        let mut u = a.clone();
+        let mut v = Matrix::identity(n);
+        let eps = f64::EPSILON * (m as f64).sqrt();
+
+        let mut converged = false;
+        for _ in 0..MAX_SWEEPS {
+            let mut off = 0.0_f64;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    // Column inner products.
+                    let mut alpha = 0.0;
+                    let mut beta = 0.0;
+                    let mut gamma = 0.0;
+                    for i in 0..m {
+                        let up = u[(i, p)];
+                        let uq = u[(i, q)];
+                        alpha += up * up;
+                        beta += uq * uq;
+                        gamma += up * uq;
+                    }
+                    if gamma.abs() <= eps * (alpha * beta).sqrt() || gamma == 0.0 {
+                        continue;
+                    }
+                    off = off.max(gamma.abs() / (alpha * beta).sqrt().max(f64::MIN_POSITIVE));
+                    // Jacobi rotation zeroing the (p, q) inner product.
+                    let zeta = (beta - alpha) / (2.0 * gamma);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    for i in 0..m {
+                        let up = u[(i, p)];
+                        let uq = u[(i, q)];
+                        u[(i, p)] = c * up - s * uq;
+                        u[(i, q)] = s * up + c * uq;
+                    }
+                    for i in 0..n {
+                        let vp = v[(i, p)];
+                        let vq = v[(i, q)];
+                        v[(i, p)] = c * vp - s * vq;
+                        v[(i, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            if off <= eps {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(LinalgError::NoConvergence {
+                iterations: MAX_SWEEPS,
+            });
+        }
+
+        // Extract singular values as column norms; normalise U's columns.
+        let mut sv: Vec<(f64, usize)> = (0..n)
+            .map(|j| {
+                let norm: f64 = (0..m).map(|i| u[(i, j)] * u[(i, j)]).sum::<f64>().sqrt();
+                (norm, j)
+            })
+            .collect();
+        sv.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut u_sorted = Matrix::zeros(m, n);
+        let mut v_sorted = Matrix::zeros(n, n);
+        let mut singular_values = Vec::with_capacity(n);
+        for (dst, &(norm, src)) in sv.iter().enumerate() {
+            singular_values.push(norm);
+            if norm > 0.0 {
+                for i in 0..m {
+                    u_sorted[(i, dst)] = u[(i, src)] / norm;
+                }
+            }
+            for i in 0..n {
+                v_sorted[(i, dst)] = v[(i, src)];
+            }
+        }
+
+        Ok(Svd {
+            u: u_sorted,
+            singular_values,
+            v: v_sorted,
+        })
+    }
+
+    /// The left singular vectors (`m x k`, orthonormal columns for nonzero
+    /// singular values).
+    pub fn u(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// The singular values in descending order.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.singular_values
+    }
+
+    /// The right singular vectors (`n x k`, orthonormal columns).
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// Reconstructs the original matrix `U Σ Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let k = self.singular_values.len();
+        let mut us = self.u.clone();
+        for j in 0..k {
+            let s = self.singular_values[j];
+            for i in 0..us.rows() {
+                us[(i, j)] *= s;
+            }
+        }
+        us.matmul(&self.v.transpose())
+    }
+
+    /// Numerical rank at tolerance `tol` (singular values strictly greater
+    /// than `tol` count).
+    pub fn rank(&self, tol: f64) -> usize {
+        self.singular_values.iter().filter(|&&s| s > tol).count()
+    }
+
+    /// The default rank tolerance: `max(m, n) · ε · σ_max`.
+    pub fn default_tol(&self, rows: usize, cols: usize) -> f64 {
+        let smax = self.singular_values.first().copied().unwrap_or(0.0);
+        rows.max(cols) as f64 * f64::EPSILON * smax
+    }
+
+    /// Condition number `σ_max / σ_min`, or `f64::INFINITY` when singular.
+    pub fn condition_number(&self) -> f64 {
+        match (self.singular_values.first(), self.singular_values.last()) {
+            (Some(&max), Some(&min)) if min > 0.0 => max / min,
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// The Moore–Penrose pseudoinverse `V Σ⁺ Uᵀ`, truncating singular values
+    /// at `tol`.
+    pub fn pinv_with_tol(&self, tol: f64) -> Matrix {
+        let k = self.singular_values.len();
+        // V * Σ⁺.
+        let mut vs = self.v.clone();
+        for j in 0..k {
+            let s = self.singular_values[j];
+            let inv = if s > tol { 1.0 / s } else { 0.0 };
+            for i in 0..vs.rows() {
+                vs[(i, j)] *= inv;
+            }
+        }
+        vs.matmul(&self.u.transpose())
+    }
+}
+
+/// Computes the Moore–Penrose pseudoinverse of `a` with the default
+/// tolerance `max(m, n) · ε · σ_max`.
+///
+/// # Errors
+///
+/// See [`Svd::new`].
+///
+/// # Example
+///
+/// ```
+/// use xbar_linalg::{Matrix, svd::pinv};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]]);
+/// let p = pinv(&a)?;
+/// // A⁺ A = I for full-column-rank A.
+/// assert!(p.matmul(&a).approx_eq(&Matrix::identity(2), 1e-10));
+/// # Ok::<(), xbar_linalg::LinalgError>(())
+/// ```
+pub fn pinv(a: &Matrix) -> Result<Matrix> {
+    let svd = Svd::new(a)?;
+    let tol = svd.default_tol(a.rows(), a.cols());
+    Ok(svd.pinv_with_tol(tol))
+}
+
+/// Numerical rank of `a` at the default tolerance.
+///
+/// # Errors
+///
+/// See [`Svd::new`].
+pub fn rank(a: &Matrix) -> Result<usize> {
+    let svd = Svd::new(a)?;
+    let tol = svd.default_tol(a.rows(), a.cols());
+    Ok(svd.rank(tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn diagonal_singular_values() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -2.0]]);
+        let svd = Svd::new(&a).unwrap();
+        assert!((svd.singular_values()[0] - 3.0).abs() < 1e-10);
+        assert!((svd.singular_values()[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruct_tall() {
+        let a = Matrix::random_uniform(12, 5, -2.0, 2.0, &mut rng());
+        let svd = Svd::new(&a).unwrap();
+        assert!(svd.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn reconstruct_wide() {
+        let a = Matrix::random_uniform(4, 9, -2.0, 2.0, &mut rng());
+        let svd = Svd::new(&a).unwrap();
+        assert!(svd.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn u_and_v_orthonormal() {
+        let a = Matrix::random_uniform(10, 6, -1.0, 1.0, &mut rng());
+        let svd = Svd::new(&a).unwrap();
+        let utu = svd.u().transpose().matmul(svd.u());
+        assert!(utu.approx_eq(&Matrix::identity(6), 1e-9));
+        let vtv = svd.v().transpose().matmul(svd.v());
+        assert!(vtv.approx_eq(&Matrix::identity(6), 1e-9));
+    }
+
+    #[test]
+    fn singular_values_descending_nonnegative() {
+        let a = Matrix::random_uniform(8, 8, -1.0, 1.0, &mut rng());
+        let sv = Svd::new(&a).unwrap().singular_values().to_vec();
+        for w in sv.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(sv.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn rank_of_rank_deficient_matrix() {
+        // Outer product -> rank 1.
+        let u = Matrix::col_vector(&[1.0, 2.0, 3.0]);
+        let v = Matrix::row_vector(&[4.0, 5.0]);
+        let a = u.matmul(&v);
+        assert_eq!(rank(&a).unwrap(), 1);
+        assert_eq!(rank(&Matrix::identity(4)).unwrap(), 4);
+    }
+
+    #[test]
+    fn pinv_moore_penrose_conditions() {
+        let a = Matrix::random_uniform(9, 4, -1.0, 1.0, &mut rng());
+        let p = pinv(&a).unwrap();
+        // 1. A A⁺ A = A
+        assert!(a.matmul(&p).matmul(&a).approx_eq(&a, 1e-8));
+        // 2. A⁺ A A⁺ = A⁺
+        assert!(p.matmul(&a).matmul(&p).approx_eq(&p, 1e-8));
+        // 3. (A A⁺)ᵀ = A A⁺
+        let ap = a.matmul(&p);
+        assert!(ap.transpose().approx_eq(&ap, 1e-8));
+        // 4. (A⁺ A)ᵀ = A⁺ A
+        let pa = p.matmul(&a);
+        assert!(pa.transpose().approx_eq(&pa, 1e-8));
+    }
+
+    #[test]
+    fn pinv_of_rank_deficient_matrix_is_stable() {
+        let u = Matrix::col_vector(&[1.0, 2.0]);
+        let v = Matrix::row_vector(&[1.0, 1.0, 1.0]);
+        let a = u.matmul(&v); // rank 1, 2x3
+        let p = pinv(&a).unwrap();
+        assert!(a.matmul(&p).matmul(&a).approx_eq(&a, 1e-9));
+        assert!(p.max_abs().is_finite());
+    }
+
+    #[test]
+    fn pinv_inverts_full_rank_square() {
+        let mut r = rng();
+        let a = Matrix::random_uniform(6, 6, -1.0, 1.0, &mut r);
+        let p = pinv(&a).unwrap();
+        assert!(a.matmul(&p).approx_eq(&Matrix::identity(6), 1e-8));
+    }
+
+    #[test]
+    fn lstsq_via_pinv_recovers_planted_solution() {
+        // The Section IV recovery argument: rows of U are queries, columns of
+        // X are unknown weight rows; with rows >= cols, X = U† B exactly.
+        let mut r = rng();
+        let u = Matrix::random_uniform(20, 8, 0.0, 1.0, &mut r);
+        let w = Matrix::random_uniform(8, 3, -1.0, 1.0, &mut r);
+        let b = u.matmul(&w);
+        let w_rec = pinv(&u).unwrap().matmul(&b);
+        assert!(w_rec.approx_eq(&w, 1e-8));
+    }
+
+    #[test]
+    fn condition_number() {
+        let a = Matrix::from_diag(&[10.0, 1.0]);
+        let svd = Svd::new(&a).unwrap();
+        assert!((svd.condition_number() - 10.0).abs() < 1e-9);
+        let singular = Matrix::from_diag(&[1.0, 0.0]);
+        assert!(Svd::new(&singular).unwrap().condition_number().is_infinite());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(Svd::new(&Matrix::default()), Err(LinalgError::Empty)));
+    }
+
+    #[test]
+    fn zero_matrix_handled() {
+        let a = Matrix::zeros(3, 3);
+        let svd = Svd::new(&a).unwrap();
+        assert!(svd.singular_values().iter().all(|&s| s == 0.0));
+        let p = svd.pinv_with_tol(1e-12);
+        assert!(p.approx_eq(&Matrix::zeros(3, 3), 1e-12));
+    }
+}

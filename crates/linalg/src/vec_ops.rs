@@ -1,0 +1,219 @@
+//! Slice-level vector kernels.
+//!
+//! These free functions operate directly on `&[f64]` so that hot loops in
+//! the crossbar simulator and the attack code can avoid allocating
+//! [`crate::Matrix`] wrappers.
+
+/// Dot product of two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a slice in place.
+#[inline]
+pub fn scale(x: &mut [f64], alpha: f64) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Euclidean (2-) norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// 1-norm (sum of absolute values).
+#[inline]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Infinity norm (largest absolute value), `0.0` for the empty slice.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+}
+
+/// Index of the largest element. Ties resolve to the first occurrence.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+#[inline]
+pub fn argmax(x: &[f64]) -> usize {
+    assert!(!x.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v > x[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Index of the smallest element. Ties resolve to the first occurrence.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+#[inline]
+pub fn argmin(x: &[f64]) -> usize {
+    assert!(!x.is_empty(), "argmin of empty slice");
+    let mut best = 0;
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v < x[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Indices of the `k` largest elements, in descending value order.
+///
+/// If `k > x.len()` all indices are returned. Ties resolve to lower indices
+/// first, making the result deterministic.
+pub fn top_k_indices(x: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&a, &b| {
+        x[b].partial_cmp(&x[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Elementwise difference `a - b` into a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+}
+
+/// Elementwise sum `a + b` into a new vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x + y).collect()
+}
+
+/// Clamps every element into `[lo, hi]` in place.
+#[inline]
+pub fn clamp(x: &mut [f64], lo: f64, hi: f64) {
+    for v in x {
+        *v = v.clamp(lo, hi);
+    }
+}
+
+/// Mean of a slice.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+#[inline]
+pub fn mean(x: &[f64]) -> f64 {
+    assert!(!x.is_empty(), "mean of empty slice");
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_known() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot")]
+    fn dot_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_known() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_known() {
+        let mut x = vec![1.0, -2.0];
+        scale(&mut x, -3.0);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn norms_known() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm1(&[1.0, -2.0, 3.0]), 6.0);
+        assert_eq!(norm_inf(&[1.0, -5.0, 3.0]), 5.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_argmin_known() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), 1);
+        assert_eq!(argmin(&[1.0, 3.0, -2.0]), 2);
+        // Ties resolve to the first occurrence.
+        assert_eq!(argmax(&[2.0, 2.0]), 0);
+        assert_eq!(argmin(&[2.0, 2.0]), 0);
+    }
+
+    #[test]
+    fn top_k_known() {
+        let x = [0.1, 0.9, 0.5, 0.9, 0.0];
+        assert_eq!(top_k_indices(&x, 3), vec![1, 3, 2]);
+        assert_eq!(top_k_indices(&x, 10).len(), 5);
+        assert!(top_k_indices(&x, 0).is_empty());
+    }
+
+    #[test]
+    fn add_sub_known() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn clamp_known() {
+        let mut x = vec![-1.0, 0.5, 2.0];
+        clamp(&mut x, 0.0, 1.0);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn mean_known() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Output/hidden activation functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An activation function applied to a layer's pre-activations.
+///
+/// The paper's two configurations use [`Activation::Identity`] (the
+/// "linear" output) and [`Activation::Softmax`]. The others are standard
+/// elementwise choices used by the multi-layer extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// `f(s) = s` — the paper's "linear" (no activation) output.
+    Identity,
+    /// `f(s) = max(0, s)`.
+    Relu,
+    /// `f(s) = 1 / (1 + e^{-s})`.
+    Sigmoid,
+    /// `f(s) = tanh(s)`.
+    Tanh,
+    /// Row-wise softmax; only meaningful as an output activation.
+    Softmax,
+}
+
+impl Activation {
+    /// A short lowercase name for error messages and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Activation::Identity => "identity",
+            Activation::Relu => "relu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Softmax => "softmax",
+        }
+    }
+
+    /// Whether the activation is elementwise (softmax is not).
+    pub fn is_elementwise(&self) -> bool {
+        !matches!(self, Activation::Softmax)
+    }
+
+    /// Applies the activation in place to one pre-activation row.
+    pub fn apply_row(&self, s: &mut [f64]) {
+        match self {
+            Activation::Identity => {}
+            Activation::Relu => {
+                for v in s.iter_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            Activation::Sigmoid => {
+                for v in s.iter_mut() {
+                    *v = 1.0 / (1.0 + (-*v).exp());
+                }
+            }
+            Activation::Tanh => {
+                for v in s.iter_mut() {
+                    *v = v.tanh();
+                }
+            }
+            Activation::Softmax => softmax_row(s),
+        }
+    }
+
+    /// Elementwise derivative `f'(s)` evaluated at the pre-activation `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Activation::Softmax`], whose Jacobian is not
+    /// elementwise; softmax backward passes are fused with cross-entropy in
+    /// [`crate::loss`].
+    pub fn derivative(&self, s: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if s > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => {
+                let f = 1.0 / (1.0 + (-s).exp());
+                f * (1.0 - f)
+            }
+            Activation::Tanh => {
+                let t = s.tanh();
+                1.0 - t * t
+            }
+            Activation::Softmax => {
+                panic!("softmax has no elementwise derivative; use the fused CE rule")
+            }
+        }
+    }
+}
+
+/// Numerically stable in-place softmax of one row.
+pub fn softmax_row(s: &mut [f64]) {
+    if s.is_empty() {
+        return;
+    }
+    let max = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in s.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in s.iter_mut() {
+        *v /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let mut s = vec![1.0, -2.0];
+        Activation::Identity.apply_row(&mut s);
+        assert_eq!(s, vec![1.0, -2.0]);
+        assert_eq!(Activation::Identity.derivative(5.0), 1.0);
+    }
+
+    #[test]
+    fn relu_clips_negatives() {
+        let mut s = vec![1.0, -2.0, 0.0];
+        Activation::Relu.apply_row(&mut s);
+        assert_eq!(s, vec![1.0, 0.0, 0.0]);
+        assert_eq!(Activation::Relu.derivative(2.0), 1.0);
+        assert_eq!(Activation::Relu.derivative(-2.0), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_values_and_derivative() {
+        let mut s = vec![0.0];
+        Activation::Sigmoid.apply_row(&mut s);
+        assert!((s[0] - 0.5).abs() < 1e-12);
+        assert!((Activation::Sigmoid.derivative(0.0) - 0.25).abs() < 1e-12);
+        // Derivative matches finite differences.
+        let h = 1e-6;
+        for &x in &[-2.0, -0.3, 0.7, 3.0] {
+            let mut a = vec![x + h];
+            let mut b = vec![x - h];
+            Activation::Sigmoid.apply_row(&mut a);
+            Activation::Sigmoid.apply_row(&mut b);
+            let fd = (a[0] - b[0]) / (2.0 * h);
+            assert!((fd - Activation::Sigmoid.derivative(x)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn tanh_derivative_matches_finite_differences() {
+        let h = 1e-6;
+        for &x in &[-1.5_f64, 0.0, 0.4, 2.0] {
+            let fd = ((x + h).tanh() - (x - h).tanh()) / (2.0 * h);
+            assert!((fd - Activation::Tanh.derivative(x)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_row_sums_to_one_and_is_monotone() {
+        let mut s = vec![1.0, 2.0, 3.0];
+        softmax_row(&mut s);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[0] < s[1] && s[1] < s[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        let mut b = vec![1001.0, 1002.0, 1003.0];
+        softmax_row(&mut a);
+        softmax_row(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        // Huge magnitudes must not overflow.
+        let mut c = vec![1e300_f64.ln(), 0.0];
+        softmax_row(&mut c);
+        assert!(c.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_empty_row_is_noop() {
+        let mut s: Vec<f64> = vec![];
+        softmax_row(&mut s);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "softmax")]
+    fn softmax_derivative_panics() {
+        let _ = Activation::Softmax.derivative(0.0);
+    }
+
+    #[test]
+    fn names_and_elementwise_flags() {
+        assert_eq!(Activation::Softmax.name(), "softmax");
+        assert!(!Activation::Softmax.is_elementwise());
+        assert!(Activation::Identity.is_elementwise());
+    }
+}

@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Errors produced by network construction and training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Input feature count does not match the network's input dimension.
+    InputDimMismatch {
+        /// The network's expected input dimension.
+        expected: usize,
+        /// The supplied dimension.
+        got: usize,
+    },
+    /// Target dimension does not match the network's output dimension.
+    TargetDimMismatch {
+        /// The network's output dimension.
+        expected: usize,
+        /// The supplied dimension.
+        got: usize,
+    },
+    /// The activation/loss pairing has no supported backward rule.
+    UnsupportedPairing {
+        /// Name of the activation.
+        activation: &'static str,
+        /// Name of the loss.
+        loss: &'static str,
+    },
+    /// The training set was empty.
+    EmptyDataset,
+    /// A hyperparameter was outside its valid domain.
+    InvalidHyperparameter {
+        /// Name of the offending hyperparameter.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::InputDimMismatch { expected, got } => {
+                write!(f, "input dimension mismatch: expected {expected}, got {got}")
+            }
+            NnError::TargetDimMismatch { expected, got } => {
+                write!(f, "target dimension mismatch: expected {expected}, got {got}")
+            }
+            NnError::UnsupportedPairing { activation, loss } => {
+                write!(f, "unsupported activation/loss pairing: {activation} with {loss}")
+            }
+            NnError::EmptyDataset => write!(f, "training requires a non-empty dataset"),
+            NnError::InvalidHyperparameter { name } => {
+                write!(f, "hyperparameter {name} is outside its valid domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            NnError::InputDimMismatch { expected: 2, got: 3 },
+            NnError::TargetDimMismatch { expected: 2, got: 3 },
+            NnError::UnsupportedPairing {
+                activation: "softmax",
+                loss: "mse",
+            },
+            NnError::EmptyDataset,
+            NnError::InvalidHyperparameter { name: "lr" },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Loss functions and their backward rules.
+//!
+//! The paper trains with MSE (linear output) and categorical cross-entropy
+//! (softmax output). The backward pass works at the *pre-activation*: for
+//! the supported pairings the delta `∂L/∂s` has a closed form, which is
+//! also what the input-sensitivity computation (paper Eq. 7) needs, since
+//! `∂L/∂u = Wᵀ ∂L/∂s`.
+
+use crate::activation::Activation;
+use crate::{NnError, Result};
+use serde::{Deserialize, Serialize};
+use xbar_linalg::Matrix;
+
+/// Small constant guarding `ln(0)` in cross-entropy.
+const LN_EPS: f64 = 1e-12;
+
+/// A training loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error, averaged over outputs *and* batch:
+    /// `L = (1/B) Σ_b (1/M) Σ_i (ŷ_bi − y_bi)²`.
+    Mse,
+    /// Categorical cross-entropy, averaged over the batch:
+    /// `L = −(1/B) Σ_b Σ_i y_bi ln ŷ_bi`.
+    CrossEntropy,
+}
+
+impl Loss {
+    /// A short lowercase name for error messages and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Loss::Mse => "mse",
+            Loss::CrossEntropy => "crossentropy",
+        }
+    }
+
+    /// Loss value for a batch of post-activation outputs vs one-hot
+    /// targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two matrices differ in shape or are empty.
+    pub fn value(&self, outputs: &Matrix, targets: &Matrix) -> f64 {
+        assert_eq!(outputs.shape(), targets.shape(), "loss: shape mismatch");
+        assert!(!outputs.is_empty(), "loss of empty batch");
+        let b = outputs.rows() as f64;
+        match self {
+            Loss::Mse => {
+                let m = outputs.cols() as f64;
+                let mut total = 0.0;
+                for (o_row, t_row) in outputs.rows_iter().zip(targets.rows_iter()) {
+                    for (&o, &t) in o_row.iter().zip(t_row) {
+                        let d = o - t;
+                        total += d * d;
+                    }
+                }
+                total / (b * m)
+            }
+            Loss::CrossEntropy => {
+                let mut total = 0.0;
+                for (o_row, t_row) in outputs.rows_iter().zip(targets.rows_iter()) {
+                    for (&o, &t) in o_row.iter().zip(t_row) {
+                        if t != 0.0 {
+                            total -= t * (o.max(LN_EPS)).ln();
+                        }
+                    }
+                }
+                total / b
+            }
+        }
+    }
+
+    /// Gradient of the *per-sample* loss with respect to the
+    /// post-activation outputs, for one sample.
+    ///
+    /// (The `1/B` batch averaging is applied by the caller.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows differ in length.
+    pub fn output_grad_row(&self, outputs: &[f64], targets: &[f64], grad: &mut [f64]) {
+        assert_eq!(outputs.len(), targets.len(), "loss grad: length mismatch");
+        assert_eq!(outputs.len(), grad.len(), "loss grad: length mismatch");
+        match self {
+            Loss::Mse => {
+                let m = outputs.len() as f64;
+                for ((g, &o), &t) in grad.iter_mut().zip(outputs).zip(targets) {
+                    *g = 2.0 * (o - t) / m;
+                }
+            }
+            Loss::CrossEntropy => {
+                for ((g, &o), &t) in grad.iter_mut().zip(outputs).zip(targets) {
+                    *g = if t != 0.0 { -t / o.max(LN_EPS) } else { 0.0 };
+                }
+            }
+        }
+    }
+}
+
+/// Computes the pre-activation deltas `∂L/∂s` for a batch (`samples x
+/// outputs`), given post-activation `outputs`, the `preacts` they came
+/// from, one-hot `targets`, and the activation/loss pairing.
+///
+/// Supported pairings:
+///
+/// * any elementwise activation with [`Loss::Mse`] — chain rule
+///   `∂L/∂s = ∂L/∂ŷ · f'(s)`;
+/// * [`Activation::Softmax`] with [`Loss::CrossEntropy`] — the fused rule
+///   `∂L/∂s = ŷ − y`.
+///
+/// The returned deltas are **per-sample** (no `1/B` factor); trainers apply
+/// batch averaging.
+///
+/// # Errors
+///
+/// * [`NnError::UnsupportedPairing`] for softmax+MSE or
+///   elementwise+cross-entropy.
+/// * [`NnError::TargetDimMismatch`] if the target width differs from the
+///   output width.
+pub fn preactivation_deltas(
+    outputs: &Matrix,
+    preacts: &Matrix,
+    targets: &Matrix,
+    activation: Activation,
+    loss: Loss,
+) -> Result<Matrix> {
+    if targets.cols() != outputs.cols() || targets.rows() != outputs.rows() {
+        return Err(NnError::TargetDimMismatch {
+            expected: outputs.cols(),
+            got: targets.cols(),
+        });
+    }
+    match (activation, loss) {
+        (Activation::Softmax, Loss::CrossEntropy) => {
+            Ok(outputs.zip_map(targets, |o, t| o - t).expect("shapes match"))
+        }
+        (Activation::Softmax, Loss::Mse) | (_, Loss::CrossEntropy) => {
+            Err(NnError::UnsupportedPairing {
+                activation: activation.name(),
+                loss: loss.name(),
+            })
+        }
+        (act, Loss::Mse) => {
+            let mut deltas = Matrix::zeros(outputs.rows(), outputs.cols());
+            let mut grad = vec![0.0; outputs.cols()];
+            for i in 0..outputs.rows() {
+                loss.output_grad_row(outputs.row(i), targets.row(i), &mut grad);
+                let d_row = deltas.row_mut(i);
+                for (j, g) in grad.iter().enumerate() {
+                    d_row[j] = g * act.derivative(preacts[(i, j)]);
+                }
+            }
+            Ok(deltas)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_value_known() {
+        let o = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let t = Matrix::from_rows(&[&[0.0, 0.0]]);
+        // (1 + 4) / 2 outputs = 2.5
+        assert!((Loss::Mse.value(&o, &t) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_batch_averaging() {
+        let o = Matrix::from_rows(&[&[1.0], &[3.0]]);
+        let t = Matrix::from_rows(&[&[0.0], &[0.0]]);
+        // (1 + 9) / 2 samples / 1 output = 5
+        assert!((Loss::Mse.value(&o, &t) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_value_known() {
+        let o = Matrix::from_rows(&[&[0.7, 0.2, 0.1]]);
+        let t = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]);
+        assert!((Loss::CrossEntropy.value(&o, &t) - (-(0.7_f64.ln()))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_guards_log_zero() {
+        let o = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let t = Matrix::from_rows(&[&[1.0, 0.0]]);
+        assert!(Loss::CrossEntropy.value(&o, &t).is_finite());
+    }
+
+    #[test]
+    fn mse_grad_row_known() {
+        let mut g = vec![0.0; 2];
+        Loss::Mse.output_grad_row(&[1.0, 2.0], &[0.0, 0.0], &mut g);
+        assert_eq!(g, vec![1.0, 2.0]); // 2(o-t)/M with M=2
+    }
+
+    #[test]
+    fn softmax_ce_delta_is_output_minus_target() {
+        let outputs = Matrix::from_rows(&[&[0.3, 0.7]]);
+        let preacts = Matrix::from_rows(&[&[0.0, 0.847]]);
+        let targets = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let d = preactivation_deltas(
+            &outputs,
+            &preacts,
+            &targets,
+            Activation::Softmax,
+            Loss::CrossEntropy,
+        )
+        .unwrap();
+        assert!((d[(0, 0)] - (-0.7)).abs() < 1e-12);
+        assert!((d[(0, 1)] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_mse_delta_matches_finite_differences() {
+        // L(s) = (1/M)Σ (s - t)² with identity activation.
+        let preacts = Matrix::from_rows(&[&[0.4, -0.3, 1.2]]);
+        let targets = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]);
+        let outputs = preacts.clone();
+        let d = preactivation_deltas(
+            &outputs,
+            &preacts,
+            &targets,
+            Activation::Identity,
+            Loss::Mse,
+        )
+        .unwrap();
+        let h = 1e-6;
+        for j in 0..3 {
+            let mut plus = preacts.clone();
+            plus[(0, j)] += h;
+            let mut minus = preacts.clone();
+            minus[(0, j)] -= h;
+            let fd = (Loss::Mse.value(&plus, &targets) - Loss::Mse.value(&minus, &targets))
+                / (2.0 * h);
+            assert!((fd - d[(0, j)]).abs() < 1e-6, "output {j}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_mse_delta_matches_finite_differences() {
+        let preacts = Matrix::from_rows(&[&[0.4, -0.9]]);
+        let targets = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let mut outputs = preacts.clone();
+        for i in 0..outputs.rows() {
+            Activation::Sigmoid.apply_row(outputs.row_mut(i));
+        }
+        let d = preactivation_deltas(
+            &outputs,
+            &preacts,
+            &targets,
+            Activation::Sigmoid,
+            Loss::Mse,
+        )
+        .unwrap();
+        let h = 1e-6;
+        for j in 0..2 {
+            let eval = |s: &Matrix| -> f64 {
+                let mut o = s.clone();
+                for i in 0..o.rows() {
+                    Activation::Sigmoid.apply_row(o.row_mut(i));
+                }
+                Loss::Mse.value(&o, &targets)
+            };
+            let mut plus = preacts.clone();
+            plus[(0, j)] += h;
+            let mut minus = preacts.clone();
+            minus[(0, j)] -= h;
+            let fd = (eval(&plus) - eval(&minus)) / (2.0 * h);
+            assert!((fd - d[(0, j)]).abs() < 1e-6, "output {j}");
+        }
+    }
+
+    #[test]
+    fn softmax_ce_delta_matches_finite_differences() {
+        let preacts = Matrix::from_rows(&[&[0.5, -0.2, 0.9]]);
+        let targets = Matrix::from_rows(&[&[0.0, 1.0, 0.0]]);
+        let eval = |s: &Matrix| -> f64 {
+            let mut o = s.clone();
+            for i in 0..o.rows() {
+                Activation::Softmax.apply_row(o.row_mut(i));
+            }
+            Loss::CrossEntropy.value(&o, &targets)
+        };
+        let mut outputs = preacts.clone();
+        for i in 0..outputs.rows() {
+            Activation::Softmax.apply_row(outputs.row_mut(i));
+        }
+        let d = preactivation_deltas(
+            &outputs,
+            &preacts,
+            &targets,
+            Activation::Softmax,
+            Loss::CrossEntropy,
+        )
+        .unwrap();
+        let h = 1e-6;
+        for j in 0..3 {
+            let mut plus = preacts.clone();
+            plus[(0, j)] += h;
+            let mut minus = preacts.clone();
+            minus[(0, j)] -= h;
+            let fd = (eval(&plus) - eval(&minus)) / (2.0 * h);
+            assert!((fd - d[(0, j)]).abs() < 1e-6, "output {j}");
+        }
+    }
+
+    #[test]
+    fn unsupported_pairings_rejected() {
+        let m = Matrix::from_rows(&[&[0.5, 0.5]]);
+        assert!(matches!(
+            preactivation_deltas(&m, &m, &m, Activation::Softmax, Loss::Mse),
+            Err(NnError::UnsupportedPairing { .. })
+        ));
+        assert!(matches!(
+            preactivation_deltas(&m, &m, &m, Activation::Identity, Loss::CrossEntropy),
+            Err(NnError::UnsupportedPairing { .. })
+        ));
+    }
+
+    #[test]
+    fn target_shape_validated() {
+        let o = Matrix::from_rows(&[&[0.5, 0.5]]);
+        let t = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]);
+        assert!(matches!(
+            preactivation_deltas(&o, &o, &t, Activation::Softmax, Loss::CrossEntropy),
+            Err(NnError::TargetDimMismatch { .. })
+        ));
+    }
+}

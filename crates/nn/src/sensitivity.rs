@@ -1,0 +1,223 @@
+//! Input sensitivity: the gradient of the loss with respect to the input.
+//!
+//! This is the paper's Eq. 7,
+//! `∂L/∂u_j = Σ_i ∂L/∂ŷ_i · f'(s_i) · w_ij`,
+//! i.e. `∂L/∂u = Wᵀ Δ` where `Δ` is the pre-activation delta. Table I
+//! correlates the magnitude of this quantity (per sample, and averaged
+//! over a dataset) with the weight-column 1-norms that the crossbar's
+//! power consumption leaks; Fig. 4's "Worst" attack perturbs the pixel
+//! with the largest sensitivity in the direction of the gradient.
+
+use crate::loss::{preactivation_deltas, Loss};
+use crate::network::SingleLayerNet;
+use crate::Result;
+use xbar_linalg::Matrix;
+
+/// Gradient of the loss w.r.t. one input sample, `∂L/∂u = Wᵀ Δ`.
+///
+/// `target` is the one-hot (or regression) target row.
+///
+/// # Errors
+///
+/// Propagates dimension and pairing errors from the forward/backward pass.
+pub fn input_gradient(
+    net: &SingleLayerNet,
+    u: &[f64],
+    target: &[f64],
+    loss: Loss,
+) -> Result<Vec<f64>> {
+    let grads = batch_input_gradients(
+        net,
+        &Matrix::row_vector(u),
+        &Matrix::row_vector(target),
+        loss,
+    )?;
+    Ok(grads.row(0).to_vec())
+}
+
+/// Gradients of the per-sample losses w.r.t. each input in a batch:
+/// returns a `samples x inputs` matrix whose row `b` is `∂L_b/∂u_b`.
+///
+/// # Errors
+///
+/// Propagates dimension and pairing errors from the forward/backward pass.
+pub fn batch_input_gradients(
+    net: &SingleLayerNet,
+    inputs: &Matrix,
+    targets: &Matrix,
+    loss: Loss,
+) -> Result<Matrix> {
+    let preacts = net.preactivation_batch(inputs)?;
+    let mut outputs = preacts.clone();
+    for i in 0..outputs.rows() {
+        net.activation().apply_row(outputs.row_mut(i));
+    }
+    let deltas = preactivation_deltas(&outputs, &preacts, targets, net.activation(), loss)?;
+    // ∂L/∂U = Δ W  (each row: Wᵀ δ_b).
+    Ok(deltas.matmul(net.weights()))
+}
+
+/// Mean absolute sensitivity over a dataset: feature `j`'s value is
+/// `(1/B) Σ_b |∂L_b/∂u_bj|` — the quantity plotted in the paper's Fig. 3
+/// (a), (c), (e), (g) and correlated in Table I.
+///
+/// # Errors
+///
+/// Propagates dimension and pairing errors from the forward/backward pass.
+pub fn mean_abs_sensitivity(
+    net: &SingleLayerNet,
+    inputs: &Matrix,
+    targets: &Matrix,
+    loss: Loss,
+) -> Result<Vec<f64>> {
+    let grads = batch_input_gradients(net, inputs, targets, loss)?;
+    let mut out = vec![0.0; grads.cols()];
+    for row in grads.rows_iter() {
+        for (o, &g) in out.iter_mut().zip(row) {
+            *o += g.abs();
+        }
+    }
+    let b = grads.rows().max(1) as f64;
+    for o in &mut out {
+        *o /= b;
+    }
+    Ok(out)
+}
+
+/// Per-sample absolute sensitivities: `|∂L_b/∂u_bj|` as a
+/// `samples x inputs` matrix. Table I's "mean correlation" column
+/// correlates each row with the 1-norms and averages the coefficients.
+///
+/// # Errors
+///
+/// Propagates dimension and pairing errors from the forward/backward pass.
+pub fn abs_input_gradients(
+    net: &SingleLayerNet,
+    inputs: &Matrix,
+    targets: &Matrix,
+    loss: Loss,
+) -> Result<Matrix> {
+    Ok(batch_input_gradients(net, inputs, targets, loss)?.map(f64::abs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn finite_diff_grad(
+        net: &SingleLayerNet,
+        u: &[f64],
+        target: &[f64],
+        loss: Loss,
+    ) -> Vec<f64> {
+        let h = 1e-6;
+        (0..u.len())
+            .map(|j| {
+                let mut up = u.to_vec();
+                up[j] += h;
+                let mut dn = u.to_vec();
+                dn[j] -= h;
+                let lp = loss.value(
+                    &Matrix::row_vector(&net.forward_one(&up).unwrap()),
+                    &Matrix::row_vector(target),
+                );
+                let ln_ = loss.value(
+                    &Matrix::row_vector(&net.forward_one(&dn).unwrap()),
+                    &Matrix::row_vector(target),
+                );
+                (lp - ln_) / (2.0 * h)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn linear_mse_gradient_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let net = SingleLayerNet::new_random(5, 3, Activation::Identity, &mut rng);
+        let u = [0.2, 0.8, 0.1, 0.5, 0.9];
+        let target = [1.0, 0.0, 0.0];
+        let g = input_gradient(&net, &u, &target, Loss::Mse).unwrap();
+        let fd = finite_diff_grad(&net, &u, &target, Loss::Mse);
+        for (a, b) in g.iter().zip(&fd) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn softmax_ce_gradient_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let net = SingleLayerNet::new_random(6, 4, Activation::Softmax, &mut rng);
+        let u = [0.3, 0.1, 0.9, 0.4, 0.0, 0.7];
+        let target = [0.0, 0.0, 1.0, 0.0];
+        let g = input_gradient(&net, &u, &target, Loss::CrossEntropy).unwrap();
+        let fd = finite_diff_grad(&net, &u, &target, Loss::CrossEntropy);
+        for (a, b) in g.iter().zip(&fd) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_mse_gradient_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let net = SingleLayerNet::new_random(4, 2, Activation::Sigmoid, &mut rng);
+        let u = [0.5, -0.2, 0.8, 0.3];
+        let target = [0.0, 1.0];
+        let g = input_gradient(&net, &u, &target, Loss::Mse).unwrap();
+        let fd = finite_diff_grad(&net, &u, &target, Loss::Mse);
+        for (a, b) in g.iter().zip(&fd) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn batch_gradients_match_per_sample() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let net = SingleLayerNet::new_random(4, 3, Activation::Identity, &mut rng);
+        let inputs = Matrix::random_uniform(5, 4, 0.0, 1.0, &mut rng);
+        let mut targets = Matrix::zeros(5, 3);
+        for i in 0..5 {
+            targets[(i, i % 3)] = 1.0;
+        }
+        let batch = batch_input_gradients(&net, &inputs, &targets, Loss::Mse).unwrap();
+        for i in 0..5 {
+            let single =
+                input_gradient(&net, inputs.row(i), targets.row(i), Loss::Mse).unwrap();
+            for (a, b) in batch.row(i).iter().zip(&single) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_abs_sensitivity_is_mean_of_abs_rows() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let net = SingleLayerNet::new_random(3, 2, Activation::Identity, &mut rng);
+        let inputs = Matrix::random_uniform(4, 3, 0.0, 1.0, &mut rng);
+        let mut targets = Matrix::zeros(4, 2);
+        for i in 0..4 {
+            targets[(i, i % 2)] = 1.0;
+        }
+        let mean = mean_abs_sensitivity(&net, &inputs, &targets, Loss::Mse).unwrap();
+        let abs = abs_input_gradients(&net, &inputs, &targets, Loss::Mse).unwrap();
+        for j in 0..3 {
+            let want: f64 = abs.col(j).iter().sum::<f64>() / 4.0;
+            assert!((mean[j] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dead_input_has_zero_sensitivity() {
+        // A zero weight column means the corresponding input cannot affect
+        // the loss — exactly why border pixels are unattractive targets.
+        let mut w = Matrix::random_uniform(3, 4, -1.0, 1.0, &mut ChaCha8Rng::seed_from_u64(5));
+        w.set_col(2, &[0.0, 0.0, 0.0]);
+        let net = SingleLayerNet::from_weights(w, Activation::Identity);
+        let g = input_gradient(&net, &[0.4, 0.2, 0.9, 0.5], &[1.0, 0.0, 0.0], Loss::Mse)
+            .unwrap();
+        assert_eq!(g[2], 0.0);
+        assert!(g.iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,91 @@
+//! End-to-end checks that the procedural datasets land in the accuracy
+//! regimes the paper's conclusions depend on: the digits stand-in must be
+//! highly linearly separable (MNIST-like, ~0.9), the objects stand-in must
+//! be hard for a single layer (CIFAR-10-like, well under 0.6 but above
+//! chance).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar_data::synth::digits::DigitsConfig;
+use xbar_data::synth::objects::ObjectsConfig;
+use xbar_nn::activation::Activation;
+use xbar_nn::loss::Loss;
+use xbar_nn::metrics::accuracy;
+use xbar_nn::network::SingleLayerNet;
+use xbar_nn::train::{train, SgdConfig};
+
+fn train_and_eval(
+    ds: &xbar_data::Dataset,
+    activation: Activation,
+    loss: Loss,
+    cfg: &SgdConfig,
+    seed: u64,
+) -> (f64, f64) {
+    let split = ds.split_frac(0.85).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut net = SingleLayerNet::new_random(
+        ds.num_features(),
+        ds.num_classes(),
+        activation,
+        &mut rng,
+    );
+    train(&mut net, &split.train, loss, cfg, &mut rng).unwrap();
+    let train_acc = accuracy(
+        &net.predict_batch(split.train.inputs()).unwrap(),
+        split.train.labels(),
+    );
+    let test_acc = accuracy(
+        &net.predict_batch(split.test.inputs()).unwrap(),
+        split.test.labels(),
+    );
+    (train_acc, test_acc)
+}
+
+#[test]
+fn digits_are_mnist_like_separable() {
+    let ds = DigitsConfig::default().num_samples(2000).seed(42).generate();
+    let cfg = SgdConfig {
+        epochs: 20,
+        ..SgdConfig::default()
+    };
+    let (train_acc, test_acc) =
+        train_and_eval(&ds, Activation::Softmax, Loss::CrossEntropy, &cfg, 0);
+    println!("digits softmax: train {train_acc:.3} test {test_acc:.3}");
+    assert!(
+        test_acc > 0.8,
+        "digits should be highly separable, got {test_acc}"
+    );
+}
+
+#[test]
+fn digits_linear_mse_also_separable() {
+    let ds = DigitsConfig::default().num_samples(2000).seed(43).generate();
+    let cfg = SgdConfig {
+        epochs: 20,
+        learning_rate: 0.05,
+        ..SgdConfig::default()
+    };
+    let (_, test_acc) = train_and_eval(&ds, Activation::Identity, Loss::Mse, &cfg, 1);
+    println!("digits linear: test {test_acc:.3}");
+    assert!(test_acc > 0.75, "digits linear head too weak: {test_acc}");
+}
+
+#[test]
+fn objects_are_cifar_like_hard() {
+    let ds = ObjectsConfig::default().num_samples(2000).seed(44).generate();
+    let cfg = SgdConfig {
+        epochs: 20,
+        learning_rate: 0.05,
+        ..SgdConfig::default()
+    };
+    let (_, test_acc) = train_and_eval(&ds, Activation::Softmax, Loss::CrossEntropy, &cfg, 2);
+    println!("objects softmax: test {test_acc:.3}");
+    assert!(
+        test_acc > 0.15,
+        "objects should beat 10% chance, got {test_acc}"
+    );
+    assert!(
+        test_acc < 0.65,
+        "objects should stay hard for a single layer, got {test_acc}"
+    );
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the neural-network substrate: gradient
+//! correctness against finite differences for arbitrary shapes, and
+//! invariants of the forward pass.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar_linalg::Matrix;
+use xbar_nn::activation::Activation;
+use xbar_nn::loss::Loss;
+use xbar_nn::network::SingleLayerNet;
+use xbar_nn::sensitivity::input_gradient;
+
+fn seeded_net(n: usize, m: usize, act: Activation, seed: u64) -> SingleLayerNet {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    SingleLayerNet::new_random(n, m, act, &mut rng)
+}
+
+fn seeded_input(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xABCD);
+    Matrix::random_uniform(1, n, 0.0, 1.0, &mut rng).into_vec()
+}
+
+fn one_hot(m: usize, class: usize) -> Vec<f64> {
+    let mut t = vec![0.0; m];
+    t[class % m] = 1.0;
+    t
+}
+
+fn finite_diff(net: &SingleLayerNet, u: &[f64], t: &[f64], loss: Loss) -> Vec<f64> {
+    let h = 1e-6;
+    (0..u.len())
+        .map(|j| {
+            let mut up = u.to_vec();
+            up[j] += h;
+            let mut dn = u.to_vec();
+            dn[j] -= h;
+            let lp = loss.value(
+                &Matrix::row_vector(&net.forward_one(&up).unwrap()),
+                &Matrix::row_vector(t),
+            );
+            let lm = loss.value(
+                &Matrix::row_vector(&net.forward_one(&dn).unwrap()),
+                &Matrix::row_vector(t),
+            );
+            (lp - lm) / (2.0 * h)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The Eq. 7 input gradient matches finite differences for every
+    /// supported activation/loss pairing, at arbitrary shapes and points.
+    #[test]
+    fn input_gradient_matches_finite_differences(
+        n in 2usize..10,
+        m in 2usize..6,
+        class in 0usize..6,
+        seed in any::<u64>(),
+        pairing in prop::sample::select(vec![0usize, 1, 2, 3]),
+    ) {
+        let (act, loss) = match pairing {
+            0 => (Activation::Identity, Loss::Mse),
+            1 => (Activation::Sigmoid, Loss::Mse),
+            2 => (Activation::Tanh, Loss::Mse),
+            _ => (Activation::Softmax, Loss::CrossEntropy),
+        };
+        let net = seeded_net(n, m, act, seed);
+        let u = seeded_input(n, seed);
+        let t = one_hot(m, class);
+        let g = input_gradient(&net, &u, &t, loss).unwrap();
+        let fd = finite_diff(&net, &u, &t, loss);
+        for (a, b) in g.iter().zip(&fd) {
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    /// Softmax outputs are a probability distribution for any input.
+    #[test]
+    fn softmax_head_is_distribution(
+        n in 1usize..12,
+        m in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let net = seeded_net(n, m, Activation::Softmax, seed);
+        let y = net.forward_one(&seeded_input(n, seed)).unwrap();
+        prop_assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(y.iter().all(|&v| v >= 0.0));
+    }
+
+    /// The forward pass is homogeneous for the identity head:
+    /// `f(αu) = α f(u)`.
+    #[test]
+    fn linear_head_is_homogeneous(
+        n in 1usize..10,
+        m in 1usize..6,
+        seed in any::<u64>(),
+        alpha in 0.0f64..3.0,
+    ) {
+        let net = seeded_net(n, m, Activation::Identity, seed);
+        let u = seeded_input(n, seed);
+        let scaled: Vec<f64> = u.iter().map(|&x| alpha * x).collect();
+        let y = net.forward_one(&u).unwrap();
+        let ys = net.forward_one(&scaled).unwrap();
+        for (a, b) in ys.iter().zip(&y) {
+            prop_assert!((a - alpha * b).abs() < 1e-9);
+        }
+    }
+
+    /// Losses are non-negative and zero exactly at the target (MSE).
+    #[test]
+    fn mse_is_a_metric_like_loss(
+        m in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = Matrix::random_uniform(3, m, 0.0, 1.0, &mut rng);
+        let o = Matrix::random_uniform(3, m, 0.0, 1.0, &mut rng);
+        prop_assert!(Loss::Mse.value(&o, &t) >= 0.0);
+        prop_assert!(Loss::Mse.value(&t, &t).abs() < 1e-15);
+    }
+
+    /// Column 1-norms are invariant under row permutations of W (the leak
+    /// reveals nothing about which *output* a weight belongs to).
+    #[test]
+    fn column_norms_are_row_permutation_invariant(
+        n in 1usize..8,
+        m in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let net = seeded_net(n, m, Activation::Identity, seed);
+        let w = net.weights().clone();
+        // Reverse the rows.
+        let rows: Vec<usize> = (0..m).rev().collect();
+        let permuted = w.select_rows(&rows);
+        let net2 = SingleLayerNet::from_weights(permuted, Activation::Identity);
+        let a = net.column_l1_norms();
+        let b = net2.column_l1_norms();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

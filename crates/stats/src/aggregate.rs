@@ -1,0 +1,214 @@
+//! Aggregation of measurements across independent runs.
+//!
+//! The paper averages Table I over 5 runs and Fig. 5 over 10 runs with
+//! shaded ±1-std error bars; [`RunSummary`] and [`summarize_runs`] are the
+//! bookkeeping for that.
+
+use crate::descriptive::RunningStats;
+use serde::{Deserialize, Serialize};
+
+/// Mean ± standard deviation of one measured quantity over independent runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean over runs.
+    pub mean: f64,
+    /// Unbiased standard deviation over runs (`0.0` for a single run).
+    pub std: f64,
+    /// Smallest run value.
+    pub min: f64,
+    /// Largest run value.
+    pub max: f64,
+}
+
+impl RunSummary {
+    /// Summarises a slice of per-run values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "RunSummary requires at least one run");
+        let rs: RunningStats = values.iter().copied().collect();
+        RunSummary {
+            runs: values.len(),
+            mean: rs.mean(),
+            std: rs.sample_std(),
+            min: rs.min(),
+            max: rs.max(),
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.std / (self.runs as f64).sqrt()
+        }
+    }
+}
+
+impl std::fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4} (n={})", self.mean, self.std, self.runs)
+    }
+}
+
+/// Summarises a "matrix" of runs: `runs[r][i]` is the value of series
+/// point `i` in run `r`. Returns one [`RunSummary`] per series point.
+///
+/// This is the exact shape of the paper's Fig. 4/Fig. 5 curves: each
+/// series point (attack strength or query count) is averaged over runs.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty or the rows have differing lengths.
+pub fn summarize_runs(runs: &[Vec<f64>]) -> Vec<RunSummary> {
+    assert!(!runs.is_empty(), "summarize_runs requires at least one run");
+    let width = runs[0].len();
+    for (r, row) in runs.iter().enumerate() {
+        assert_eq!(row.len(), width, "run {r} has inconsistent length");
+    }
+    (0..width)
+        .map(|i| {
+            let vals: Vec<f64> = runs.iter().map(|row| row[i]).collect();
+            RunSummary::from_values(&vals)
+        })
+        .collect()
+}
+
+/// Percentile bootstrap confidence interval for the mean of `values`.
+///
+/// Resamples with replacement `resamples` times using a caller-supplied
+/// uniform index source (`next_index(len)`), so the crate stays free of a
+/// direct RNG dependency and results are reproducible.
+///
+/// Returns `(lo, hi)` at the given confidence level (e.g. `0.95`).
+///
+/// # Panics
+///
+/// Panics if `values` is empty, `resamples == 0`, or `confidence` is not
+/// in `(0, 1)`.
+pub fn bootstrap_mean_ci<F: FnMut(usize) -> usize>(
+    values: &[f64],
+    resamples: usize,
+    confidence: f64,
+    mut next_index: F,
+) -> (f64, f64) {
+    assert!(!values.is_empty(), "bootstrap of empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let n = values.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let idx = next_index(n);
+            assert!(idx < n, "index source returned {idx} >= {n}");
+            acc += values[idx];
+        }
+        means.push(acc / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((resamples as f64) * alpha).floor() as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - alpha)).ceil() as usize).min(resamples - 1);
+    (means[lo_idx], means[hi_idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_run_summary() {
+        let s = RunSummary::from_values(&[0.8]);
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.mean, 0.8);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 0.8);
+        assert_eq!(s.max, 0.8);
+    }
+
+    #[test]
+    fn multi_run_summary() {
+        let s = RunSummary::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.runs, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        assert!((s.sem() - 1.0 / 3.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn summarize_runs_per_point() {
+        let runs = vec![vec![0.9, 0.5, 0.1], vec![0.7, 0.3, 0.1]];
+        let s = summarize_runs(&runs);
+        assert_eq!(s.len(), 3);
+        assert!((s[0].mean - 0.8).abs() < 1e-12);
+        assert!((s[1].mean - 0.4).abs() < 1e-12);
+        assert_eq!(s[2].std, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent length")]
+    fn ragged_runs_rejected() {
+        let _ = summarize_runs(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    /// A tiny deterministic LCG for index generation in tests.
+    fn lcg(seed: u64) -> impl FnMut(usize) -> usize {
+        let mut state = seed;
+        move |n: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % n
+        }
+    }
+
+    #[test]
+    fn bootstrap_ci_contains_true_mean_for_tight_data() {
+        let values: Vec<f64> = (0..50).map(|i| 10.0 + (i % 5) as f64 * 0.01).collect();
+        let (lo, hi) = bootstrap_mean_ci(&values, 500, 0.95, lcg(7));
+        let mean = values.iter().sum::<f64>() / 50.0;
+        assert!(lo <= mean && mean <= hi, "[{lo}, {hi}] should contain {mean}");
+        assert!(hi - lo < 0.02, "tight data gives a tight interval");
+    }
+
+    #[test]
+    fn bootstrap_ci_widens_with_variance() {
+        let tight: Vec<f64> = (0..40).map(|i| (i % 2) as f64 * 0.01).collect();
+        let wide: Vec<f64> = (0..40).map(|i| (i % 2) as f64 * 10.0).collect();
+        let (lo1, hi1) = bootstrap_mean_ci(&tight, 400, 0.95, lcg(1));
+        let (lo2, hi2) = bootstrap_mean_ci(&wide, 400, 0.95, lcg(1));
+        assert!(hi2 - lo2 > 10.0 * (hi1 - lo1));
+    }
+
+    #[test]
+    fn bootstrap_ci_narrows_with_higher_confidence_demand() {
+        let values: Vec<f64> = (0..30).map(|i| (i as f64 * 0.77).sin()).collect();
+        let (lo50, hi50) = bootstrap_mean_ci(&values, 800, 0.5, lcg(3));
+        let (lo99, hi99) = bootstrap_mean_ci(&values, 800, 0.99, lcg(3));
+        assert!(hi99 - lo99 > hi50 - lo50);
+        assert!(lo99 <= lo50 && hi99 >= hi50);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn bootstrap_rejects_empty() {
+        let _ = bootstrap_mean_ci(&[], 10, 0.95, lcg(0));
+    }
+
+    #[test]
+    fn display_contains_mean_and_n() {
+        let s = RunSummary::from_values(&[1.0, 1.0]);
+        let txt = s.to_string();
+        assert!(txt.contains("1.0000"));
+        assert!(txt.contains("n=2"));
+    }
+}

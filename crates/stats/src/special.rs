@@ -1,0 +1,260 @@
+//! Special functions: log-gamma, regularised incomplete beta, and erf.
+//!
+//! These provide the exact tail probabilities behind [`crate::ttest`]'s
+//! p-values (the paper's Fig. 5 marks improvements with `p < 0.05`
+//! asterisks from a Student's t-test).
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// Accurate to ~1e-13 over the positive reals.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularised incomplete beta function `I_x(a, b)` via the Lentz
+/// continued-fraction expansion.
+///
+/// Returns values clamped to `[0, 1]`. `x` outside `[0, 1]` saturates.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `a <= 0` or `b <= 0`.
+pub fn betai(a: f64, b: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0 && b > 0.0, "betai parameters must be positive");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry that keeps the continued fraction convergent.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Modified Lentz continued fraction for the incomplete beta function.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m_f = m as f64;
+        let m2 = 2.0 * m_f;
+        // Even step.
+        let aa = m_f * (b - m_f) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m_f) * (qab + m_f) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Error function, Abramowitz & Stegun 7.1.26 rational approximation
+/// (max absolute error ~1.5e-7), sign-symmetric.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Two-sided p-value of a t statistic with `df` degrees of freedom:
+/// `P(|T| >= |t|) = I_{df/(df+t²)}(df/2, 1/2)`.
+///
+/// `df` may be fractional (Welch–Satterthwaite).
+pub fn t_two_sided_p(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    if df <= 0.0 {
+        return 1.0;
+    }
+    let x = df / (df + t * t);
+    betai(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = x Γ(x) -> ln Γ(x+1) = ln x + ln Γ(x).
+        for &x in &[0.3, 1.7, 4.2, 10.5] {
+            assert!((ln_gamma(x + 1.0) - x.ln() - ln_gamma(x)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn betai_boundaries() {
+        assert_eq!(betai(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(betai(2.0, 3.0, 1.0), 1.0);
+        assert_eq!(betai(2.0, 3.0, -0.5), 0.0);
+        assert_eq!(betai(2.0, 3.0, 1.5), 1.0);
+    }
+
+    #[test]
+    fn betai_uniform_case() {
+        // I_x(1, 1) = x.
+        for &x in &[0.1, 0.25, 0.5, 0.9] {
+            assert!((betai(1.0, 1.0, x) - x).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn betai_known_values() {
+        // I_x(2, 2) = x²(3 - 2x).
+        for &x in &[0.2, 0.5, 0.8] {
+            let want = x * x * (3.0 - 2.0 * x);
+            assert!((betai(2.0, 2.0, x) - want).abs() < 1e-10);
+        }
+        // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+        assert!((betai(3.0, 5.0, 0.3) - (1.0 - betai(5.0, 3.0, 0.7))).abs() < 1e-10);
+    }
+
+    #[test]
+    fn betai_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 1..=20 {
+            let x = i as f64 / 20.0;
+            let v = betai(2.5, 4.0, x);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // The A&S 7.1.26 approximation is only ~1.5e-7 accurate, and its
+        // polynomial sums to 1 - 1e-9 at x = 0.
+        assert!(erf(0.0).abs() < 1e-8);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-5);
+        assert!((erf(3.0) - 0.999_977_91).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-8);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn t_p_value_known_quantiles() {
+        // Two-sided critical values: t = 2.571 at df = 5 gives p ≈ 0.05,
+        // t = 2.086 at df = 20 gives p ≈ 0.05.
+        assert!((t_two_sided_p(2.571, 5.0) - 0.05).abs() < 2e-3);
+        assert!((t_two_sided_p(2.086, 20.0) - 0.05).abs() < 2e-3);
+        // t = 0 -> p = 1.
+        assert!((t_two_sided_p(0.0, 10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_p_value_monotone_in_t() {
+        let mut prev = 1.1;
+        for i in 0..20 {
+            let t = i as f64 * 0.5;
+            let p = t_two_sided_p(t, 9.0);
+            assert!(p <= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn t_p_value_approaches_normal_for_large_df() {
+        // With df -> inf the t distribution approaches the normal:
+        // p(1.96) -> 0.05.
+        let p = t_two_sided_p(1.96, 1e6);
+        assert!((p - 0.05).abs() < 1e-3, "p = {p}");
+    }
+
+    #[test]
+    fn t_p_value_edge_cases() {
+        assert_eq!(t_two_sided_p(f64::INFINITY, 10.0), 0.0);
+        assert_eq!(t_two_sided_p(1.0, 0.0), 1.0);
+    }
+}

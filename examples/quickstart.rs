@@ -1,0 +1,66 @@
+//! Quickstart: train a tiny victim, deploy it on a simulated NVM
+//! crossbar, and watch the power side channel leak its weight structure.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar_power_attacks::attacks::oracle::{Oracle, OracleConfig, OutputAccess};
+use xbar_power_attacks::attacks::pixel_attack::{
+    single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources,
+};
+use xbar_power_attacks::attacks::probe::probe_column_norms;
+use xbar_power_attacks::data::synth::blobs::BlobsConfig;
+use xbar_power_attacks::nn::activation::Activation;
+use xbar_power_attacks::nn::loss::Loss;
+use xbar_power_attacks::nn::network::SingleLayerNet;
+use xbar_power_attacks::nn::train::{train, SgdConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train a small victim classifier.
+    let dataset = BlobsConfig::new(4, 20).num_samples(400).seed(7).generate();
+    let split = dataset.split_frac(0.8)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut net = SingleLayerNet::new_random(20, 4, Activation::Identity, &mut rng);
+    train(&mut net, &split.train, Loss::Mse, &SgdConfig::default(), &mut rng)?;
+
+    // 2. Deploy it on an (ideal) crossbar behind a power-only oracle —
+    //    the attacker sees no outputs at all (the paper's Case 1).
+    let mut oracle = Oracle::new(
+        net.clone(),
+        &OracleConfig::ideal().with_access(OutputAccess::None),
+        42,
+    )?;
+    let clean_acc = oracle.eval_accuracy(split.test.inputs(), split.test.labels())?;
+    println!("victim deployed; clean test accuracy: {clean_acc:.3}");
+
+    // 3. Probe the power side channel: one basis input per feature
+    //    recovers every weight-column 1-norm (paper Eq. 5).
+    let probed = probe_column_norms(&mut oracle, 1.0, 1)?;
+    let truth = net.column_l1_norms();
+    let max_err = probed
+        .iter()
+        .zip(&truth)
+        .map(|(p, t)| (p - t).abs())
+        .fold(0.0_f64, f64::max);
+    println!(
+        "probed {} column 1-norms in {} queries (max error {max_err:.2e})",
+        probed.len(),
+        oracle.query_count()
+    );
+
+    // 4. Use the leak: attack the most power-hungry input feature.
+    let targets = split.test.one_hot_targets();
+    let adv = single_pixel_attack_batch(
+        PixelAttackMethod::NormPlus,
+        split.test.inputs(),
+        &targets,
+        PixelAttackResources::norms_only(&probed),
+        1.5,
+        &mut rng,
+    )?;
+    let adv_acc = oracle.eval_accuracy(&adv, split.test.labels())?;
+    println!("accuracy after power-guided single-feature attack: {adv_acc:.3}");
+    println!("degradation: {:.3}", clean_acc - adv_acc);
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! Cross-crate consistency tests: the crossbar simulator, the network,
+//! and the oracle must agree wherever the paper's ideal analysis says
+//! they should.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar_power_attacks::attacks::oracle::{Oracle, OracleConfig, OutputAccess};
+use xbar_power_attacks::crossbar::array::CrossbarArray;
+use xbar_power_attacks::crossbar::device::DeviceModel;
+use xbar_power_attacks::crossbar::power::PowerModel;
+use xbar_power_attacks::crossbar::tile::TiledCrossbar;
+use xbar_power_attacks::linalg::Matrix;
+use xbar_power_attacks::nn::activation::Activation;
+use xbar_power_attacks::nn::network::SingleLayerNet;
+
+fn random_weights(m: usize, n: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Matrix::random_uniform(m, n, -1.0, 1.0, &mut rng)
+}
+
+#[test]
+fn ideal_oracle_predictions_equal_float_network() {
+    let w = random_weights(10, 50, 1);
+    let net = SingleLayerNet::from_weights(w, Activation::Softmax);
+    let oracle = Oracle::new(net.clone(), &OracleConfig::ideal(), 1).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let inputs = Matrix::random_uniform(40, 50, 0.0, 1.0, &mut rng);
+    let from_oracle = oracle.eval_predict_batch(&inputs).unwrap();
+    let from_net = net.predict_batch(&inputs).unwrap();
+    assert_eq!(from_oracle, from_net);
+}
+
+#[test]
+fn eq5_power_identity_holds_through_the_whole_stack() {
+    // network weights -> mapping -> crossbar -> power model -> oracle
+    // calibration must return exactly Σ_j u_j ‖W[:,j]‖₁.
+    let w = random_weights(8, 30, 3);
+    let norms = w.col_l1_norms();
+    let net = SingleLayerNet::from_weights(w, Activation::Identity);
+    let mut oracle = Oracle::new(
+        net,
+        &OracleConfig::ideal().with_access(OutputAccess::None),
+        3,
+    )
+    .unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    for _ in 0..10 {
+        let u: Vec<f64> = (0..30).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let p = oracle.query_power(&u).unwrap();
+        let want: f64 = u.iter().zip(&norms).map(|(&a, &b)| a * b).sum();
+        assert!((p - want).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn tiled_and_monolithic_crossbars_agree_on_mvm_and_power() {
+    let w = random_weights(12, 100, 5);
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let mono = CrossbarArray::program(&w, &DeviceModel::ideal(), &mut rng).unwrap();
+    let tiled = TiledCrossbar::program(&w, 5, 32, &DeviceModel::ideal(), &mut rng).unwrap();
+    let w_max = w.max_abs();
+    let v: Vec<f64> = (0..100).map(|j| (j as f64 * 0.03).fract()).collect();
+    let mono_out = mono.mvm(&v);
+    let tiled_out = tiled.mvm(&v).unwrap();
+    for (a, b) in mono_out.iter().zip(&tiled_out) {
+        assert!((a - b * w_max).abs() < 1e-9);
+    }
+    let pm = PowerModel::default();
+    let p_mono = pm.exact(&mono, &v).unwrap();
+    let p_tiled = pm.exact_tiled(&tiled, &v).unwrap();
+    assert!((p_mono - p_tiled).abs() < 1e-9);
+}
+
+#[test]
+fn nonideal_deployment_changes_weights_but_probe_tracks_deployment() {
+    let w = random_weights(6, 40, 7);
+    let net = SingleLayerNet::from_weights(w.clone(), Activation::Identity);
+    let cfg = OracleConfig::ideal()
+        .with_access(OutputAccess::None)
+        .with_device(DeviceModel::ideal().with_levels(4));
+    let mut oracle = Oracle::new(net, &cfg, 7).unwrap();
+    // Quantised devices distort the weights...
+    let deployed = oracle.true_column_norms();
+    let original = w.col_l1_norms();
+    assert!(deployed
+        .iter()
+        .zip(&original)
+        .any(|(d, o)| (d - o).abs() > 1e-6));
+    // ...but the probe reads the *deployed* values exactly.
+    let probed =
+        xbar_power_attacks::attacks::probe::probe_column_norms(&mut oracle, 1.0, 1).unwrap();
+    for (p, d) in probed.iter().zip(&deployed) {
+        assert!((p - d).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn measurement_noise_propagates_to_calibrated_power_at_the_right_scale() {
+    let w = random_weights(5, 20, 8);
+    let net = SingleLayerNet::from_weights(w.clone(), Activation::Identity);
+    let sigma = 0.1;
+    let cfg = OracleConfig::ideal()
+        .with_access(OutputAccess::None)
+        .with_power(PowerModel::default().with_noise(sigma));
+    let mut oracle = Oracle::new(net, &cfg, 8).unwrap();
+    // The calibration divides by the mapping scale k, so calibrated noise
+    // std is sigma / k.
+    let k = (0..1).map(|_| ()).map(|_| 1.0 / w.max_abs()).next().unwrap();
+    let u = vec![0.5; 20];
+    let truth: f64 = w
+        .col_l1_norms()
+        .iter()
+        .map(|n| 0.5 * n)
+        .sum();
+    let n = 4000;
+    let samples: Vec<f64> = (0..n).map(|_| oracle.query_power(&u).unwrap()).collect();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+    assert!((mean - truth).abs() < 0.05);
+    let expected_std = sigma / k;
+    assert!(
+        (var.sqrt() - expected_std).abs() < 0.2 * expected_std,
+        "std {} vs expected {}",
+        var.sqrt(),
+        expected_std
+    );
+}
+
+use rand::Rng;

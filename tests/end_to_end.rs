@@ -1,0 +1,193 @@
+//! Cross-crate integration tests: the full pipelines of both attack
+//! cases, exercised end to end on small instances.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar_power_attacks::attacks::blackbox::{run_blackbox_attack, BlackBoxConfig};
+use xbar_power_attacks::attacks::oracle::{Oracle, OracleConfig, OutputAccess};
+use xbar_power_attacks::attacks::pixel_attack::{
+    single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources,
+};
+use xbar_power_attacks::attacks::probe::probe_column_norms;
+use xbar_power_attacks::attacks::recovery::{recover_columns_by_basis_probes, relative_error};
+use xbar_power_attacks::data::synth::digits::DigitsConfig;
+use xbar_power_attacks::data::Dataset;
+use xbar_power_attacks::nn::activation::Activation;
+use xbar_power_attacks::nn::loss::Loss;
+use xbar_power_attacks::nn::network::SingleLayerNet;
+use xbar_power_attacks::nn::train::{train, SgdConfig};
+
+/// Small trained digits victim shared by the tests.
+fn digits_victim(
+    head: Activation,
+    loss: Loss,
+    seed: u64,
+) -> (SingleLayerNet, Dataset, Dataset) {
+    let ds = DigitsConfig::default().num_samples(600).seed(seed).generate();
+    let split = ds.split_frac(0.8).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut net = SingleLayerNet::new_random(784, 10, head, &mut rng);
+    let sgd = SgdConfig {
+        learning_rate: if head == Activation::Softmax { 0.05 } else { 0.01 },
+        epochs: 15,
+        ..SgdConfig::default()
+    };
+    train(&mut net, &split.train, loss, &sgd, &mut rng).unwrap();
+    (net, split.train, split.test)
+}
+
+#[test]
+fn case1_probe_then_attack_beats_random_pixel() {
+    let (net, _, test) = digits_victim(Activation::Softmax, Loss::CrossEntropy, 1);
+    let mut oracle = Oracle::new(
+        net.clone(),
+        &OracleConfig::ideal().with_access(OutputAccess::None),
+        1,
+    )
+    .unwrap();
+
+    // The attacker never sees an output — only power.
+    let norms = probe_column_norms(&mut oracle, 1.0, 1).unwrap();
+    assert_eq!(oracle.query_count(), 784);
+
+    // Probed norms are the deployed truth for an ideal crossbar.
+    let truth = oracle.true_column_norms();
+    for (p, t) in norms.iter().zip(&truth) {
+        assert!((p - t).abs() < 1e-9);
+    }
+
+    // Norm-guided attack outperforms a random-pixel attack on average.
+    let targets = test.one_hot_targets();
+    let strength = 5.0;
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let reps = 5;
+    let mut rd_acc = 0.0;
+    let mut rp_acc = 0.0;
+    for _ in 0..reps {
+        let rd = single_pixel_attack_batch(
+            PixelAttackMethod::NormRandom,
+            test.inputs(),
+            &targets,
+            PixelAttackResources::norms_only(&norms),
+            strength,
+            &mut rng,
+        )
+        .unwrap();
+        rd_acc += oracle.eval_accuracy(&rd, test.labels()).unwrap();
+        let rp = single_pixel_attack_batch(
+            PixelAttackMethod::RandomPixel,
+            test.inputs(),
+            &targets,
+            PixelAttackResources::norms_only(&norms),
+            strength,
+            &mut rng,
+        )
+        .unwrap();
+        rp_acc += oracle.eval_accuracy(&rp, test.labels()).unwrap();
+    }
+    assert!(
+        rd_acc < rp_acc,
+        "norm-guided ({}) should beat random pixel ({})",
+        rd_acc / reps as f64,
+        rp_acc / reps as f64
+    );
+}
+
+#[test]
+fn case2_blackbox_attack_beats_clean_accuracy() {
+    let (net, train_pool, test) = digits_victim(Activation::Identity, Loss::Mse, 3);
+    let mut oracle = Oracle::new(
+        net,
+        &OracleConfig::ideal().with_access(OutputAccess::Raw),
+        3,
+    )
+    .unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let cfg = BlackBoxConfig::default()
+        .with_num_queries(200)
+        .with_fgsm_eps(0.2);
+    let (out, surrogate) =
+        run_blackbox_attack(&mut oracle, &train_pool, &test, &cfg, &mut rng).unwrap();
+    assert!(out.oracle_clean_accuracy > 0.7);
+    assert!(
+        out.degradation() > 0.15,
+        "attack should bite: {:?}",
+        out
+    );
+    assert!(out.surrogate_test_accuracy > 0.5);
+    assert_eq!(surrogate.num_inputs(), 784);
+    assert_eq!(out.queries_used, 200);
+}
+
+#[test]
+fn power_loss_changes_the_surrogate() {
+    let (net, train_pool, test) = digits_victim(Activation::Identity, Loss::Mse, 5);
+    let run = |lambda: f64| {
+        let mut oracle = Oracle::new(
+            net.clone(),
+            &OracleConfig::ideal().with_access(OutputAccess::LabelOnly),
+            5,
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let cfg = BlackBoxConfig::default()
+            .with_num_queries(150)
+            .with_power_weight(lambda);
+        let (_, surrogate) =
+            run_blackbox_attack(&mut oracle, &train_pool, &test, &cfg, &mut rng).unwrap();
+        surrogate
+    };
+    let s0 = run(0.0);
+    let s1 = run(10.0);
+    // Same query sample and seeds — any difference is the power loss.
+    assert!(!s0.weights().approx_eq(s1.weights(), 1e-9));
+}
+
+#[test]
+fn recovery_through_oracle_is_exact_and_attack_matches_white_box() {
+    let (net, _, test) = digits_victim(Activation::Identity, Loss::Mse, 7);
+    let mut oracle = Oracle::new(
+        net.clone(),
+        &OracleConfig::ideal().with_access(OutputAccess::Raw),
+        7,
+    )
+    .unwrap();
+    let recovered = recover_columns_by_basis_probes(&mut oracle, 1.0).unwrap();
+    assert!(relative_error(&recovered, net.weights()).unwrap() < 1e-9);
+
+    // A surrogate built from the recovered weights attacks as well as the
+    // white-box model itself.
+    let stolen = SingleLayerNet::from_weights(recovered, Activation::Identity);
+    let targets = test.one_hot_targets();
+    let adv_stolen = xbar_power_attacks::attacks::fgsm::fgsm_batch(
+        &stolen,
+        test.inputs(),
+        &targets,
+        Loss::Mse,
+        0.1,
+        xbar_power_attacks::attacks::fgsm::BoxConstraint::None,
+    )
+    .unwrap();
+    let adv_white = xbar_power_attacks::attacks::fgsm::fgsm_batch(
+        &net,
+        test.inputs(),
+        &targets,
+        Loss::Mse,
+        0.1,
+        xbar_power_attacks::attacks::fgsm::BoxConstraint::None,
+    )
+    .unwrap();
+    assert!(adv_stolen.approx_eq(&adv_white, 1e-9));
+}
+
+#[test]
+fn query_budget_cuts_off_mid_probe() {
+    let (net, _, _) = digits_victim(Activation::Identity, Loss::Mse, 9);
+    let cfg = OracleConfig::ideal()
+        .with_access(OutputAccess::None)
+        .with_query_budget(100);
+    let mut oracle = Oracle::new(net, &cfg, 9).unwrap();
+    let err = probe_column_norms(&mut oracle, 1.0, 1).unwrap_err();
+    assert!(err.to_string().contains("budget"));
+    assert_eq!(oracle.query_count(), 100);
+}

@@ -1,0 +1,161 @@
+//! Cross-crate property-based tests: the paper's analytical identities
+//! must hold for *arbitrary* weight matrices and inputs, not just the
+//! ones in the examples.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar_power_attacks::attacks::fgsm::{fgsm_batch, BoxConstraint};
+use xbar_power_attacks::attacks::oracle::{Oracle, OracleConfig, OutputAccess};
+use xbar_power_attacks::attacks::probe::probe_column_norms;
+use xbar_power_attacks::attacks::recovery::{recover_weights_least_squares, relative_error};
+use xbar_power_attacks::crossbar::array::CrossbarArray;
+use xbar_power_attacks::crossbar::device::DeviceModel;
+use xbar_power_attacks::linalg::Matrix;
+use xbar_power_attacks::nn::activation::Activation;
+use xbar_power_attacks::nn::loss::Loss;
+use xbar_power_attacks::nn::network::SingleLayerNet;
+
+/// Deterministic random matrix from a seed with at least one nonzero.
+fn seeded_weights(m: usize, n: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut w = Matrix::random_uniform(m, n, -1.0, 1.0, &mut rng);
+    if w.max_abs() == 0.0 {
+        w[(0, 0)] = 1.0;
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Eq. 5/6: the probe recovers the exact column 1-norms of any weight
+    /// matrix deployed on an ideal crossbar.
+    #[test]
+    fn probe_recovers_arbitrary_weight_norms(
+        m in 1usize..8,
+        n in 1usize..12,
+        seed in any::<u64>(),
+        beta in prop::sample::select(vec![0.25, 0.5, 1.0, 2.0]),
+    ) {
+        let w = seeded_weights(m, n, seed);
+        let norms = w.col_l1_norms();
+        let net = SingleLayerNet::from_weights(w, Activation::Identity);
+        let mut oracle = Oracle::new(
+            net,
+            &OracleConfig::ideal().with_access(OutputAccess::None),
+            seed,
+        ).unwrap();
+        let probed = probe_column_norms(&mut oracle, beta, 1).unwrap();
+        for (p, t) in probed.iter().zip(&norms) {
+            prop_assert!((p - t).abs() < 1e-8, "{p} vs {t}");
+        }
+    }
+
+    /// The crossbar MVM equals the exact matrix product for ideal devices,
+    /// for any weights and input.
+    #[test]
+    fn ideal_crossbar_is_exact(
+        m in 1usize..6,
+        n in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let w = seeded_weights(m, n, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 1);
+        let xbar = CrossbarArray::program(&w, &DeviceModel::ideal(), &mut rng).unwrap();
+        let v: Vec<f64> = (0..n).map(|j| ((j as f64) * 0.37 + seed as f64 * 1e-3).fract()).collect();
+        let got = xbar.mvm(&v);
+        let want = w.matvec(&v);
+        for (g, e) in got.iter().zip(&want) {
+            prop_assert!((g - e).abs() < 1e-9);
+        }
+    }
+
+    /// Power is non-negative for non-negative inputs, for any weights
+    /// (conductances are physical quantities).
+    #[test]
+    fn power_is_nonnegative(
+        m in 1usize..6,
+        n in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let w = seeded_weights(m, n, seed);
+        let net = SingleLayerNet::from_weights(w, Activation::Identity);
+        let mut oracle = Oracle::new(
+            net,
+            &OracleConfig::ideal().with_access(OutputAccess::None),
+            seed,
+        ).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 2);
+        let u: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        prop_assert!(oracle.query_power(&u).unwrap() >= -1e-12);
+    }
+
+    /// FGSM perturbations are ℓ∞-bounded by ε and never *decrease* the
+    /// loss for a linear model (first-order ascent is exact there).
+    #[test]
+    fn fgsm_is_bounded_and_ascending_for_linear_models(
+        m in 1usize..5,
+        n in 2usize..10,
+        seed in any::<u64>(),
+        eps in prop::sample::select(vec![0.01, 0.1, 0.5]),
+    ) {
+        let w = seeded_weights(m, n, seed);
+        let net = SingleLayerNet::from_weights(w, Activation::Identity);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 3);
+        let inputs = Matrix::random_uniform(6, n, 0.0, 1.0, &mut rng);
+        let mut targets = Matrix::zeros(6, m);
+        for i in 0..6 {
+            targets[(i, i % m)] = 1.0;
+        }
+        let adv = fgsm_batch(&net, &inputs, &targets, Loss::Mse, eps, BoxConstraint::None)
+            .unwrap();
+        prop_assert!((&adv - &inputs).max_abs() <= eps + 1e-12);
+        let before = Loss::Mse.value(&net.forward_batch(&inputs).unwrap(), &targets);
+        let after = Loss::Mse.value(&net.forward_batch(&adv).unwrap(), &targets);
+        prop_assert!(after >= before - 1e-9, "after {after} < before {before}");
+    }
+
+    /// Sec. IV: least-squares recovery is exact whenever Q >= N with
+    /// generic (random) queries, regardless of the weights.
+    #[test]
+    fn least_squares_recovery_is_exact_for_spanning_queries(
+        m in 1usize..5,
+        n in 2usize..10,
+        extra in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let w = seeded_weights(m, n, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 4);
+        let u = Matrix::random_uniform(n + extra, n, 0.0, 1.0, &mut rng);
+        let y = u.matmul(&w.transpose());
+        let rec = recover_weights_least_squares(&u, &y).unwrap();
+        prop_assert!(relative_error(&rec, &w).unwrap() < 1e-7);
+    }
+
+    /// Calibration invariant: probing is invariant to the device's g_min
+    /// offset (the differential pair cancels it; the calibration removes
+    /// it from the power path).
+    #[test]
+    fn probe_is_gmin_invariant(
+        m in 1usize..5,
+        n in 1usize..8,
+        seed in any::<u64>(),
+        g_min in prop::sample::select(vec![0.0, 0.01, 0.1]),
+    ) {
+        let w = seeded_weights(m, n, seed);
+        let norms = w.col_l1_norms();
+        let device = DeviceModel { g_min, g_max: 1.0, ..DeviceModel::ideal() };
+        let net = SingleLayerNet::from_weights(w, Activation::Identity);
+        let cfg = OracleConfig::ideal()
+            .with_access(OutputAccess::None)
+            .with_device(device);
+        let mut oracle = Oracle::new(net, &cfg, seed).unwrap();
+        let probed = probe_column_norms(&mut oracle, 1.0, 1).unwrap();
+        for (p, t) in probed.iter().zip(&norms) {
+            prop_assert!((p - t).abs() < 1e-8);
+        }
+    }
+}
+
+use rand::Rng;
