@@ -7,9 +7,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use xbar_core::fgsm::{fgsm_batch, BoxConstraint};
 use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
-use xbar_core::pixel_attack::{
-    single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources,
-};
+use xbar_core::pixel_attack::{single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources};
 use xbar_core::probe::probe_column_norms;
 use xbar_core::surrogate::{train_surrogate, QueryDataset, SurrogateConfig};
 use xbar_linalg::Matrix;
@@ -52,8 +50,7 @@ fn bench_fgsm(c: &mut Criterion) {
     c.bench_function("fgsm_batch100_784", |b| {
         b.iter(|| {
             black_box(
-                fgsm_batch(&net, &inputs, &targets, Loss::Mse, 0.1, BoxConstraint::None)
-                    .unwrap(),
+                fgsm_batch(&net, &inputs, &targets, Loss::Mse, 0.1, BoxConstraint::None).unwrap(),
             )
         });
     });

@@ -105,9 +105,7 @@ fn bench_fig5_kernel(c: &mut Criterion) {
                 .with_num_queries(50)
                 .with_power_weight(1.0);
             cfg.surrogate.sgd.epochs = 20;
-            black_box(
-                run_blackbox_attack(&mut oracle, &v.train, &v.test, &cfg, &mut rng).unwrap(),
-            )
+            black_box(run_blackbox_attack(&mut oracle, &v.train, &v.test, &cfg, &mut rng).unwrap())
         });
     });
 }
@@ -119,8 +117,7 @@ fn bench_multipixel_kernel(c: &mut Criterion) {
     c.bench_function("multipixel_attack_n4", |b| {
         b.iter(|| {
             black_box(
-                multi_pixel_norm_attack_batch(v.test.inputs(), &norms, 4, 2.0, &mut rng)
-                    .unwrap(),
+                multi_pixel_norm_attack_batch(v.test.inputs(), &norms, 4, 2.0, &mut rng).unwrap(),
             )
         });
     });
@@ -151,8 +148,7 @@ fn bench_probe_correlation_kernel(c: &mut Criterion) {
                 .unwrap()
             },
             |mut oracle| {
-                let probed =
-                    xbar_core::probe::probe_column_norms(&mut oracle, 1.0, 1).unwrap();
+                let probed = xbar_core::probe::probe_column_norms(&mut oracle, 1.0, 1).unwrap();
                 let truth = oracle.true_column_norms();
                 black_box(pearson(&probed, &truth).unwrap())
             },

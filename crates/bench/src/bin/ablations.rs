@@ -13,408 +13,21 @@
 //!    loss — the reproduction's key implementation finding (see
 //!    EXPERIMENTS.md).
 //!
+//! Studies 1/1b/2/3 run as an `xbar-runtime` campaign grid; 4/4b/5 run
+//! serially. See `xbar_bench::figures::run_ablations`. For
+//! checkpointing and resume, use `xbar campaign --figure ablations`.
+//!
 //! Usage: `cargo run -p xbar-bench --release --bin ablations [--quick] [--json results/ablations.json]`
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
-use xbar_bench::{parse_args, train_victim, write_json, DatasetKind, HeadKind};
-use xbar_core::defense::{DefendedOracle, PowerDefense};
-use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
-use xbar_core::pixel_attack::{
-    single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources,
-};
-use xbar_core::probe::probe_column_norms;
-use xbar_core::report::{fmt, format_table};
-use xbar_crossbar::device::DeviceModel;
-use xbar_crossbar::power::PowerModel;
-use xbar_crossbar::tile::TiledCrossbar;
-use xbar_stats::correlation::pearson;
-
-#[derive(Debug, Serialize)]
-struct AblationRecord {
-    study: &'static str,
-    condition: String,
-    probe_correlation: Option<f64>,
-    attacked_accuracy: Option<f64>,
-}
-
-/// Probe correlation and norm-guided attack accuracy for a given oracle
-/// configuration.
-fn probe_and_attack(
-    victim: &xbar_bench::TrainedVictim,
-    cfg: &OracleConfig,
-    seed: u64,
-    repeats: usize,
-    strength: f64,
-) -> (f64, f64) {
-    let mut oracle = Oracle::new(victim.net.clone(), cfg, seed).expect("oracle programs");
-    let probed = probe_column_norms(&mut oracle, 1.0, repeats).expect("probe succeeds");
-    let truth = oracle.true_column_norms();
-    let r = pearson(&probed, &truth).unwrap_or(0.0);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA77AC);
-    let adv = single_pixel_attack_batch(
-        PixelAttackMethod::NormPlus,
-        victim.test.inputs(),
-        &victim.test.one_hot_targets(),
-        PixelAttackResources::norms_only(&probed),
-        strength,
-        &mut rng,
-    )
-    .expect("attack parameters valid");
-    let acc = oracle
-        .eval_accuracy(&adv, victim.test.labels())
-        .expect("shapes agree");
-    (r, acc)
-}
+use xbar_bench::figures::{run_ablations, CampaignOptions};
+use xbar_bench::parse_args;
 
 fn main() {
     let (json_path, quick) = parse_args();
-    let num_samples = if quick { 800 } else { 3000 };
-    let strength = 4.0;
-    let victim = train_victim(DatasetKind::Digits, HeadKind::SoftmaxCe, num_samples, 21);
-    let clean = {
-        let oracle = Oracle::new(victim.net.clone(), &OracleConfig::ideal(), 1).unwrap();
-        oracle
-            .eval_accuracy(victim.test.inputs(), victim.test.labels())
-            .unwrap()
-    };
-    println!("digits / softmax victim, clean accuracy {clean:.3}, attack strength {strength}\n");
-
-    let mut records = Vec::new();
-
-    // ---- Study 1: measurement noise vs probe averaging ----
-    let mut rows = Vec::new();
-    for &sigma in &[0.0, 0.05, 0.2, 1.0] {
-        for &repeats in &[1usize, 16] {
-            let cfg = OracleConfig::ideal()
-                .with_access(OutputAccess::None)
-                .with_power(PowerModel::default().with_noise(sigma));
-            let (r, acc) = probe_and_attack(&victim, &cfg, 31, repeats, strength);
-            rows.push(vec![
-                format!("σ={sigma}"),
-                repeats.to_string(),
-                fmt(r, 4),
-                fmt(acc, 3),
-            ]);
-            records.push(AblationRecord {
-                study: "measurement noise",
-                condition: format!("sigma={sigma} repeats={repeats}"),
-                probe_correlation: Some(r),
-                attacked_accuracy: Some(acc),
-            });
-        }
+    let mut opts = CampaignOptions::new(quick);
+    opts.json_out = json_path;
+    if let Err(e) = run_ablations(&opts) {
+        eprintln!("ablations failed: {e}");
+        std::process::exit(1);
     }
-    println!("--- study 1: power-measurement noise vs probe averaging ---");
-    println!(
-        "{}",
-        format_table(
-            &["noise σ", "probe repeats", "probe corr r", "attacked acc"],
-            &rows
-        )
-    );
-
-    // ---- Study 1b: compressed probing (fewer than N queries) ----
-    {
-        use xbar_core::probe::probe_norms_compressed;
-        let n = victim.net.num_inputs();
-        let truth = victim.net.column_l1_norms();
-        let mut rows = Vec::new();
-        for &k in &[n / 8, n / 4, n / 2, n, 2 * n] {
-            let mut oracle = Oracle::new(
-                victim.net.clone(),
-                &OracleConfig::ideal().with_access(OutputAccess::None),
-                33,
-            )
-            .unwrap();
-            let mut rng = ChaCha8Rng::seed_from_u64(34);
-            let est = probe_norms_compressed(&mut oracle, k, 1e-3, &mut rng).unwrap();
-            let r = pearson(&est, &truth).unwrap_or(0.0);
-            let hit = xbar_linalg::vec_ops::argmax(&est)
-                == xbar_linalg::vec_ops::argmax(&truth);
-            rows.push(vec![
-                format!("K={k} ({}%)", 100 * k / n),
-                fmt(r, 4),
-                if hit { "yes" } else { "no" }.to_string(),
-            ]);
-            records.push(AblationRecord {
-                study: "compressed probing",
-                condition: format!("K={k}"),
-                probe_correlation: Some(r),
-                attacked_accuracy: None,
-            });
-        }
-        println!("--- study 1b: compressed probing (random-input queries, ridge recovery) ---");
-        println!(
-            "{}",
-            format_table(
-                &["queries K (of N=784)", "norm corr r", "argmax found"],
-                &rows
-            )
-        );
-    }
-
-    // ---- Study 2: device non-idealities ----
-    let mut rows = Vec::new();
-    let devices: Vec<(String, DeviceModel)> = vec![
-        ("ideal".into(), DeviceModel::ideal()),
-        ("16 levels".into(), DeviceModel::ideal().with_levels(16)),
-        ("4 levels".into(), DeviceModel::ideal().with_levels(4)),
-        (
-            "program variation σ=0.1".into(),
-            DeviceModel::ideal().with_program_sigma(0.1),
-        ),
-        (
-            "stuck-at rate 5%".into(),
-            DeviceModel::ideal().with_stuck_rate(0.05),
-        ),
-        (
-            "read noise σ=0.01".into(),
-            DeviceModel::ideal().with_read_sigma(0.01),
-        ),
-    ];
-    for (label, device) in devices {
-        let cfg = OracleConfig::ideal()
-            .with_access(OutputAccess::None)
-            .with_device(device);
-        let (r, acc) = probe_and_attack(&victim, &cfg, 37, 1, strength);
-        // Also report how the non-ideality hurts the *victim* itself.
-        let oracle = Oracle::new(victim.net.clone(), &cfg, 37).unwrap();
-        let deployed_acc = oracle
-            .eval_accuracy(victim.test.inputs(), victim.test.labels())
-            .unwrap();
-        rows.push(vec![
-            label.clone(),
-            fmt(deployed_acc, 3),
-            fmt(r, 4),
-            fmt(acc, 3),
-        ]);
-        records.push(AblationRecord {
-            study: "device non-idealities",
-            condition: label,
-            probe_correlation: Some(r),
-            attacked_accuracy: Some(acc),
-        });
-    }
-    println!("--- study 2: device non-idealities (probe still sees deployed weights) ---");
-    println!(
-        "{}",
-        format_table(
-            &["device", "deployed acc", "probe corr r", "attacked acc"],
-            &rows
-        )
-    );
-
-    // ---- Study 3: power-obfuscation defenses ----
-    let mut rows = Vec::new();
-    let n = victim.net.num_inputs();
-    let mean_norm = victim.net.column_l1_norms().iter().sum::<f64>() / n as f64;
-    let defenses: Vec<(String, PowerDefense)> = vec![
-        ("none".into(), PowerDefense::None),
-        (
-            "static dummies (~mean norm)".into(),
-            PowerDefense::DummyConductances {
-                offsets: (0..n).map(|j| mean_norm * ((j % 7) as f64) / 3.0).collect(),
-            },
-        ),
-        (
-            "randomised dummies (2x mean)".into(),
-            PowerDefense::RandomizedDummy {
-                magnitude: 2.0 * mean_norm,
-            },
-        ),
-        (
-            "injected noise σ=mean norm".into(),
-            PowerDefense::AdditiveNoise { sigma: mean_norm },
-        ),
-    ];
-    for (label, defense) in defenses {
-        let oracle = Oracle::new(
-            victim.net.clone(),
-            &OracleConfig::ideal().with_access(OutputAccess::None),
-            41,
-        )
-        .unwrap();
-        let mut defended = DefendedOracle::new(oracle, defense, 43).unwrap();
-        let probed = defended.probe_column_norms(1.0, 1).unwrap();
-        let truth = defended.inner().true_column_norms();
-        let r = pearson(&probed, &truth).unwrap_or(0.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(45);
-        let adv = single_pixel_attack_batch(
-            PixelAttackMethod::NormPlus,
-            victim.test.inputs(),
-            &victim.test.one_hot_targets(),
-            PixelAttackResources::norms_only(&probed),
-            strength,
-            &mut rng,
-        )
-        .unwrap();
-        let acc = defended
-            .inner()
-            .eval_accuracy(&adv, victim.test.labels())
-            .unwrap();
-        rows.push(vec![label.clone(), fmt(r, 4), fmt(acc, 3)]);
-        records.push(AblationRecord {
-            study: "power defenses",
-            condition: label,
-            probe_correlation: Some(r),
-            attacked_accuracy: Some(acc),
-        });
-    }
-    println!("--- study 3: power-obfuscation defenses vs the Case-1 attack ---");
-    println!(
-        "{}",
-        format_table(&["defense", "probe corr r", "attacked acc"], &rows)
-    );
-
-    // ---- Study 4: tiling preserves the leak ----
-    {
-        let w = victim.net.weights();
-        let mut rng = ChaCha8Rng::seed_from_u64(51);
-        let mono =
-            xbar_crossbar::array::CrossbarArray::program(w, &DeviceModel::ideal(), &mut rng)
-                .unwrap();
-        let tiled =
-            TiledCrossbar::program(w, 8, 128, &DeviceModel::ideal(), &mut rng).unwrap();
-        let u: Vec<f64> = (0..w.cols()).map(|j| (j as f64 * 0.01).fract()).collect();
-        let mono_i = mono.total_current(&u).unwrap();
-        let tiled_i = tiled.total_current(&u).unwrap();
-        println!("--- study 4: tiling the {}x{} layer onto 8x128 arrays ---", w.rows(), w.cols());
-        println!(
-            "monolithic total current {mono_i:.6}, tiled ({} tiles) {tiled_i:.6}, |Δ| = {:.2e}\n",
-            tiled.num_tiles(),
-            (mono_i - tiled_i).abs()
-        );
-        records.push(AblationRecord {
-            study: "tiling",
-            condition: format!(
-                "8x128 tiles, current delta {:.3e}",
-                (mono_i - tiled_i).abs()
-            ),
-            probe_correlation: None,
-            attacked_accuracy: None,
-        });
-    }
-
-    // ---- Study 4b: IR drop (finite wire resistance) vs the probe ----
-    {
-        use xbar_crossbar::irdrop::IrDropConfig;
-        let mut rng = ChaCha8Rng::seed_from_u64(61);
-        let xbar = xbar_crossbar::array::CrossbarArray::program(
-            victim.net.weights(),
-            &DeviceModel::ideal(),
-            &mut rng,
-        )
-        .unwrap();
-        let truth = victim.net.weights().col_l1_norms();
-        let n = victim.net.num_inputs();
-        let mut rows = Vec::new();
-        for &r_wire in &[0.0, 0.001, 0.01, 0.05] {
-            let cfg = IrDropConfig {
-                r_wire,
-                tolerance: 1e-8,
-                max_iterations: 2000,
-            };
-            // Probe a deterministic subset of columns (full probing with
-            // the iterative solver over 784 columns is slow; 60 columns
-            // give a stable correlation estimate).
-            let cols: Vec<usize> = (0..60).map(|k| (k * 13) % n).collect();
-            let mut probed = Vec::new();
-            let mut subset_truth = Vec::new();
-            for &j in &cols {
-                let mut e = vec![0.0; n];
-                e[j] = 1.0;
-                let (_, total) = xbar.ir_drop_mvm(&e, &cfg).unwrap();
-                probed.push(total);
-                subset_truth.push(truth[j]);
-            }
-            let r = pearson(&probed, &subset_truth).unwrap_or(0.0);
-            rows.push(vec![format!("r_wire={r_wire}"), fmt(r, 4)]);
-            records.push(AblationRecord {
-                study: "ir drop",
-                condition: format!("r_wire={r_wire}"),
-                probe_correlation: Some(r),
-                attacked_accuracy: None,
-            });
-        }
-        println!("--- study 4b: IR drop (wire resistance) vs probe fidelity ---");
-        println!("{}", format_table(&["wire resistance", "probe corr r"], &rows));
-    }
-
-    // ---- Study 5: power-matching formulation in the surrogate loss ----
-    {
-        use xbar_core::blackbox::{run_blackbox_attack, BlackBoxConfig};
-        use xbar_core::surrogate::SurrogateConfig;
-        let runs = if quick { 3 } else { 6 };
-        let linear_victims: Vec<_> = (0..runs)
-            .map(|r| {
-                xbar_bench::train_victim(
-                    DatasetKind::Digits,
-                    HeadKind::LinearMse,
-                    num_samples,
-                    600 + r,
-                )
-            })
-            .collect();
-        let mut rows = Vec::new();
-        for (label, lambda, scale_invariant) in [
-            ("no power (λ=0)", 0.0, true),
-            ("absolute matching, λ=1", 1.0, false),
-            ("scale-invariant matching, λ=1", 1.0, true),
-            ("scale-invariant matching, λ=10", 10.0, true),
-        ] {
-            let degs: Vec<f64> = linear_victims
-                .iter()
-                .enumerate()
-                .map(|(r, v)| {
-                    let test = v
-                        .test
-                        .subset(&(0..v.test.len().min(200)).collect::<Vec<usize>>());
-                    let mut oracle = Oracle::new(
-                        v.net.clone(),
-                        &OracleConfig::ideal().with_access(OutputAccess::LabelOnly),
-                        700 + r as u64,
-                    )
-                    .unwrap();
-                    let mut rng = ChaCha8Rng::seed_from_u64(800 + r as u64);
-                    let mut scfg = SurrogateConfig::default().with_power_weight(lambda);
-                    scfg.scale_invariant_power = scale_invariant;
-                    scfg.sgd.epochs = 120;
-                    let cfg = BlackBoxConfig {
-                        num_queries: 300,
-                        power_weight: lambda,
-                        fgsm_eps: 0.1,
-                        surrogate: scfg,
-                    };
-                    let (out, _) =
-                        run_blackbox_attack(&mut oracle, &v.train, &test, &cfg, &mut rng)
-                            .unwrap();
-                    out.degradation()
-                })
-                .collect();
-            let mean = degs.iter().sum::<f64>() / degs.len() as f64;
-            rows.push(vec![label.to_string(), fmt(mean, 3)]);
-            records.push(AblationRecord {
-                study: "power matching formulation",
-                condition: label.to_string(),
-                probe_correlation: None,
-                attacked_accuracy: Some(mean),
-            });
-        }
-        println!("--- study 5: power-matching formulation (digits, label-only, Q=300) ---");
-        println!(
-            "{}",
-            format_table(&["surrogate power loss", "mean degradation"], &rows)
-        );
-    }
-
-    println!("Expected shape: probe correlation ~1 for the ideal crossbar, degraded by");
-    println!("noise (recovered by averaging) and device faults; randomised dummies and");
-    println!("injected noise blunt the attack (accuracy recovers toward clean); tiling");
-    println!("changes nothing about the leak.");
-
-    write_json(
-        &json_path.unwrap_or_else(|| "results/ablations.json".into()),
-        &records,
-    );
 }

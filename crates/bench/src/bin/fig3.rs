@@ -35,13 +35,8 @@ fn main() {
         let victim = train_victim(dataset, head, num_samples, 42);
         let shape = victim.test.image_shape().expect("image datasets");
         let targets = victim.test.one_hot_targets();
-        let sens = mean_abs_sensitivity(
-            &victim.net,
-            victim.test.inputs(),
-            &targets,
-            head.loss(),
-        )
-        .expect("victim/data shapes agree");
+        let sens = mean_abs_sensitivity(&victim.net, victim.test.inputs(), &targets, head.loss())
+            .expect("victim/data shapes agree");
         let norms = victim.net.column_l1_norms();
         let r = pearson(&sens, &norms).unwrap_or(0.0);
 

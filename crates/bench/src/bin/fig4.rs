@@ -7,129 +7,22 @@
 //! The attacker probes the column 1-norms through the crossbar power side
 //! channel (`N` queries), exactly as in the paper's Case 1.
 //!
+//! Runs as an `xbar-runtime` campaign (one trial per panel x method, all
+//! seeds pinned so results match the historical serial loop bit for
+//! bit); see `xbar_bench::figures::run_fig4`. For checkpointing and
+//! resume, use `xbar campaign --figure fig4`.
+//!
 //! Usage: `cargo run -p xbar-bench --release --bin fig4 [--quick] [--json results/fig4.json]`
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
-use xbar_bench::{paper_configs, parse_args, train_victim, write_json};
-use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
-use xbar_core::pixel_attack::{
-    single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources,
-};
-use xbar_core::probe::probe_column_norms;
-use xbar_core::report::{fmt, format_table};
-
-#[derive(Debug, Serialize)]
-struct Fig4Panel {
-    dataset: &'static str,
-    activation: &'static str,
-    clean_accuracy: f64,
-    strengths: Vec<f64>,
-    /// accuracy[method][strength_index]
-    methods: Vec<(&'static str, Vec<f64>)>,
-}
+use xbar_bench::figures::{run_fig4, CampaignOptions};
+use xbar_bench::parse_args;
 
 fn main() {
     let (json_path, quick) = parse_args();
-    let num_samples = if quick { 800 } else { 4000 };
-    let strengths: Vec<f64> = if quick {
-        vec![0.0, 2.0, 4.0, 8.0]
-    } else {
-        (0..=8).map(|i| i as f64).collect()
-    };
-    // Stochastic methods (RP, RD) are averaged over this many repetitions.
-    let stochastic_reps = 5;
-
-    let mut panels = Vec::new();
-    for (dataset, head) in paper_configs() {
-        let victim = train_victim(dataset, head, num_samples, 7);
-        let mut oracle = Oracle::new(
-            victim.net.clone(),
-            &OracleConfig::ideal().with_access(OutputAccess::None),
-            99,
-        )
-        .expect("ideal oracle");
-
-        // Case-1 probe: N power queries reveal the column 1-norms.
-        let norms = probe_column_norms(&mut oracle, 1.0, 1).expect("probe succeeds");
-        let queries_spent = oracle.query_count();
-
-        let test_inputs = victim.test.inputs();
-        let test_targets = victim.test.one_hot_targets();
-        let clean_accuracy = oracle
-            .eval_accuracy(test_inputs, victim.test.labels())
-            .expect("shapes agree");
-
-        let mut method_rows = Vec::new();
-        for method in PixelAttackMethod::all() {
-            let reps = if matches!(
-                method,
-                PixelAttackMethod::RandomPixel | PixelAttackMethod::NormRandom
-            ) {
-                stochastic_reps
-            } else {
-                1
-            };
-            let accs: Vec<f64> = strengths
-                .iter()
-                .map(|&eps| {
-                    let mut acc_sum = 0.0;
-                    for rep in 0..reps {
-                        let mut rng = ChaCha8Rng::seed_from_u64(1000 + rep as u64);
-                        let res =
-                            PixelAttackResources::full(&norms, &victim.net, head.loss());
-                        let adv = single_pixel_attack_batch(
-                            method,
-                            test_inputs,
-                            &test_targets,
-                            res,
-                            eps,
-                            &mut rng,
-                        )
-                        .expect("attack parameters valid");
-                        acc_sum += oracle
-                            .eval_accuracy(&adv, victim.test.labels())
-                            .expect("shapes agree");
-                    }
-                    acc_sum / reps as f64
-                })
-                .collect();
-            method_rows.push((method.paper_label(), accs));
-        }
-
-        println!(
-            "=== Fig.4 panel: {} / {} (clean acc {:.3}, probe cost {} queries) ===",
-            dataset.label(),
-            head.label(),
-            clean_accuracy,
-            queries_spent
-        );
-        let mut rows = Vec::new();
-        for (label, accs) in &method_rows {
-            let mut row = vec![label.to_string()];
-            row.extend(accs.iter().map(|&a| fmt(a, 3)));
-            rows.push(row);
-        }
-        let mut headers: Vec<String> = vec!["method".into()];
-        headers.extend(strengths.iter().map(|s| format!("eps={s}")));
-        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-        println!("{}", format_table(&header_refs, &rows));
-
-        panels.push(Fig4Panel {
-            dataset: dataset.label(),
-            activation: head.label(),
-            clean_accuracy,
-            strengths: strengths.clone(),
-            methods: method_rows,
-        });
+    let mut opts = CampaignOptions::new(quick);
+    opts.json_out = json_path;
+    if let Err(e) = run_fig4(&opts) {
+        eprintln!("fig4 failed: {e}");
+        std::process::exit(1);
     }
-
-    println!("Expected shape (paper Fig. 4): Worst lowest; norm-guided '+' below RD below");
-    println!("'-'; all norm-guided methods at or below RP; effects strongest for digits.");
-
-    write_json(
-        &json_path.unwrap_or_else(|| "results/fig4.json".into()),
-        &panels,
-    );
 }

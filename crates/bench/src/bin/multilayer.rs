@@ -88,12 +88,8 @@ fn main() {
         let r = pearson(&mean_sens, layer1_norms).unwrap_or(0.0);
 
         // Reference: the single-layer Table I number for the same data.
-        let single = xbar_bench::train_victim(
-            dataset,
-            xbar_bench::HeadKind::SoftmaxCe,
-            num_samples,
-            77,
-        );
+        let single =
+            xbar_bench::train_victim(dataset, xbar_bench::HeadKind::SoftmaxCe, num_samples, 77);
         let s_targets = single.test.one_hot_targets();
         let s_sens = xbar_nn::sensitivity::mean_abs_sensitivity(
             &single.net,

@@ -16,9 +16,9 @@ use rayon::prelude::*;
 use serde::Serialize;
 use xbar_bench::{paper_configs, parse_args, train_victim, write_json, DatasetKind, HeadKind};
 use xbar_core::report::{fmt, format_table};
+use xbar_nn::sensitivity::{abs_input_gradients, mean_abs_sensitivity};
 use xbar_stats::aggregate::RunSummary;
 use xbar_stats::correlation::{pearson, pearson_lenient};
-use xbar_nn::sensitivity::{abs_input_gradients, mean_abs_sensitivity};
 
 #[derive(Debug, Serialize)]
 struct Table1Row {
@@ -121,7 +121,9 @@ fn main() {
     println!("  MNIST  Softmax 0.52 0.52 | 0.92 0.92");
     println!("  CIFAR  Linear  0.26 0.26 | 0.87 0.87");
     println!("  CIFAR  Softmax 0.33 0.33 | 0.91 0.91");
-    println!("Expected shape: CorrOfMean >> MeanCorr everywhere; digits MeanCorr > objects MeanCorr.");
+    println!(
+        "Expected shape: CorrOfMean >> MeanCorr everywhere; digits MeanCorr > objects MeanCorr."
+    );
 
     if let Some(path) = json_path {
         write_json(&path, &json_rows);

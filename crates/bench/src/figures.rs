@@ -1,0 +1,684 @@
+//! Campaign-backed drivers for the `fig4`, `fig5` and `ablations`
+//! experiments: build the grid ([`crate::campaign`]), run it on the
+//! [`xbar_runtime`] executor, then aggregate, print and persist exactly
+//! what the serial binaries produce.
+//!
+//! Both the experiment binaries and the `xbar campaign` CLI subcommand
+//! call into these drivers, so there is a single code path for every
+//! figure regardless of how it is launched.
+
+use std::path::PathBuf;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use xbar_runtime::{
+    run_campaign, Campaign, CampaignReport, ExecutorConfig, StderrReporter, TrialRunner,
+};
+
+use crate::campaign::{
+    fig4_campaign, fig5_campaign, fig5_params, fig5_rows, AblationOutput, AblationsRunner,
+    Fig4Runner, Fig4Spec, Fig4TrialOutput, Fig5Runner, FIG5_LAMBDAS,
+};
+use crate::{train_victim, write_json, DatasetKind, HeadKind};
+use xbar_core::report::{fmt, fmt_with_significance, format_table};
+use xbar_stats::aggregate::RunSummary;
+use xbar_stats::ttest::welch_t_test;
+
+/// How to execute a figure campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Shrink experiment sizes for smoke-testing.
+    pub quick: bool,
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+    /// Retries per failed trial before it is journaled as failed.
+    pub max_retries: u32,
+    /// Skip trials already completed in the journal.
+    pub resume: bool,
+    /// Journal path; `None` disables checkpointing (and `resume`).
+    pub journal: Option<PathBuf>,
+    /// Results JSON path; `None` uses the figure's default under
+    /// `results/`.
+    pub json_out: Option<String>,
+}
+
+impl CampaignOptions {
+    /// Defaults: all cores, one retry, no resume, no journal.
+    pub fn new(quick: bool) -> Self {
+        CampaignOptions {
+            quick,
+            threads: 0,
+            max_retries: 1,
+            resume: false,
+            journal: None,
+            json_out: None,
+        }
+    }
+}
+
+fn executor_config(opts: &CampaignOptions) -> ExecutorConfig {
+    let mut cfg = if opts.threads == 0 {
+        ExecutorConfig::default()
+    } else {
+        ExecutorConfig::with_threads(opts.threads)
+    };
+    cfg.max_retries = opts.max_retries;
+    cfg
+}
+
+/// Runs `campaign` with progress on stderr; errors if any trial failed
+/// permanently (the journal still records the partial results).
+fn execute<R: TrialRunner>(
+    runner: &R,
+    campaign: &Campaign<R::Spec>,
+    opts: &CampaignOptions,
+) -> Result<CampaignReport<R::Output>, String> {
+    if let Some(journal) = &opts.journal {
+        if let Some(parent) = journal.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                format!("cannot create journal directory {}: {e}", parent.display())
+            })?;
+        }
+    }
+    let mut sink = StderrReporter::new(campaign.name.clone(), 1);
+    let report = run_campaign(
+        runner,
+        campaign,
+        &executor_config(opts),
+        opts.journal.as_deref(),
+        opts.resume,
+        &mut sink,
+    )
+    .map_err(|e| e.to_string())?;
+    if !report.all_ok() {
+        for failure in &report.failures {
+            eprintln!(
+                "[{}] trial {} failed after {} attempt(s): {}",
+                campaign.name, failure.trial_index, failure.attempts, failure.error
+            );
+        }
+        return Err(format!(
+            "{} of {} trials failed permanently",
+            report.failures.len(),
+            campaign.len()
+        ));
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// Fig. 4
+// ---------------------------------------------------------------------
+
+/// One (dataset, head) panel of Fig. 4, aggregated for printing and JSON.
+#[derive(Debug, Serialize)]
+pub struct Fig4Panel {
+    /// Dataset label.
+    pub dataset: &'static str,
+    /// Head / activation label.
+    pub activation: &'static str,
+    /// Clean test accuracy of the panel's victim.
+    pub clean_accuracy: f64,
+    /// Power queries spent probing the column norms.
+    pub probe_queries: usize,
+    /// Attack strengths swept.
+    pub strengths: Vec<f64>,
+    /// `(method label, accuracy per strength)` rows.
+    pub methods: Vec<(&'static str, Vec<f64>)>,
+}
+
+/// Groups per-trial outputs back into panels (trials of a panel are
+/// contiguous by construction of [`fig4_campaign`]).
+pub fn fig4_panels(
+    campaign: &Campaign<Fig4Spec>,
+    outputs: &[Option<Fig4TrialOutput>],
+) -> Result<Vec<Fig4Panel>, String> {
+    let mut panels = Vec::new();
+    let mut i = 0;
+    while i < campaign.trials.len() {
+        let first = &campaign.trials[i];
+        let mut methods = Vec::new();
+        let mut clean_accuracy = 0.0;
+        let mut probe_queries = 0;
+        while i < campaign.trials.len()
+            && campaign.trials[i].dataset == first.dataset
+            && campaign.trials[i].head == first.head
+        {
+            let output = outputs
+                .get(i)
+                .and_then(Option::as_ref)
+                .ok_or_else(|| format!("fig4 trial {i} has no output"))?;
+            clean_accuracy = output.clean_accuracy;
+            probe_queries = output.probe_queries;
+            methods.push((
+                campaign.trials[i].method.paper_label(),
+                output.accuracies.clone(),
+            ));
+            i += 1;
+        }
+        panels.push(Fig4Panel {
+            dataset: first.dataset.label(),
+            activation: first.head.label(),
+            clean_accuracy,
+            probe_queries,
+            strengths: first.strengths.clone(),
+            methods,
+        });
+    }
+    Ok(panels)
+}
+
+fn print_fig4(panels: &[Fig4Panel]) {
+    for panel in panels {
+        println!(
+            "=== Fig.4 panel: {} / {} (clean acc {:.3}, probe cost {} queries) ===",
+            panel.dataset, panel.activation, panel.clean_accuracy, panel.probe_queries
+        );
+        let mut rows = Vec::new();
+        for (label, accs) in &panel.methods {
+            let mut row = vec![label.to_string()];
+            row.extend(accs.iter().map(|&a| fmt(a, 3)));
+            rows.push(row);
+        }
+        let mut headers: Vec<String> = vec!["method".into()];
+        headers.extend(panel.strengths.iter().map(|s| format!("eps={s}")));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        println!("{}", format_table(&header_refs, &rows));
+    }
+
+    println!("Expected shape (paper Fig. 4): Worst lowest; norm-guided '+' below RD below");
+    println!("'-'; all norm-guided methods at or below RP; effects strongest for digits.");
+}
+
+/// Runs the Fig. 4 grid and prints/persists the panels.
+pub fn run_fig4(opts: &CampaignOptions) -> Result<(), String> {
+    let campaign = fig4_campaign(opts.quick);
+    let report = execute(&Fig4Runner, &campaign, opts)?;
+    let panels = fig4_panels(&campaign, &report.outputs)?;
+    print_fig4(&panels);
+    write_json(
+        opts.json_out.as_deref().unwrap_or("results/fig4.json"),
+        &panels,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Fig. 5
+// ---------------------------------------------------------------------
+
+/// One aggregated (query count, λ) cell of a Fig. 5 row.
+#[derive(Debug, Serialize)]
+pub struct Fig5Cell {
+    /// Oracle queries spent building the surrogate.
+    pub queries: usize,
+    /// Power-loss weight.
+    pub lambda: f64,
+    /// Surrogate test accuracy over the runs.
+    pub surrogate_accuracy: RunSummary,
+    /// Oracle accuracy under surrogate-crafted FGSM inputs.
+    pub oracle_adversarial_accuracy: RunSummary,
+    /// Clean-minus-adversarial oracle accuracy.
+    pub degradation: RunSummary,
+    /// vs λ = 0 at the same query count (None for λ = 0 itself).
+    pub improvement_mean: Option<f64>,
+    /// Welch t-test p-value of the improvement.
+    pub improvement_p_value: Option<f64>,
+}
+
+/// One (dataset, access) row of Fig. 5.
+#[derive(Debug, Serialize)]
+pub struct Fig5Row {
+    /// Dataset label.
+    pub dataset: &'static str,
+    /// Oracle access label.
+    pub access: &'static str,
+    /// Mean clean oracle accuracy over the runs.
+    pub clean_accuracy_mean: f64,
+    /// All aggregated cells, λ-major.
+    pub cells: Vec<Fig5Cell>,
+}
+
+/// Runs the Fig. 5 grid and prints/persists the rows.
+pub fn run_fig5(opts: &CampaignOptions) -> Result<(), String> {
+    let campaign = fig5_campaign(opts.quick);
+    let report = execute(&Fig5Runner, &campaign, opts)?;
+    let (runs, _, q_list, _) = fig5_params(opts.quick);
+
+    let mut json_rows = Vec::new();
+    for (row_idx, (dataset, _, access_label, _)) in fig5_rows().into_iter().enumerate() {
+        println!(
+            "\n================ Fig.5 row: {} / {} ({} runs) ================",
+            dataset.label(),
+            access_label,
+            runs
+        );
+
+        // per-run results for this row: [run][q_idx][lambda_idx].
+        let per_run: Vec<_> = (0..runs as usize)
+            .map(|run| {
+                report.outputs[row_idx * runs as usize + run]
+                    .as_ref()
+                    .expect("execute() errors when any trial failed")
+            })
+            .collect();
+
+        let clean_mean: f64 = per_run
+            .iter()
+            .map(|r| r.points[0][0].clean_accuracy)
+            .sum::<f64>()
+            / runs as f64;
+
+        // Aggregate and print the three "columns".
+        let mut cells = Vec::new();
+        let mut surr_rows = Vec::new();
+        let mut adv_rows = Vec::new();
+        let mut imp_rows = Vec::new();
+        for (li, &lambda) in FIG5_LAMBDAS.iter().enumerate() {
+            let mut surr_row = vec![format!("λ={lambda}")];
+            let mut adv_row = vec![format!("λ={lambda}")];
+            let mut imp_row = vec![format!("λ={lambda}")];
+            for (qi, &q) in q_list.iter().enumerate() {
+                let surr: Vec<f64> = per_run
+                    .iter()
+                    .map(|r| r.points[qi][li].surrogate_accuracy)
+                    .collect();
+                let adv: Vec<f64> = per_run
+                    .iter()
+                    .map(|r| r.points[qi][li].adversarial_accuracy)
+                    .collect();
+                let deg: Vec<f64> = per_run
+                    .iter()
+                    .map(|r| {
+                        r.points[qi][li].clean_accuracy - r.points[qi][li].adversarial_accuracy
+                    })
+                    .collect();
+                let deg0: Vec<f64> = per_run
+                    .iter()
+                    .map(|r| r.points[qi][0].clean_accuracy - r.points[qi][0].adversarial_accuracy)
+                    .collect();
+                let surr_s = RunSummary::from_values(&surr);
+                let adv_s = RunSummary::from_values(&adv);
+                let deg_s = RunSummary::from_values(&deg);
+                let (imp_mean, imp_p) = if li == 0 {
+                    (None, None)
+                } else {
+                    let delta = deg_s.mean - RunSummary::from_values(&deg0).mean;
+                    let p = welch_t_test(&deg, &deg0).map(|t| t.p_value).unwrap_or(1.0);
+                    (Some(delta), Some(p))
+                };
+                surr_row.push(fmt(surr_s.mean, 3));
+                adv_row.push(fmt(adv_s.mean, 3));
+                imp_row.push(match (imp_mean, imp_p) {
+                    (Some(d), Some(p)) => fmt_with_significance(d, p, 0.05, 3),
+                    _ => "(ref)".to_string(),
+                });
+                cells.push(Fig5Cell {
+                    queries: q,
+                    lambda,
+                    surrogate_accuracy: surr_s,
+                    oracle_adversarial_accuracy: adv_s,
+                    degradation: deg_s,
+                    improvement_mean: imp_mean,
+                    improvement_p_value: imp_p,
+                });
+            }
+            surr_rows.push(surr_row);
+            adv_rows.push(adv_row);
+            imp_rows.push(imp_row);
+        }
+
+        let mut headers: Vec<String> = vec!["".into()];
+        headers.extend(q_list.iter().map(|q| format!("Q={q}")));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        println!("clean oracle accuracy (mean over runs): {clean_mean:.3}\n");
+        println!("--- surrogate test accuracy vs queries (Fig.5 left column) ---");
+        println!("{}", format_table(&header_refs, &surr_rows));
+        println!("--- oracle adversarial accuracy vs queries (Fig.5 centre, lower=stronger) ---");
+        println!("{}", format_table(&header_refs, &adv_rows));
+        println!("--- improvement in degradation vs λ=0 (* = p<0.05) (Fig.5 right) ---");
+        println!("{}", format_table(&header_refs, &imp_rows));
+
+        json_rows.push(Fig5Row {
+            dataset: dataset.label(),
+            access: access_label,
+            clean_accuracy_mean: clean_mean,
+            cells,
+        });
+    }
+
+    println!("\nExpected shape (paper Fig. 5): for digits, λ>0 improves surrogate accuracy");
+    println!("and attack efficacy at moderate Q, with significance; the benefit vanishes");
+    println!("once Q exceeds the input dimension. For objects, improvements are small and");
+    println!("mostly not significant.");
+
+    write_json(
+        opts.json_out.as_deref().unwrap_or("results/fig5.json"),
+        &json_rows,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------
+
+/// One JSON record of the ablations output (schema unchanged from the
+/// serial binary).
+#[derive(Debug, Serialize)]
+pub struct AblationRecord {
+    /// Which study the record belongs to.
+    pub study: &'static str,
+    /// Human-readable condition.
+    pub condition: String,
+    /// Pearson correlation of probed vs true column norms.
+    pub probe_correlation: Option<f64>,
+    /// Test accuracy under the norm-guided attack.
+    pub attacked_accuracy: Option<f64>,
+}
+
+/// Runs the ablation studies: 1/1b/2/3 as a campaign grid, 4/4b/5
+/// serially; prints the study tables and persists the records.
+pub fn run_ablations(opts: &CampaignOptions) -> Result<(), String> {
+    use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
+
+    let runner = AblationsRunner::new(opts.quick);
+    let victim = runner.victim().clone();
+    let strength = runner.strength();
+    let num_samples = if opts.quick { 800 } else { 3000 };
+
+    let clean = {
+        let oracle = Oracle::new(victim.net.clone(), &OracleConfig::ideal(), 1)
+            .map_err(|e| e.to_string())?;
+        oracle
+            .eval_accuracy(victim.test.inputs(), victim.test.labels())
+            .map_err(|e| e.to_string())?
+    };
+    println!("digits / softmax victim, clean accuracy {clean:.3}, attack strength {strength}\n");
+
+    let campaign = runner.campaign();
+    let report = execute(&runner, &campaign, opts)?;
+    let output_at = |i: usize| -> &AblationOutput {
+        report.outputs[i]
+            .as_ref()
+            .expect("execute() errors when any trial failed")
+    };
+
+    let mut records = Vec::new();
+    let mut next = 0;
+
+    // ---- Study 1: measurement noise vs probe averaging ----
+    let mut rows = Vec::new();
+    for (sigma, repeats) in AblationsRunner::noise_conditions() {
+        let out = output_at(next);
+        next += 1;
+        let (r, acc) = (
+            out.probe_correlation.unwrap_or(0.0),
+            out.attacked_accuracy.unwrap_or(0.0),
+        );
+        rows.push(vec![
+            format!("σ={sigma}"),
+            repeats.to_string(),
+            fmt(r, 4),
+            fmt(acc, 3),
+        ]);
+        records.push(AblationRecord {
+            study: "measurement noise",
+            condition: format!("sigma={sigma} repeats={repeats}"),
+            probe_correlation: Some(r),
+            attacked_accuracy: Some(acc),
+        });
+    }
+    println!("--- study 1: power-measurement noise vs probe averaging ---");
+    println!(
+        "{}",
+        format_table(
+            &["noise σ", "probe repeats", "probe corr r", "attacked acc"],
+            &rows
+        )
+    );
+
+    // ---- Study 1b: compressed probing (fewer than N queries) ----
+    {
+        let n = victim.net.num_inputs();
+        let mut rows = Vec::new();
+        for k in runner.compressed_ks() {
+            let out = output_at(next);
+            next += 1;
+            let r = out.probe_correlation.unwrap_or(0.0);
+            let hit = out.argmax_found.unwrap_or(false);
+            rows.push(vec![
+                format!("K={k} ({}%)", 100 * k / n),
+                fmt(r, 4),
+                if hit { "yes" } else { "no" }.to_string(),
+            ]);
+            records.push(AblationRecord {
+                study: "compressed probing",
+                condition: format!("K={k}"),
+                probe_correlation: Some(r),
+                attacked_accuracy: None,
+            });
+        }
+        println!("--- study 1b: compressed probing (random-input queries, ridge recovery) ---");
+        println!(
+            "{}",
+            format_table(
+                &["queries K (of N=784)", "norm corr r", "argmax found"],
+                &rows
+            )
+        );
+    }
+
+    // ---- Study 2: device non-idealities ----
+    let mut rows = Vec::new();
+    for (label, _) in AblationsRunner::device_conditions() {
+        let out = output_at(next);
+        next += 1;
+        let (r, acc) = (
+            out.probe_correlation.unwrap_or(0.0),
+            out.attacked_accuracy.unwrap_or(0.0),
+        );
+        rows.push(vec![
+            label.clone(),
+            fmt(out.deployed_accuracy.unwrap_or(0.0), 3),
+            fmt(r, 4),
+            fmt(acc, 3),
+        ]);
+        records.push(AblationRecord {
+            study: "device non-idealities",
+            condition: label,
+            probe_correlation: Some(r),
+            attacked_accuracy: Some(acc),
+        });
+    }
+    println!("--- study 2: device non-idealities (probe still sees deployed weights) ---");
+    println!(
+        "{}",
+        format_table(
+            &["device", "deployed acc", "probe corr r", "attacked acc"],
+            &rows
+        )
+    );
+
+    // ---- Study 3: power-obfuscation defenses ----
+    let mut rows = Vec::new();
+    for (label, _) in runner.defense_conditions() {
+        let out = output_at(next);
+        next += 1;
+        let (r, acc) = (
+            out.probe_correlation.unwrap_or(0.0),
+            out.attacked_accuracy.unwrap_or(0.0),
+        );
+        rows.push(vec![label.clone(), fmt(r, 4), fmt(acc, 3)]);
+        records.push(AblationRecord {
+            study: "power defenses",
+            condition: label,
+            probe_correlation: Some(r),
+            attacked_accuracy: Some(acc),
+        });
+    }
+    println!("--- study 3: power-obfuscation defenses vs the Case-1 attack ---");
+    println!(
+        "{}",
+        format_table(&["defense", "probe corr r", "attacked acc"], &rows)
+    );
+
+    // ---- Study 4: tiling preserves the leak ----
+    {
+        use xbar_crossbar::device::DeviceModel;
+        use xbar_crossbar::tile::TiledCrossbar;
+        let w = victim.net.weights();
+        let mut rng = ChaCha8Rng::seed_from_u64(51);
+        let mono = xbar_crossbar::array::CrossbarArray::program(w, &DeviceModel::ideal(), &mut rng)
+            .map_err(|e| e.to_string())?;
+        let tiled = TiledCrossbar::program(w, 8, 128, &DeviceModel::ideal(), &mut rng)
+            .map_err(|e| e.to_string())?;
+        let u: Vec<f64> = (0..w.cols()).map(|j| (j as f64 * 0.01).fract()).collect();
+        let mono_i = mono.total_current(&u).map_err(|e| e.to_string())?;
+        let tiled_i = tiled.total_current(&u).map_err(|e| e.to_string())?;
+        println!(
+            "--- study 4: tiling the {}x{} layer onto 8x128 arrays ---",
+            w.rows(),
+            w.cols()
+        );
+        println!(
+            "monolithic total current {mono_i:.6}, tiled ({} tiles) {tiled_i:.6}, |Δ| = {:.2e}\n",
+            tiled.num_tiles(),
+            (mono_i - tiled_i).abs()
+        );
+        records.push(AblationRecord {
+            study: "tiling",
+            condition: format!(
+                "8x128 tiles, current delta {:.3e}",
+                (mono_i - tiled_i).abs()
+            ),
+            probe_correlation: None,
+            attacked_accuracy: None,
+        });
+    }
+
+    // ---- Study 4b: IR drop (finite wire resistance) vs the probe ----
+    {
+        use xbar_crossbar::device::DeviceModel;
+        use xbar_crossbar::irdrop::IrDropConfig;
+        use xbar_stats::correlation::pearson;
+        let mut rng = ChaCha8Rng::seed_from_u64(61);
+        let xbar = xbar_crossbar::array::CrossbarArray::program(
+            victim.net.weights(),
+            &DeviceModel::ideal(),
+            &mut rng,
+        )
+        .map_err(|e| e.to_string())?;
+        let truth = victim.net.weights().col_l1_norms();
+        let n = victim.net.num_inputs();
+        let mut rows = Vec::new();
+        for &r_wire in &[0.0, 0.001, 0.01, 0.05] {
+            let cfg = IrDropConfig {
+                r_wire,
+                tolerance: 1e-8,
+                max_iterations: 2000,
+            };
+            // Probe a deterministic subset of columns (full probing with
+            // the iterative solver over 784 columns is slow; 60 columns
+            // give a stable correlation estimate).
+            let cols: Vec<usize> = (0..60).map(|k| (k * 13) % n).collect();
+            let mut probed = Vec::new();
+            let mut subset_truth = Vec::new();
+            for &j in &cols {
+                let mut e = vec![0.0; n];
+                e[j] = 1.0;
+                let (_, total) = xbar.ir_drop_mvm(&e, &cfg).map_err(|e| e.to_string())?;
+                probed.push(total);
+                subset_truth.push(truth[j]);
+            }
+            let r = pearson(&probed, &subset_truth).unwrap_or(0.0);
+            rows.push(vec![format!("r_wire={r_wire}"), fmt(r, 4)]);
+            records.push(AblationRecord {
+                study: "ir drop",
+                condition: format!("r_wire={r_wire}"),
+                probe_correlation: Some(r),
+                attacked_accuracy: None,
+            });
+        }
+        println!("--- study 4b: IR drop (wire resistance) vs probe fidelity ---");
+        println!(
+            "{}",
+            format_table(&["wire resistance", "probe corr r"], &rows)
+        );
+    }
+
+    // ---- Study 5: power-matching formulation in the surrogate loss ----
+    {
+        use xbar_core::blackbox::{run_blackbox_attack, BlackBoxConfig};
+        use xbar_core::surrogate::SurrogateConfig;
+        let runs = if opts.quick { 3 } else { 6 };
+        let linear_victims: Vec<_> = (0..runs)
+            .map(|r| {
+                train_victim(
+                    DatasetKind::Digits,
+                    HeadKind::LinearMse,
+                    num_samples,
+                    600 + r,
+                )
+            })
+            .collect();
+        let mut rows = Vec::new();
+        for (label, lambda, scale_invariant) in [
+            ("no power (λ=0)", 0.0, true),
+            ("absolute matching, λ=1", 1.0, false),
+            ("scale-invariant matching, λ=1", 1.0, true),
+            ("scale-invariant matching, λ=10", 10.0, true),
+        ] {
+            let mut degs = Vec::with_capacity(linear_victims.len());
+            for (r, v) in linear_victims.iter().enumerate() {
+                let test = v
+                    .test
+                    .subset(&(0..v.test.len().min(200)).collect::<Vec<usize>>());
+                let mut oracle = Oracle::new(
+                    v.net.clone(),
+                    &OracleConfig::ideal().with_access(OutputAccess::LabelOnly),
+                    700 + r as u64,
+                )
+                .map_err(|e| e.to_string())?;
+                let mut rng = ChaCha8Rng::seed_from_u64(800 + r as u64);
+                let mut scfg = SurrogateConfig::default().with_power_weight(lambda);
+                scfg.scale_invariant_power = scale_invariant;
+                scfg.sgd.epochs = 120;
+                let cfg = BlackBoxConfig {
+                    num_queries: 300,
+                    power_weight: lambda,
+                    fgsm_eps: 0.1,
+                    surrogate: scfg,
+                };
+                let (out, _) = run_blackbox_attack(&mut oracle, &v.train, &test, &cfg, &mut rng)
+                    .map_err(|e| e.to_string())?;
+                degs.push(out.degradation());
+            }
+            let mean = degs.iter().sum::<f64>() / degs.len() as f64;
+            rows.push(vec![label.to_string(), fmt(mean, 3)]);
+            records.push(AblationRecord {
+                study: "power matching formulation",
+                condition: label.to_string(),
+                probe_correlation: None,
+                attacked_accuracy: Some(mean),
+            });
+        }
+        println!("--- study 5: power-matching formulation (digits, label-only, Q=300) ---");
+        println!(
+            "{}",
+            format_table(&["surrogate power loss", "mean degradation"], &rows)
+        );
+    }
+
+    println!("Expected shape: probe correlation ~1 for the ideal crossbar, degraded by");
+    println!("noise (recovered by averaging) and device faults; randomised dummies and");
+    println!("injected noise blunt the attack (accuracy recovers toward clean); tiling");
+    println!("changes nothing about the leak.");
+
+    write_json(
+        opts.json_out.as_deref().unwrap_or("results/ablations.json"),
+        &records,
+    );
+    Ok(())
+}

@@ -18,7 +18,15 @@
 //!
 //! Each binary prints the paper's rows/series as aligned tables and, when
 //! `--json <path>` is given, writes machine-readable results.
+//!
+//! The `fig4`, `fig5` and `ablations` experiments run on the
+//! [`xbar_runtime`] campaign executor (parallel, checkpointed,
+//! resumable): their grids live in [`campaign`] and their drivers in
+//! [`figures`]. The same drivers back the `xbar campaign` CLI
+//! subcommand.
 
+pub mod campaign;
+pub mod figures;
 pub mod setup;
 
 pub use setup::*;

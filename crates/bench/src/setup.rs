@@ -3,7 +3,7 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use xbar_data::synth::digits::DigitsConfig;
 use xbar_data::synth::objects::ObjectsConfig;
 use xbar_data::Dataset;
@@ -13,7 +13,7 @@ use xbar_nn::network::SingleLayerNet;
 use xbar_nn::train::{train, SgdConfig};
 
 /// Which procedural dataset stands in for which paper dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DatasetKind {
     /// MNIST stand-in: 28x28 grayscale digit glyphs.
     Digits,
@@ -34,15 +34,16 @@ impl DatasetKind {
     pub fn generate(&self, n: usize, seed: u64) -> Dataset {
         match self {
             DatasetKind::Digits => DigitsConfig::default().num_samples(n).seed(seed).generate(),
-            DatasetKind::Objects => {
-                ObjectsConfig::default().num_samples(n).seed(seed).generate()
-            }
+            DatasetKind::Objects => ObjectsConfig::default()
+                .num_samples(n)
+                .seed(seed)
+                .generate(),
         }
     }
 }
 
 /// The two output-head configurations of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum HeadKind {
     /// Linear output trained with MSE loss.
     LinearMse,
@@ -133,8 +134,14 @@ pub fn train_victim(
         head.activation(),
         &mut rng,
     );
-    train(&mut net, &split.train, head.loss(), &victim_sgd(head), &mut rng)
-        .expect("victim training is well-configured");
+    train(
+        &mut net,
+        &split.train,
+        head.loss(),
+        &victim_sgd(head),
+        &mut rng,
+    )
+    .expect("victim training is well-configured");
     let preds = net
         .predict_batch(split.test.inputs())
         .expect("shapes agree");

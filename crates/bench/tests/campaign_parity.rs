@@ -1,0 +1,205 @@
+//! Acceptance tests for the campaign runtime wiring: a fig4-style grid
+//! run through `run_campaign` must (1) reproduce the historical serial
+//! loop bit for bit at any thread count, (2) produce byte-identical
+//! journals across thread counts once sorted by trial index, and
+//! (3) resume from a truncated journal without re-running or
+//! duplicating completed trials.
+
+use std::fs;
+use std::path::PathBuf;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar_bench::campaign::{
+    Fig4Runner, Fig4Spec, Fig4TrialOutput, FIG4_ORACLE_SEED, FIG4_VICTIM_SEED,
+};
+use xbar_bench::{train_victim, DatasetKind, HeadKind};
+use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
+use xbar_core::pixel_attack::{single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources};
+use xbar_core::probe::probe_column_norms;
+use xbar_core::sweep::method_reps;
+use xbar_runtime::journal::read_journal;
+use xbar_runtime::{run_campaign, Campaign, ExecutorConfig, NullSink, TrialStatus};
+
+/// A shrunken fig4 panel: all five methods on digits/softmax, two
+/// strengths, a small victim. Same code path as the real grid.
+fn tiny_campaign() -> Campaign<Fig4Spec> {
+    let strengths = vec![0.0, 4.0];
+    let mut campaign = Campaign::new("fig4-tiny", FIG4_VICTIM_SEED);
+    for method in PixelAttackMethod::all() {
+        campaign.push_trial(Fig4Spec {
+            dataset: DatasetKind::Digits,
+            head: HeadKind::SoftmaxCe,
+            method,
+            strengths: strengths.clone(),
+            num_samples: 160,
+            stochastic_reps: 2,
+        });
+    }
+    campaign
+}
+
+/// The historical serial loop of the fig4 binary, reproduced verbatim:
+/// one victim and one oracle shared across all methods of the panel.
+fn serial_reference(campaign: &Campaign<Fig4Spec>) -> Vec<Fig4TrialOutput> {
+    let spec0 = &campaign.trials[0];
+    let victim = train_victim(
+        spec0.dataset,
+        spec0.head,
+        spec0.num_samples,
+        FIG4_VICTIM_SEED,
+    );
+    let mut oracle = Oracle::new(
+        victim.net.clone(),
+        &OracleConfig::ideal().with_access(OutputAccess::None),
+        FIG4_ORACLE_SEED,
+    )
+    .unwrap();
+    let norms = probe_column_norms(&mut oracle, 1.0, 1).unwrap();
+    let probe_queries = oracle.query_count();
+    let clean_accuracy = oracle
+        .eval_accuracy(victim.test.inputs(), victim.test.labels())
+        .unwrap();
+    let targets = victim.test.one_hot_targets();
+
+    campaign
+        .trials
+        .iter()
+        .map(|spec| {
+            let reps = method_reps(spec.method, spec.stochastic_reps);
+            let accuracies = spec
+                .strengths
+                .iter()
+                .map(|&eps| {
+                    let mut acc_sum = 0.0;
+                    for rep in 0..reps {
+                        let mut rng = ChaCha8Rng::seed_from_u64(1000 + rep as u64);
+                        let res = PixelAttackResources::full(&norms, &victim.net, spec.head.loss());
+                        let adv = single_pixel_attack_batch(
+                            spec.method,
+                            victim.test.inputs(),
+                            &targets,
+                            res,
+                            eps,
+                            &mut rng,
+                        )
+                        .unwrap();
+                        acc_sum += oracle.eval_accuracy(&adv, victim.test.labels()).unwrap();
+                    }
+                    acc_sum / reps as f64
+                })
+                .collect();
+            Fig4TrialOutput {
+                clean_accuracy,
+                probe_queries,
+                accuracies,
+            }
+        })
+        .collect()
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("xbar-campaign-parity-{tag}-{}", std::process::id()));
+    p
+}
+
+/// Header line first, record lines sorted (the `{"trial":N` prefix makes
+/// the textual sort coincide with index order for single-digit grids).
+fn canonical_journal(path: &PathBuf) -> String {
+    let text = fs::read_to_string(path).unwrap();
+    let mut lines = text.lines();
+    let header = lines.next().unwrap().to_string();
+    let mut records: Vec<&str> = lines.collect();
+    records.sort_unstable();
+    format!("{header}\n{}", records.join("\n"))
+}
+
+#[test]
+fn campaign_matches_serial_reference_across_thread_counts() {
+    let campaign = tiny_campaign();
+    let reference = serial_reference(&campaign);
+
+    let journals = [tmp("t1"), tmp("t4")];
+    for (threads, journal) in [(1, &journals[0]), (4, &journals[1])] {
+        let report = run_campaign(
+            &Fig4Runner,
+            &campaign,
+            &ExecutorConfig::with_threads(threads),
+            Some(journal),
+            false,
+            &mut NullSink,
+        )
+        .unwrap();
+        assert!(report.all_ok());
+        assert_eq!(report.outputs.len(), campaign.len());
+        for (i, output) in report.outputs.iter().enumerate() {
+            assert_eq!(
+                output.as_ref().unwrap(),
+                &reference[i],
+                "trial {i} diverged from the serial path at {threads} thread(s)"
+            );
+        }
+    }
+
+    // The checkpoints are byte-identical too, once sorted by trial.
+    assert_eq!(
+        canonical_journal(&journals[0]),
+        canonical_journal(&journals[1])
+    );
+    for journal in &journals {
+        fs::remove_file(journal).ok();
+    }
+}
+
+#[test]
+fn resume_after_truncation_skips_completed_trials() {
+    let campaign = tiny_campaign();
+    let journal = tmp("resume");
+
+    let full = run_campaign(
+        &Fig4Runner,
+        &campaign,
+        &ExecutorConfig::with_threads(2),
+        Some(&journal),
+        false,
+        &mut NullSink,
+    )
+    .unwrap();
+    assert!(full.all_ok());
+
+    // Simulate a kill: drop the final record line from the journal.
+    let text = fs::read_to_string(&journal).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines.pop();
+    fs::write(&journal, format!("{}\n", lines.join("\n"))).unwrap();
+
+    let resumed = run_campaign(
+        &Fig4Runner,
+        &campaign,
+        &ExecutorConfig::with_threads(2),
+        Some(&journal),
+        true,
+        &mut NullSink,
+    )
+    .unwrap();
+    assert!(resumed.all_ok());
+    assert_eq!(resumed.metrics.skipped, campaign.len() - 1);
+    assert_eq!(resumed.metrics.completed, 1);
+
+    // Resumed outputs (one recomputed, the rest deserialised from the
+    // journal) equal the uninterrupted run's outputs exactly.
+    for (i, (a, b)) in full.outputs.iter().zip(resumed.outputs.iter()).enumerate() {
+        assert_eq!(a, b, "trial {i} changed across resume");
+    }
+
+    // No duplicates: exactly one Ok record per trial.
+    let (_, records) = read_journal(&journal).unwrap();
+    let mut per_trial = vec![0usize; campaign.len()];
+    for record in &records {
+        assert_eq!(record.status, TrialStatus::Ok);
+        per_trial[record.trial] += 1;
+    }
+    assert!(per_trial.iter().all(|&count| count == 1), "{per_trial:?}");
+    fs::remove_file(&journal).ok();
+}

@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
-/// A parsed command line: one subcommand plus `--key value` options.
+/// A parsed command line: one subcommand plus `--key value` options and
+/// valueless `--flag` switches.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsedArgs {
     /// The subcommand (first positional argument).
@@ -16,7 +17,7 @@ pub struct ParsedArgs {
 pub enum ArgsError {
     /// No subcommand was given.
     MissingCommand,
-    /// A `--flag` had no value or an argument was not `--`-prefixed.
+    /// An argument was not `--`-prefixed.
     Malformed {
         /// The offending token.
         token: String,
@@ -53,12 +54,16 @@ impl std::error::Error for ArgsError {}
 impl ParsedArgs {
     /// Parses a token stream (without the program name).
     ///
+    /// An option followed by a non-`--` token takes that token as its
+    /// value; an option followed by another `--option` (or by nothing)
+    /// is a boolean flag, reported by [`ParsedArgs::flag`].
+    ///
     /// # Errors
     ///
     /// * [`ArgsError::MissingCommand`] on an empty stream.
-    /// * [`ArgsError::Malformed`] on stray or value-less tokens.
+    /// * [`ArgsError::Malformed`] on stray non-option tokens.
     pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgsError> {
-        let mut it = tokens.into_iter();
+        let mut it = tokens.into_iter().peekable();
         let command = it.next().ok_or(ArgsError::MissingCommand)?;
         if command.starts_with('-') {
             return Err(ArgsError::Malformed { token: command });
@@ -68,15 +73,24 @@ impl ParsedArgs {
             let Some(key) = tok.strip_prefix("--") else {
                 return Err(ArgsError::Malformed { token: tok });
             };
-            let value = it.next().ok_or(ArgsError::Malformed { token: tok.clone() })?;
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                _ => String::new(),
+            };
             options.insert(key.to_string(), value);
         }
         Ok(ParsedArgs { command, options })
     }
 
-    /// An optional string option.
+    /// An optional string option. Boolean flags read as `Some("")`.
     pub fn get(&self, name: &str) -> Option<&str> {
         self.options.get(name).map(String::as_str)
+    }
+
+    /// Whether a boolean `--flag` (or any `--name value` option) was
+    /// present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.options.contains_key(name)
     }
 
     /// A required string option.
@@ -118,8 +132,7 @@ mod tests {
 
     #[test]
     fn parses_command_and_options() {
-        let a = ParsedArgs::parse(toks(&["train", "--dataset", "digits", "--seed", "7"]))
-            .unwrap();
+        let a = ParsedArgs::parse(toks(&["train", "--dataset", "digits", "--seed", "7"])).unwrap();
         assert_eq!(a.command, "train");
         assert_eq!(a.get("dataset"), Some("digits"));
         assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
@@ -137,9 +150,23 @@ mod tests {
             ParsedArgs::parse(toks(&["train", "oops"])),
             Err(ArgsError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn valueless_options_are_flags() {
+        // A trailing option and one followed by another option are both
+        // flags; parsing their (empty) value as a number fails cleanly.
+        let a = ParsedArgs::parse(toks(&["campaign", "--resume", "--threads", "4"])).unwrap();
+        assert!(a.flag("resume"));
+        assert!(a.flag("threads"));
+        assert!(!a.flag("quick"));
+        assert_eq!(a.get_or("threads", 0usize).unwrap(), 4);
+
+        let b = ParsedArgs::parse(toks(&["train", "--seed"])).unwrap();
+        assert!(b.flag("seed"));
         assert!(matches!(
-            ParsedArgs::parse(toks(&["train", "--seed"])),
-            Err(ArgsError::Malformed { .. })
+            b.get_or("seed", 0u64),
+            Err(ArgsError::BadValue { .. })
         ));
     }
 

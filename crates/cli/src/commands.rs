@@ -6,9 +6,7 @@ use rand_chacha::ChaCha8Rng;
 use xbar_core::blackbox::{run_blackbox_attack, BlackBoxConfig};
 use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
 use xbar_core::persist;
-use xbar_core::pixel_attack::{
-    single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources,
-};
+use xbar_core::pixel_attack::{single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources};
 use xbar_core::probe::{probe_column_norms, probe_norms_compressed};
 use xbar_core::recovery::{recover_columns_by_basis_probes, relative_error};
 use xbar_core::report::{ascii_heatmap, fmt, format_table};
@@ -37,6 +35,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
         "attack" => cmd_attack(args),
         "blackbox" => cmd_blackbox(args),
         "recover" => cmd_recover(args),
+        "campaign" => cmd_campaign(args),
         "help" => {
             print_help();
             Ok(())
@@ -67,8 +66,44 @@ COMMANDS:
             [--access label|raw] [--dataset ...] [--samples N] [--seed S]
   recover   recover the weights of a linear model via basis probes
             --model FILE [--seed S]
+  campaign  run a figure's experiment grid on the parallel campaign
+            runtime (checkpointed and resumable)
+            --figure fig4|fig5|ablations [--threads N] [--resume]
+            [--journal FILE] [--out FILE] [--retries N] [--quick]
   help      this message"
     );
+}
+
+fn cmd_campaign(args: &ParsedArgs) -> Result<(), CliError> {
+    use xbar_bench::figures::{run_ablations, run_fig4, run_fig5, CampaignOptions};
+
+    let figure = args.require("figure")?.to_string();
+    let mut opts = CampaignOptions::new(args.flag("quick"));
+    opts.threads = args.get_or("threads", 0usize)?;
+    opts.max_retries = args.get_or("retries", 1u32)?;
+    opts.resume = args.flag("resume");
+    opts.json_out = args.get("out").map(str::to_string);
+    // The journal is always kept (it is what --resume reads); default
+    // path is per figure so campaigns don't clobber each other.
+    let journal = args
+        .get("journal")
+        .filter(|j| !j.is_empty())
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("results/{figure}-journal.jsonl"));
+    opts.journal = Some(journal.into());
+
+    let run = match figure.as_str() {
+        "fig4" => run_fig4,
+        "fig5" => run_fig5,
+        "ablations" => run_ablations,
+        other => {
+            return Err(Box::new(ArgsError::BadValue {
+                name: "figure",
+                value: other.to_string(),
+            }))
+        }
+    };
+    run(&opts).map_err(|e| -> CliError { e.into() })
 }
 
 fn load_dataset(args: &ParsedArgs) -> Result<Dataset, CliError> {
@@ -108,12 +143,8 @@ fn cmd_train(args: &ParsedArgs) -> Result<(), CliError> {
     let ds = load_dataset(args)?;
     let split = ds.split_frac(0.85)?;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut net = SingleLayerNet::new_random(
-        ds.num_features(),
-        ds.num_classes(),
-        activation,
-        &mut rng,
-    );
+    let mut net =
+        SingleLayerNet::new_random(ds.num_features(), ds.num_classes(), activation, &mut rng);
     let sgd = SgdConfig {
         learning_rate: lr,
         epochs: args.get_or("epochs", 25)?,
@@ -303,7 +334,14 @@ mod tests {
         let model = tmp("model");
         // Small sizes keep the test fast.
         dispatch(&parse(&[
-            "train", "--out", &model, "--head", "linear", "--samples", "200", "--epochs",
+            "train",
+            "--out",
+            &model,
+            "--head",
+            "linear",
+            "--samples",
+            "200",
+            "--epochs",
             "5",
         ]))
         .unwrap();
@@ -317,7 +355,13 @@ mod tests {
         ]))
         .unwrap();
         dispatch(&parse(&[
-            "attack", "--model", &model, "--samples", "200", "--strength", "3",
+            "attack",
+            "--model",
+            &model,
+            "--samples",
+            "200",
+            "--strength",
+            "3",
         ]))
         .unwrap();
         dispatch(&parse(&["recover", "--model", &model])).unwrap();
@@ -328,12 +372,26 @@ mod tests {
     fn blackbox_pipeline() {
         let model = tmp("bb-model");
         dispatch(&parse(&[
-            "train", "--out", &model, "--head", "linear", "--samples", "200", "--epochs",
+            "train",
+            "--out",
+            &model,
+            "--head",
+            "linear",
+            "--samples",
+            "200",
+            "--epochs",
             "5",
         ]))
         .unwrap();
         dispatch(&parse(&[
-            "blackbox", "--model", &model, "--queries", "40", "--lambda", "1.0", "--samples",
+            "blackbox",
+            "--model",
+            &model,
+            "--queries",
+            "40",
+            "--lambda",
+            "1.0",
+            "--samples",
             "200",
         ]))
         .unwrap();
@@ -341,11 +399,27 @@ mod tests {
     }
 
     #[test]
+    fn campaign_argument_validation() {
+        // Missing --figure.
+        assert!(dispatch(&parse(&["campaign"])).is_err());
+        // Unknown figure.
+        assert!(dispatch(&parse(&["campaign", "--figure", "fig9"])).is_err());
+        // Bad thread count.
+        assert!(dispatch(&parse(&[
+            "campaign",
+            "--figure",
+            "fig4",
+            "--threads",
+            "lots",
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn bad_option_values_rejected() {
         let model = tmp("bad-model");
         assert!(dispatch(&parse(&["train", "--out", &model, "--head", "quantum"])).is_err());
-        assert!(dispatch(&parse(&["train", "--out", &model, "--dataset", "imagenet"]))
-            .is_err());
+        assert!(dispatch(&parse(&["train", "--out", &model, "--dataset", "imagenet"])).is_err());
         assert!(dispatch(&parse(&["probe"])).is_err()); // missing --model
         std::fs::remove_file(&model).ok();
     }

@@ -105,7 +105,9 @@ pub fn run_blackbox_attack<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<(BlackBoxOutcome, SingleLayerNet)> {
     if cfg.num_queries == 0 {
-        return Err(AttackError::InvalidParameter { name: "num_queries" });
+        return Err(AttackError::InvalidParameter {
+            name: "num_queries",
+        });
     }
     if train_pool.is_empty() || test.is_empty() {
         return Err(AttackError::InvalidParameter { name: "dataset" });
@@ -188,7 +190,14 @@ mod tests {
         let split = ds.split_frac(0.75).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut net = SingleLayerNet::new_random(10, 3, Activation::Identity, &mut rng);
-        train(&mut net, &split.train, Loss::Mse, &SgdConfig::default(), &mut rng).unwrap();
+        train(
+            &mut net,
+            &split.train,
+            Loss::Mse,
+            &SgdConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         let oracle = Oracle::new(
             net,
             &OracleConfig::ideal().with_access(access),

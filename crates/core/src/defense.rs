@@ -305,7 +305,9 @@ mod tests {
         let o = base_oracle();
         assert!(DefendedOracle::new(
             o.clone(),
-            PowerDefense::DummyConductances { offsets: vec![1.0; 3] },
+            PowerDefense::DummyConductances {
+                offsets: vec![1.0; 3]
+            },
             0
         )
         .is_err());
@@ -317,16 +319,15 @@ mod tests {
             0
         )
         .is_err());
-        assert!(
-            DefendedOracle::new(o.clone(), PowerDefense::RandomizedDummy { magnitude: -1.0 }, 0)
-                .is_err()
-        );
         assert!(DefendedOracle::new(
-            o,
-            PowerDefense::AdditiveNoise { sigma: f64::NAN },
+            o.clone(),
+            PowerDefense::RandomizedDummy { magnitude: -1.0 },
             0
         )
         .is_err());
+        assert!(
+            DefendedOracle::new(o, PowerDefense::AdditiveNoise { sigma: f64::NAN }, 0).is_err()
+        );
     }
 
     #[test]

@@ -48,7 +48,9 @@ impl PowerAnomalyDetector {
     ///   non-positive/non-finite threshold.
     pub fn calibrate(clean_powers: &[f64], threshold: f64) -> Result<Self> {
         if clean_powers.len() < 2 {
-            return Err(AttackError::InvalidParameter { name: "clean_powers" });
+            return Err(AttackError::InvalidParameter {
+                name: "clean_powers",
+            });
         }
         if !(threshold.is_finite() && threshold > 0.0) {
             return Err(AttackError::InvalidParameter { name: "threshold" });
@@ -56,7 +58,9 @@ impl PowerAnomalyDetector {
         let rs: RunningStats = clean_powers.iter().copied().collect();
         let std = rs.sample_std();
         if std == 0.0 {
-            return Err(AttackError::InvalidParameter { name: "clean_powers" });
+            return Err(AttackError::InvalidParameter {
+                name: "clean_powers",
+            });
         }
         Ok(PowerAnomalyDetector {
             mean: rs.mean(),
@@ -116,13 +120,11 @@ impl PerClassDetector {
     /// * [`AttackError::InvalidParameter`] if `num_classes == 0`, a label
     ///   is out of range, or any class has fewer than two (or
     ///   zero-variance) calibration samples.
-    pub fn calibrate(
-        samples: &[(usize, f64)],
-        num_classes: usize,
-        threshold: f64,
-    ) -> Result<Self> {
+    pub fn calibrate(samples: &[(usize, f64)], num_classes: usize, threshold: f64) -> Result<Self> {
         if num_classes == 0 {
-            return Err(AttackError::InvalidParameter { name: "num_classes" });
+            return Err(AttackError::InvalidParameter {
+                name: "num_classes",
+            });
         }
         let mut per_class: Vec<Vec<f64>> = vec![Vec::new(); num_classes];
         for &(label, power) in samples {
@@ -191,9 +193,7 @@ pub fn evaluate_detector(
 mod tests {
     use super::*;
     use crate::oracle::{Oracle, OracleConfig, OutputAccess};
-    use crate::pixel_attack::{
-        single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources,
-    };
+    use crate::pixel_attack::{single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use xbar_data::synth::blobs::BlobsConfig;
@@ -239,7 +239,14 @@ mod tests {
         let split = ds.split_frac(0.8).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let mut net = SingleLayerNet::new_random(30, 3, Activation::Identity, &mut rng);
-        train(&mut net, &split.train, Loss::Mse, &SgdConfig::default(), &mut rng).unwrap();
+        train(
+            &mut net,
+            &split.train,
+            Loss::Mse,
+            &SgdConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         let mut oracle = Oracle::new(
             net.clone(),
             &OracleConfig::ideal().with_access(OutputAccess::None),
@@ -325,15 +332,9 @@ mod tests {
         assert!(PerClassDetector::calibrate(&[(0, 1.0), (0, 2.0)], 0, 3.0).is_err());
         assert!(PerClassDetector::calibrate(&[(5, 1.0)], 2, 3.0).is_err());
         // Class 1 has no samples.
-        assert!(
-            PerClassDetector::calibrate(&[(0, 1.0), (0, 2.0)], 2, 3.0).is_err()
-        );
-        let ok = PerClassDetector::calibrate(
-            &[(0, 1.0), (0, 1.2), (1, 5.0), (1, 5.5)],
-            2,
-            3.0,
-        )
-        .unwrap();
+        assert!(PerClassDetector::calibrate(&[(0, 1.0), (0, 2.0)], 2, 3.0).is_err());
+        let ok =
+            PerClassDetector::calibrate(&[(0, 1.0), (0, 1.2), (1, 5.0), (1, 5.5)], 2, 3.0).unwrap();
         assert_eq!(ok.num_classes(), 2);
     }
 

@@ -103,6 +103,7 @@ pub fn fgv_batch(
 /// * [`AttackError::InvalidParameter`] for invalid `eps`, `alpha`, or
 ///   `steps == 0`.
 /// * Propagates gradient-computation errors.
+#[allow(clippy::too_many_arguments)]
 pub fn pgd_batch(
     net: &SingleLayerNet,
     inputs: &Matrix,
@@ -156,7 +157,9 @@ pub fn fgsm_targeted_batch(
 ) -> Result<Matrix> {
     validate_eps(eps)?;
     if target_class >= net.num_outputs() {
-        return Err(AttackError::InvalidParameter { name: "target_class" });
+        return Err(AttackError::InvalidParameter {
+            name: "target_class",
+        });
     }
     let mut targets = Matrix::zeros(inputs.rows(), net.num_outputs());
     for i in 0..inputs.rows() {
@@ -204,8 +207,7 @@ mod tests {
     fn fgsm_increases_loss() {
         let (net, inputs, targets) = setup();
         let before = dataset_loss(&net, &inputs, &targets, Loss::Mse).unwrap();
-        let adv =
-            fgsm_batch(&net, &inputs, &targets, Loss::Mse, 0.1, BoxConstraint::None).unwrap();
+        let adv = fgsm_batch(&net, &inputs, &targets, Loss::Mse, 0.1, BoxConstraint::None).unwrap();
         let after = dataset_loss(&net, &adv, &targets, Loss::Mse).unwrap();
         assert!(after > before, "{after} should exceed {before}");
     }
@@ -214,8 +216,7 @@ mod tests {
     fn fgsm_perturbation_is_linf_bounded() {
         let (net, inputs, targets) = setup();
         let eps = 0.07;
-        let adv =
-            fgsm_batch(&net, &inputs, &targets, Loss::Mse, eps, BoxConstraint::None).unwrap();
+        let adv = fgsm_batch(&net, &inputs, &targets, Loss::Mse, eps, BoxConstraint::None).unwrap();
         let max_dev = (&adv - &inputs).max_abs();
         assert!(max_dev <= eps + 1e-12);
         // Almost all coordinates sit exactly at ±eps (sign attack).
@@ -231,8 +232,7 @@ mod tests {
     #[test]
     fn zero_eps_is_identity() {
         let (net, inputs, targets) = setup();
-        let adv =
-            fgsm_batch(&net, &inputs, &targets, Loss::Mse, 0.0, BoxConstraint::None).unwrap();
+        let adv = fgsm_batch(&net, &inputs, &targets, Loss::Mse, 0.0, BoxConstraint::None).unwrap();
         assert!(adv.approx_eq(&inputs, 1e-12));
     }
 
@@ -255,8 +255,7 @@ mod tests {
     fn fgv_moves_along_gradient_direction() {
         let (net, inputs, targets) = setup();
         let eps = 0.3;
-        let adv =
-            fgv_batch(&net, &inputs, &targets, Loss::Mse, eps, BoxConstraint::None).unwrap();
+        let adv = fgv_batch(&net, &inputs, &targets, Loss::Mse, eps, BoxConstraint::None).unwrap();
         // Each row's perturbation has 2-norm eps (when gradient nonzero).
         for i in 0..inputs.rows() {
             let d: Vec<f64> = adv
@@ -297,8 +296,15 @@ mod tests {
     #[test]
     fn parameter_validation() {
         let (net, inputs, targets) = setup();
-        assert!(fgsm_batch(&net, &inputs, &targets, Loss::Mse, -1.0, BoxConstraint::None)
-            .is_err());
+        assert!(fgsm_batch(
+            &net,
+            &inputs,
+            &targets,
+            Loss::Mse,
+            -1.0,
+            BoxConstraint::None
+        )
+        .is_err());
         assert!(fgsm_batch(
             &net,
             &inputs,
@@ -343,20 +349,14 @@ mod tests {
             preds.iter().filter(|&&p| p == target).count() as f64 / preds.len() as f64
         };
         let before = rate(&inputs);
-        let adv = fgsm_targeted_batch(
-            &net,
-            &inputs,
-            target,
-            Loss::Mse,
-            0.5,
-            BoxConstraint::None,
-        )
-        .unwrap();
+        let adv = fgsm_targeted_batch(&net, &inputs, target, Loss::Mse, 0.5, BoxConstraint::None)
+            .unwrap();
         let after = rate(&adv);
         assert!(after > before, "target rate {before} -> {after}");
         // Out-of-range target class rejected.
-        assert!(fgsm_targeted_batch(&net, &inputs, 9, Loss::Mse, 0.1, BoxConstraint::None)
-            .is_err());
+        assert!(
+            fgsm_targeted_batch(&net, &inputs, 9, Loss::Mse, 0.1, BoxConstraint::None).is_err()
+        );
     }
 
     #[test]

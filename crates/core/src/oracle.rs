@@ -234,10 +234,7 @@ impl Oracle {
     }
 
     fn calibrated_power_internal(&mut self, u: &[f64]) -> Result<f64> {
-        let raw = self
-            .config
-            .power
-            .measure(&self.xbar, u, &mut self.rng)?;
+        let raw = self.config.power.measure(&self.xbar, u, &mut self.rng)?;
         let mapping = self.xbar.mapping();
         let m = self.xbar.num_outputs() as f64;
         let baseline = 2.0 * m * mapping.g_min * u.iter().sum::<f64>();
@@ -326,7 +323,11 @@ mod tests {
             let mut e = vec![0.0; 3];
             e[j] = 1.0;
             let p = o.query_power(&e).unwrap();
-            assert!((p - norms[j]).abs() < 1e-9, "column {j}: {p} vs {}", norms[j]);
+            assert!(
+                (p - norms[j]).abs() < 1e-9,
+                "column {j}: {p} vs {}",
+                norms[j]
+            );
         }
         // Linearity in the input.
         let p = o.query_power(&[0.5, 0.25, 1.0]).unwrap();
@@ -358,10 +359,8 @@ mod tests {
 
     #[test]
     fn query_budget_enforced() {
-        let net = SingleLayerNet::from_weights(
-            Matrix::from_rows(&[&[1.0, 0.5]]),
-            Activation::Identity,
-        );
+        let net =
+            SingleLayerNet::from_weights(Matrix::from_rows(&[&[1.0, 0.5]]), Activation::Identity);
         let cfg = OracleConfig::ideal().with_query_budget(2);
         let mut o = Oracle::new(net, &cfg, 1).unwrap();
         assert!(o.query_power(&[1.0, 0.0]).is_ok());
@@ -387,10 +386,8 @@ mod tests {
 
     #[test]
     fn noisy_power_is_noisy_but_centred() {
-        let net = SingleLayerNet::from_weights(
-            Matrix::from_rows(&[&[1.0, -0.5]]),
-            Activation::Identity,
-        );
+        let net =
+            SingleLayerNet::from_weights(Matrix::from_rows(&[&[1.0, -0.5]]), Activation::Identity);
         let cfg = OracleConfig::ideal().with_power(PowerModel::default().with_noise(0.05));
         let mut o = Oracle::new(net.clone(), &cfg, 11).unwrap();
         let norms = net.weights().col_l1_norms();

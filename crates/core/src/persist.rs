@@ -158,7 +158,10 @@ mod tests {
         let mut buf = Vec::new();
         save_artifact(&mut buf, "query-log", &log).unwrap();
         let res: Result<QueryDataset> = load_artifact(buf.as_slice(), "single-layer-net");
-        assert!(matches!(res, Err(AttackError::InvalidParameter { name: "kind" })));
+        assert!(matches!(
+            res,
+            Err(AttackError::InvalidParameter { name: "kind" })
+        ));
     }
 
     #[test]

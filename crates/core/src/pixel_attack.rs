@@ -15,13 +15,14 @@
 
 use crate::{AttackError, Result};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use xbar_linalg::{vec_ops, Matrix};
 use xbar_nn::loss::Loss;
 use xbar_nn::network::SingleLayerNet;
 use xbar_nn::sensitivity::batch_input_gradients;
 
 /// The pixel-selection strategies of the paper's Fig. 4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PixelAttackMethod {
     /// "RP": random pixel, random sign.
     RandomPixel,
@@ -273,8 +274,7 @@ mod tests {
         let res = PixelAttackResources::full(&norms, &net, Loss::Mse);
         for method in PixelAttackMethod::all() {
             let adv =
-                single_pixel_attack_batch(method, &inputs, &targets, res, 0.5, &mut rng())
-                    .unwrap();
+                single_pixel_attack_batch(method, &inputs, &targets, res, 0.5, &mut rng()).unwrap();
             for i in 0..inputs.rows() {
                 let changed = adv
                     .row(i)
@@ -302,8 +302,7 @@ mod tests {
         let res = PixelAttackResources::full(&norms, &net, Loss::Mse);
         for method in [PixelAttackMethod::NormPlus, PixelAttackMethod::NormMinus] {
             let adv =
-                single_pixel_attack_batch(method, &inputs, &targets, res, 0.3, &mut rng())
-                    .unwrap();
+                single_pixel_attack_batch(method, &inputs, &targets, res, 0.3, &mut rng()).unwrap();
             for i in 0..inputs.rows() {
                 let d = adv[(i, j_star)] - inputs[(i, j_star)];
                 match method {
@@ -340,9 +339,8 @@ mod tests {
             PixelAttackMethod::NormMinus,
             PixelAttackMethod::NormRandom,
         ] {
-            let adv =
-                single_pixel_attack_batch(method, &inputs, &targets, res, strength, &mut r)
-                    .unwrap();
+            let adv = single_pixel_attack_batch(method, &inputs, &targets, res, strength, &mut r)
+                .unwrap();
             assert!(
                 worst_loss >= loss_of(&adv) * 0.999,
                 "{method:?} beat WorstCase"
@@ -401,9 +399,7 @@ mod tests {
             &mut rng()
         )
         .is_err());
-        assert!(
-            multi_pixel_norm_attack_batch(&inputs, &norms, 2, f64::NAN, &mut rng()).is_err()
-        );
+        assert!(multi_pixel_norm_attack_batch(&inputs, &norms, 2, f64::NAN, &mut rng()).is_err());
         assert!(multi_pixel_norm_attack_batch(&inputs, &norms, 0, 0.1, &mut rng()).is_err());
     }
 

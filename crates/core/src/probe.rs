@@ -126,7 +126,9 @@ pub fn argmax_norm_hill_climb<R: Rng + ?Sized>(
         return Err(AttackError::InvalidParameter { name: "num_starts" });
     }
     if max_queries == 0 {
-        return Err(AttackError::InvalidParameter { name: "max_queries" });
+        return Err(AttackError::InvalidParameter {
+            name: "max_queries",
+        });
     }
     if shape.len() != oracle.num_inputs() {
         return Err(AttackError::InvalidParameter { name: "shape" });
@@ -136,9 +138,9 @@ pub fn argmax_norm_hill_climb<R: Rng + ?Sized>(
     let mut spent = 0usize;
 
     let eval = |oracle: &mut Oracle,
-                    idx: usize,
-                    spent: &mut usize,
-                    cache: &mut std::collections::HashMap<usize, f64>|
+                idx: usize,
+                spent: &mut usize,
+                cache: &mut std::collections::HashMap<usize, f64>|
      -> Result<Option<f64>> {
         if let Some(&v) = cache.get(&idx) {
             return Ok(Some(v));
@@ -197,7 +199,7 @@ pub fn argmax_norm_hill_climb<R: Rng + ?Sized>(
                 }
                 match eval(oracle, shape.index(nr, nc, ch), &mut spent, &mut cache)? {
                     Some(v) => {
-                        if v > here && best_step.map_or(true, |(_, _, bv)| v > bv) {
+                        if v > here && best_step.is_none_or(|(_, _, bv)| v > bv) {
                             best_step = Some((nr, nc, v));
                         }
                     }
@@ -253,10 +255,14 @@ pub fn probe_norms_compressed<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Vec<f64>> {
     if num_queries == 0 {
-        return Err(AttackError::InvalidParameter { name: "num_queries" });
+        return Err(AttackError::InvalidParameter {
+            name: "num_queries",
+        });
     }
     if !(ridge_lambda.is_finite() && ridge_lambda >= 0.0) {
-        return Err(AttackError::InvalidParameter { name: "ridge_lambda" });
+        return Err(AttackError::InvalidParameter {
+            name: "ridge_lambda",
+        });
     }
     let n = oracle.num_inputs();
     let mut u = xbar_linalg::Matrix::zeros(num_queries, n);

@@ -247,7 +247,9 @@ pub fn train_surrogate<R: Rng + ?Sized>(
         return Err(AttackError::InvalidParameter { name: "queries" });
     }
     if !(cfg.power_weight.is_finite() && cfg.power_weight >= 0.0) {
-        return Err(AttackError::InvalidParameter { name: "power_weight" });
+        return Err(AttackError::InvalidParameter {
+            name: "power_weight",
+        });
     }
     if cfg.sgd.batch_size == 0 {
         return Err(AttackError::InvalidParameter { name: "batch_size" });
@@ -301,9 +303,7 @@ pub fn train_surrogate<R: Rng + ?Sized>(
                 let errs: Vec<f64> = chunk
                     .iter()
                     .enumerate()
-                    .map(|(row, &orig)| {
-                        p_hat[row] / s_hat - queries.powers[orig] / power_scale
-                    })
+                    .map(|(row, &orig)| p_hat[row] / s_hat - queries.powers[orig] / power_scale)
                     .collect();
                 let mut v = vec![0.0; n];
                 for (row, &e) in errs.iter().enumerate() {
@@ -429,7 +429,7 @@ mod tests {
         // Analytic: v_j = (2/B) Σ_b e_b u_bj; g_ij = v_j sgn(w_ij).
         let net = SingleLayerNet::from_weights(w.clone(), Activation::Identity);
         let p_hat = surrogate_power_estimates(&net, &inputs);
-        let mut v = vec![0.0; 3];
+        let mut v = [0.0; 3];
         for b in 0..4 {
             let e = p_hat[b] - powers[b];
             for (vj, &uj) in v.iter_mut().zip(inputs.row(b)) {

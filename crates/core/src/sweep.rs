@@ -3,13 +3,12 @@
 //! (and the experiment harness) don't hand-roll them.
 
 use crate::oracle::Oracle;
-use crate::pixel_attack::{
-    single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources,
-};
+use crate::pixel_attack::{single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources};
 use crate::{AttackError, Result};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use xbar_data::Dataset;
+use xbar_linalg::Matrix;
 use xbar_nn::loss::Loss;
 use xbar_nn::network::SingleLayerNet;
 
@@ -22,6 +21,11 @@ pub struct SweepCurve {
     /// Oracle accuracy at each strength, aligned with the sweep's
     /// `strengths`.
     pub accuracies: Vec<f64>,
+    /// Oracle queries the attacker needs to mount this method: the power
+    /// probe cost of the column norms for the norm-guided methods, zero
+    /// for RP (needs no side channel) and for the white-box Worst bound
+    /// (bypasses the query interface entirely).
+    pub queries: u64,
 }
 
 /// A full Fig. 4-style panel: accuracy-vs-strength curves for a set of
@@ -43,18 +47,86 @@ impl StrengthSweep {
     }
 }
 
+/// How many repetitions a method needs: stochastic methods (RP, RD) are
+/// averaged over `stochastic_reps` draws, deterministic ones run once.
+pub fn method_reps(method: PixelAttackMethod, stochastic_reps: usize) -> usize {
+    if matches!(
+        method,
+        PixelAttackMethod::RandomPixel | PixelAttackMethod::NormRandom
+    ) {
+        stochastic_reps
+    } else {
+        1
+    }
+}
+
+/// One attack-then-measure step: perturbs `inputs` with `method` at
+/// strength `eps` and returns the oracle's accuracy on the adversarial
+/// batch. The primitive both [`strength_sweep`] and the campaign runtime
+/// ports build their repetition loops from.
+///
+/// # Errors
+///
+/// Propagates attack and evaluation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn attack_and_eval<R: Rng + ?Sized>(
+    oracle: &Oracle,
+    inputs: &Matrix,
+    targets: &Matrix,
+    labels: &[usize],
+    method: PixelAttackMethod,
+    resources: PixelAttackResources<'_>,
+    eps: f64,
+    rng: &mut R,
+) -> Result<f64> {
+    let adv = single_pixel_attack_batch(method, inputs, targets, resources, eps, rng)?;
+    oracle.eval_accuracy(&adv, labels)
+}
+
+/// Mean oracle accuracy of `reps` attacked batches, threading `rng`
+/// through the repetitions (so stochastic methods draw fresh pixels each
+/// time).
+///
+/// # Errors
+///
+/// * [`AttackError::InvalidParameter`] if `reps == 0`.
+/// * Propagates attack and evaluation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn averaged_attack_accuracy<R: Rng + ?Sized>(
+    oracle: &Oracle,
+    inputs: &Matrix,
+    targets: &Matrix,
+    labels: &[usize],
+    method: PixelAttackMethod,
+    resources: PixelAttackResources<'_>,
+    eps: f64,
+    reps: usize,
+    rng: &mut R,
+) -> Result<f64> {
+    if reps == 0 {
+        return Err(AttackError::InvalidParameter { name: "reps" });
+    }
+    let mut acc = 0.0;
+    for _ in 0..reps {
+        acc += attack_and_eval(oracle, inputs, targets, labels, method, resources, eps, rng)?;
+    }
+    Ok(acc / reps as f64)
+}
+
 /// Runs a Fig. 4-style sweep: every `method` at every strength, evaluated
 /// on the oracle's deployed weights. Stochastic methods (RP, RD) are
 /// averaged over `stochastic_reps` draws.
 ///
-/// `norms` are the attacker's probed column norms; `white_box`/`loss`
+/// `norms` are the attacker's probed column norms and `probe_queries` is
+/// the number of oracle queries spent obtaining them (attributed to the
+/// norm-guided methods' [`SweepCurve::queries`]); `white_box`/`loss`
 /// supply the Worst baseline (pass the victim net for the white-box
 /// bound).
 ///
 /// # Errors
 ///
-/// * [`AttackError::InvalidParameter`] for an empty strength list, zero
-///   `stochastic_reps`, or a strength that is negative/not finite.
+/// * [`AttackError::InvalidParameter`] for an empty strength list or zero
+///   `stochastic_reps`.
 /// * Propagates attack and evaluation errors.
 #[allow(clippy::too_many_arguments)]
 pub fn strength_sweep<R: Rng + ?Sized>(
@@ -62,6 +134,7 @@ pub fn strength_sweep<R: Rng + ?Sized>(
     test: &Dataset,
     methods: &[PixelAttackMethod],
     norms: &[f64],
+    probe_queries: u64,
     white_box: &SingleLayerNet,
     loss: Loss,
     strengths: &[f64],
@@ -72,40 +145,38 @@ pub fn strength_sweep<R: Rng + ?Sized>(
         return Err(AttackError::InvalidParameter { name: "strengths" });
     }
     if stochastic_reps == 0 {
-        return Err(AttackError::InvalidParameter { name: "stochastic_reps" });
+        return Err(AttackError::InvalidParameter {
+            name: "stochastic_reps",
+        });
     }
     let clean_accuracy = oracle.eval_accuracy(test.inputs(), test.labels())?;
     let targets = test.one_hot_targets();
     let resources = PixelAttackResources::full(norms, white_box, loss);
     let mut curves = Vec::with_capacity(methods.len());
     for &method in methods {
-        let reps = if matches!(
-            method,
-            PixelAttackMethod::RandomPixel | PixelAttackMethod::NormRandom
-        ) {
-            stochastic_reps
-        } else {
-            1
-        };
+        let reps = method_reps(method, stochastic_reps);
         let mut accuracies = Vec::with_capacity(strengths.len());
         for &eps in strengths {
-            let mut acc = 0.0;
-            for _ in 0..reps {
-                let adv = single_pixel_attack_batch(
-                    method,
-                    test.inputs(),
-                    &targets,
-                    resources,
-                    eps,
-                    rng,
-                )?;
-                acc += oracle.eval_accuracy(&adv, test.labels())?;
-            }
-            accuracies.push(acc / reps as f64);
+            accuracies.push(averaged_attack_accuracy(
+                oracle,
+                test.inputs(),
+                &targets,
+                test.labels(),
+                method,
+                resources,
+                eps,
+                reps,
+                rng,
+            )?);
         }
         curves.push(SweepCurve {
             method: method.paper_label().to_string(),
             accuracies,
+            queries: if method.needs_norms() {
+                probe_queries
+            } else {
+                0
+            },
         });
     }
     Ok(StrengthSweep {
@@ -130,7 +201,14 @@ mod tests {
         let split = ds.split_frac(0.8).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let mut net = SingleLayerNet::new_random(12, 3, Activation::Identity, &mut rng);
-        train(&mut net, &split.train, Loss::Mse, &SgdConfig::default(), &mut rng).unwrap();
+        train(
+            &mut net,
+            &split.train,
+            Loss::Mse,
+            &SgdConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         let norms = net.column_l1_norms();
         let oracle = Oracle::new(
             net.clone(),
@@ -151,6 +229,7 @@ mod tests {
             &test,
             &PixelAttackMethod::all(),
             &norms,
+            12,
             &net,
             Loss::Mse,
             &strengths,
@@ -160,6 +239,15 @@ mod tests {
         .unwrap();
         assert_eq!(sweep.curves.len(), 5);
         assert_eq!(sweep.strengths, strengths);
+        // Probe cost is attributed to the norm-guided methods only.
+        for c in &sweep.curves {
+            let expected = if c.method == "RP" || c.method == "Worst" {
+                0
+            } else {
+                12
+            };
+            assert_eq!(c.queries, expected, "method {}", c.method);
+        }
         for c in &sweep.curves {
             assert_eq!(c.accuracies.len(), 4);
             // Strength 0 leaves accuracy at the clean level.
@@ -168,7 +256,10 @@ mod tests {
         // The white-box curve is (weakly) monotone decreasing.
         let worst = sweep.curve("Worst").unwrap();
         for w in worst.accuracies.windows(2) {
-            assert!(w[0] >= w[1] - 1e-9, "worst curve must not recover: {worst:?}");
+            assert!(
+                w[0] >= w[1] - 1e-9,
+                "worst curve must not recover: {worst:?}"
+            );
         }
         // And it lower-bounds every other method at the top strength.
         let worst_final = *worst.accuracies.last().unwrap();
@@ -187,6 +278,7 @@ mod tests {
             &test,
             &PixelAttackMethod::all(),
             &norms,
+            0,
             &net,
             Loss::Mse,
             &[],
@@ -199,6 +291,7 @@ mod tests {
             &test,
             &PixelAttackMethod::all(),
             &norms,
+            0,
             &net,
             Loss::Mse,
             &[1.0],
@@ -206,5 +299,87 @@ mod tests {
             &mut rng
         )
         .is_err());
+    }
+
+    #[test]
+    fn averaged_accuracy_matches_manual_loop() {
+        let (oracle, test, net, norms) = setup();
+        let targets = test.one_hot_targets();
+        let resources = PixelAttackResources::full(&norms, &net, Loss::Mse);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let hoisted = averaged_attack_accuracy(
+            &oracle,
+            test.inputs(),
+            &targets,
+            test.labels(),
+            PixelAttackMethod::NormRandom,
+            resources,
+            2.0,
+            3,
+            &mut rng,
+        )
+        .unwrap();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut acc = 0.0;
+        for _ in 0..3 {
+            let adv = single_pixel_attack_batch(
+                PixelAttackMethod::NormRandom,
+                test.inputs(),
+                &targets,
+                resources,
+                2.0,
+                &mut rng,
+            )
+            .unwrap();
+            acc += oracle.eval_accuracy(&adv, test.labels()).unwrap();
+        }
+        assert!((hoisted - acc / 3.0).abs() < 1e-15);
+
+        assert!(averaged_attack_accuracy(
+            &oracle,
+            test.inputs(),
+            &targets,
+            test.labels(),
+            PixelAttackMethod::NormPlus,
+            resources,
+            2.0,
+            0,
+            &mut rng,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn method_reps_distinguishes_stochastic_methods() {
+        assert_eq!(method_reps(PixelAttackMethod::RandomPixel, 5), 5);
+        assert_eq!(method_reps(PixelAttackMethod::NormRandom, 5), 5);
+        assert_eq!(method_reps(PixelAttackMethod::NormPlus, 5), 1);
+        assert_eq!(method_reps(PixelAttackMethod::NormMinus, 5), 1);
+        assert_eq!(method_reps(PixelAttackMethod::WorstCase, 5), 1);
+    }
+
+    #[test]
+    fn strength_sweep_json_roundtrip() {
+        let sweep = StrengthSweep {
+            clean_accuracy: 0.925,
+            strengths: vec![0.0, 1.0, 2.5],
+            curves: vec![
+                SweepCurve {
+                    method: "RP".into(),
+                    accuracies: vec![0.925, 0.9, 0.85],
+                    queries: 0,
+                },
+                SweepCurve {
+                    method: "+".into(),
+                    accuracies: vec![0.925, 0.8, 0.6],
+                    queries: 144,
+                },
+            ],
+        };
+        let json = serde_json::to_string(&sweep).unwrap();
+        let back: StrengthSweep = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sweep);
     }
 }

@@ -85,7 +85,9 @@ impl CrossbarArray {
     ) -> Result<Self> {
         device.validate()?;
         if normalized_weights.is_empty() {
-            return Err(CrossbarError::UnmappableWeights { reason: "empty weight matrix" });
+            return Err(CrossbarError::UnmappableWeights {
+                reason: "empty weight matrix",
+            });
         }
         let mapping = WeightMapping {
             scale: device.g_max - device.g_min,
@@ -176,6 +178,7 @@ impl CrossbarArray {
     /// # Errors
     ///
     /// Returns [`CrossbarError::InputLenMismatch`] on a length mismatch.
+    #[allow(clippy::needless_range_loop)]
     pub fn noisy_mvm<R: Rng + ?Sized>(&self, v: &[f64], rng: &mut R) -> Result<Vec<f64>> {
         if v.len() != self.num_inputs() {
             return Err(CrossbarError::InputLenMismatch {
@@ -367,7 +370,7 @@ mod tests {
         let v = [0.8, 0.4];
         let exact = w.matvec(&v);
         let mut r = rng();
-        let mut mean = vec![0.0; 2];
+        let mut mean = [0.0; 2];
         let reps = 500;
         for _ in 0..reps {
             let out = xbar.noisy_mvm(&v, &mut r).unwrap();
@@ -388,7 +391,10 @@ mod tests {
         let xbar = ideal_array(&Matrix::from_rows(&[&[1.0, 2.0]]));
         assert!(matches!(
             xbar.checked_mvm(&[1.0]),
-            Err(CrossbarError::InputLenMismatch { expected: 2, got: 1 })
+            Err(CrossbarError::InputLenMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(xbar.total_current(&[1.0, 2.0, 3.0]).is_err());
         assert!(xbar.noisy_mvm(&[1.0], &mut rng()).is_err());

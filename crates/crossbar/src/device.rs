@@ -73,7 +73,9 @@ impl DeviceModel {
             }
         }
         if !(self.program_sigma.is_finite() && self.program_sigma >= 0.0) {
-            return Err(CrossbarError::InvalidConfig { name: "program_sigma" });
+            return Err(CrossbarError::InvalidConfig {
+                name: "program_sigma",
+            });
         }
         if !(0.0..=1.0).contains(&self.stuck_rate) {
             return Err(CrossbarError::InvalidConfig { name: "stuck_rate" });
@@ -121,7 +123,11 @@ impl DeviceModel {
     pub fn program<R: Rng + ?Sized>(&self, target: f64, rng: &mut R) -> f64 {
         // Stuck-at faults trump everything.
         if self.stuck_rate > 0.0 && rng.gen_bool(self.stuck_rate) {
-            return if rng.gen_bool(0.5) { self.g_min } else { self.g_max };
+            return if rng.gen_bool(0.5) {
+                self.g_min
+            } else {
+                self.g_max
+            };
         }
         let mut g = target.clamp(self.g_min, self.g_max);
         if let Some(levels) = self.levels {
@@ -214,7 +220,10 @@ mod tests {
         let mean: f64 = samples.iter().sum::<f64>() / 500.0;
         let var: f64 = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / 500.0;
         assert!(var > 0.0005, "variation should spread: var {var}");
-        assert!((mean - 0.5).abs() < 0.02, "mean should stay near 0.5: {mean}");
+        assert!(
+            (mean - 0.5).abs() < 0.02,
+            "mean should stay near 0.5: {mean}"
+        );
         assert!(samples.iter().all(|&s| (0.0..=1.0).contains(&s)));
     }
 
@@ -228,8 +237,8 @@ mod tests {
         }
         // Both rails occur.
         let hits: Vec<f64> = (0..100).map(|_| d.program(0.5, &mut r)).collect();
-        assert!(hits.iter().any(|&g| g == 0.0));
-        assert!(hits.iter().any(|&g| g == 1.0));
+        assert!(hits.contains(&0.0));
+        assert!(hits.contains(&1.0));
     }
 
     #[test]
@@ -251,10 +260,22 @@ mod tests {
         let bad = [
             DeviceModel { g_min: -0.1, ..ok },
             DeviceModel { g_max: 0.0, ..ok },
-            DeviceModel { levels: Some(1), ..ok },
-            DeviceModel { program_sigma: -1.0, ..ok },
-            DeviceModel { stuck_rate: 1.5, ..ok },
-            DeviceModel { read_sigma: f64::NAN, ..ok },
+            DeviceModel {
+                levels: Some(1),
+                ..ok
+            },
+            DeviceModel {
+                program_sigma: -1.0,
+                ..ok
+            },
+            DeviceModel {
+                stuck_rate: 1.5,
+                ..ok
+            },
+            DeviceModel {
+                read_sigma: f64::NAN,
+                ..ok
+            },
         ];
         for d in bad {
             assert!(d.validate().is_err(), "{d:?} should be invalid");

@@ -104,9 +104,18 @@ mod tests {
     fn validation() {
         assert!(EnergyModel::default().validate().is_ok());
         for bad in [
-            EnergyModel { g_unit: 0.0, ..EnergyModel::default() },
-            EnergyModel { v_dd: -1.0, ..EnergyModel::default() },
-            EnergyModel { pulse_width: f64::NAN, ..EnergyModel::default() },
+            EnergyModel {
+                g_unit: 0.0,
+                ..EnergyModel::default()
+            },
+            EnergyModel {
+                v_dd: -1.0,
+                ..EnergyModel::default()
+            },
+            EnergyModel {
+                pulse_width: f64::NAN,
+                ..EnergyModel::default()
+            },
         ] {
             assert!(bad.validate().is_err());
         }
@@ -115,7 +124,10 @@ mod tests {
     #[test]
     fn power_scales_quadratically_with_vdd() {
         let base = EnergyModel::default();
-        let double = EnergyModel { v_dd: 2.0 * base.v_dd, ..base };
+        let double = EnergyModel {
+            v_dd: 2.0 * base.v_dd,
+            ..base
+        };
         let i = 3.7;
         assert!((double.power_watts(i) - 4.0 * base.power_watts(i)).abs() < 1e-18);
     }
@@ -134,7 +146,10 @@ mod tests {
         let e = EnergyModel::default()
             .inference_energy(&a, &[1.0, 1.0])
             .unwrap();
-        assert!(e > 1e-18 && e < 1e-12, "energy {e} J out of plausible range");
+        assert!(
+            e > 1e-18 && e < 1e-12,
+            "energy {e} J out of plausible range"
+        );
     }
 
     #[test]

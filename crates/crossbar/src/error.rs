@@ -49,7 +49,10 @@ mod tests {
     #[test]
     fn display_nonempty() {
         for e in [
-            CrossbarError::InputLenMismatch { expected: 4, got: 2 },
+            CrossbarError::InputLenMismatch {
+                expected: 4,
+                got: 2,
+            },
             CrossbarError::InvalidConfig { name: "g_max" },
             CrossbarError::UnmappableWeights { reason: "empty" },
         ] {

@@ -58,7 +58,9 @@ impl IrDropConfig {
             return Err(CrossbarError::InvalidConfig { name: "tolerance" });
         }
         if self.max_iterations == 0 {
-            return Err(CrossbarError::InvalidConfig { name: "max_iterations" });
+            return Err(CrossbarError::InvalidConfig {
+                name: "max_iterations",
+            });
         }
         Ok(())
     }
@@ -188,9 +190,7 @@ pub fn solve_plane(g: &Matrix, v_in: &[f64], cfg: &IrDropConfig) -> Result<IrDro
     // row-wire segment.
     let row_currents: Vec<f64> = (0..m).map(|i| g_wire * vr[(i, 0)]).collect();
     // Total supply current: what the drivers push into each column wire.
-    let total_current: f64 = (0..n)
-        .map(|j| g_wire * (v_in[j] - vc[(0, j)]))
-        .sum();
+    let total_current: f64 = (0..n).map(|j| g_wire * (v_in[j] - vc[(0, j)])).sum();
 
     Ok(IrDropSolution {
         row_currents,
@@ -213,7 +213,9 @@ pub fn solve_differential(
     cfg: &IrDropConfig,
 ) -> Result<(Vec<f64>, f64)> {
     if g_plus.shape() != g_minus.shape() {
-        return Err(CrossbarError::InvalidConfig { name: "plane shapes" });
+        return Err(CrossbarError::InvalidConfig {
+            name: "plane shapes",
+        });
     }
     let p = solve_plane(g_plus, v_in, cfg)?;
     let q = solve_plane(g_minus, v_in, cfg)?;
@@ -329,7 +331,11 @@ mod tests {
         )
         .unwrap();
         for w in sol.row_currents.windows(2) {
-            assert!(w[0] > w[1], "row currents should decay: {:?}", sol.row_currents);
+            assert!(
+                w[0] > w[1],
+                "row currents should decay: {:?}",
+                sol.row_currents
+            );
         }
     }
 

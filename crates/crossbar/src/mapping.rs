@@ -35,7 +35,9 @@ impl WeightMapping {
     pub fn for_weights(weights: &Matrix, device: &DeviceModel) -> Result<Self> {
         device.validate()?;
         if weights.is_empty() {
-            return Err(CrossbarError::UnmappableWeights { reason: "empty weight matrix" });
+            return Err(CrossbarError::UnmappableWeights {
+                reason: "empty weight matrix",
+            });
         }
         let w_max = weights.max_abs();
         if w_max == 0.0 {

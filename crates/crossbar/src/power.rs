@@ -52,10 +52,14 @@ impl PowerModel {
             return Err(CrossbarError::InvalidConfig { name: "v_dd" });
         }
         if !(self.noise_sigma.is_finite() && self.noise_sigma >= 0.0) {
-            return Err(CrossbarError::InvalidConfig { name: "noise_sigma" });
+            return Err(CrossbarError::InvalidConfig {
+                name: "noise_sigma",
+            });
         }
         if self.num_averages == 0 {
-            return Err(CrossbarError::InvalidConfig { name: "num_averages" });
+            return Err(CrossbarError::InvalidConfig {
+                name: "num_averages",
+            });
         }
         Ok(())
     }

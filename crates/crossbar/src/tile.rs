@@ -52,7 +52,9 @@ impl TiledCrossbar {
             return Err(CrossbarError::InvalidConfig { name: "tile_cols" });
         }
         if weights.is_empty() {
-            return Err(CrossbarError::UnmappableWeights { reason: "empty weight matrix" });
+            return Err(CrossbarError::UnmappableWeights {
+                reason: "empty weight matrix",
+            });
         }
         let w_max = weights.max_abs();
         if w_max == 0.0 {
@@ -73,9 +75,8 @@ impl TiledCrossbar {
                 let c1 = (c0 + tile_cols).min(n);
                 // Normalise the sub-block by the *global* weight maximum so
                 // every tile shares one scale and partial sums compose.
-                let block = Matrix::from_fn(r1 - r0, c1 - c0, |i, j| {
-                    weights[(r0 + i, c0 + j)] / w_max
-                });
+                let block =
+                    Matrix::from_fn(r1 - r0, c1 - c0, |i, j| weights[(r0 + i, c0 + j)] / w_max);
                 row_tiles.push(CrossbarArray::program_with_unit_scale(&block, device, rng)?);
             }
             tiles.push(row_tiles);
@@ -259,10 +260,14 @@ mod tests {
         let w = weights();
         assert!(TiledCrossbar::program(&w, 0, 3, &DeviceModel::ideal(), &mut rng()).is_err());
         assert!(TiledCrossbar::program(&w, 3, 0, &DeviceModel::ideal(), &mut rng()).is_err());
-        assert!(
-            TiledCrossbar::program(&Matrix::zeros(2, 2), 2, 2, &DeviceModel::ideal(), &mut rng())
-                .is_err()
-        );
+        assert!(TiledCrossbar::program(
+            &Matrix::zeros(2, 2),
+            2,
+            2,
+            &DeviceModel::ideal(),
+            &mut rng()
+        )
+        .is_err());
         let tiled = TiledCrossbar::program(&w, 2, 3, &DeviceModel::ideal(), &mut rng()).unwrap();
         assert!(tiled.mvm(&[0.0; 3]).is_err());
         assert!(tiled.total_current(&[0.0; 3]).is_err());

@@ -174,7 +174,10 @@ impl Dataset {
     /// Returns [`DataError::InvalidSplit`] if `at > self.len()`.
     pub fn split_at(&self, at: usize) -> Result<TrainTestSplit> {
         if at > self.len() {
-            return Err(DataError::InvalidSplit { at, len: self.len() });
+            return Err(DataError::InvalidSplit {
+                at,
+                len: self.len(),
+            });
         }
         let train_idx: Vec<usize> = (0..at).collect();
         let test_idx: Vec<usize> = (at..self.len()).collect();

@@ -50,7 +50,10 @@ impl fmt::Display for DataError {
             DataError::LabelOutOfRange { label, num_classes } => {
                 write!(f, "label {label} out of range for {num_classes} classes")
             }
-            DataError::ShapeMismatch { features, shape_len } => write!(
+            DataError::ShapeMismatch {
+                features,
+                shape_len,
+            } => write!(
                 f,
                 "feature dimension {features} does not match image shape length {shape_len}"
             ),
@@ -98,7 +101,7 @@ mod tests {
     #[test]
     fn io_error_has_source() {
         use std::error::Error;
-        let e = DataError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let e = DataError::from(std::io::Error::other("x"));
         assert!(e.source().is_some());
     }
 }

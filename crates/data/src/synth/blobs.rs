@@ -70,13 +70,8 @@ impl BlobsConfig {
     pub fn generate(&self) -> Dataset {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         // Class centres drawn once, away from the clamp boundary.
-        let centers = Matrix::random_uniform(
-            self.num_classes,
-            self.num_features,
-            0.25,
-            0.75,
-            &mut rng,
-        );
+        let centers =
+            Matrix::random_uniform(self.num_classes, self.num_features, 0.25, 0.75, &mut rng);
         let mut inputs = Matrix::zeros(self.num_samples, self.num_features);
         let mut labels = Vec::with_capacity(self.num_samples);
         for i in 0..self.num_samples {

@@ -358,7 +358,7 @@ mod tests {
         for r in 0..SIDE {
             for c in 0..SIDE {
                 let v = means[shape.index(r, c, 0)];
-                if r < 2 || r >= SIDE - 2 || c < 2 || c >= SIDE - 2 {
+                if !(2..SIDE - 2).contains(&r) || !(2..SIDE - 2).contains(&c) {
                     border += v;
                     border_n += 1;
                 } else if (10..18).contains(&r) && (10..18).contains(&c) {

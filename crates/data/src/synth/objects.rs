@@ -48,8 +48,7 @@ struct Wave {
 
 impl Wave {
     fn eval(&self, x: f64, y: f64) -> f64 {
-        self.amp
-            * (2.0 * std::f64::consts::PI * (self.fx * x + self.fy * y) + self.phase).cos()
+        self.amp * (2.0 * std::f64::consts::PI * (self.fx * x + self.fy * y) + self.phase).cos()
     }
 }
 
@@ -65,7 +64,9 @@ impl Prototype {
     fn new(class: usize, seed: u64) -> Self {
         // Class prototypes depend only on (seed, class) so train and test
         // sets generated with the same seed share class structure.
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(class as u64 + 1)));
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(class as u64 + 1)),
+        );
         let mut waves: [Vec<Wave>; CHANNELS] = Default::default();
         for ch_waves in &mut waves {
             *ch_waves = (0..PROTO_COMPONENTS)
@@ -227,8 +228,8 @@ impl ObjectsConfig {
                         let proto = prototypes[class].eval_jittered(ch, x, y, &phase_offsets);
                         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                         let u2: f64 = rng.gen_range(0.0..1.0);
-                        let noise = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        let noise =
+                            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                         // Mix, squash into [0,1].
                         let v = self.class_signal * proto * 0.35
                             + (1.0 - self.class_signal) * tex * chan_gain[ch] * 0.25
@@ -347,8 +348,7 @@ mod tests {
                 .phase_jitter(0.0) // isolate the class_signal effect
                 .generate();
             let mean_of = |class: usize| -> Vec<f64> {
-                let idx: Vec<usize> =
-                    (0..ds.len()).filter(|&i| ds.label(i) == class).collect();
+                let idx: Vec<usize> = (0..ds.len()).filter(|&i| ds.label(i) == class).collect();
                 ds.subset(&idx).inputs().col_means()
             };
             let m0 = mean_of(0);

@@ -35,7 +35,11 @@ impl Stroke {
         match *self {
             Stroke::Line { a, b } => ((b.0 - a.0).powi(2) + (b.1 - a.1).powi(2)).sqrt(),
             Stroke::Arc {
-                rx, ry, start_deg, end_deg, ..
+                rx,
+                ry,
+                start_deg,
+                end_deg,
+                ..
             } => {
                 // Ramanujan-style bound scaled by sweep fraction.
                 let sweep = (end_deg - start_deg).abs().to_radians();

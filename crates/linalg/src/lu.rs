@@ -111,6 +111,7 @@ impl LuDecomposition {
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.dim();
         if b.len() != n {
@@ -248,7 +249,10 @@ mod tests {
     #[test]
     fn singular_rejected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert!(matches!(LuDecomposition::new(&a), Err(LinalgError::Singular)));
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::Singular)
+        ));
     }
 
     #[test]

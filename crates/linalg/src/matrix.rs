@@ -264,7 +264,9 @@ impl Matrix {
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Overwrites column `j` with the values in `v`.
@@ -699,7 +701,10 @@ impl Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -707,7 +712,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -716,7 +724,8 @@ impl Add for &Matrix {
     type Output = Matrix;
 
     fn add(self, rhs: &Matrix) -> Matrix {
-        self.zip_map(rhs, |a, b| a + b).expect("add: shape mismatch")
+        self.zip_map(rhs, |a, b| a + b)
+            .expect("add: shape mismatch")
     }
 }
 
@@ -724,7 +733,8 @@ impl Sub for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.zip_map(rhs, |a, b| a - b).expect("sub: shape mismatch")
+        self.zip_map(rhs, |a, b| a - b)
+            .expect("sub: shape mismatch")
     }
 }
 
@@ -943,10 +953,7 @@ mod tests {
     fn hadamard_and_zip_map() {
         let a = Matrix::from_rows(&[&[1.0, 2.0]]);
         let b = Matrix::from_rows(&[&[3.0, -1.0]]);
-        assert_eq!(
-            a.hadamard(&b).unwrap(),
-            Matrix::from_rows(&[&[3.0, -2.0]])
-        );
+        assert_eq!(a.hadamard(&b).unwrap(), Matrix::from_rows(&[&[3.0, -2.0]]));
         assert!(a.hadamard(&Matrix::zeros(2, 2)).is_err());
     }
 

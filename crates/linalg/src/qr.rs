@@ -149,6 +149,7 @@ impl QrDecomposition {
 
     /// Applies `Qᵀ` to a vector of length `m`, returning the first `n`
     /// entries (all that is needed for least squares).
+    #[allow(clippy::needless_range_loop)]
     fn qt_apply(&self, b: &[f64]) -> Vec<f64> {
         let (m, n) = self.packed.shape();
         let mut y = b.to_vec();
@@ -177,6 +178,7 @@ impl QrDecomposition {
     ///   number of rows of the factored matrix.
     /// * [`LinalgError::Singular`] if `R` has a (numerically) zero diagonal
     ///   entry, i.e. the matrix is rank deficient.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let (m, n) = self.packed.shape();
         if b.len() != m {
@@ -364,7 +366,10 @@ mod tests {
         // Second column is a multiple of the first -> rank deficient.
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
         let qr = QrDecomposition::new(&a).unwrap();
-        assert!(matches!(qr.solve(&[1.0, 2.0, 3.0]), Err(LinalgError::Singular)));
+        assert!(matches!(
+            qr.solve(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular)
+        ));
     }
 
     #[test]

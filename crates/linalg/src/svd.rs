@@ -363,12 +363,18 @@ mod tests {
         let svd = Svd::new(&a).unwrap();
         assert!((svd.condition_number() - 10.0).abs() < 1e-9);
         let singular = Matrix::from_diag(&[1.0, 0.0]);
-        assert!(Svd::new(&singular).unwrap().condition_number().is_infinite());
+        assert!(Svd::new(&singular)
+            .unwrap()
+            .condition_number()
+            .is_infinite());
     }
 
     #[test]
     fn empty_rejected() {
-        assert!(matches!(Svd::new(&Matrix::default()), Err(LinalgError::Empty)));
+        assert!(matches!(
+            Svd::new(&Matrix::default()),
+            Err(LinalgError::Empty)
+        ));
     }
 
     #[test]

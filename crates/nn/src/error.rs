@@ -38,13 +38,22 @@ impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NnError::InputDimMismatch { expected, got } => {
-                write!(f, "input dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "input dimension mismatch: expected {expected}, got {got}"
+                )
             }
             NnError::TargetDimMismatch { expected, got } => {
-                write!(f, "target dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "target dimension mismatch: expected {expected}, got {got}"
+                )
             }
             NnError::UnsupportedPairing { activation, loss } => {
-                write!(f, "unsupported activation/loss pairing: {activation} with {loss}")
+                write!(
+                    f,
+                    "unsupported activation/loss pairing: {activation} with {loss}"
+                )
             }
             NnError::EmptyDataset => write!(f, "training requires a non-empty dataset"),
             NnError::InvalidHyperparameter { name } => {
@@ -63,8 +72,14 @@ mod tests {
     #[test]
     fn display_nonempty() {
         for e in [
-            NnError::InputDimMismatch { expected: 2, got: 3 },
-            NnError::TargetDimMismatch { expected: 2, got: 3 },
+            NnError::InputDimMismatch {
+                expected: 2,
+                got: 3,
+            },
+            NnError::TargetDimMismatch {
+                expected: 2,
+                got: 3,
+            },
             NnError::UnsupportedPairing {
                 activation: "softmax",
                 loss: "mse",

@@ -131,9 +131,9 @@ pub fn preactivation_deltas(
         });
     }
     match (activation, loss) {
-        (Activation::Softmax, Loss::CrossEntropy) => {
-            Ok(outputs.zip_map(targets, |o, t| o - t).expect("shapes match"))
-        }
+        (Activation::Softmax, Loss::CrossEntropy) => Ok(outputs
+            .zip_map(targets, |o, t| o - t)
+            .expect("shapes match")),
         (Activation::Softmax, Loss::Mse) | (_, Loss::CrossEntropy) => {
             Err(NnError::UnsupportedPairing {
                 activation: activation.name(),
@@ -233,8 +233,8 @@ mod tests {
             plus[(0, j)] += h;
             let mut minus = preacts.clone();
             minus[(0, j)] -= h;
-            let fd = (Loss::Mse.value(&plus, &targets) - Loss::Mse.value(&minus, &targets))
-                / (2.0 * h);
+            let fd =
+                (Loss::Mse.value(&plus, &targets) - Loss::Mse.value(&minus, &targets)) / (2.0 * h);
             assert!((fd - d[(0, j)]).abs() < 1e-6, "output {j}");
         }
     }
@@ -247,14 +247,8 @@ mod tests {
         for i in 0..outputs.rows() {
             Activation::Sigmoid.apply_row(outputs.row_mut(i));
         }
-        let d = preactivation_deltas(
-            &outputs,
-            &preacts,
-            &targets,
-            Activation::Sigmoid,
-            Loss::Mse,
-        )
-        .unwrap();
+        let d = preactivation_deltas(&outputs, &preacts, &targets, Activation::Sigmoid, Loss::Mse)
+            .unwrap();
         let h = 1e-6;
         for j in 0..2 {
             let eval = |s: &Matrix| -> f64 {

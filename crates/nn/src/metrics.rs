@@ -26,10 +26,17 @@ pub fn confusion_matrix(
     labels: &[usize],
     num_classes: usize,
 ) -> Vec<Vec<usize>> {
-    assert_eq!(predictions.len(), labels.len(), "confusion: length mismatch");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "confusion: length mismatch"
+    );
     let mut m = vec![vec![0usize; num_classes]; num_classes];
     for (&p, &l) in predictions.iter().zip(labels) {
-        assert!(p < num_classes && l < num_classes, "class index out of range");
+        assert!(
+            p < num_classes && l < num_classes,
+            "class index out of range"
+        );
         m[l][p] += 1;
     }
     m

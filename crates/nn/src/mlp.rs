@@ -210,13 +210,8 @@ impl Mlp {
         let (out_s, out_a) = caches.last().expect("at least one layer");
         let mut deltas = vec![Matrix::default(); self.layers.len()];
         let last = self.layers.len() - 1;
-        deltas[last] = preactivation_deltas(
-            out_a,
-            out_s,
-            targets,
-            self.layers[last].activation,
-            loss,
-        )?;
+        deltas[last] =
+            preactivation_deltas(out_a, out_s, targets, self.layers[last].activation, loss)?;
         for l in (0..last).rev() {
             // δ_l = (δ_{l+1} W_{l+1}) ⊙ f'(s_l)
             let upstream = deltas[l + 1].matmul(self.layers[l + 1].weights());
@@ -324,12 +319,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         assert!(Mlp::new_random(&[4], Activation::Relu, Activation::Softmax, &mut rng).is_err());
         assert!(
-            Mlp::new_random(&[4, 3], Activation::Softmax, Activation::Softmax, &mut rng)
-                .is_err()
+            Mlp::new_random(&[4, 3], Activation::Softmax, Activation::Softmax, &mut rng).is_err()
         );
         let mlp =
-            Mlp::new_random(&[4, 8, 3], Activation::Relu, Activation::Softmax, &mut rng)
-                .unwrap();
+            Mlp::new_random(&[4, 8, 3], Activation::Relu, Activation::Softmax, &mut rng).unwrap();
         assert_eq!(mlp.layers().len(), 2);
         assert_eq!(mlp.num_inputs(), 4);
         assert_eq!(mlp.num_outputs(), 3);
@@ -340,8 +333,7 @@ mod tests {
     fn forward_shapes() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mlp =
-            Mlp::new_random(&[5, 7, 2], Activation::Tanh, Activation::Identity, &mut rng)
-                .unwrap();
+            Mlp::new_random(&[5, 7, 2], Activation::Tanh, Activation::Identity, &mut rng).unwrap();
         let x = Matrix::random_uniform(3, 5, 0.0, 1.0, &mut rng);
         let y = mlp.forward_batch(&x).unwrap();
         assert_eq!(y.shape(), (3, 2));
@@ -354,8 +346,7 @@ mod tests {
         let split = ds.split_frac(0.75).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut mlp =
-            Mlp::new_random(&[6, 16, 3], Activation::Relu, Activation::Softmax, &mut rng)
-                .unwrap();
+            Mlp::new_random(&[6, 16, 3], Activation::Relu, Activation::Softmax, &mut rng).unwrap();
         let cfg = SgdConfig {
             epochs: 60,
             momentum: 0.0,
@@ -380,13 +371,8 @@ mod tests {
     #[test]
     fn input_gradient_matches_finite_differences() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let mlp = Mlp::new_random(
-            &[4, 6, 3],
-            Activation::Tanh,
-            Activation::Softmax,
-            &mut rng,
-        )
-        .unwrap();
+        let mlp =
+            Mlp::new_random(&[4, 6, 3], Activation::Tanh, Activation::Softmax, &mut rng).unwrap();
         let u = Matrix::row_vector(&[0.4, 0.1, 0.8, 0.3]);
         let t = Matrix::row_vector(&[0.0, 1.0, 0.0]);
         let g = mlp
@@ -401,7 +387,11 @@ mod tests {
             let lp = Loss::CrossEntropy.value(&mlp.forward_batch(&up).unwrap(), &t);
             let lm = Loss::CrossEntropy.value(&mlp.forward_batch(&dn).unwrap(), &t);
             let fd = (lp - lm) / (2.0 * h);
-            assert!((g[(0, j)] - fd).abs() < 1e-5, "input {j}: {} vs {fd}", g[(0, j)]);
+            assert!(
+                (g[(0, j)] - fd).abs() < 1e-5,
+                "input {j}: {} vs {fd}",
+                g[(0, j)]
+            );
         }
     }
 
@@ -409,8 +399,7 @@ mod tests {
     fn per_layer_norms_have_layer_shapes() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let mlp =
-            Mlp::new_random(&[5, 7, 2], Activation::Relu, Activation::Identity, &mut rng)
-                .unwrap();
+            Mlp::new_random(&[5, 7, 2], Activation::Relu, Activation::Identity, &mut rng).unwrap();
         let norms = mlp.per_layer_column_l1_norms();
         assert_eq!(norms.len(), 2);
         assert_eq!(norms[0].len(), 5);

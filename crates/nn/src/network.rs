@@ -192,7 +192,9 @@ impl SingleLayerNet {
     /// Returns [`NnError::InputDimMismatch`] on a feature-count mismatch.
     pub fn predict_batch(&self, inputs: &Matrix) -> Result<Vec<usize>> {
         let out = self.forward_batch(inputs)?;
-        Ok((0..out.rows()).map(|i| vec_ops::argmax(out.row(i))).collect())
+        Ok((0..out.rows())
+            .map(|i| vec_ops::argmax(out.row(i)))
+            .collect())
     }
 
     /// The 1-norms of the weight-matrix columns — the exact quantity the
@@ -270,7 +272,10 @@ mod tests {
         let net = toy_net();
         assert!(matches!(
             net.forward_one(&[1.0]),
-            Err(NnError::InputDimMismatch { expected: 3, got: 1 })
+            Err(NnError::InputDimMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
         assert!(net.forward_batch(&Matrix::zeros(2, 5)).is_err());
     }

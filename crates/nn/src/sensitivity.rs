@@ -107,12 +107,7 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn finite_diff_grad(
-        net: &SingleLayerNet,
-        u: &[f64],
-        target: &[f64],
-        loss: Loss,
-    ) -> Vec<f64> {
+    fn finite_diff_grad(net: &SingleLayerNet, u: &[f64], target: &[f64], loss: Loss) -> Vec<f64> {
         let h = 1e-6;
         (0..u.len())
             .map(|j| {
@@ -183,8 +178,7 @@ mod tests {
         }
         let batch = batch_input_gradients(&net, &inputs, &targets, Loss::Mse).unwrap();
         for i in 0..5 {
-            let single =
-                input_gradient(&net, inputs.row(i), targets.row(i), Loss::Mse).unwrap();
+            let single = input_gradient(&net, inputs.row(i), targets.row(i), Loss::Mse).unwrap();
             for (a, b) in batch.row(i).iter().zip(&single) {
                 assert!((a - b).abs() < 1e-12);
             }
@@ -202,9 +196,9 @@ mod tests {
         }
         let mean = mean_abs_sensitivity(&net, &inputs, &targets, Loss::Mse).unwrap();
         let abs = abs_input_gradients(&net, &inputs, &targets, Loss::Mse).unwrap();
-        for j in 0..3 {
+        for (j, &got) in mean.iter().enumerate() {
             let want: f64 = abs.col(j).iter().sum::<f64>() / 4.0;
-            assert!((mean[j] - want).abs() < 1e-12);
+            assert!((got - want).abs() < 1e-12);
         }
     }
 
@@ -215,8 +209,7 @@ mod tests {
         let mut w = Matrix::random_uniform(3, 4, -1.0, 1.0, &mut ChaCha8Rng::seed_from_u64(5));
         w.set_col(2, &[0.0, 0.0, 0.0]);
         let net = SingleLayerNet::from_weights(w, Activation::Identity);
-        let g = input_gradient(&net, &[0.4, 0.2, 0.9, 0.5], &[1.0, 0.0, 0.0], Loss::Mse)
-            .unwrap();
+        let g = input_gradient(&net, &[0.4, 0.2, 0.9, 0.5], &[1.0, 0.0, 0.0], Loss::Mse).unwrap();
         assert_eq!(g[2], 0.0);
         assert!(g.iter().any(|&v| v != 0.0));
     }

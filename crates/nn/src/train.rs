@@ -83,7 +83,12 @@ pub struct TrainReport {
 /// # Errors
 ///
 /// Propagates forward-pass dimension errors.
-pub fn dataset_loss(net: &SingleLayerNet, inputs: &Matrix, targets: &Matrix, loss: Loss) -> Result<f64> {
+pub fn dataset_loss(
+    net: &SingleLayerNet,
+    inputs: &Matrix,
+    targets: &Matrix,
+    loss: Loss,
+) -> Result<f64> {
     let outputs = net.forward_batch(inputs)?;
     Ok(loss.value(&outputs, targets))
 }
@@ -232,13 +237,34 @@ mod tests {
     fn invalid_hyperparameters_rejected() {
         let base = SgdConfig::default();
         for cfg in [
-            SgdConfig { learning_rate: 0.0, ..base },
-            SgdConfig { learning_rate: f64::NAN, ..base },
-            SgdConfig { momentum: 1.0, ..base },
-            SgdConfig { momentum: -0.1, ..base },
-            SgdConfig { weight_decay: -1.0, ..base },
-            SgdConfig { batch_size: 0, ..base },
-            SgdConfig { lr_decay: 0.0, ..base },
+            SgdConfig {
+                learning_rate: 0.0,
+                ..base
+            },
+            SgdConfig {
+                learning_rate: f64::NAN,
+                ..base
+            },
+            SgdConfig {
+                momentum: 1.0,
+                ..base
+            },
+            SgdConfig {
+                momentum: -0.1,
+                ..base
+            },
+            SgdConfig {
+                weight_decay: -1.0,
+                ..base
+            },
+            SgdConfig {
+                batch_size: 0,
+                ..base
+            },
+            SgdConfig {
+                lr_decay: 0.0,
+                ..base
+            },
         ] {
             assert!(cfg.validate().is_err(), "{cfg:?} should be invalid");
         }
@@ -259,8 +285,14 @@ mod tests {
         let ds = BlobsConfig::new(4, 8).num_samples(160).seed(3).generate();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mut net = SingleLayerNet::new_random(8, 4, Activation::Softmax, &mut rng);
-        let report = train(&mut net, &ds, Loss::CrossEntropy, &SgdConfig::default(), &mut rng)
-            .unwrap();
+        let report = train(
+            &mut net,
+            &ds,
+            Loss::CrossEntropy,
+            &SgdConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(report.final_loss < report.initial_loss * 0.5);
     }
 
@@ -270,8 +302,14 @@ mod tests {
         let split = ds.split_frac(0.8).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut net = SingleLayerNet::new_random(10, 3, Activation::Softmax, &mut rng);
-        train(&mut net, &split.train, Loss::CrossEntropy, &SgdConfig::default(), &mut rng)
-            .unwrap();
+        train(
+            &mut net,
+            &split.train,
+            Loss::CrossEntropy,
+            &SgdConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         let preds = net.predict_batch(split.test.inputs()).unwrap();
         let acc = accuracy(&preds, split.test.labels());
         assert!(acc > 0.9, "blob accuracy too low: {acc}");
@@ -281,8 +319,7 @@ mod tests {
     fn training_with_bias_works() {
         let ds = BlobsConfig::new(2, 4).num_samples(80).seed(5).generate();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let mut net =
-            SingleLayerNet::new_random(4, 2, Activation::Identity, &mut rng).with_bias();
+        let mut net = SingleLayerNet::new_random(4, 2, Activation::Identity, &mut rng).with_bias();
         let report = train(&mut net, &ds, Loss::Mse, &SgdConfig::default(), &mut rng).unwrap();
         assert!(report.final_loss < report.initial_loss);
         // Bias actually moved.
@@ -295,7 +332,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let mut net = SingleLayerNet::new_random(4, 2, Activation::Identity, &mut rng);
         let w_before = net.weights().clone();
-        let cfg = SgdConfig { epochs: 0, ..SgdConfig::default() };
+        let cfg = SgdConfig {
+            epochs: 0,
+            ..SgdConfig::default()
+        };
         let report = train(&mut net, &ds, Loss::Mse, &cfg, &mut rng).unwrap();
         assert_eq!(report.initial_loss, report.final_loss);
         assert_eq!(net.weights(), &w_before);
@@ -308,7 +348,14 @@ mod tests {
         let inputs = Matrix::zeros(0, 4);
         let targets = Matrix::zeros(0, 2);
         assert!(matches!(
-            train_on_matrices(&mut net, &inputs, &targets, Loss::Mse, &SgdConfig::default(), &mut rng),
+            train_on_matrices(
+                &mut net,
+                &inputs,
+                &targets,
+                Loss::Mse,
+                &SgdConfig::default(),
+                &mut rng
+            ),
             Err(NnError::EmptyDataset)
         ));
     }
@@ -330,7 +377,10 @@ mod tests {
         let run = |wd: f64| -> f64 {
             let mut rng = ChaCha8Rng::seed_from_u64(7);
             let mut net = SingleLayerNet::new_random(4, 2, Activation::Identity, &mut rng);
-            let cfg = SgdConfig { weight_decay: wd, ..SgdConfig::default() };
+            let cfg = SgdConfig {
+                weight_decay: wd,
+                ..SgdConfig::default()
+            };
             train(&mut net, &ds, Loss::Mse, &cfg, &mut rng).unwrap();
             net.weights().fro_norm()
         };

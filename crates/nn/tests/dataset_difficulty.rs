@@ -23,12 +23,8 @@ fn train_and_eval(
 ) -> (f64, f64) {
     let split = ds.split_frac(0.85).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut net = SingleLayerNet::new_random(
-        ds.num_features(),
-        ds.num_classes(),
-        activation,
-        &mut rng,
-    );
+    let mut net =
+        SingleLayerNet::new_random(ds.num_features(), ds.num_classes(), activation, &mut rng);
     train(&mut net, &split.train, loss, cfg, &mut rng).unwrap();
     let train_acc = accuracy(
         &net.predict_batch(split.train.inputs()).unwrap(),
@@ -43,7 +39,10 @@ fn train_and_eval(
 
 #[test]
 fn digits_are_mnist_like_separable() {
-    let ds = DigitsConfig::default().num_samples(2000).seed(42).generate();
+    let ds = DigitsConfig::default()
+        .num_samples(2000)
+        .seed(42)
+        .generate();
     let cfg = SgdConfig {
         epochs: 20,
         ..SgdConfig::default()
@@ -59,7 +58,10 @@ fn digits_are_mnist_like_separable() {
 
 #[test]
 fn digits_linear_mse_also_separable() {
-    let ds = DigitsConfig::default().num_samples(2000).seed(43).generate();
+    let ds = DigitsConfig::default()
+        .num_samples(2000)
+        .seed(43)
+        .generate();
     let cfg = SgdConfig {
         epochs: 20,
         learning_rate: 0.05,
@@ -72,7 +74,10 @@ fn digits_linear_mse_also_separable() {
 
 #[test]
 fn objects_are_cifar_like_hard() {
-    let ds = ObjectsConfig::default().num_samples(2000).seed(44).generate();
+    let ds = ObjectsConfig::default()
+        .num_samples(2000)
+        .seed(44)
+        .generate();
     let cfg = SgdConfig {
         epochs: 20,
         learning_rate: 0.05,

@@ -1,0 +1,268 @@
+//! The trial journal: an append-only JSON Lines checkpoint file.
+//!
+//! Line 1 is a [`JournalHeader`] identifying the campaign (including its
+//! [`fingerprint`](crate::Campaign::fingerprint)); every subsequent line
+//! is one [`TrialRecord`]. Records are appended and flushed as trials
+//! finish, in *completion* order — which under parallel execution is not
+//! index order. Consumers that want a canonical form sort by trial
+//! index; the content itself is deterministic (no timestamps).
+//!
+//! A process killed mid-write leaves at most one truncated final line;
+//! [`read_journal`] tolerates exactly that (a malformed line anywhere
+//! else is a hard error).
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::executor::RuntimeError;
+
+/// The `kind` tag expected in a journal header.
+pub const JOURNAL_KIND: &str = "xbar-campaign-journal";
+
+/// Current journal format version.
+pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+
+/// First line of a journal: identifies the campaign the records belong to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// Always [`JOURNAL_KIND`].
+    pub kind: String,
+    /// Always [`JOURNAL_FORMAT_VERSION`].
+    pub format_version: u32,
+    /// Campaign name.
+    pub name: String,
+    /// Campaign seed.
+    pub campaign_seed: u64,
+    /// [`crate::Campaign::fingerprint`] of the grid this journal tracks.
+    pub fingerprint: u64,
+    /// Total number of trials in the grid.
+    pub total_trials: usize,
+}
+
+/// Completion status of a journaled trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrialStatus {
+    /// The trial produced an output.
+    Ok,
+    /// The trial exhausted its retries.
+    Failed,
+}
+
+/// One journal line: the outcome of a single trial.
+///
+/// Deliberately contains no wall-clock data — the journal must be
+/// byte-identical across runs and thread counts (after sorting by
+/// `trial`); timing goes to the [`crate::progress::ProgressSink`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// Trial index within the campaign grid.
+    pub trial: usize,
+    /// Outcome.
+    pub status: TrialStatus,
+    /// Number of attempts consumed (1 = succeeded first try).
+    pub attempts: u32,
+    /// Serialised trial output (present iff `status == Ok`).
+    pub output: Option<Value>,
+    /// Failure message (present iff `status == Failed`).
+    pub error: Option<String>,
+}
+
+/// Append-only journal writer. Each record is flushed to the OS as soon
+/// as it is written, so a killed process loses at most the line being
+/// written at that instant.
+pub struct JournalWriter {
+    out: BufWriter<File>,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal at `path` (truncating any existing file)
+    /// and writes the header line.
+    pub fn create(path: &Path, header: &JournalHeader) -> Result<Self, RuntimeError> {
+        let file = File::create(path)?;
+        let mut writer = JournalWriter {
+            out: BufWriter::new(file),
+        };
+        writer.write_line(&serde_json::to_string(header)?)?;
+        Ok(writer)
+    }
+
+    /// Opens an existing journal at `path` for appending.
+    pub fn append(path: &Path) -> Result<Self, RuntimeError> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(JournalWriter {
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Appends one trial record and flushes it.
+    pub fn record(&mut self, record: &TrialRecord) -> Result<(), RuntimeError> {
+        self.write_line(&serde_json::to_string(record)?)
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), RuntimeError> {
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// Reads a journal back: the header plus every well-formed trial record.
+///
+/// A malformed or truncated *final* line (the signature of a killed
+/// writer) is dropped silently; a malformed line anywhere else is
+/// corruption and fails with [`RuntimeError::Journal`].
+pub fn read_journal(path: &Path) -> Result<(JournalHeader, Vec<TrialRecord>), RuntimeError> {
+    let file = File::open(path)?;
+    let mut lines = BufReader::new(file).lines();
+
+    let header_line = match lines.next() {
+        Some(line) => line?,
+        None => {
+            return Err(RuntimeError::Journal(format!(
+                "journal {} is empty (no header)",
+                path.display()
+            )))
+        }
+    };
+    let header: JournalHeader = serde_json::from_str(&header_line).map_err(|e| {
+        RuntimeError::Journal(format!("journal {}: bad header: {e}", path.display()))
+    })?;
+    if header.kind != JOURNAL_KIND {
+        return Err(RuntimeError::Journal(format!(
+            "journal {}: kind is {:?}, expected {JOURNAL_KIND:?}",
+            path.display(),
+            header.kind
+        )));
+    }
+    if header.format_version != JOURNAL_FORMAT_VERSION {
+        return Err(RuntimeError::Journal(format!(
+            "journal {}: format version {} unsupported (expected {JOURNAL_FORMAT_VERSION})",
+            path.display(),
+            header.format_version
+        )));
+    }
+
+    let mut records: Vec<TrialRecord> = Vec::new();
+    let mut pending_error: Option<String> = None;
+    for (line_no, line) in lines.enumerate() {
+        let line = line?;
+        // A malformed line is only tolerable if nothing follows it.
+        if let Some(err) = pending_error.take() {
+            return Err(RuntimeError::Journal(err));
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<TrialRecord>(&line) {
+            Ok(record) => records.push(record),
+            Err(e) => {
+                pending_error = Some(format!(
+                    "journal {}: corrupt record on line {}: {e}",
+                    path.display(),
+                    line_no + 2
+                ));
+            }
+        }
+    }
+    Ok((header, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::test_path;
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            kind: JOURNAL_KIND.to_string(),
+            format_version: JOURNAL_FORMAT_VERSION,
+            name: "t".into(),
+            campaign_seed: 5,
+            fingerprint: 99,
+            total_trials: 3,
+        }
+    }
+
+    fn ok_record(trial: usize) -> TrialRecord {
+        TrialRecord {
+            trial,
+            status: TrialStatus::Ok,
+            attempts: 1,
+            output: Some(Value::U64(trial as u64 * 10)),
+            error: None,
+        }
+    }
+
+    #[test]
+    fn roundtrip_header_and_records() {
+        let path = test_path("journal_roundtrip");
+        let mut writer = JournalWriter::create(&path, &header()).unwrap();
+        writer.record(&ok_record(0)).unwrap();
+        writer
+            .record(&TrialRecord {
+                trial: 1,
+                status: TrialStatus::Failed,
+                attempts: 3,
+                output: None,
+                error: Some("boom".into()),
+            })
+            .unwrap();
+        drop(writer);
+
+        let (read_header, records) = read_journal(&path).unwrap();
+        assert_eq!(read_header, header());
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], ok_record(0));
+        assert_eq!(records[1].status, TrialStatus::Failed);
+        assert_eq!(records[1].error.as_deref(), Some("boom"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated() {
+        let path = test_path("journal_truncated");
+        let mut writer = JournalWriter::create(&path, &header()).unwrap();
+        writer.record(&ok_record(0)).unwrap();
+        drop(writer);
+        // Simulate a kill mid-write: a half line with no newline.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{\"trial\":1,\"sta").unwrap();
+        drop(file);
+
+        let (_, records) = read_journal(&path).unwrap();
+        assert_eq!(records, vec![ok_record(0)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interior_corruption_is_an_error() {
+        let path = test_path("journal_corrupt");
+        let mut writer = JournalWriter::create(&path, &header()).unwrap();
+        writer.record(&ok_record(0)).unwrap();
+        drop(writer);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"not json\n").unwrap();
+        drop(file);
+        let mut writer = JournalWriter::append(&path).unwrap();
+        writer.record(&ok_record(2)).unwrap();
+        drop(writer);
+
+        let err = read_journal(&path).unwrap_err();
+        assert!(err.to_string().contains("corrupt record"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let path = test_path("journal_kind");
+        let mut bad = header();
+        bad.kind = "something-else".into();
+        drop(JournalWriter::create(&path, &bad).unwrap());
+        assert!(read_journal(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

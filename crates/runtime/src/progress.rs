@@ -1,0 +1,166 @@
+//! Observability: progress events, counters, and the stderr reporter.
+//!
+//! Everything time-related lives here, *not* in the journal: the journal
+//! must stay deterministic, while progress reporting is free to talk
+//! about wall clocks and throughput.
+
+use std::time::Duration;
+
+/// Counters describing a campaign run so far.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignMetrics {
+    /// Total trials in the grid.
+    pub total: usize,
+    /// Trials skipped because a resumed journal already had them.
+    pub skipped: usize,
+    /// Trials completed successfully in this run.
+    pub completed: usize,
+    /// Trials that exhausted their retries in this run.
+    pub failed: usize,
+    /// Wall-clock time since the executor started.
+    pub elapsed: Duration,
+}
+
+impl CampaignMetrics {
+    /// Trials finished in this run (completed + failed).
+    pub fn finished(&self) -> usize {
+        self.completed + self.failed
+    }
+
+    /// Trials still outstanding.
+    pub fn remaining(&self) -> usize {
+        self.total
+            .saturating_sub(self.skipped)
+            .saturating_sub(self.finished())
+    }
+
+    /// Completed-or-failed trials per second of elapsed wall time, for
+    /// this run only (resumed trials don't count).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.finished() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The outcome of one finished trial, as seen by a progress sink.
+#[derive(Debug, Clone)]
+pub struct TrialOutcome<'a> {
+    /// Trial index within the campaign grid.
+    pub trial_index: usize,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Wall-clock time spent across all attempts of this trial.
+    pub wall: Duration,
+    /// The failure message, if the trial failed permanently.
+    pub error: Option<&'a str>,
+}
+
+/// Receives progress events from the executor.
+///
+/// Called from the executor's coordinating thread only, in trial
+/// *completion* order (not index order).
+pub trait ProgressSink {
+    /// A trial finished (successfully or not).
+    fn on_trial(&mut self, outcome: &TrialOutcome<'_>, metrics: &CampaignMetrics);
+
+    /// The campaign finished.
+    fn on_end(&mut self, metrics: &CampaignMetrics);
+}
+
+/// A sink that ignores everything.
+pub struct NullSink;
+
+impl ProgressSink for NullSink {
+    fn on_trial(&mut self, _outcome: &TrialOutcome<'_>, _metrics: &CampaignMetrics) {}
+
+    fn on_end(&mut self, _metrics: &CampaignMetrics) {}
+}
+
+/// Prints one progress line per `every` finished trials (and always on
+/// failures and at the end) to stderr.
+pub struct StderrReporter {
+    label: String,
+    every: usize,
+}
+
+impl StderrReporter {
+    /// A reporter labelled `label`, printing every `every` trials
+    /// (`every` is clamped to at least 1).
+    pub fn new(label: impl Into<String>, every: usize) -> Self {
+        StderrReporter {
+            label: label.into(),
+            every: every.max(1),
+        }
+    }
+}
+
+impl ProgressSink for StderrReporter {
+    fn on_trial(&mut self, outcome: &TrialOutcome<'_>, metrics: &CampaignMetrics) {
+        if let Some(error) = outcome.error {
+            eprintln!(
+                "[{}] trial {} FAILED after {} attempt(s): {error}",
+                self.label, outcome.trial_index, outcome.attempts
+            );
+        }
+        let finished = metrics.finished();
+        if outcome.error.is_some()
+            || finished.is_multiple_of(self.every)
+            || metrics.remaining() == 0
+        {
+            eprintln!(
+                "[{}] {}/{} done ({} failed, {} resumed), {:.2} trials/s, \
+                 last: trial {} in {:.2}s",
+                self.label,
+                finished,
+                metrics.total - metrics.skipped,
+                metrics.failed,
+                metrics.skipped,
+                metrics.throughput(),
+                outcome.trial_index,
+                outcome.wall.as_secs_f64(),
+            );
+        }
+    }
+
+    fn on_end(&mut self, metrics: &CampaignMetrics) {
+        eprintln!(
+            "[{}] campaign finished: {} completed, {} failed, {} resumed, \
+             {:.2}s elapsed ({:.2} trials/s)",
+            self.label,
+            metrics.completed,
+            metrics.failed,
+            metrics.skipped,
+            metrics.elapsed.as_secs_f64(),
+            metrics.throughput(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_arithmetic() {
+        let metrics = CampaignMetrics {
+            total: 10,
+            skipped: 2,
+            completed: 3,
+            failed: 1,
+            elapsed: Duration::from_secs(2),
+        };
+        assert_eq!(metrics.finished(), 4);
+        assert_eq!(metrics.remaining(), 4);
+        assert!((metrics.throughput() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_elapsed_throughput_is_zero() {
+        let metrics = CampaignMetrics::default();
+        assert_eq!(metrics.throughput(), 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The trial abstraction: what a campaign executes.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Per-trial execution context handed to [`TrialRunner::run`].
+///
+/// The context is the *only* sanctioned source of randomness inside a
+/// trial: [`TrialContext::rng`] derives an independent ChaCha8 stream
+/// from `(campaign_seed, trial_index)`, so a trial's draws depend on its
+/// position in the campaign grid and on nothing else — in particular not
+/// on which worker thread runs it, or in what order.
+#[derive(Debug, Clone)]
+pub struct TrialContext {
+    /// This trial's index within the campaign grid (dense, 0-based).
+    pub trial_index: usize,
+    /// The campaign-level seed every trial stream is derived from.
+    pub campaign_seed: u64,
+    /// The 1-based attempt number (`1` on the first try, `2` after one
+    /// retry, ...). Note [`TrialContext::rng`] deliberately ignores it.
+    pub attempt: u32,
+}
+
+impl TrialContext {
+    /// The trial's deterministic RNG.
+    ///
+    /// All attempts of a trial get the *same* stream: retries exist to
+    /// absorb transient external failures, and a retried trial must
+    /// produce the same output it would have produced on its first
+    /// attempt.
+    pub fn rng(&self) -> ChaCha8Rng {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.campaign_seed);
+        rng.set_stream(self.trial_index as u64);
+        rng
+    }
+}
+
+/// Executes one kind of trial.
+///
+/// Implementations must be deterministic functions of
+/// `(spec, ctx.rng())`: no ambient randomness, time, or global state.
+/// The executor may call `run` concurrently from several threads.
+pub trait TrialRunner: Sync {
+    /// The per-trial parameters (one cell of the campaign grid).
+    type Spec: Serialize + DeserializeOwned + Send + Sync;
+    /// The per-trial result, journaled as JSON on completion.
+    type Output: Serialize + DeserializeOwned + Send;
+
+    /// Runs one trial. `Err` (and panics, which the executor converts to
+    /// `Err`) trigger a bounded retry, then a journaled failure.
+    fn run(&self, spec: &Self::Spec, ctx: &TrialContext) -> Result<Self::Output, String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn trial_streams_are_independent_and_stable() {
+        let ctx = |trial_index| TrialContext {
+            trial_index,
+            campaign_seed: 42,
+            attempt: 1,
+        };
+        let mut r0 = ctx(0).rng();
+        let mut r0b = ctx(0).rng();
+        let mut r1 = ctx(1).rng();
+        let first0 = r0.next_u64();
+        assert_eq!(first0, r0b.next_u64(), "same trial, same stream");
+        assert_ne!(first0, r1.next_u64(), "different trials, different streams");
+    }
+
+    #[test]
+    fn attempt_does_not_perturb_the_stream() {
+        let mut first = TrialContext {
+            trial_index: 3,
+            campaign_seed: 9,
+            attempt: 1,
+        }
+        .rng();
+        let mut retry = TrialContext {
+            trial_index: 3,
+            campaign_seed: 9,
+            attempt: 2,
+        }
+        .rng();
+        for _ in 0..16 {
+            assert_eq!(first.next_u64(), retry.next_u64());
+        }
+    }
+}

@@ -166,7 +166,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut(usize) -> usize {
         let mut state = seed;
         move |n: usize| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % n
         }
     }
@@ -176,7 +178,10 @@ mod tests {
         let values: Vec<f64> = (0..50).map(|i| 10.0 + (i % 5) as f64 * 0.01).collect();
         let (lo, hi) = bootstrap_mean_ci(&values, 500, 0.95, lcg(7));
         let mean = values.iter().sum::<f64>() / 50.0;
-        assert!(lo <= mean && mean <= hi, "[{lo}, {hi}] should contain {mean}");
+        assert!(
+            lo <= mean && mean <= hi,
+            "[{lo}, {hi}] should contain {mean}"
+        );
         assert!(hi - lo < 0.02, "tight data gives a tight interval");
     }
 

@@ -75,8 +75,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
     }
     let t = mean_diff / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     Ok(TTestResult {
         t,
         df,

@@ -44,8 +44,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_power_weight(lambda)
                 .with_fgsm_eps(0.1);
             cfg.surrogate.sgd.epochs = (38_400 / queries).clamp(60, 2000);
-            let (out, _surrogate) =
-                run_blackbox_attack(&mut oracle, &split.train, &split.test, &cfg, &mut attack_rng)?;
+            let (out, _surrogate) = run_blackbox_attack(
+                &mut oracle,
+                &split.train,
+                &split.test,
+                &cfg,
+                &mut attack_rng,
+            )?;
             rows.push(vec![
                 queries.to_string(),
                 format!("{lambda}"),

@@ -21,7 +21,10 @@ use xbar_power_attacks::nn::train::{train, SgdConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Victim and data.
-    let ds = DigitsConfig::default().num_samples(1200).seed(13).generate();
+    let ds = DigitsConfig::default()
+        .num_samples(1200)
+        .seed(13)
+        .generate();
     let split = ds.split_frac(0.8)?;
     let mut rng = ChaCha8Rng::seed_from_u64(14);
     let mut net = SingleLayerNet::new_random(784, 10, Activation::Softmax, &mut rng);
@@ -71,9 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(obs)
     };
     let held_out = observe(&mut oracle, split.test.inputs())?;
-    let fp_global = global.detection_rate(
-        &held_out.iter().map(|&(_, p)| p).collect::<Vec<f64>>(),
-    );
+    let fp_global = global.detection_rate(&held_out.iter().map(|&(_, p)| p).collect::<Vec<f64>>());
     let fp_class = per_class.detection_rate(&held_out);
     let mut rows = Vec::new();
     for strength in [0.5, 1.0, 2.0, 4.0, 8.0] {
@@ -87,9 +88,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         let adv_obs = observe(&mut oracle, &adv)?;
         let adv_acc = oracle.eval_accuracy(&adv, split.test.labels())?;
-        let tp_global = global.detection_rate(
-            &adv_obs.iter().map(|&(_, p)| p).collect::<Vec<f64>>(),
-        );
+        let tp_global =
+            global.detection_rate(&adv_obs.iter().map(|&(_, p)| p).collect::<Vec<f64>>());
         let tp_class = per_class.detection_rate(&adv_obs);
         rows.push(vec![
             format!("{strength}"),
@@ -102,13 +102,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         format_table(
-            &["strength", "attacked acc", "global detect", "per-class detect"],
+            &[
+                "strength",
+                "attacked acc",
+                "global detect",
+                "per-class detect"
+            ],
             &rows
         )
     );
-    println!(
-        "false positives on clean traffic: global {fp_global:.3}, per-class {fp_class:.3}"
-    );
+    println!("false positives on clean traffic: global {fp_global:.3}, per-class {fp_class:.3}");
 
     // The probing phase itself is far more exposed than the evasion
     // phase: basis inputs e_j draw a tiny, wildly out-of-distribution

@@ -35,8 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let devices: Vec<(&str, DeviceModel)> = vec![
         ("ideal", DeviceModel::ideal()),
         ("8 conductance levels", DeviceModel::ideal().with_levels(8)),
-        ("programming variation 10%", DeviceModel::ideal().with_program_sigma(0.1)),
-        ("2% stuck-at faults", DeviceModel::ideal().with_stuck_rate(0.02)),
+        (
+            "programming variation 10%",
+            DeviceModel::ideal().with_program_sigma(0.1),
+        ),
+        (
+            "2% stuck-at faults",
+            DeviceModel::ideal().with_stuck_rate(0.02),
+        ),
     ];
     let mut rows = Vec::new();
     for (label, device) in devices {

@@ -22,7 +22,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let split = dataset.split_frac(0.8)?;
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let mut net = SingleLayerNet::new_random(20, 4, Activation::Identity, &mut rng);
-    train(&mut net, &split.train, Loss::Mse, &SgdConfig::default(), &mut rng)?;
+    train(
+        &mut net,
+        &split.train,
+        Loss::Mse,
+        &SgdConfig::default(),
+        &mut rng,
+    )?;
 
     // 2. Deploy it on an (ideal) crossbar behind a power-only oracle —
     //    the attacker sees no outputs at all (the paper's Case 1).

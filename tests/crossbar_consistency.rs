@@ -105,13 +105,13 @@ fn measurement_noise_propagates_to_calibrated_power_at_the_right_scale() {
     let mut oracle = Oracle::new(net, &cfg, 8).unwrap();
     // The calibration divides by the mapping scale k, so calibrated noise
     // std is sigma / k.
-    let k = (0..1).map(|_| ()).map(|_| 1.0 / w.max_abs()).next().unwrap();
+    let k = (0..1)
+        .map(|_| ())
+        .map(|_| 1.0 / w.max_abs())
+        .next()
+        .unwrap();
     let u = vec![0.5; 20];
-    let truth: f64 = w
-        .col_l1_norms()
-        .iter()
-        .map(|n| 0.5 * n)
-        .sum();
+    let truth: f64 = w.col_l1_norms().iter().map(|n| 0.5 * n).sum();
     let n = 4000;
     let samples: Vec<f64> = (0..n).map(|_| oracle.query_power(&u).unwrap()).collect();
     let mean = samples.iter().sum::<f64>() / n as f64;

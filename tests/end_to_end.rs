@@ -18,17 +18,20 @@ use xbar_power_attacks::nn::network::SingleLayerNet;
 use xbar_power_attacks::nn::train::{train, SgdConfig};
 
 /// Small trained digits victim shared by the tests.
-fn digits_victim(
-    head: Activation,
-    loss: Loss,
-    seed: u64,
-) -> (SingleLayerNet, Dataset, Dataset) {
-    let ds = DigitsConfig::default().num_samples(600).seed(seed).generate();
+fn digits_victim(head: Activation, loss: Loss, seed: u64) -> (SingleLayerNet, Dataset, Dataset) {
+    let ds = DigitsConfig::default()
+        .num_samples(600)
+        .seed(seed)
+        .generate();
     let split = ds.split_frac(0.8).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut net = SingleLayerNet::new_random(784, 10, head, &mut rng);
     let sgd = SgdConfig {
-        learning_rate: if head == Activation::Softmax { 0.05 } else { 0.01 },
+        learning_rate: if head == Activation::Softmax {
+            0.05
+        } else {
+            0.01
+        },
         epochs: 15,
         ..SgdConfig::default()
     };
@@ -109,11 +112,7 @@ fn case2_blackbox_attack_beats_clean_accuracy() {
     let (out, surrogate) =
         run_blackbox_attack(&mut oracle, &train_pool, &test, &cfg, &mut rng).unwrap();
     assert!(out.oracle_clean_accuracy > 0.7);
-    assert!(
-        out.degradation() > 0.15,
-        "attack should bite: {:?}",
-        out
-    );
+    assert!(out.degradation() > 0.15, "attack should bite: {:?}", out);
     assert!(out.surrogate_test_accuracy > 0.5);
     assert_eq!(surrogate.num_inputs(), 784);
     assert_eq!(out.queries_used, 200);

@@ -1,0 +1,256 @@
+//! Offline API-compatible subset of `criterion`.
+//!
+//! Implements just enough of the criterion API for this workspace's
+//! benches to compile and produce useful numbers offline: a fixed
+//! warm-up, an adaptive measurement loop, and one `name: time/iter`
+//! line per benchmark on stdout. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized. Accepted for API compatibility; the
+/// shim treats all variants the same.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier for a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures and reports per-iteration wall time.
+pub struct Bencher {
+    /// Total time spent in measured iterations.
+    elapsed: Duration,
+    /// Number of measured iterations.
+    iters: u64,
+}
+
+/// Target measurement time per benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+/// Cap on measured iterations, so very fast routines terminate quickly.
+const MAX_ITERS: u64 = 10_000;
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iters += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= MEASURE_TARGET || self.iters >= MAX_ITERS {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if self.elapsed >= MEASURE_TARGET || self.iters >= MAX_ITERS {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("bench {name}: no iterations");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() / u128::from(self.iters);
+        println!("bench {name}: {per_iter} ns/iter ({} iters)", self.iters);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    bencher.report(name);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Runs a benchmark within this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs a benchmark within this group, passing `input` through.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. A no-op in this shim.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.to_string(), f);
+        self
+    }
+
+    /// Runs a standalone benchmark, passing `input` through.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        let mut count = 0u64;
+        bencher.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        assert!(bencher.iters > 0);
+        assert!(count >= bencher.iters);
+    }
+
+    #[test]
+    fn batched_measures_routine_only() {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        bencher.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        assert!(bencher.iters > 0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        smoke();
+    }
+}

@@ -1,0 +1,492 @@
+//! Offline API-compatible subset of `proptest`.
+//!
+//! Provides the pieces this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, range/tuple strategies,
+//! [`any`], `prop::collection::vec`, `prop::option::of`,
+//! `prop::sample::select`, [`ProptestConfig`], and the [`proptest!`],
+//! [`prop_assert!`], [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * no shrinking — a failing case reports its inputs' seed, not a
+//!   minimised counterexample;
+//! * case generation is fully deterministic: the RNG for case `i` of
+//!   test `name` is seeded from `fnv1a(name) ^ splitmix(i)`, so failures
+//!   reproduce exactly across runs and machines.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A failed test-case assertion, produced by [`prop_assert!`] /
+/// [`prop_assert_eq!`].
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration. Only `cases` is supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value using `rng`.
+    fn new_value(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut ChaCha8Rng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// A strategy that always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut ChaCha8Rng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// A strategy over the whole domain of `T` (uniform over the bit
+/// patterns for the supported integer types).
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut ChaCha8Rng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut ChaCha8Rng) -> bool {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy combinators, mirroring upstream's `proptest::prelude::prop`.
+pub mod prop {
+    /// Strategies over collections.
+    pub mod collection {
+        use super::super::*;
+
+        /// A number of elements: either exact or drawn from a range.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            /// Exclusive upper bound.
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+
+        /// The strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// A `Vec` whose length is drawn from `size` and whose elements
+        /// are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn new_value(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.lo..self.size.hi);
+                (0..len).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+    }
+
+    /// Strategies over `Option`.
+    pub mod option {
+        use super::super::*;
+
+        /// The strategy returned by [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `Some(x)` with probability 1/2, `None` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn new_value(&self, rng: &mut ChaCha8Rng) -> Option<S::Value> {
+                if rng.gen_bool(0.5) {
+                    Some(self.inner.new_value(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Strategies that sample from explicit lists.
+    pub mod sample {
+        use super::super::*;
+
+        /// The strategy returned by [`select`].
+        pub struct Select<T: Clone> {
+            items: Vec<T>,
+        }
+
+        /// Picks one of `items` uniformly at random.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select from an empty list");
+            Select { items }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn new_value(&self, rng: &mut ChaCha8Rng) -> T {
+                self.items[rng.gen_range(0..self.items.len())].clone()
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Drives `config.cases` deterministic cases of `f`, panicking with the
+/// test name, case number, and seed on the first failure. Used by the
+/// [`proptest!`] macro; not part of the public upstream API.
+pub fn run_proptest<F>(name: &str, config: &ProptestConfig, mut f: F)
+where
+    F: FnMut(&mut ChaCha8Rng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes());
+    for case in 0..config.cases {
+        let seed = base ^ splitmix(u64::from(case));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        if let Err(e) = f(&mut rng) {
+            panic!("proptest `{name}` failed at case {case} (seed {seed:#x}): {e}");
+        }
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports an optional leading `#![proptest_config(...)]`, doc comments
+/// and other attributes on each test, pattern arguments
+/// (`(m, n, _) in dims()`), and trailing commas in the argument list.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_proptest(stringify!($name), &config, |__proptest_rng| {
+                $(let $pat = $crate::Strategy::new_value(&($strat), __proptest_rng);)+
+                let __proptest_result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __proptest_result
+            });
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    (($config:expr)) => {};
+}
+
+/// Like `assert!`, but fails the current proptest case instead of
+/// panicking directly (must be used inside a [`proptest!`] body).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current proptest case instead of
+/// panicking directly (must be used inside a [`proptest!`] body).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &($left);
+        let right = &($right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = Strategy::new_value(&(1usize..8), &mut rng);
+            assert!((1..8).contains(&v));
+            let f = Strategy::new_value(&(-10.0f64..10.0), &mut rng);
+            assert!((-10.0..10.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        let strat = prop::collection::vec(0.0f64..1.0, 3usize).prop_map(|v| v.len());
+        assert_eq!(Strategy::new_value(&strat, &mut rng), 3);
+        let ranged = prop::collection::vec(0u32..5, 1..4);
+        for _ in 0..100 {
+            let v = Strategy::new_value(&ranged, &mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn select_and_option() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..100 {
+            let x = Strategy::new_value(&prop::sample::select(vec![1, 2, 3]), &mut rng);
+            assert!([1, 2, 3].contains(&x));
+            match Strategy::new_value(&prop::option::of(0u32..4), &mut rng) {
+                None => saw_none = true,
+                Some(v) => {
+                    assert!(v < 4);
+                    saw_some = true;
+                }
+            }
+        }
+        assert!(saw_none && saw_some);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro handles patterns, tuples, and trailing commas.
+        #[test]
+        fn macro_smoke(
+            (a, b, _) in (0u32..10, 0u32..10, 0u32..10),
+            v in prop::collection::vec(-1.0f64..1.0, 1..5),
+        ) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(!v.is_empty(), "len {}", v.len());
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        super::run_proptest("det", &ProptestConfig::with_cases(5), |rng| {
+            use rand::RngCore;
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second = Vec::new();
+        super::run_proptest("det", &ProptestConfig::with_cases(5), |rng| {
+            use rand::RngCore;
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

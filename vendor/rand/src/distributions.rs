@@ -1,0 +1,241 @@
+//! Distributions: the [`Standard`] distribution, uniform ranges, and the
+//! [`SampleRange`] machinery behind `Rng::gen_range`.
+
+use crate::{Rng, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural domain" distribution: all values for integers, `[0, 1)`
+/// for floats.
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits, as upstream: uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types which can be sampled uniformly from a `lo..hi` range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+/// Rejection-free-enough uniform integer in `[0, range)` (`range > 0`),
+/// via the widening-multiply technique with a rejection zone.
+fn uniform_u64_below<R: RngCore + ?Sized>(range: u64, rng: &mut R) -> u64 {
+    debug_assert!(range > 0);
+    // Largest multiple of `range` that fits in a u64, minus one: values
+    // above it would bias the modulus.
+    let zone = u64::MAX - (u64::MAX - range + 1) % range;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % range;
+        }
+    }
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add(uniform_u64_below(span, rng) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u64_below(span + 1, rng) as $t)
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                assert!(lo.is_finite() && hi.is_finite(), "gen_range: non-finite bound");
+                let u: f64 = Standard.sample(rng);
+                let v = lo as f64 + (hi as f64 - lo as f64) * u;
+                // Guard the open upper bound against rounding.
+                if v as $t >= hi { lo } else { v as $t }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                assert!(lo.is_finite() && hi.is_finite(), "gen_range: non-finite bound");
+                let u: f64 = Standard.sample(rng);
+                let v = lo as f64 + (hi as f64 - lo as f64) * u;
+                if v as $t > hi { hi } else { v as $t }
+            }
+        }
+    )*};
+}
+
+sample_uniform_float!(f32, f64);
+
+/// Ranges accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// A reusable uniform distribution over `[low, high)`.
+pub struct Uniform<T: SampleUniform> {
+    low: T,
+    high: T,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Creates a uniform distribution over `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new: empty range");
+        Uniform { low, high }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_half_open(self.low, self.high, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    impl SeedableRng for Lcg {
+        type Seed = [u8; 8];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            Lcg(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut rng = Lcg::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..4000 {
+            let x: f64 = Standard.sample(&mut rng);
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 4000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_integers_cover_domain() {
+        let mut rng = Lcg::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[usize::sample_half_open(0, 7, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all of 0..7 sampled: {seen:?}");
+    }
+
+    #[test]
+    fn uniform_distribution_object() {
+        let mut rng = Lcg::seed_from_u64(3);
+        let d = Uniform::new(-1.5f64, 2.5);
+        for _ in 0..200 {
+            let x = d.sample(&mut rng);
+            assert!((-1.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn negative_integer_ranges() {
+        let mut rng = Lcg::seed_from_u64(4);
+        for _ in 0..200 {
+            let x: i64 = i64::sample_half_open(-5, 5, &mut rng);
+            assert!((-5..5).contains(&x));
+            let y: i32 = i32::sample_inclusive(-3, -3, &mut rng);
+            assert_eq!(y, -3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Lcg::seed_from_u64(5);
+        let _ = usize::sample_half_open(3, 3, &mut rng);
+    }
+}

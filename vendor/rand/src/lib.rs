@@ -1,0 +1,214 @@
+//! Vendored, offline subset of the [`rand`](https://crates.io/crates/rand)
+//! 0.8 API.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! external RNG dependency is replaced by this in-tree shim exposing the
+//! exact API surface the workspace uses: [`Rng`], [`RngCore`],
+//! [`SeedableRng`], [`distributions::Uniform`], and
+//! [`seq::SliceRandom`]. Algorithms follow the upstream definitions where
+//! they are load-bearing (notably [`SeedableRng::seed_from_u64`]'s PCG32
+//! seed expansion, so seeds stay stable if the real crate is ever
+//! restored); elsewhere they are straightforward deterministic
+//! implementations.
+//!
+//! Everything here is deterministic given the generator's seed — there is
+//! deliberately no `thread_rng`/OS entropy: reproducibility is a core
+//! requirement of the experiment harness.
+
+#![deny(unsafe_code)]
+
+pub mod distributions;
+pub mod seq;
+
+use distributions::{Distribution, SampleRange, Standard};
+
+/// The core of a random number generator: a source of random words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type, e.g. `[u8; 32]`.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it to a full seed with
+    /// the same PCG32 stream upstream `rand` 0.8 uses, so `seed_from_u64`
+    /// values are interchangeable with the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let word = xorshifted.rotate_right(rot).to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`Standard`] distribution (uniform over
+    /// the type's natural domain; `[0, 1)` for floats).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range, e.g. `rng.gen_range(0..10)` or
+    /// `rng.gen_range(-1.0..=1.0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} not in [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Samples from an explicit distribution object.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial deterministic generator for exercising the trait plumbing.
+    struct StepRng(u64);
+
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    impl SeedableRng for StepRng {
+        type Seed = [u8; 8];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            StepRng(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StepRng(42);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: f64 = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&y));
+            let z: f64 = rng.gen_range(0.5..=1.5);
+            assert!((0.5..=1.5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StepRng(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn seed_from_u64_matches_upstream_expansion() {
+        // First PCG32 output for state 0 after one advance; guards against
+        // accidental edits to the seed-expansion constants.
+        let rng = StepRng::seed_from_u64(0);
+        let seed_bytes = rng.0.to_le_bytes();
+        let mut state = 0u64
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(11634580027462260723);
+        let w0 = {
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            xorshifted.rotate_right((state >> 59) as u32)
+        };
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(11634580027462260723);
+        let w1 = {
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            xorshifted.rotate_right((state >> 59) as u32)
+        };
+        assert_eq!(&seed_bytes[..4], &w0.to_le_bytes());
+        assert_eq!(&seed_bytes[4..], &w1.to_le_bytes());
+    }
+
+    #[test]
+    fn trait_objects_and_reborrows_work() {
+        fn takes_dyn(rng: &mut dyn RngCore) -> u64 {
+            rng.next_u64()
+        }
+        fn takes_generic<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = StepRng(3);
+        takes_dyn(&mut rng);
+        let r = &mut rng;
+        let x = takes_generic(r);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

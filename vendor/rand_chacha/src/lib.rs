@@ -1,0 +1,199 @@
+//! Vendored, offline subset of the
+//! [`rand_chacha`](https://crates.io/crates/rand_chacha) crate: the
+//! [`ChaCha8Rng`] generator, implementing the genuine ChaCha stream
+//! cipher with 8 rounds (IETF variant: 256-bit key, 64-bit block counter,
+//! 64-bit stream id).
+//!
+//! The workspace uses `ChaCha8Rng` as its only generator, seeded either
+//! from a full 32-byte key or through `SeedableRng::seed_from_u64`. The
+//! keystream here is the standard ChaCha8 keystream, so statistical
+//! quality matches the real crate; the word-emission order is the
+//! scalar/reference order (sequential words of sequential blocks).
+
+#![deny(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const WORDS_PER_BLOCK: usize = 16;
+const CHACHA8_DOUBLE_ROUNDS: usize = 4;
+
+/// A ChaCha random number generator with 8 rounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// Key words `k0..k7`.
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12–13).
+    counter: u64,
+    /// 64-bit stream id (state words 14–15).
+    stream: u64,
+    /// The current decoded block.
+    buffer: [u32; WORDS_PER_BLOCK],
+    /// Next word to emit from `buffer`; `WORDS_PER_BLOCK` forces a refill.
+    index: usize,
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; WORDS_PER_BLOCK], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// The stream id, settable to derive independent streams from one key
+    /// (used by the campaign runtime for per-trial generators).
+    pub fn set_stream(&mut self, stream: u64) {
+        if stream != self.stream {
+            self.stream = stream;
+            self.counter = 0;
+            self.index = WORDS_PER_BLOCK;
+        }
+    }
+
+    /// The current stream id.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    fn refill(&mut self) {
+        let mut state: [u32; WORDS_PER_BLOCK] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let initial = state;
+        for _ in 0..CHACHA8_DOUBLE_ROUNDS {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        self.buffer = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= WORDS_PER_BLOCK {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            buffer: [0; WORDS_PER_BLOCK],
+            index: WORDS_PER_BLOCK,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let mut c = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        b.set_stream(1);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+        // Same stream id restores the original sequence.
+        let mut c = ChaCha8Rng::seed_from_u64(5);
+        c.set_stream(1);
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(ys, zs);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..7 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn chacha_keystream_known_answer() {
+        // ChaCha block function self-consistency: the first block for an
+        // all-zero key must differ from the second, and re-seeding
+        // reproduces both (guards the counter logic).
+        let mut rng = ChaCha8Rng::from_seed([0u8; 32]);
+        let block1: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let block2: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(block1, block2);
+        let mut again = ChaCha8Rng::from_seed([0u8; 32]);
+        let block1b: Vec<u32> = (0..16).map(|_| again.next_u32()).collect();
+        assert_eq!(block1, block1b);
+    }
+
+    #[test]
+    fn float_sampling_behaves() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mean: f64 = (0..10_000).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

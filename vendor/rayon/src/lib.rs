@@ -1,0 +1,258 @@
+//! Vendored, offline subset of the [`rayon`](https://crates.io/crates/rayon)
+//! API, backed by `std::thread::scope`.
+//!
+//! Only the combinators the workspace actually uses are provided:
+//!
+//! * `range.into_par_iter().map(f).collect::<Vec<_>>()`
+//! * `vec.into_par_iter().map(f).collect::<Vec<_>>()` / `.for_each(f)`
+//! * `slice.par_chunks_mut(n).enumerate().for_each(f)`
+//!
+//! Work is split into one contiguous chunk per available core and joined
+//! in order, so `collect` preserves item order exactly like rayon. On a
+//! single-core host (or for single-item workloads) everything runs inline
+//! with no thread spawns.
+
+#![deny(unsafe_code)]
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f` over `items` across scoped worker threads, preserving order.
+fn parallel_map<I, T, F>(items: Vec<I>, f: &F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<I> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<T>>()))
+            .collect();
+        let mut out = Vec::new();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Conversion into a parallel iterator (mirrors rayon's trait of the same
+/// name).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Materialises the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u32, u64, usize, i32, i64);
+
+/// A materialised parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each element through `f` (lazily; executed at `collect` /
+    /// `for_each`).
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map(self.items, &f);
+    }
+
+    /// Collects the elements (order-preserving).
+    pub fn collect<B: FromIterator<T>>(self) -> B {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Executes the map in parallel and collects in order.
+    pub fn collect<B: FromIterator<U>>(self) -> B {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Executes the map in parallel for its side effects.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync,
+    {
+        let f = self.f;
+        parallel_map(self.items, &|item| g(f(item)));
+    }
+}
+
+/// Parallel mutable chunking of slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Like `chunks_mut`, but the downstream `for_each` runs in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "par_chunks_mut: chunk size must be > 0");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Runs `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        parallel_map(self.chunks, &f);
+    }
+}
+
+/// Enumerated parallel iterator over mutable chunks.
+pub struct ParChunksMutEnumerate<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Runs `f` on every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let indexed: Vec<(usize, &mut [T])> = self.chunks.into_iter().enumerate().collect();
+        parallel_map(indexed, &f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..100).into_par_iter().map(|i| i * i).collect();
+        let want: Vec<u64> = (0u64..100).map(|i| i * i).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn vec_into_par_iter() {
+        let v = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate() {
+        let mut data = vec![0.0f64; 37];
+        data.par_chunks_mut(5).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as f64;
+            }
+        });
+        for (j, &x) in data.iter().enumerate() {
+            assert_eq!(x, (j / 5) as f64, "element {j}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let mut nothing: Vec<u8> = Vec::new();
+        nothing.par_chunks_mut(4).for_each(|_| {});
+    }
+
+    #[test]
+    fn for_each_runs_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        (1u64..101).into_par_iter().for_each(|i| {
+            total.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
+    }
+}

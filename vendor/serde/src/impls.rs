@@ -1,0 +1,321 @@
+//! `Serialize`/`Deserialize` implementations for primitives and standard
+//! containers.
+
+use crate::{DeError, Deserialize, Serialize, Value};
+
+// ---------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.serialize(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------
+
+fn as_u64(value: &Value) -> Result<u64, DeError> {
+    match value {
+        Value::U64(v) => Ok(*v),
+        Value::I64(v) if *v >= 0 => Ok(*v as u64),
+        other => Err(DeError::custom(format!(
+            "expected unsigned integer, found {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn as_i64(value: &Value) -> Result<i64, DeError> {
+    match value {
+        Value::I64(v) => Ok(*v),
+        Value::U64(v) => {
+            i64::try_from(*v).map_err(|_| DeError::custom(format!("integer {v} overflows i64")))
+        }
+        other => Err(DeError::custom(format!(
+            "expected integer, found {}",
+            other.type_name()
+        ))),
+    }
+}
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let v = as_u64(value)?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!(
+                        "integer {v} out of range for {}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let v = as_i64(value)?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!(
+                        "integer {v} out of range for {}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::F64(v) => Ok(*v),
+            Value::U64(v) => Ok(*v as f64),
+            Value::I64(v) => Ok(*v as f64),
+            other => Err(DeError::custom(format!(
+                "expected number, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        f64::deserialize(value).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected bool, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected string, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let items = value.as_array().ok_or_else(|| {
+            DeError::custom(format!("expected array, found {}", value.type_name()))
+        })?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::deserialize(item).map_err(|e| e.in_field(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+fn tuple_items(value: &Value, len: usize) -> Result<&[Value], DeError> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| DeError::custom(format!("expected array, found {}", value.type_name())))?;
+    if items.len() != len {
+        return Err(DeError::custom(format!(
+            "expected array of length {len}, found {}",
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let items = tuple_items(value, 2)?;
+        Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let items = tuple_items(value, 3)?;
+        Ok((
+            A::deserialize(&items[0])?,
+            B::deserialize(&items[1])?,
+            C::deserialize(&items[2])?,
+        ))
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-7i32).serialize()).unwrap(), -7);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn integers_accept_floats_never() {
+        assert!(usize::deserialize(&Value::F64(1.0)).is_err());
+        assert!(f64::deserialize(&Value::U64(3)).is_ok());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1usize, vec![0.5f64, 1.5]), (2, vec![])];
+        let val = v.serialize();
+        let back: Vec<(usize, Vec<f64>)> = Deserialize::deserialize(&val).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let some: Option<u32> = Some(7);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize(&some.serialize()).unwrap(), some);
+        assert_eq!(Option::<u32>::deserialize(&none.serialize()).unwrap(), none);
+    }
+
+    #[test]
+    fn errors_carry_context() {
+        let val = Value::Array(vec![Value::U64(1), Value::Str("no".into())]);
+        let err = Vec::<u64>::deserialize(&val).unwrap_err();
+        assert!(err.to_string().contains("[1]"), "{err}");
+    }
+}

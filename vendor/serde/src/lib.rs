@@ -1,0 +1,94 @@
+//! Vendored, offline subset of [`serde`](https://serde.rs).
+//!
+//! The real serde separates the data model (Serializer/Deserializer
+//! visitors) from formats; this workspace only ever serialises to JSON,
+//! so the shim collapses the data model to a concrete JSON-like
+//! [`Value`] tree:
+//!
+//! * [`Serialize`] renders a type into a [`Value`];
+//! * [`Deserialize`] reconstructs a type from a [`Value`];
+//! * `#[derive(Serialize, Deserialize)]` (re-exported from the companion
+//!   `serde_derive` shim) supports named-field structs — including
+//!   generic ones — and unit-variant enums, which covers every derived
+//!   type in this repository;
+//! * the `serde_json` shim does the text encoding/decoding of [`Value`].
+//!
+//! Field order is preserved ([`Value::Object`] is an ordered list), so
+//! serialised output is deterministic — a property the campaign journal
+//! and the determinism tests rely on.
+
+#![deny(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+pub mod value;
+
+pub use value::Value;
+
+/// Deserialisation error: a human-readable path/description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given description.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Annotates an error with the field it occurred under.
+    pub fn in_field(self, field: &str) -> Self {
+        DeError {
+            message: format!("{field}: {}", self.message),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can be rendered into the JSON data model.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape or domain doesn't match.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+pub mod de {
+    //! Deserialisation traits (mirrors `serde::de`).
+
+    /// Owned deserialisation marker. The shim's [`crate::Deserialize`] is
+    //  already lifetime-free, so this is a blanket alias.
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Derive-macro support: fetches a field from an object, treating a
+/// missing field as JSON `null` (so `Option` fields default to `None`).
+#[doc(hidden)]
+pub fn __get_field<'v>(fields: &'v [(String, Value)], name: &str) -> &'v Value {
+    static NULL: Value = Value::Null;
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map_or(&NULL, |(_, v)| v)
+}

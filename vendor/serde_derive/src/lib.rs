@@ -1,0 +1,336 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build
+//! has no `syn`/`quote`). Supported shapes — which cover every derived
+//! type in this workspace:
+//!
+//! * structs with named fields, including type-generic ones
+//!   (`struct Envelope<T> { ... }`);
+//! * enums whose variants are all unit variants.
+//!
+//! Anything else (tuple structs, data-carrying enum variants, lifetimes)
+//! produces a `compile_error!` naming the unsupported construct, so a
+//! future change fails loudly at the derive site instead of silently
+//! serialising wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive input: name, type-generic parameter names, and shape.
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Unit variants, in declaration order.
+    Enum(Vec<String>),
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("compile_error tokens")
+}
+
+/// Skips attribute (`#[...]`) pairs and visibility modifiers.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+
+    let kind_word = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    if kind_word != "struct" && kind_word != "enum" {
+        return Err(format!("expected `struct` or `enum`, found `{kind_word}`"));
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+
+    // Generic parameter list, if any. Only type parameters are supported.
+    let mut generics = Vec::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth: u32 = 1;
+        let mut expecting_param = true;
+        for tok in iter.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    expecting_param = true;
+                }
+                TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                    expecting_param = false;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    return Err(format!(
+                        "serde shim: lifetimes are not supported in `{name}`"
+                    ));
+                }
+                TokenTree::Ident(id) if expecting_param && depth == 1 => {
+                    if id.to_string() == "const" {
+                        return Err(format!(
+                            "serde shim: const generics are not supported in `{name}`"
+                        ));
+                    }
+                    generics.push(id.to_string());
+                    expecting_param = false;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Skip anything (e.g. a where clause) up to the brace-delimited body.
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!("serde shim: unit struct `{name}` is not supported"));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde shim: tuple struct `{name}` is not supported (use named fields)"
+                ));
+            }
+            Some(_) => continue,
+            None => return Err(format!("`{name}`: missing body")),
+        }
+    };
+
+    let kind = if kind_word == "struct" {
+        Kind::Struct(parse_named_fields(body.stream(), &name)?)
+    } else {
+        Kind::Enum(parse_unit_variants(body.stream(), &name)?)
+    };
+    Ok(Input {
+        name,
+        generics,
+        kind,
+    })
+}
+
+fn parse_named_fields(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let field = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("`{name}`: expected field name, found {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("`{name}.{field}`: expected `:`, found {other:?}")),
+        }
+        fields.push(field);
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle_depth: u32 = 0;
+        loop {
+            match iter.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let variant = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("`{name}`: expected variant, found {other:?}")),
+        };
+        match iter.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim: enum `{name}` variant `{variant}` carries data; only unit \
+                     variants are supported"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Skip an explicit discriminant.
+                for tok in iter.by_ref() {
+                    if matches!(&tok, TokenTree::Punct(q) if q.as_char() == ',') {
+                        break;
+                    }
+                }
+                variants.push(variant);
+            }
+            other => return Err(format!("`{name}::{variant}`: unexpected token {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+/// `impl<T: Bound, ...> Trait for Name<T, ...>` header pieces.
+fn impl_header(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), input.name.clone())
+    } else {
+        let params: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", input.name, input.generics.join(", ")),
+        )
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let (impl_generics, self_ty) = impl_header(&parsed, "::serde::Serialize");
+    let body = match &parsed.kind {
+        Kind::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((String::from({f:?}), \
+                         ::serde::Serialize::serialize(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = \
+                 Vec::with_capacity({});\n{pushes}::serde::Value::Object(fields)",
+                fields.len()
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(String::from({v:?})),\n",
+                        name = parsed.name
+                    )
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {self_ty} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let (impl_generics, self_ty) = impl_header(&parsed, "::serde::Deserialize");
+    let name = &parsed.name;
+    let body = match &parsed.kind {
+        Kind::Struct(fields) => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::__get_field(obj, {f:?}))\
+                         .map_err(|e| e.in_field({f:?}))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = value.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                 format!(\"expected object for struct {name}, found {{}}\", \
+                 value.type_name())))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{field_inits}}})"
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "::std::option::Option::Some({v:?}) => \
+                                  ::std::result::Result::Ok({name}::{v}),\n"
+                    )
+                })
+                .collect();
+            format!(
+                "match value.as_str() {{\n{arms}\
+                 ::std::option::Option::Some(other) => \
+                 ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant {{other:?}} for enum {name}\"))),\n\
+                 ::std::option::Option::None => \
+                 ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"expected string variant for enum {name}, found {{}}\", \
+                 value.type_name()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {self_ty} {{\n\
+             fn deserialize(value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,536 @@
+//! Offline API-compatible subset of `serde_json`.
+//!
+//! Serialises the shim's [`Value`] tree to JSON text and parses JSON text
+//! back into a [`Value`] tree, then converts via the shim's
+//! `Serialize`/`Deserialize` traits. Only the entry points this workspace
+//! uses are provided: [`to_string`], [`to_string_pretty`],
+//! [`to_writer_pretty`], [`from_str`], [`from_reader`], and [`Error`].
+//!
+//! Determinism notes:
+//! * objects serialise in field declaration order (`Value::Object` is an
+//!   ordered vec);
+//! * floats use Rust's shortest-roundtrip formatting (`{:?}`), so equal
+//!   `f64` values always produce byte-identical text;
+//! * non-finite floats serialise as `null`, matching upstream `serde_json`.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+pub use serde::Value;
+use serde::{DeError, Deserialize, Serialize};
+
+/// Error type for JSON serialisation, parsing, and the IO beneath them.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::new(format!("io: {e}"))
+    }
+}
+
+/// Result alias matching upstream `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` is Rust's shortest representation that round-trips,
+        // and always includes a decimal point or exponent (`1.0`).
+        out.push_str(&format!("{v:?}"));
+    } else {
+        // Upstream serde_json emits null for NaN / infinities.
+        out.push_str("null");
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, pretty: bool, indent: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => write_f64(out, *v),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                write_value(out, item, pretty, indent + 1);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                write_escaped(out, key);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, item, pretty, indent + 1);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serialises `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), false, 0);
+    Ok(out)
+}
+
+/// Serialises `value` to a pretty-printed (2-space indented) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), true, 0);
+    Ok(out)
+}
+
+/// Serialises `value` pretty-printed into `writer`.
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let text = to_string_pretty(value)?;
+    writer.write_all(text.as_bytes())?;
+    Ok(())
+}
+
+/// Converts any serialisable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.serialize())
+}
+
+/// Converts a [`Value`] tree into a typed value.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::deserialize(&value).map_err(Error::from)
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::new(format!("{} at byte {}", message.into(), self.pos))
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {:?}, found {:?}",
+                byte as char,
+                self.peek().map(|b| b as char)
+            )))
+        }
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_whitespace();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => {
+                self.expect_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.expect_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.err(format!("unexpected character {:?}", b as char))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: must be followed by \uDCxx.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?,
+                                );
+                            } else {
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("invalid \\u escape"))?,
+                                );
+                            }
+                        }
+                        other => {
+                            return Err(self.err(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a &str, so the bytes
+                    // are valid; copy the whole character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(v) = digits.parse::<i64>() {
+                    return Ok(Value::I64(-v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+            // Integer overflowing 64 bits: fall through to f64.
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+}
+
+/// Parses a JSON document into a [`Value`] tree.
+pub fn parse_value(text: &str) -> Result<Value> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Deserialises a value of type `T` from a JSON string.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let value = parse_value(text)?;
+    T::deserialize(&value).map_err(Error::from)
+}
+
+/// Deserialises a value of type `T` from a reader.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    from_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(parse_value("null").unwrap(), Value::Null);
+        assert_eq!(parse_value("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_value("42").unwrap(), Value::U64(42));
+        assert_eq!(parse_value("-3").unwrap(), Value::I64(-3));
+        assert_eq!(parse_value("1.5").unwrap(), Value::F64(1.5));
+        assert_eq!(parse_value("1e3").unwrap(), Value::F64(1000.0));
+        assert_eq!(
+            parse_value("\"a\\nb\"").unwrap(),
+            Value::Str("a\nb".to_string())
+        );
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(
+            parse_value("\"\\u00e9\"").unwrap(),
+            Value::Str("é".to_string())
+        );
+        assert_eq!(
+            parse_value("\"\\ud83d\\ude00\"").unwrap(),
+            Value::Str("😀".to_string())
+        );
+    }
+
+    #[test]
+    fn float_formatting_roundtrips() {
+        for v in [0.0, 1.0, -2.5, 0.1, 1e-8, 123456789.123456] {
+            let text = to_string(&v).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, v, "{text}");
+        }
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn compact_and_pretty() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::U64(1)),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[true,null]}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            pretty,
+            "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    null\n  ]\n}"
+        );
+        assert_eq!(parse_value(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_value("1 2").is_err());
+        assert!(parse_value("{\"a\":}").is_err());
+        assert!(parse_value("[1,]").is_err());
+    }
+
+    #[test]
+    fn typed_roundtrip_via_reader() {
+        let v: Vec<(String, f64)> = from_reader(r#"[["x", 1.5], ["y", -2.0]]"#.as_bytes()).unwrap();
+        assert_eq!(v, vec![("x".to_string(), 1.5), ("y".to_string(), -2.0)]);
+    }
+}
