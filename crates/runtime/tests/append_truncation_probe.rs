@@ -1,0 +1,89 @@
+//! Probe: resume-append after a mid-write kill (file ends without a
+//! trailing newline) with MORE THAN ONE pending trial.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use xbar_runtime::journal::read_journal;
+use xbar_runtime::{run_campaign, Campaign, ExecutorConfig, NullSink, TrialContext, TrialRunner};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Spec {
+    draws: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Out {
+    values: Vec<u64>,
+}
+
+struct Runner;
+
+impl TrialRunner for Runner {
+    type Spec = Spec;
+    type Output = Out;
+
+    fn run(&self, spec: &Spec, ctx: &TrialContext) -> Result<Out, String> {
+        let mut rng = ctx.rng();
+        Ok(Out {
+            values: (0..spec.draws).map(|_| rng.next_u64()).collect(),
+        })
+    }
+}
+
+#[test]
+fn resume_after_no_trailing_newline_kill() {
+    let mut campaign = Campaign::new("probe", 77);
+    for _ in 0..6 {
+        campaign.push_trial(Spec { draws: 4 });
+    }
+    let path = std::env::temp_dir().join(format!("xbar_probe_{}.jsonl", std::process::id()));
+    run_campaign(
+        &Runner,
+        &campaign,
+        &ExecutorConfig::with_threads(1),
+        Some(&path),
+        false,
+        &mut NullSink,
+    )
+    .unwrap();
+
+    // Kill mid-write: keep header + 3 full records, then half of record 4,
+    // with NO trailing newline (what a SIGKILL mid-write leaves behind).
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let kept = lines[..4].join("\n");
+    let half = &lines[4][..lines[4].len() / 2];
+    std::fs::write(&path, format!("{kept}\n{half}")).unwrap();
+
+    // Resume: trials 3,4,5 are pending (record 3 was chopped).
+    let resumed = run_campaign(
+        &Runner,
+        &campaign,
+        &ExecutorConfig::with_threads(1),
+        Some(&path),
+        true,
+        &mut NullSink,
+    )
+    .unwrap();
+    assert!(resumed.all_ok());
+
+    // The journal should now be readable and contain one Ok record per
+    // trial. Does it?
+    match read_journal(&path) {
+        Ok((_, records)) => {
+            let mut per_trial = vec![0usize; campaign.len()];
+            for r in &records {
+                per_trial[r.trial] += 1;
+            }
+            std::fs::remove_file(&path).ok();
+            assert!(
+                per_trial.iter().all(|&c| c == 1),
+                "journal records per trial after resume: {per_trial:?}"
+            );
+        }
+        Err(e) => {
+            std::fs::remove_file(&path).ok();
+            panic!("journal unreadable after resume: {e}");
+        }
+    }
+}
