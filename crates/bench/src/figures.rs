@@ -13,7 +13,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use xbar_runtime::{
-    run_campaign, Campaign, CampaignReport, ExecutorConfig, StderrReporter, TrialRunner,
+    run_campaign_traced, Campaign, CampaignReport, ExecutorConfig, JsonlReporter, NullSink,
+    ProgressSink, StderrReporter, TrialRunner,
 };
 
 use crate::campaign::{
@@ -24,6 +25,33 @@ use crate::{train_victim, write_json, DatasetKind, HeadKind};
 use xbar_core::report::{fmt, fmt_with_significance, format_table};
 use xbar_stats::aggregate::RunSummary;
 use xbar_stats::ttest::welch_t_test;
+
+/// Where campaign progress events go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProgressMode {
+    /// Human-readable lines on stderr (the default).
+    #[default]
+    Stderr,
+    /// JSON Lines on stderr (the `xbar-obs` event encoding).
+    Json,
+    /// No progress output.
+    None,
+}
+
+impl std::str::FromStr for ProgressMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "stderr" => Ok(ProgressMode::Stderr),
+            "json" => Ok(ProgressMode::Json),
+            "none" => Ok(ProgressMode::None),
+            other => Err(format!(
+                "unknown progress mode {other:?} (expected stderr, json, or none)"
+            )),
+        }
+    }
+}
 
 /// How to execute a figure campaign.
 #[derive(Debug, Clone)]
@@ -38,13 +66,20 @@ pub struct CampaignOptions {
     pub resume: bool,
     /// Journal path; `None` disables checkpointing (and `resume`).
     pub journal: Option<PathBuf>,
+    /// `xbar-obs` JSONL trace path; `None` disables tracing.
+    pub trace: Option<PathBuf>,
+    /// Progress reporting mode.
+    pub progress: ProgressMode,
+    /// Emit a progress event every this many finished trials.
+    pub progress_every: usize,
     /// Results JSON path; `None` uses the figure's default under
     /// `results/`.
     pub json_out: Option<String>,
 }
 
 impl CampaignOptions {
-    /// Defaults: all cores, one retry, no resume, no journal.
+    /// Defaults: all cores, one retry, no resume, no journal, no trace,
+    /// stderr progress on every trial.
     pub fn new(quick: bool) -> Self {
         CampaignOptions {
             quick,
@@ -52,6 +87,9 @@ impl CampaignOptions {
             max_retries: 1,
             resume: false,
             journal: None,
+            trace: None,
+            progress: ProgressMode::Stderr,
+            progress_every: 1,
             json_out: None,
         }
     }
@@ -74,21 +112,31 @@ fn execute<R: TrialRunner>(
     campaign: &Campaign<R::Spec>,
     opts: &CampaignOptions,
 ) -> Result<CampaignReport<R::Output>, String> {
-    if let Some(journal) = &opts.journal {
-        if let Some(parent) = journal.parent() {
-            std::fs::create_dir_all(parent).map_err(|e| {
-                format!("cannot create journal directory {}: {e}", parent.display())
-            })?;
+    for path in [&opts.journal, &opts.trace].into_iter().flatten() {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create directory {}: {e}", parent.display()))?;
         }
     }
-    let mut sink = StderrReporter::new(campaign.name.clone(), 1);
-    let report = run_campaign(
+    let mut sink: Box<dyn ProgressSink> = match opts.progress {
+        ProgressMode::Stderr => Box::new(StderrReporter::new(
+            campaign.name.clone(),
+            opts.progress_every,
+        )),
+        ProgressMode::Json => Box::new(JsonlReporter::stderr(
+            campaign.name.clone(),
+            opts.progress_every,
+        )),
+        ProgressMode::None => Box::new(NullSink),
+    };
+    let report = run_campaign_traced(
         runner,
         campaign,
         &executor_config(opts),
         opts.journal.as_deref(),
         opts.resume,
-        &mut sink,
+        sink.as_mut(),
+        opts.trace.as_deref(),
     )
     .map_err(|e| e.to_string())?;
     if !report.all_ok() {

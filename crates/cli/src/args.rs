@@ -3,12 +3,14 @@
 use std::collections::HashMap;
 use std::fmt;
 
-/// A parsed command line: one subcommand plus `--key value` options and
-/// valueless `--flag` switches.
+/// A parsed command line: one subcommand, optional bare positional
+/// arguments (e.g. `xbar trace summarize out.jsonl`), plus `--key value`
+/// options and valueless `--flag` switches.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsedArgs {
     /// The subcommand (first positional argument).
     pub command: String,
+    positionals: Vec<String>,
     options: HashMap<String, String>,
 }
 
@@ -56,22 +58,28 @@ impl ParsedArgs {
     ///
     /// An option followed by a non-`--` token takes that token as its
     /// value; an option followed by another `--option` (or by nothing)
-    /// is a boolean flag, reported by [`ParsedArgs::flag`].
+    /// is a boolean flag, reported by [`ParsedArgs::flag`]. A bare token
+    /// that does not follow an option key is a positional argument,
+    /// reported by [`ParsedArgs::positional`] — subcommands that take no
+    /// positionals reject them via
+    /// [`ParsedArgs::expect_no_positionals`].
     ///
     /// # Errors
     ///
     /// * [`ArgsError::MissingCommand`] on an empty stream.
-    /// * [`ArgsError::Malformed`] on stray non-option tokens.
+    /// * [`ArgsError::Malformed`] on a `--`-prefixed command.
     pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgsError> {
         let mut it = tokens.into_iter().peekable();
         let command = it.next().ok_or(ArgsError::MissingCommand)?;
         if command.starts_with('-') {
             return Err(ArgsError::Malformed { token: command });
         }
+        let mut positionals = Vec::new();
         let mut options = HashMap::new();
         while let Some(tok) = it.next() {
             let Some(key) = tok.strip_prefix("--") else {
-                return Err(ArgsError::Malformed { token: tok });
+                positionals.push(tok);
+                continue;
             };
             let value = match it.peek() {
                 Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
@@ -79,7 +87,31 @@ impl ParsedArgs {
             };
             options.insert(key.to_string(), value);
         }
-        Ok(ParsedArgs { command, options })
+        Ok(ParsedArgs {
+            command,
+            positionals,
+            options,
+        })
+    }
+
+    /// The `index`-th bare positional argument after the subcommand.
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positionals.get(index).map(String::as_str)
+    }
+
+    /// Rejects stray positional arguments, for subcommands that take
+    /// only `--key value` options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::Malformed`] naming the first positional.
+    pub fn expect_no_positionals(&self) -> Result<(), ArgsError> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(token) => Err(ArgsError::Malformed {
+                token: token.clone(),
+            }),
+        }
     }
 
     /// An optional string option. Boolean flags read as `Some("")`.
@@ -146,10 +178,29 @@ mod tests {
             ParsedArgs::parse(toks(&["--train"])),
             Err(ArgsError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn positionals_are_captured_and_rejectable() {
+        // `trace summarize out.jsonl` style commands take positionals …
+        let a =
+            ParsedArgs::parse(toks(&["trace", "summarize", "out.jsonl", "--top", "5"])).unwrap();
+        assert_eq!(a.command, "trace");
+        assert_eq!(a.positional(0), Some("summarize"));
+        assert_eq!(a.positional(1), Some("out.jsonl"));
+        assert_eq!(a.positional(2), None);
+        assert_eq!(a.get("top"), Some("5"));
         assert!(matches!(
-            ParsedArgs::parse(toks(&["train", "oops"])),
+            a.expect_no_positionals(),
             Err(ArgsError::Malformed { .. })
         ));
+
+        // … while option-only commands can still reject strays.
+        let b = ParsedArgs::parse(toks(&["train", "oops"])).unwrap();
+        assert_eq!(b.positional(0), Some("oops"));
+        assert!(b.expect_no_positionals().is_err());
+        let c = ParsedArgs::parse(toks(&["train", "--seed", "7"])).unwrap();
+        assert!(c.expect_no_positionals().is_ok());
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub type CliError = Box<dyn std::error::Error>;
 /// Returns the subcommand's failure, or an [`ArgsError`] for an unknown
 /// command.
 pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
+    // Only `trace` takes positional arguments (its action and path).
+    if args.command != "trace" {
+        args.expect_no_positionals()?;
+    }
     match args.command.as_str() {
         "train" => cmd_train(args),
         "probe" => cmd_probe(args),
@@ -36,6 +40,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
         "blackbox" => cmd_blackbox(args),
         "recover" => cmd_recover(args),
         "campaign" => cmd_campaign(args),
+        "trace" => cmd_trace(args),
         "help" => {
             print_help();
             Ok(())
@@ -70,12 +75,17 @@ COMMANDS:
             runtime (checkpointed and resumable)
             --figure fig4|fig5|ablations [--threads N] [--resume]
             [--journal FILE] [--out FILE] [--retries N] [--quick]
+            [--trace FILE] [--progress stderr|json|none]
+            [--progress-every N]
+  trace     inspect an xbar-obs JSONL trace written by --trace
+            summarize FILE   per-stage totals: counters per trial,
+                             value series, span counts and wall times
   help      this message"
     );
 }
 
 fn cmd_campaign(args: &ParsedArgs) -> Result<(), CliError> {
-    use xbar_bench::figures::{run_ablations, run_fig4, run_fig5, CampaignOptions};
+    use xbar_bench::figures::{run_ablations, run_fig4, run_fig5, CampaignOptions, ProgressMode};
 
     let figure = args.require("figure")?.to_string();
     let mut opts = CampaignOptions::new(args.flag("quick"));
@@ -83,6 +93,12 @@ fn cmd_campaign(args: &ParsedArgs) -> Result<(), CliError> {
     opts.max_retries = args.get_or("retries", 1u32)?;
     opts.resume = args.flag("resume");
     opts.json_out = args.get("out").map(str::to_string);
+    opts.trace = args
+        .get("trace")
+        .filter(|t| !t.is_empty())
+        .map(std::path::PathBuf::from);
+    opts.progress = args.get_or("progress", ProgressMode::Stderr)?;
+    opts.progress_every = args.get_or("progress-every", 1usize)?.max(1);
     // The journal is always kept (it is what --resume reads); default
     // path is per figure so campaigns don't clobber each other.
     let journal = args
@@ -104,6 +120,227 @@ fn cmd_campaign(args: &ParsedArgs) -> Result<(), CliError> {
         }
     };
     run(&opts).map_err(|e| -> CliError { e.into() })
+}
+
+fn cmd_trace(args: &ParsedArgs) -> Result<(), CliError> {
+    match args.positional(0) {
+        Some("summarize") => match args.positional(1) {
+            Some(path) => summarize_trace(path),
+            None => Err("usage: xbar trace summarize <trace.jsonl>".into()),
+        },
+        Some(other) => Err(format!("unknown trace action {other:?} (expected: summarize)").into()),
+        None => Err("usage: xbar trace summarize <trace.jsonl>".into()),
+    }
+}
+
+/// Aggregates an `xbar-obs` JSONL trace into per-stage tables: counter
+/// totals and per-trial means, value-series summaries, and span counts
+/// with mean wall times. Totals are recomputed from the per-trial
+/// records, so a trace whose run was killed before the `end` line still
+/// summarizes.
+fn summarize_trace(path: &str) -> Result<(), CliError> {
+    use serde::Value;
+    use std::collections::BTreeMap;
+
+    fn as_u64(v: &Value) -> u64 {
+        match v {
+            Value::U64(x) => *x,
+            Value::I64(x) => (*x).max(0) as u64,
+            Value::F64(x) => *x as u64,
+            _ => 0,
+        }
+    }
+    fn as_f64(v: &Value) -> f64 {
+        match v {
+            Value::U64(x) => *x as f64,
+            Value::I64(x) => *x as f64,
+            Value::F64(x) => *x,
+            _ => 0.0,
+        }
+    }
+    fn field_u64(record: &Value, key: &str) -> u64 {
+        record.get(key).map(as_u64).unwrap_or(0)
+    }
+
+    #[derive(Default)]
+    struct CounterAgg {
+        total: u64,
+        trials: usize,
+        min: u64,
+        max: u64,
+    }
+    #[derive(Default)]
+    struct ValueAgg {
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    }
+    #[derive(Default)]
+    struct SpanAgg {
+        count: u64,
+        total_nanos: u64,
+    }
+
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+    let mut campaigns: Vec<String> = Vec::new();
+    let mut trials_ok = 0usize;
+    let mut trials_failed = 0usize;
+    let mut counters: BTreeMap<String, CounterAgg> = BTreeMap::new();
+    let mut values: BTreeMap<String, ValueAgg> = BTreeMap::new();
+    let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
+
+    for (line_no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let record = serde_json::parse_value(line)
+            .map_err(|e| format!("trace {path} line {}: {e}", line_no + 1))?;
+        match record.get("kind").and_then(Value::as_str) {
+            Some("xbar-trace") => {
+                campaigns.push(format!(
+                    "{} (seed {}, {} trials)",
+                    record
+                        .get("campaign")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?"),
+                    field_u64(&record, "campaign_seed"),
+                    field_u64(&record, "total_trials"),
+                ));
+            }
+            Some("trial") => {
+                match record.get("status").and_then(Value::as_str) {
+                    Some("ok") => trials_ok += 1,
+                    _ => trials_failed += 1,
+                }
+                if let Some(Value::Object(fields)) = record.get("counters") {
+                    for (name, v) in fields {
+                        let delta = as_u64(v);
+                        let agg = counters.entry(name.clone()).or_default();
+                        if agg.trials == 0 {
+                            (agg.min, agg.max) = (delta, delta);
+                        } else {
+                            agg.min = agg.min.min(delta);
+                            agg.max = agg.max.max(delta);
+                        }
+                        agg.trials += 1;
+                        agg.total += delta;
+                    }
+                }
+                if let Some(Value::Object(fields)) = record.get("values") {
+                    for (name, v) in fields {
+                        let count = field_u64(v, "count");
+                        if count == 0 {
+                            continue;
+                        }
+                        let (lo, hi) = (
+                            v.get("min").map(as_f64).unwrap_or(0.0),
+                            v.get("max").map(as_f64).unwrap_or(0.0),
+                        );
+                        let agg = values.entry(name.clone()).or_default();
+                        if agg.count == 0 {
+                            (agg.min, agg.max) = (lo, hi);
+                        } else {
+                            agg.min = agg.min.min(lo);
+                            agg.max = agg.max.max(hi);
+                        }
+                        agg.count += count;
+                        agg.sum += v.get("sum").map(as_f64).unwrap_or(0.0);
+                    }
+                }
+                if let Some(Value::Object(fields)) = record.get("spans") {
+                    for (name, v) in fields {
+                        let agg = spans.entry(name.clone()).or_default();
+                        agg.count += field_u64(v, "count");
+                        agg.total_nanos += field_u64(v, "total_nanos");
+                    }
+                }
+            }
+            // `end` totals are recomputed from the trial records above.
+            _ => {}
+        }
+    }
+
+    if campaigns.is_empty() {
+        return Err(format!("trace {path} has no xbar-trace header").into());
+    }
+    let trials = trials_ok + trials_failed;
+    for campaign in &campaigns {
+        println!("campaign: {campaign}");
+    }
+    println!("trials recorded: {trials} ({trials_ok} ok, {trials_failed} failed)\n");
+    if trials == 0 {
+        println!("no trial records — nothing to aggregate");
+        return Ok(());
+    }
+
+    let counter_rows: Vec<Vec<String>> = counters
+        .iter()
+        .map(|(name, agg)| {
+            vec![
+                name.clone(),
+                agg.total.to_string(),
+                fmt(agg.total as f64 / trials as f64, 2),
+                agg.min.to_string(),
+                agg.max.to_string(),
+            ]
+        })
+        .collect();
+    println!("--- counters (deterministic) ---");
+    println!(
+        "{}",
+        format_table(
+            &["counter", "total", "per trial", "min", "max"],
+            &counter_rows
+        )
+    );
+
+    if !values.is_empty() {
+        let value_rows: Vec<Vec<String>> = values
+            .iter()
+            .map(|(name, agg)| {
+                vec![
+                    name.clone(),
+                    agg.count.to_string(),
+                    fmt(agg.sum / agg.count as f64, 4),
+                    fmt(agg.min, 4),
+                    fmt(agg.max, 4),
+                ]
+            })
+            .collect();
+        println!("--- value series ---");
+        println!(
+            "{}",
+            format_table(&["series", "samples", "mean", "min", "max"], &value_rows)
+        );
+    }
+
+    if !spans.is_empty() {
+        let span_rows: Vec<Vec<String>> = spans
+            .iter()
+            .map(|(name, agg)| {
+                let mean_ms = if agg.count > 0 {
+                    agg.total_nanos as f64 / agg.count as f64 / 1e6
+                } else {
+                    0.0
+                };
+                vec![
+                    name.clone(),
+                    agg.count.to_string(),
+                    fmt(agg.total_nanos as f64 / 1e9, 3),
+                    fmt(mean_ms, 3),
+                ]
+            })
+            .collect();
+        println!("--- spans (wall clock) ---");
+        println!(
+            "{}",
+            format_table(&["span", "count", "total s", "mean ms"], &span_rows)
+        );
+    }
+    Ok(())
 }
 
 fn load_dataset(args: &ParsedArgs) -> Result<Dataset, CliError> {
@@ -413,6 +650,50 @@ mod tests {
             "lots",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn trace_summarize_reads_a_trace() {
+        use std::time::Duration;
+        use xbar_obs::{Collector, Counters, TraceWriter};
+
+        let path = tmp("trace.jsonl");
+        let counters = Counters::new();
+        counters.counter_add(Some(0), xbar_obs::names::ORACLE_QUERY, 40);
+        counters.counter_add(Some(0), xbar_obs::names::PROBE_MEASUREMENT, 8);
+        counters.observe(Some(0), xbar_obs::names::ORACLE_POWER, 1.25);
+        let obs = counters.take_trial(0);
+        let mut writer = TraceWriter::create(std::path::Path::new(&path)).unwrap();
+        writer.campaign_header("test-campaign", 9, 1).unwrap();
+        writer
+            .trial(0, true, 1, Duration::from_millis(2), &obs)
+            .unwrap();
+        writer.end(1, 0, 0, Duration::from_millis(3), &obs).unwrap();
+        drop(writer);
+
+        dispatch(&parse(&["trace", "summarize", &path])).unwrap();
+
+        // Unknown action and missing path are rejected.
+        assert!(dispatch(&parse(&["trace", "frobnicate", &path])).is_err());
+        assert!(dispatch(&parse(&["trace", "summarize"])).is_err());
+        assert!(dispatch(&parse(&["trace"])).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_summarize_rejects_non_traces() {
+        let path = tmp("not-a-trace.jsonl");
+        std::fs::write(&path, "{\"kind\":\"something-else\"}\n").unwrap();
+        assert!(dispatch(&parse(&["trace", "summarize", &path])).is_err());
+        std::fs::remove_file(&path).ok();
+        // Missing file.
+        assert!(dispatch(&parse(&["trace", "summarize", "/nonexistent/x.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn positionals_rejected_outside_trace() {
+        assert!(dispatch(&parse(&["train", "stray"])).is_err());
+        assert!(dispatch(&parse(&["campaign", "stray", "--figure", "fig4"])).is_err());
     }
 
     #[test]

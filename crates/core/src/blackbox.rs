@@ -118,12 +118,18 @@ pub fn run_blackbox_attack<R: Rng + ?Sized>(
     let indices = sample_indices(train_pool.len(), cfg.num_queries, rng);
 
     // 2. Query the oracle.
-    let queries = collect_queries(oracle, train_pool.inputs(), &indices)?;
+    let queries = {
+        let _span = xbar_obs::span(xbar_obs::names::SPAN_COLLECT_QUERIES);
+        collect_queries(oracle, train_pool.inputs(), &indices)?
+    };
 
     // 3. Train the surrogate with the configured λ.
     let mut surrogate_cfg = cfg.surrogate;
     surrogate_cfg.power_weight = cfg.power_weight;
-    let surrogate = train_surrogate(&queries, &surrogate_cfg, rng)?;
+    let surrogate = {
+        let _span = xbar_obs::span(xbar_obs::names::SPAN_TRAIN_SURROGATE);
+        train_surrogate(&queries, &surrogate_cfg, rng)?
+    };
 
     // 4. Surrogate quality on the clean test set.
     let surrogate_preds = surrogate.predict_batch(test.inputs())?;
@@ -131,16 +137,21 @@ pub fn run_blackbox_attack<R: Rng + ?Sized>(
 
     // 5. FGSM on the surrogate, evaluated on the oracle.
     let targets = test.one_hot_targets();
-    let adv = fgsm_batch(
-        &surrogate,
-        test.inputs(),
-        &targets,
-        Loss::Mse,
-        cfg.fgsm_eps,
-        BoxConstraint::None,
-    )?;
+    let adv = {
+        let _span = xbar_obs::span(xbar_obs::names::SPAN_CRAFT);
+        fgsm_batch(
+            &surrogate,
+            test.inputs(),
+            &targets,
+            Loss::Mse,
+            cfg.fgsm_eps,
+            BoxConstraint::None,
+        )?
+    };
+    let _eval_span = xbar_obs::span(xbar_obs::names::SPAN_EVALUATE);
     let oracle_clean_accuracy = oracle.eval_accuracy(test.inputs(), test.labels())?;
     let oracle_adversarial_accuracy = oracle.eval_accuracy(&adv, test.labels())?;
+    drop(_eval_span);
 
     Ok((
         BlackBoxOutcome {

@@ -1,7 +1,7 @@
 //! Defender-side use of the same side channel: detecting adversarial
 //! inputs from their current signatures.
 //!
-//! The paper's related work (Moitra & Panda, *DetectX*, cited as [13])
+//! The paper's related work (Moitra & Panda, *DetectX*, cited as \[13\])
 //! shows that the crossbar's current signature can expose adversarial
 //! inputs. This module implements that idea for the attacks in this
 //! crate: the defender calibrates the distribution of the Eq. 5 supply

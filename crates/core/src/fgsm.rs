@@ -54,6 +54,7 @@ pub fn fgsm_batch(
     constraint: BoxConstraint,
 ) -> Result<Matrix> {
     validate_eps(eps)?;
+    xbar_obs::count(xbar_obs::names::ATTACK_FGSM_BATCH, 1);
     let grads = batch_input_gradients(net, inputs, targets, loss)?;
     let mut adv = inputs
         .zip_map(&grads, |u, g| u + eps * sign(g))
@@ -77,6 +78,7 @@ pub fn fgv_batch(
     constraint: BoxConstraint,
 ) -> Result<Matrix> {
     validate_eps(eps)?;
+    xbar_obs::count(xbar_obs::names::ATTACK_FGSM_BATCH, 1);
     let grads = batch_input_gradients(net, inputs, targets, loss)?;
     let mut adv = inputs.clone();
     for i in 0..adv.rows() {
@@ -123,6 +125,7 @@ pub fn pgd_batch(
     }
     let mut adv = inputs.clone();
     for _ in 0..steps {
+        xbar_obs::count(xbar_obs::names::ATTACK_PGD_STEP, 1);
         let grads = batch_input_gradients(net, &adv, targets, loss)?;
         adv = adv
             .zip_map(&grads, |u, g| u + alpha * sign(g))

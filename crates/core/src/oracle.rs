@@ -169,6 +169,7 @@ impl Oracle {
             }
         }
         self.query_count += 1;
+        xbar_obs::count(xbar_obs::names::ORACLE_QUERY, 1);
         Ok(())
     }
 
@@ -238,7 +239,9 @@ impl Oracle {
         let mapping = self.xbar.mapping();
         let m = self.xbar.num_outputs() as f64;
         let baseline = 2.0 * m * mapping.g_min * u.iter().sum::<f64>();
-        Ok((raw / self.config.power.v_dd - baseline) / mapping.scale)
+        let calibrated = (raw / self.config.power.v_dd - baseline) / mapping.scale;
+        xbar_obs::observe(xbar_obs::names::ORACLE_POWER, calibrated);
+        Ok(calibrated)
     }
 
     // ------------------------------------------------------------------

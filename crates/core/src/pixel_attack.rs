@@ -172,6 +172,7 @@ pub fn single_pixel_attack_batch<R: Rng + ?Sized>(
             }
         }
     }
+    xbar_obs::count(xbar_obs::names::ATTACK_PIXEL_STEP, adv.rows() as u64);
     Ok(adv)
 }
 
@@ -208,6 +209,10 @@ pub fn multi_pixel_norm_attack_batch<R: Rng + ?Sized>(
             adv[(i, j)] += dir * strength;
         }
     }
+    xbar_obs::count(
+        xbar_obs::names::ATTACK_PIXEL_STEP,
+        (adv.rows() * top.len()) as u64,
+    );
     Ok(adv)
 }
 

@@ -36,6 +36,7 @@ pub fn probe_column_norms(oracle: &mut Oracle, beta: f64, repeats: usize) -> Res
     if repeats == 0 {
         return Err(AttackError::InvalidParameter { name: "repeats" });
     }
+    let _span = xbar_obs::span(xbar_obs::names::SPAN_PROBE);
     let n = oracle.num_inputs();
     let mut norms = vec![0.0; n];
     let mut probe = vec![0.0; n];
@@ -44,6 +45,7 @@ pub fn probe_column_norms(oracle: &mut Oracle, beta: f64, repeats: usize) -> Res
         let mut acc = 0.0;
         for _ in 0..repeats {
             acc += oracle.query_power(&probe)?;
+            xbar_obs::count(xbar_obs::names::PROBE_MEASUREMENT, 1);
         }
         norms[j] = acc / (repeats as f64 * beta);
         probe[j] = 0.0;
@@ -81,6 +83,7 @@ pub fn probe_columns_subset(
         let mut acc = 0.0;
         for _ in 0..repeats {
             acc += oracle.query_power(&probe)?;
+            xbar_obs::count(xbar_obs::names::PROBE_MEASUREMENT, 1);
         }
         out.push((j, acc / (repeats as f64 * beta)));
         probe[j] = 0.0;
@@ -264,6 +267,7 @@ pub fn probe_norms_compressed<R: Rng + ?Sized>(
             name: "ridge_lambda",
         });
     }
+    let _span = xbar_obs::span(xbar_obs::names::SPAN_PROBE);
     let n = oracle.num_inputs();
     let mut u = xbar_linalg::Matrix::zeros(num_queries, n);
     let mut p = xbar_linalg::Matrix::zeros(num_queries, 1);
@@ -272,6 +276,7 @@ pub fn probe_norms_compressed<R: Rng + ?Sized>(
             *v = rng.gen_range(0.0..1.0);
         }
         p[(b, 0)] = oracle.query_power(u.row(b))?;
+        xbar_obs::count(xbar_obs::names::PROBE_MEASUREMENT, 1);
     }
     // Centre the design: subtracting the column means concentrates the
     // ridge shrinkage on the informative deviations.

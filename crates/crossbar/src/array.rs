@@ -169,6 +169,7 @@ impl CrossbarArray {
                 got: v.len(),
             });
         }
+        xbar_obs::count(xbar_obs::names::XBAR_ANALOG_MVM, 1);
         Ok(self.effective_weights().matvec(v))
     }
 
@@ -189,6 +190,7 @@ impl CrossbarArray {
         if self.device.read_sigma == 0.0 {
             return self.checked_mvm(v);
         }
+        xbar_obs::count(xbar_obs::names::XBAR_ANALOG_MVM, 1);
         let (m, n) = (self.num_outputs(), self.num_inputs());
         let mut out = vec![0.0; m];
         for i in 0..m {
@@ -216,6 +218,7 @@ impl CrossbarArray {
         v: &[f64],
         cfg: &crate::irdrop::IrDropConfig,
     ) -> Result<(Vec<f64>, f64)> {
+        xbar_obs::count(xbar_obs::names::XBAR_IR_DROP_SOLVE, 1);
         let (mut out, total) =
             crate::irdrop::solve_differential(&self.g_plus, &self.g_minus, v, cfg)?;
         for o in &mut out {

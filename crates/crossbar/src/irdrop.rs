@@ -91,10 +91,10 @@ pub struct IrDropSolution {
 ///
 /// * [`CrossbarError::InvalidConfig`] for invalid solver parameters.
 /// * [`CrossbarError::InputLenMismatch`] if `v_in.len() != g.cols()`.
-/// * [`CrossbarError::NoConvergence`]-like failure is reported via
-///   [`CrossbarError::InvalidConfig`] on `max_iterations`? No — the
-///   solver returns the best iterate with its iteration count; callers
-///   can inspect [`IrDropSolution::iterations`].
+///
+/// Non-convergence is not an error: the solver returns the best
+/// iterate with its iteration count, and callers can inspect
+/// [`IrDropSolution::iterations`].
 pub fn solve_plane(g: &Matrix, v_in: &[f64], cfg: &IrDropConfig) -> Result<IrDropSolution> {
     cfg.validate()?;
     let (m, n) = g.shape();

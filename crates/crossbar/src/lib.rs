@@ -22,7 +22,7 @@
 //! * [`device`] — NVM device models: conductance bounds, level
 //!   quantisation, programming variation, stuck-at faults, read noise.
 //! * [`mapping`] — weight ↔ conductance mapping (one-sided differential).
-//! * [`array`] — [`array::CrossbarArray`]: programming, MVM, total
+//! * [`array`](mod@array) — [`array::CrossbarArray`]: programming, MVM, total
 //!   current.
 //! * [`power`] — the power side channel: measurement noise, averaging,
 //!   traces.

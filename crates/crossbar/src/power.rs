@@ -82,6 +82,7 @@ impl PowerModel {
     ///
     /// Propagates input-length mismatches.
     pub fn exact(&self, array: &CrossbarArray, v: &[f64]) -> Result<f64> {
+        xbar_obs::count(xbar_obs::names::XBAR_POWER_READ, 1);
         Ok(self.v_dd * array.total_current(v)?)
     }
 
@@ -108,6 +109,7 @@ impl PowerModel {
     ///
     /// Propagates input-length mismatches.
     pub fn exact_tiled(&self, tiled: &TiledCrossbar, v: &[f64]) -> Result<f64> {
+        xbar_obs::count(xbar_obs::names::XBAR_POWER_READ, 1);
         Ok(self.v_dd * tiled.total_current(v)?)
     }
 

@@ -400,7 +400,7 @@ impl Matrix {
     /// Matrix-matrix product `self * other`.
     ///
     /// Uses a cache-friendly `ikj` kernel, parallelised over row blocks with
-    /// rayon once the output has at least [`PAR_ROW_THRESHOLD`] rows.
+    /// rayon once the output has at least `PAR_ROW_THRESHOLD` rows.
     ///
     /// # Panics
     ///

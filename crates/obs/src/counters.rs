@@ -1,0 +1,311 @@
+//! The deterministic counter registry and its per-trial drain type.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::json::JsonValue;
+use crate::{Collector, SpanToken};
+
+/// Count / sum / min / max of an observed value series — the coarse
+/// histogram the trace schema carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of the observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl ValueSummary {
+    fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Arithmetic mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn merge(&mut self, other: &ValueSummary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for ValueSummary {
+    fn default() -> Self {
+        ValueSummary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Per-span-name statistics: occurrence count (deterministic) plus total
+/// wall time (timing — excluded from determinism comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// Spans closed under this name.
+    pub count: u64,
+    /// Total wall time across those spans.
+    pub total: Duration,
+}
+
+/// Everything observed while one trial (or the out-of-trial scope) was
+/// active. Keys are the dotted names from [`crate::names`]; `BTreeMap`s
+/// keep iteration (and therefore trace output) deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrialObservations {
+    /// Counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Value-series summaries.
+    pub values: BTreeMap<String, ValueSummary>,
+    /// Span statistics.
+    pub spans: BTreeMap<String, SpanStats>,
+}
+
+impl TrialObservations {
+    /// The counter `name`, or 0 if it never fired.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Whether nothing at all was observed.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.values.is_empty() && self.spans.is_empty()
+    }
+
+    /// Folds `other` into `self` (used to build campaign-level totals
+    /// out of per-trial observations).
+    pub fn merge(&mut self, other: &TrialObservations) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += delta;
+        }
+        for (name, summary) in &other.values {
+            self.values.entry(name.clone()).or_default().merge(summary);
+        }
+        for (name, stats) in &other.spans {
+            let entry = self.spans.entry(name.clone()).or_default();
+            entry.count += stats.count;
+            entry.total += stats.total;
+        }
+    }
+
+    /// The trace-schema JSON encoding: `counters` and `values` are
+    /// deterministic; the `total_nanos` field of each span is the only
+    /// wall-clock data.
+    pub fn to_json(&self) -> JsonValue {
+        let mut counters = JsonValue::object();
+        for (name, value) in &self.counters {
+            counters.push(name, *value);
+        }
+        let mut values = JsonValue::object();
+        for (name, summary) in &self.values {
+            let mut entry = JsonValue::object();
+            entry
+                .push("count", summary.count)
+                .push("sum", summary.sum)
+                .push("min", summary.min)
+                .push("max", summary.max);
+            values.push(name, entry);
+        }
+        let mut spans = JsonValue::object();
+        for (name, stats) in &self.spans {
+            let mut entry = JsonValue::object();
+            entry.push("count", stats.count).push(
+                "total_nanos",
+                stats.total.as_nanos().min(u128::from(u64::MAX)) as u64,
+            );
+            spans.push(name, entry);
+        }
+        let mut obj = JsonValue::object();
+        obj.push("counters", counters)
+            .push("values", values)
+            .push("spans", spans);
+        obj
+    }
+}
+
+#[derive(Default)]
+struct CountersInner {
+    trials: BTreeMap<u64, TrialObservations>,
+    ambient: TrialObservations,
+}
+
+impl CountersInner {
+    fn slot(&mut self, trial: Option<u64>) -> &mut TrialObservations {
+        match trial {
+            Some(index) => self.trials.entry(index).or_default(),
+            None => &mut self.ambient,
+        }
+    }
+}
+
+/// The deterministic registry: a [`Collector`] that accumulates events
+/// into per-trial [`TrialObservations`], drained by the executor as
+/// each trial finishes.
+///
+/// Counter and value content is thread-count-invariant because events
+/// are attributed to the trial that emitted them; span `total` fields
+/// carry wall time and are not.
+#[derive(Default)]
+pub struct Counters {
+    inner: Mutex<CountersInner>,
+}
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Discards everything recorded for `trial` — called before a retry
+    /// attempt so only the final attempt's events survive.
+    pub fn reset_trial(&self, trial: u64) {
+        self.inner.lock().unwrap().trials.remove(&trial);
+    }
+
+    /// Removes and returns the observations for `trial` (empty if the
+    /// trial never emitted anything).
+    pub fn take_trial(&self, trial: u64) -> TrialObservations {
+        self.inner
+            .lock()
+            .unwrap()
+            .trials
+            .remove(&trial)
+            .unwrap_or_default()
+    }
+
+    /// A copy of the events recorded outside any trial scope.
+    pub fn ambient(&self) -> TrialObservations {
+        self.inner.lock().unwrap().ambient.clone()
+    }
+}
+
+impl Collector for Counters {
+    fn counter_add(&self, trial: Option<u64>, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let slot = inner.slot(trial);
+        *slot.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    fn observe(&self, trial: Option<u64>, name: &str, value: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .slot(trial)
+            .values
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    fn span_end(&self, trial: Option<u64>, name: &str, token: SpanToken) {
+        let elapsed = token.elapsed();
+        let mut inner = self.inner.lock().unwrap();
+        let entry = inner.slot(trial).spans.entry(name.to_string()).or_default();
+        entry.count += 1;
+        entry.total += elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_trial() {
+        let counters = Counters::new();
+        counters.counter_add(Some(0), "a", 2);
+        counters.counter_add(Some(0), "a", 3);
+        counters.counter_add(Some(1), "a", 7);
+        counters.counter_add(None, "a", 11);
+
+        let t0 = counters.take_trial(0);
+        assert_eq!(t0.counter("a"), 5);
+        assert_eq!(t0.counter("missing"), 0);
+        assert_eq!(counters.take_trial(1).counter("a"), 7);
+        // take_trial drains.
+        assert!(counters.take_trial(0).is_empty());
+        assert_eq!(counters.ambient().counter("a"), 11);
+    }
+
+    #[test]
+    fn values_summarise() {
+        let counters = Counters::new();
+        counters.observe(Some(2), "p", 1.0);
+        counters.observe(Some(2), "p", 3.0);
+        counters.observe(Some(2), "p", -1.0);
+        let obs = counters.take_trial(2);
+        let summary = obs.values.get("p").unwrap();
+        assert_eq!(summary.count, 3);
+        assert_eq!(summary.sum, 3.0);
+        assert_eq!(summary.min, -1.0);
+        assert_eq!(summary.max, 3.0);
+        assert_eq!(summary.mean(), 1.0);
+    }
+
+    #[test]
+    fn spans_count_and_time() {
+        let counters = Counters::new();
+        let token = counters.span_begin(Some(0), "s");
+        counters.span_end(Some(0), "s", token);
+        let token = counters.span_begin(Some(0), "s");
+        counters.span_end(Some(0), "s", token);
+        let obs = counters.take_trial(0);
+        let stats = obs.spans.get("s").unwrap();
+        assert_eq!(stats.count, 2);
+    }
+
+    #[test]
+    fn reset_trial_discards_a_retry() {
+        let counters = Counters::new();
+        counters.counter_add(Some(4), "a", 100);
+        counters.reset_trial(4);
+        counters.counter_add(Some(4), "a", 1);
+        assert_eq!(counters.take_trial(4).counter("a"), 1);
+    }
+
+    #[test]
+    fn merge_folds_observations() {
+        let counters = Counters::new();
+        counters.counter_add(Some(0), "a", 1);
+        counters.observe(Some(0), "v", 2.0);
+        counters.counter_add(Some(1), "a", 2);
+        counters.observe(Some(1), "v", 4.0);
+        let mut total = TrialObservations::default();
+        total.merge(&counters.take_trial(0));
+        total.merge(&counters.take_trial(1));
+        assert_eq!(total.counter("a"), 3);
+        assert_eq!(total.values.get("v").unwrap().count, 2);
+        assert_eq!(total.values.get("v").unwrap().sum, 6.0);
+    }
+
+    #[test]
+    fn to_json_is_deterministic_and_ordered() {
+        let counters = Counters::new();
+        counters.counter_add(Some(0), "z", 1);
+        counters.counter_add(Some(0), "a", 2);
+        let obs = counters.take_trial(0);
+        let rendered = obs.to_json().render();
+        assert_eq!(
+            rendered,
+            "{\"counters\":{\"a\":2,\"z\":1},\"values\":{},\"spans\":{}}"
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! A minimal JSON encoder.
+//!
+//! The obs crate is zero-dependency by design (it sits below every other
+//! crate in the workspace), so it carries its own encoder instead of
+//! using the vendored `serde_json`. Only what traces and progress lines
+//! need is implemented: objects preserve insertion order (deterministic
+//! output), strings are escaped per RFC 8259, and finite `f64`s render
+//! with Rust's shortest round-trip formatting. There is deliberately no
+//! parser — consumers read traces back with `serde_json`.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree. Objects are ordered vectors of `(key, value)`
+/// pairs: insertion order is preserved on output, which keeps encoded
+/// lines deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float; non-finite values encode as `null` (JSON has no NaN).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object.
+    pub fn object() -> Self {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Appends `key: value` to an object (panics on non-objects — the
+    /// builder is only meant for literal construction).
+    pub fn push(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
+        match self {
+            JsonValue::Object(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("JsonValue::push on a non-object"),
+        }
+        self
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::F64(x) => {
+                if x.is_finite() {
+                    let text = x.to_string();
+                    out.push_str(&text);
+                    // "1" would parse back as an integer; keep floats
+                    // recognisably floats.
+                    if !text.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => escape_into(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(key, out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::U64(n)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(n: u32) -> Self {
+        JsonValue::U64(u64::from(n))
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::U64(n as u64)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(n: i64) -> Self {
+        JsonValue::I64(n)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::F64(x)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::from(true).render(), "true");
+        assert_eq!(JsonValue::from(42u64).render(), "42");
+        assert_eq!(JsonValue::from(-7i64).render(), "-7");
+        assert_eq!(JsonValue::from("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn floats_render_round_trip_and_nonfinite_is_null() {
+        assert_eq!(JsonValue::from(0.5).render(), "0.5");
+        assert_eq!(JsonValue::from(1.0).render(), "1.0");
+        assert_eq!(JsonValue::from(-2.25e-8).render(), "-0.0000000225");
+        assert_eq!(JsonValue::from(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::from(f64::INFINITY).render(), "null");
+        let x = 0.1 + 0.2;
+        assert_eq!(JsonValue::from(x).render().parse::<f64>().unwrap(), x);
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        assert_eq!(
+            JsonValue::from("a\"b\\c\nd\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn objects_preserve_insertion_order() {
+        let mut obj = JsonValue::object();
+        obj.push("z", 1u64).push("a", 2u64).push("m", "x");
+        assert_eq!(obj.render(), "{\"z\":1,\"a\":2,\"m\":\"x\"}");
+    }
+
+    #[test]
+    fn arrays_render() {
+        let arr = JsonValue::Array(vec![JsonValue::from(1u64), JsonValue::Null]);
+        assert_eq!(arr.render(), "[1,null]");
+    }
+}

@@ -1,0 +1,54 @@
+//! Well-known event names used by the instrumented crates.
+//!
+//! Names are dotted `layer.event` strings. Instrumentation sites use
+//! these constants rather than string literals so that aggregation code
+//! (the campaign executor's per-trial totals, `xbar trace summarize`)
+//! and the emitting code cannot drift apart.
+
+/// One oracle query consumed against the attacker's budget
+/// (`Oracle::query` / `Oracle::query_power`).
+pub const ORACLE_QUERY: &str = "oracle.query";
+
+/// A calibrated power reading returned to the attacker, recorded as an
+/// observation (value series) so traces carry the power totals.
+pub const ORACLE_POWER: &str = "oracle.power";
+
+/// One power-probe measurement (basis or random input) issued by the
+/// probing routines in `xbar-core`.
+pub const PROBE_MEASUREMENT: &str = "probe.measurement";
+
+/// One analog matrix-vector product evaluated on the crossbar.
+pub const XBAR_ANALOG_MVM: &str = "xbar.analog_mvm";
+
+/// One total-supply-current / power-model readout of the crossbar.
+pub const XBAR_POWER_READ: &str = "xbar.power_read";
+
+/// One iterative IR-drop nodal solve.
+pub const XBAR_IR_DROP_SOLVE: &str = "xbar.ir_drop_solve";
+
+/// One gradient-sign (FGSM/FGV) batch crafted.
+pub const ATTACK_FGSM_BATCH: &str = "attack.fgsm_batch";
+
+/// One PGD step applied to a batch.
+pub const ATTACK_PGD_STEP: &str = "attack.pgd_step";
+
+/// One candidate pixel examined by the single-pixel attack search.
+pub const ATTACK_PIXEL_STEP: &str = "attack.pixel_step";
+
+/// Span: a full campaign trial (`runner.run`, final attempt).
+pub const SPAN_TRIAL: &str = "trial";
+
+/// Span: probing the column norms of the victim.
+pub const SPAN_PROBE: &str = "probe";
+
+/// Span: collecting the surrogate's training queries from the oracle.
+pub const SPAN_COLLECT_QUERIES: &str = "blackbox.collect_queries";
+
+/// Span: training the surrogate network.
+pub const SPAN_TRAIN_SURROGATE: &str = "blackbox.train_surrogate";
+
+/// Span: crafting adversarial examples from the surrogate.
+pub const SPAN_CRAFT: &str = "blackbox.craft";
+
+/// Span: evaluating the oracle on clean and adversarial inputs.
+pub const SPAN_EVALUATE: &str = "blackbox.evaluate";

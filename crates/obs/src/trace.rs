@@ -1,0 +1,158 @@
+//! The JSONL trace writer.
+//!
+//! A trace file holds one or more *campaign sections*, each of which is:
+//!
+//! 1. a header line: `{"kind":"xbar-trace","format_version":1,
+//!    "campaign":…,"campaign_seed":…,"total_trials":…}`
+//! 2. one `{"kind":"trial",…}` line per executed trial, in completion
+//!    order, carrying the trial's counters / value summaries / span
+//!    stats (see [`TrialObservations::to_json`]),
+//! 3. a `{"kind":"end",…}` line with campaign totals: the merged
+//!    observations plus completed / failed / skipped counts.
+//!
+//! Counter and value content is deterministic (thread-count-invariant);
+//! the `wall_nanos` / `elapsed_nanos` / `total_nanos` fields are the
+//! only wall-clock data. Each line is flushed as it is written, like
+//! the campaign journal.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::time::Duration;
+
+use crate::counters::TrialObservations;
+use crate::json::JsonValue;
+
+/// The `kind` tag of a trace header line.
+pub const TRACE_KIND: &str = "xbar-trace";
+
+/// Current trace format version.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+fn duration_nanos(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+fn extend_with_observations(record: &mut JsonValue, observations: &TrialObservations) {
+    if let (JsonValue::Object(fields), JsonValue::Object(extra)) = (record, observations.to_json())
+    {
+        fields.extend(extra);
+    }
+}
+
+/// Writes trace lines to a file, flushing each line.
+pub struct TraceWriter {
+    out: BufWriter<File>,
+}
+
+impl TraceWriter {
+    /// Creates (truncating) a trace file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(TraceWriter {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+
+    fn write_line(&mut self, value: &JsonValue) -> io::Result<()> {
+        self.out.write_all(value.render().as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()
+    }
+
+    /// Opens a campaign section.
+    pub fn campaign_header(
+        &mut self,
+        campaign: &str,
+        campaign_seed: u64,
+        total_trials: usize,
+    ) -> io::Result<()> {
+        let mut record = JsonValue::object();
+        record
+            .push("kind", TRACE_KIND)
+            .push("format_version", TRACE_FORMAT_VERSION)
+            .push("campaign", campaign)
+            .push("campaign_seed", campaign_seed)
+            .push("total_trials", total_trials);
+        self.write_line(&record)
+    }
+
+    /// Writes one finished trial's record.
+    pub fn trial(
+        &mut self,
+        trial: usize,
+        ok: bool,
+        attempts: u32,
+        wall: Duration,
+        observations: &TrialObservations,
+    ) -> io::Result<()> {
+        let mut record = JsonValue::object();
+        record
+            .push("kind", "trial")
+            .push("trial", trial)
+            .push("status", if ok { "ok" } else { "failed" })
+            .push("attempts", attempts)
+            .push("wall_nanos", duration_nanos(wall));
+        extend_with_observations(&mut record, observations);
+        self.write_line(&record)
+    }
+
+    /// Closes a campaign section with its aggregate totals.
+    pub fn end(
+        &mut self,
+        completed: usize,
+        failed: usize,
+        skipped: usize,
+        elapsed: Duration,
+        totals: &TrialObservations,
+    ) -> io::Result<()> {
+        let mut record = JsonValue::object();
+        record
+            .push("kind", "end")
+            .push("completed", completed)
+            .push("failed", failed)
+            .push("skipped", skipped)
+            .push("elapsed_nanos", duration_nanos(elapsed));
+        extend_with_observations(&mut record, totals);
+        self.write_line(&record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Collector;
+    use crate::Counters;
+
+    #[test]
+    fn trace_sections_round_trip_as_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "xbar_obs_trace_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let counters = Counters::new();
+        counters.counter_add(Some(0), "oracle.query", 12);
+        counters.observe(Some(0), "oracle.power", 1.5);
+
+        let mut writer = TraceWriter::create(&path).unwrap();
+        writer.campaign_header("fig4", 42, 2).unwrap();
+        let obs = counters.take_trial(0);
+        writer
+            .trial(0, true, 1, Duration::from_millis(3), &obs)
+            .unwrap();
+        writer.end(1, 0, 1, Duration::from_millis(5), &obs).unwrap();
+        drop(writer);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"kind\":\"xbar-trace\""));
+        assert!(lines[0].contains("\"campaign\":\"fig4\""));
+        assert!(lines[1].contains("\"kind\":\"trial\""));
+        assert!(lines[1].contains("\"oracle.query\":12"));
+        assert!(lines[1].contains("\"status\":\"ok\""));
+        assert!(lines[2].contains("\"kind\":\"end\""));
+        assert!(lines[2].contains("\"skipped\":1"));
+    }
+}

@@ -6,9 +6,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::Value;
+use xbar_obs::{Collector, Counters, TraceWriter, TrialObservations};
 
 use crate::campaign::Campaign;
 use crate::journal::{
@@ -123,6 +125,10 @@ struct Finished<O> {
     attempts: u32,
     wall: Duration,
     result: Result<O, String>,
+    /// What the trial's final attempt recorded through `xbar-obs`
+    /// (earlier, retried attempts are discarded with `reset_trial` so
+    /// the deterministic counters describe exactly one clean run).
+    observations: TrialObservations,
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -202,8 +208,41 @@ pub fn run_campaign<R: TrialRunner>(
     resume: bool,
     sink: &mut dyn ProgressSink,
 ) -> Result<CampaignReport<R::Output>, RuntimeError> {
+    run_campaign_traced(runner, campaign, config, journal_path, resume, sink, None)
+}
+
+/// [`run_campaign`] with an optional JSONL trace.
+///
+/// Every trial executes under an `xbar-obs` scope, so oracle queries,
+/// power probes, crossbar evaluations, and attack-stage spans recorded
+/// by the lower layers are attributed to the trial that performed them.
+/// If `trace_path` is set, the campaign writes an `xbar-obs` trace
+/// there: a header line, one record per executed trial (in completion
+/// order), and an aggregate end record. Counter content in the trace is
+/// deterministic — bit-identical across `config.threads` — while the
+/// `*_nanos` fields carry wall-clock timing (see the `xbar-obs` crate
+/// docs for the contract).
+pub fn run_campaign_traced<R: TrialRunner>(
+    runner: &R,
+    campaign: &Campaign<R::Spec>,
+    config: &ExecutorConfig,
+    journal_path: Option<&Path>,
+    resume: bool,
+    sink: &mut dyn ProgressSink,
+    trace_path: Option<&Path>,
+) -> Result<CampaignReport<R::Output>, RuntimeError> {
     let total = campaign.len();
     let start = Instant::now();
+
+    let mut trace = match trace_path {
+        Some(path) => {
+            let mut writer = TraceWriter::create(path)?;
+            writer.campaign_header(&campaign.name, campaign.seed, total)?;
+            Some(writer)
+        }
+        None => None,
+    };
+    let mut trace_totals = TrialObservations::default();
 
     // Resume: harvest completed trials from the existing journal.
     let resumed: HashMap<usize, Value> = match (journal_path, resume) {
@@ -248,14 +287,19 @@ pub fn run_campaign<R: TrialRunner>(
         let (tx, rx) = mpsc::channel::<Finished<R::Output>>();
         let worker_count = config.threads.max(1).min(pending.len());
         let max_attempts = config.max_retries.saturating_add(1);
+        // One deterministic registry shared by all workers; events are
+        // keyed by trial index, so sharing is attribution-safe.
+        let counters = Arc::new(Counters::new());
 
         // Shared by reference into the move closures below.
         let cursor = &cursor;
         let pending_ref = &pending;
+        let counters_ref = &counters;
 
         std::thread::scope(|scope| -> Result<(), RuntimeError> {
             for _ in 0..worker_count {
                 let tx = tx.clone();
+                let collector: Arc<dyn Collector> = Arc::clone(counters_ref) as _;
                 scope.spawn(move || {
                     loop {
                         let k = cursor.fetch_add(1, Ordering::Relaxed);
@@ -273,7 +317,20 @@ pub fn run_campaign<R: TrialRunner>(
                                 campaign_seed: campaign.seed,
                                 attempt: attempts,
                             };
-                            let outcome = catch_unwind(AssertUnwindSafe(|| runner.run(spec, &ctx)));
+                            // Retry hygiene: a failed attempt's partial
+                            // observations must not leak into the next
+                            // attempt's (deterministic) counters.
+                            counters_ref.reset_trial(trial_index as u64);
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                xbar_obs::with_scope(
+                                    Arc::clone(&collector),
+                                    Some(trial_index as u64),
+                                    || {
+                                        let _span = xbar_obs::span(xbar_obs::names::SPAN_TRIAL);
+                                        runner.run(spec, &ctx)
+                                    },
+                                )
+                            }));
                             let flat = match outcome {
                                 Ok(Ok(output)) => Ok(output),
                                 Ok(Err(message)) => Err(message),
@@ -290,6 +347,7 @@ pub fn run_campaign<R: TrialRunner>(
                             attempts,
                             wall: trial_start.elapsed(),
                             result,
+                            observations: counters_ref.take_trial(trial_index as u64),
                         };
                         // The receiver hangs up only on a journal write
                         // error; stop producing in that case.
@@ -322,6 +380,17 @@ pub fn run_campaign<R: TrialRunner>(
                 if let Some(writer) = writer.as_mut() {
                     writer.record(&record)?;
                 }
+                if let Some(trace) = trace.as_mut() {
+                    trace.trial(
+                        finished.trial_index,
+                        finished.result.is_ok(),
+                        finished.attempts,
+                        finished.wall,
+                        &finished.observations,
+                    )?;
+                }
+                metrics.absorb_observations(&finished.observations);
+                trace_totals.merge(&finished.observations);
                 match finished.result {
                     Ok(output) => {
                         metrics.completed += 1;
@@ -332,6 +401,7 @@ pub fn run_campaign<R: TrialRunner>(
                                 attempts: finished.attempts,
                                 wall: finished.wall,
                                 error: None,
+                                observations: Some(&finished.observations),
                             },
                             &metrics,
                         );
@@ -344,6 +414,7 @@ pub fn run_campaign<R: TrialRunner>(
                                 attempts: finished.attempts,
                                 wall: finished.wall,
                                 error: Some(&message),
+                                observations: Some(&finished.observations),
                             },
                             &metrics,
                         );
@@ -360,6 +431,15 @@ pub fn run_campaign<R: TrialRunner>(
     }
 
     metrics.elapsed = start.elapsed();
+    if let Some(trace) = trace.as_mut() {
+        trace.end(
+            metrics.completed,
+            metrics.failed,
+            metrics.skipped,
+            metrics.elapsed,
+            &trace_totals,
+        )?;
+    }
     sink.on_end(&metrics);
     failures.sort_by_key(|f| f.trial_index);
     Ok(CampaignReport {

@@ -12,7 +12,7 @@
 //! else is a hard error).
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use serde::{Deserialize, Serialize, Value};
@@ -90,8 +90,33 @@ impl JournalWriter {
     }
 
     /// Opens an existing journal at `path` for appending.
+    ///
+    /// A writer killed mid-record leaves a torn final line with no
+    /// newline; blindly appending after it would merge the next record
+    /// into that fragment and corrupt the *middle* of the file. So the
+    /// tail is repaired first: a complete record that merely lost its
+    /// newline gets the newline back, anything else after the last
+    /// newline is dropped.
     pub fn append(path: &Path) -> Result<Self, RuntimeError> {
-        let file = OpenOptions::new().append(true).open(path)?;
+        let bytes = std::fs::read(path)?;
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        let line_start = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+        let tail = &bytes[line_start..];
+        let tail_is_complete_record = std::str::from_utf8(tail)
+            .ok()
+            .is_some_and(|s| serde_json::from_str::<TrialRecord>(s).is_ok());
+        if tail.is_empty() {
+            file.seek(SeekFrom::End(0))?;
+        } else if tail_is_complete_record {
+            // The record bytes made it to disk but the newline didn't.
+            file.seek(SeekFrom::End(0))?;
+            file.write_all(b"\n")?;
+        } else {
+            // A torn fragment (or trailing garbage): drop it so the next
+            // record starts on a fresh line.
+            file.set_len(line_start as u64)?;
+            file.seek(SeekFrom::Start(line_start as u64))?;
+        }
         Ok(JournalWriter {
             out: BufWriter::new(file),
         })
@@ -113,22 +138,27 @@ impl JournalWriter {
 /// Reads a journal back: the header plus every well-formed trial record.
 ///
 /// A malformed or truncated *final* line (the signature of a killed
-/// writer) is dropped silently; a malformed line anywhere else is
-/// corruption and fails with [`RuntimeError::Journal`].
+/// writer) is dropped silently — including a line that isn't valid
+/// UTF-8, which a torn multi-byte write can produce; a malformed line
+/// anywhere else is corruption and fails with [`RuntimeError::Journal`].
 pub fn read_journal(path: &Path) -> Result<(JournalHeader, Vec<TrialRecord>), RuntimeError> {
     let file = File::open(path)?;
-    let mut lines = BufReader::new(file).lines();
+    let mut reader = BufReader::new(file);
+    // Lines are read as raw bytes (not via `BufRead::lines`) so that a
+    // torn, non-UTF-8 final line is tolerated instead of erroring.
+    let mut buf: Vec<u8> = Vec::new();
 
-    let header_line = match lines.next() {
-        Some(line) => line?,
-        None => {
-            return Err(RuntimeError::Journal(format!(
-                "journal {} is empty (no header)",
-                path.display()
-            )))
-        }
-    };
-    let header: JournalHeader = serde_json::from_str(&header_line).map_err(|e| {
+    reader.read_until(b'\n', &mut buf)?;
+    if buf.is_empty() {
+        return Err(RuntimeError::Journal(format!(
+            "journal {} is empty (no header)",
+            path.display()
+        )));
+    }
+    let header_line = std::str::from_utf8(&buf).map_err(|e| {
+        RuntimeError::Journal(format!("journal {}: bad header: {e}", path.display()))
+    })?;
+    let header: JournalHeader = serde_json::from_str(header_line.trim()).map_err(|e| {
         RuntimeError::Journal(format!("journal {}: bad header: {e}", path.display()))
     })?;
     if header.kind != JOURNAL_KIND {
@@ -148,22 +178,35 @@ pub fn read_journal(path: &Path) -> Result<(JournalHeader, Vec<TrialRecord>), Ru
 
     let mut records: Vec<TrialRecord> = Vec::new();
     let mut pending_error: Option<String> = None;
-    for (line_no, line) in lines.enumerate() {
-        let line = line?;
+    let mut line_no = 1usize;
+    loop {
+        buf.clear();
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            break;
+        }
+        line_no += 1;
         // A malformed line is only tolerable if nothing follows it.
         if let Some(err) = pending_error.take() {
             return Err(RuntimeError::Journal(err));
         }
-        if line.trim().is_empty() {
-            continue;
-        }
-        match serde_json::from_str::<TrialRecord>(&line) {
-            Ok(record) => records.push(record),
+        let parsed = std::str::from_utf8(&buf)
+            .map_err(|e| format!("invalid utf-8: {e}"))
+            .and_then(|line| {
+                let line = line.trim();
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                serde_json::from_str::<TrialRecord>(line)
+                    .map(Some)
+                    .map_err(|e| e.to_string())
+            });
+        match parsed {
+            Ok(None) => {}
+            Ok(Some(record)) => records.push(record),
             Err(e) => {
                 pending_error = Some(format!(
-                    "journal {}: corrupt record on line {}: {e}",
+                    "journal {}: corrupt record on line {line_no}: {e}",
                     path.display(),
-                    line_no + 2
                 ));
             }
         }
@@ -253,6 +296,73 @@ mod tests {
 
         let err = read_journal(&path).unwrap_err();
         assert!(err.to_string().contains("corrupt record"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_repairs_a_torn_tail_instead_of_merging_records() {
+        let path = test_path("journal_torn_append");
+        let mut writer = JournalWriter::create(&path, &header()).unwrap();
+        writer.record(&ok_record(0)).unwrap();
+        drop(writer);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{\"trial\":1,\"sta").unwrap();
+        drop(file);
+
+        // Appending after the torn fragment must not glue the new record
+        // onto it: the fragment is dropped and the record starts clean.
+        let mut writer = JournalWriter::append(&path).unwrap();
+        writer.record(&ok_record(2)).unwrap();
+        drop(writer);
+
+        let (_, records) = read_journal(&path).unwrap();
+        assert_eq!(records, vec![ok_record(0), ok_record(2)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_completes_a_record_that_lost_only_its_newline() {
+        let path = test_path("journal_no_newline_append");
+        let mut writer = JournalWriter::create(&path, &header()).unwrap();
+        writer.record(&ok_record(0)).unwrap();
+        drop(writer);
+        // The full record bytes made it to disk, the trailing '\n' didn't.
+        let record_1 = serde_json::to_string(&ok_record(1)).unwrap();
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(record_1.as_bytes()).unwrap();
+        drop(file);
+
+        let mut writer = JournalWriter::append(&path).unwrap();
+        writer.record(&ok_record(2)).unwrap();
+        drop(writer);
+
+        // All three records survive, including the newline-less one.
+        let (_, records) = read_journal(&path).unwrap();
+        assert_eq!(records, vec![ok_record(0), ok_record(1), ok_record(2)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_utf8_final_line_is_tolerated_and_repaired() {
+        let path = test_path("journal_non_utf8");
+        let mut writer = JournalWriter::create(&path, &header()).unwrap();
+        writer.record(&ok_record(0)).unwrap();
+        drop(writer);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&[0xff, 0xfe, b'g', b'a', b'r', b'b'])
+            .unwrap();
+        drop(file);
+
+        // Read: invalid UTF-8 in the final line is a torn tail, not an error.
+        let (_, records) = read_journal(&path).unwrap();
+        assert_eq!(records, vec![ok_record(0)]);
+
+        // Append: the garbage is dropped, not merged into.
+        let mut writer = JournalWriter::append(&path).unwrap();
+        writer.record(&ok_record(1)).unwrap();
+        drop(writer);
+        let (_, records) = read_journal(&path).unwrap();
+        assert_eq!(records, vec![ok_record(0), ok_record(1)]);
         std::fs::remove_file(&path).ok();
     }
 

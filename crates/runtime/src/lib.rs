@@ -80,7 +80,11 @@ pub mod progress;
 pub mod runner;
 
 pub use campaign::Campaign;
-pub use executor::{run_campaign, CampaignReport, ExecutorConfig, RuntimeError, TrialFailure};
+pub use executor::{
+    run_campaign, run_campaign_traced, CampaignReport, ExecutorConfig, RuntimeError, TrialFailure,
+};
 pub use journal::{JournalHeader, TrialRecord, TrialStatus};
-pub use progress::{CampaignMetrics, NullSink, ProgressSink, StderrReporter, TrialOutcome};
+pub use progress::{
+    CampaignMetrics, JsonlReporter, NullSink, ProgressSink, StderrReporter, TrialOutcome,
+};
 pub use runner::{TrialContext, TrialRunner};

@@ -4,7 +4,11 @@
 //! must stay deterministic, while progress reporting is free to talk
 //! about wall clocks and throughput.
 
+use std::io::Write;
 use std::time::Duration;
+
+use xbar_obs::json::JsonValue;
+use xbar_obs::TrialObservations;
 
 /// Counters describing a campaign run so far.
 #[derive(Debug, Clone, Default)]
@@ -17,6 +21,12 @@ pub struct CampaignMetrics {
     pub completed: usize,
     /// Trials that exhausted their retries in this run.
     pub failed: usize,
+    /// Oracle queries consumed across all trials finished in this run
+    /// (the [`xbar_obs::names::ORACLE_QUERY`] counter, summed).
+    pub oracle_queries: u64,
+    /// Power-probe measurements taken across all trials finished in this
+    /// run (the [`xbar_obs::names::PROBE_MEASUREMENT`] counter, summed).
+    pub probe_measurements: u64,
     /// Wall-clock time since the executor started.
     pub elapsed: Duration,
 }
@@ -44,6 +54,13 @@ impl CampaignMetrics {
             0.0
         }
     }
+
+    /// Folds one finished trial's observations into the cumulative
+    /// query/power totals.
+    pub fn absorb_observations(&mut self, observations: &TrialObservations) {
+        self.oracle_queries += observations.counter(xbar_obs::names::ORACLE_QUERY);
+        self.probe_measurements += observations.counter(xbar_obs::names::PROBE_MEASUREMENT);
+    }
 }
 
 /// The outcome of one finished trial, as seen by a progress sink.
@@ -57,6 +74,9 @@ pub struct TrialOutcome<'a> {
     pub wall: Duration,
     /// The failure message, if the trial failed permanently.
     pub error: Option<&'a str>,
+    /// What the trial's final attempt recorded through `xbar-obs`
+    /// (`None` when the executor ran without a collector).
+    pub observations: Option<&'a TrialObservations>,
 }
 
 /// Receives progress events from the executor.
@@ -100,49 +120,154 @@ impl StderrReporter {
 
 impl ProgressSink for StderrReporter {
     fn on_trial(&mut self, outcome: &TrialOutcome<'_>, metrics: &CampaignMetrics) {
+        // Assemble everything this event prints and emit it with a
+        // single eprintln!, so interleaved workers' lines don't tear.
+        let mut lines: Vec<String> = Vec::new();
         if let Some(error) = outcome.error {
-            eprintln!(
+            lines.push(format!(
                 "[{}] trial {} FAILED after {} attempt(s): {error}",
                 self.label, outcome.trial_index, outcome.attempts
-            );
+            ));
         }
         let finished = metrics.finished();
         if outcome.error.is_some()
             || finished.is_multiple_of(self.every)
             || metrics.remaining() == 0
         {
-            eprintln!(
+            lines.push(format!(
                 "[{}] {}/{} done ({} failed, {} resumed), {:.2} trials/s, \
                  last: trial {} in {:.2}s",
                 self.label,
                 finished,
-                metrics.total - metrics.skipped,
+                metrics.total.saturating_sub(metrics.skipped),
                 metrics.failed,
                 metrics.skipped,
                 metrics.throughput(),
                 outcome.trial_index,
                 outcome.wall.as_secs_f64(),
-            );
+            ));
+        }
+        if !lines.is_empty() {
+            eprintln!("{}", lines.join("\n"));
         }
     }
 
     fn on_end(&mut self, metrics: &CampaignMetrics) {
         eprintln!(
             "[{}] campaign finished: {} completed, {} failed, {} resumed, \
+             {} oracle queries, {} probe measurements, \
              {:.2}s elapsed ({:.2} trials/s)",
             self.label,
             metrics.completed,
             metrics.failed,
             metrics.skipped,
+            metrics.oracle_queries,
+            metrics.probe_measurements,
             metrics.elapsed.as_secs_f64(),
             metrics.throughput(),
         );
     }
 }
 
+/// Emits progress as JSON Lines (one object per event) to an arbitrary
+/// writer — `xbar campaign --progress json` uses stderr.
+///
+/// Events use the `xbar-obs` JSON encoder and look like:
+///
+/// ```json
+/// {"event":"trial","campaign":"fig4","trial":3,"attempts":1,
+///  "wall_nanos":1200,"finished":4,"total":16,"failed":0,"skipped":0,
+///  "oracle_queries":400,"probe_measurements":32}
+/// {"event":"end","campaign":"fig4","completed":16,"failed":0,
+///  "skipped":0,"oracle_queries":1600,"probe_measurements":128,
+///  "elapsed_nanos":52000000}
+/// ```
+///
+/// Like [`StderrReporter`], trial events are throttled to every `every`
+/// finished trials plus all failures; the end event always fires.
+pub struct JsonlReporter<W: Write> {
+    label: String,
+    every: usize,
+    out: W,
+}
+
+impl JsonlReporter<std::io::Stderr> {
+    /// A stderr-backed reporter labelled `label`, emitting a trial event
+    /// every `every` trials (clamped to at least 1).
+    pub fn stderr(label: impl Into<String>, every: usize) -> Self {
+        JsonlReporter::new(label, every, std::io::stderr())
+    }
+}
+
+impl<W: Write> JsonlReporter<W> {
+    /// A reporter writing JSON lines to `out`.
+    pub fn new(label: impl Into<String>, every: usize, out: W) -> Self {
+        JsonlReporter {
+            label: label.into(),
+            every: every.max(1),
+            out,
+        }
+    }
+
+    fn emit(&mut self, record: &JsonValue) {
+        // Progress is advisory: swallow write errors rather than
+        // aborting the campaign over a closed stderr.
+        let _ = writeln!(self.out, "{}", record.render());
+        let _ = self.out.flush();
+    }
+}
+
+fn nanos_u64(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+impl<W: Write> ProgressSink for JsonlReporter<W> {
+    fn on_trial(&mut self, outcome: &TrialOutcome<'_>, metrics: &CampaignMetrics) {
+        let finished = metrics.finished();
+        if outcome.error.is_none()
+            && !finished.is_multiple_of(self.every)
+            && metrics.remaining() != 0
+        {
+            return;
+        }
+        let mut record = JsonValue::object();
+        record
+            .push("event", "trial")
+            .push("campaign", self.label.as_str())
+            .push("trial", outcome.trial_index)
+            .push("attempts", outcome.attempts)
+            .push("wall_nanos", nanos_u64(outcome.wall))
+            .push("finished", finished)
+            .push("total", metrics.total)
+            .push("failed", metrics.failed)
+            .push("skipped", metrics.skipped)
+            .push("oracle_queries", metrics.oracle_queries)
+            .push("probe_measurements", metrics.probe_measurements);
+        if let Some(error) = outcome.error {
+            record.push("error", error);
+        }
+        self.emit(&record);
+    }
+
+    fn on_end(&mut self, metrics: &CampaignMetrics) {
+        let mut record = JsonValue::object();
+        record
+            .push("event", "end")
+            .push("campaign", self.label.as_str())
+            .push("completed", metrics.completed)
+            .push("failed", metrics.failed)
+            .push("skipped", metrics.skipped)
+            .push("oracle_queries", metrics.oracle_queries)
+            .push("probe_measurements", metrics.probe_measurements)
+            .push("elapsed_nanos", nanos_u64(metrics.elapsed));
+        self.emit(&record);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xbar_obs::Collector;
 
     #[test]
     fn metrics_arithmetic() {
@@ -152,6 +277,7 @@ mod tests {
             completed: 3,
             failed: 1,
             elapsed: Duration::from_secs(2),
+            ..CampaignMetrics::default()
         };
         assert_eq!(metrics.finished(), 4);
         assert_eq!(metrics.remaining(), 4);
@@ -162,5 +288,69 @@ mod tests {
     fn zero_elapsed_throughput_is_zero() {
         let metrics = CampaignMetrics::default();
         assert_eq!(metrics.throughput(), 0.0);
+    }
+
+    #[test]
+    fn remaining_survives_inconsistent_counts() {
+        // A journal with more resumed trials than the grid has slots
+        // must not underflow.
+        let metrics = CampaignMetrics {
+            total: 3,
+            skipped: 5,
+            ..CampaignMetrics::default()
+        };
+        assert_eq!(metrics.remaining(), 0);
+    }
+
+    #[test]
+    fn absorb_observations_sums_query_and_probe_counters() {
+        let counters = xbar_obs::Counters::new();
+        counters.counter_add(Some(0), xbar_obs::names::ORACLE_QUERY, 25);
+        counters.counter_add(Some(0), xbar_obs::names::PROBE_MEASUREMENT, 4);
+        counters.counter_add(Some(0), "something.else", 7);
+        let obs = counters.take_trial(0);
+
+        let mut metrics = CampaignMetrics::default();
+        metrics.absorb_observations(&obs);
+        metrics.absorb_observations(&obs);
+        assert_eq!(metrics.oracle_queries, 50);
+        assert_eq!(metrics.probe_measurements, 8);
+    }
+
+    #[test]
+    fn jsonl_reporter_throttles_and_always_reports_failures_and_end() {
+        let mut buffer: Vec<u8> = Vec::new();
+        {
+            let mut sink = JsonlReporter::new("t", 2, &mut buffer);
+            let mut metrics = CampaignMetrics {
+                total: 4,
+                ..CampaignMetrics::default()
+            };
+            let outcome = |trial_index, error| TrialOutcome {
+                trial_index,
+                attempts: 1,
+                wall: Duration::from_millis(1),
+                error,
+                observations: None,
+            };
+            metrics.completed = 1;
+            sink.on_trial(&outcome(0, None), &metrics); // 1 finished: throttled
+            metrics.completed = 2;
+            sink.on_trial(&outcome(1, None), &metrics); // 2 finished: emitted
+            metrics.failed = 1;
+            sink.on_trial(&outcome(2, Some("boom")), &metrics); // failure: emitted
+            metrics.completed = 3;
+            sink.on_trial(&outcome(3, None), &metrics); // last: emitted
+            sink.on_end(&metrics);
+        }
+        let text = String::from_utf8(buffer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[0].contains("\"event\":\"trial\""));
+        assert!(lines[0].contains("\"trial\":1"));
+        assert!(lines[1].contains("\"error\":\"boom\""));
+        assert!(lines[2].contains("\"trial\":3"));
+        assert!(lines[3].contains("\"event\":\"end\""));
+        assert!(lines[3].contains("\"completed\":3"));
     }
 }

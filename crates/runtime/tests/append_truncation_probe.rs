@@ -1,5 +1,6 @@
 //! Probe: resume-append after a mid-write kill (file ends without a
-//! trailing newline) with MORE THAN ONE pending trial.
+//! trailing newline, or with outright garbage) with MORE THAN ONE
+//! pending trial.
 
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -86,4 +87,66 @@ fn resume_after_no_trailing_newline_kill() {
             panic!("journal unreadable after resume: {e}");
         }
     }
+}
+
+#[test]
+fn resume_after_trailing_garbage() {
+    // A valid journal prefix followed by non-JSON bytes (not even UTF-8)
+    // after the last newline — e.g. a torn page or a crashed writer from
+    // another process. Resume must skip the recorded trials, drop the
+    // garbage, and leave a clean journal behind.
+    let mut campaign = Campaign::new("probe-garbage", 78);
+    for _ in 0..5 {
+        campaign.push_trial(Spec { draws: 3 });
+    }
+    let path =
+        std::env::temp_dir().join(format!("xbar_probe_garbage_{}.jsonl", std::process::id()));
+    run_campaign(
+        &Runner,
+        &campaign,
+        &ExecutorConfig::with_threads(1),
+        Some(&path),
+        false,
+        &mut NullSink,
+    )
+    .unwrap();
+
+    // Keep header + 2 full records, then append raw garbage with no
+    // trailing newline.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut bytes = format!("{}\n", lines[..3].join("\n")).into_bytes();
+    bytes.extend_from_slice(&[0xff, 0xfe, b'{', b'g', b'a', b'r', b'b', 0x00]);
+    std::fs::write(&path, &bytes).unwrap();
+
+    // The garbage tail must not block reading the valid prefix.
+    let (_, records) = read_journal(&path).expect("valid prefix should be readable");
+    assert_eq!(records.len(), 2);
+
+    // Resume: trials 2,3,4 are pending.
+    let resumed = run_campaign(
+        &Runner,
+        &campaign,
+        &ExecutorConfig::with_threads(2),
+        Some(&path),
+        true,
+        &mut NullSink,
+    )
+    .unwrap();
+    assert!(resumed.all_ok());
+    assert_eq!(resumed.metrics.skipped, 2);
+    assert_eq!(resumed.metrics.completed, 3);
+
+    // The final journal is fully clean: garbage gone, one Ok record per
+    // trial, every line valid JSON.
+    let (_, records) = read_journal(&path).expect("journal should be clean after resume");
+    let mut per_trial = vec![0usize; campaign.len()];
+    for r in &records {
+        per_trial[r.trial] += 1;
+    }
+    std::fs::remove_file(&path).ok();
+    assert!(
+        per_trial.iter().all(|&c| c == 1),
+        "journal records per trial after resume: {per_trial:?}"
+    );
 }
