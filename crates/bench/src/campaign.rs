@@ -26,6 +26,7 @@ use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
 use xbar_core::pixel_attack::{single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources};
 use xbar_core::probe::{probe_column_norms, probe_norms_compressed};
 use xbar_core::sweep::{attack_and_eval, method_reps};
+use xbar_crossbar::backend::BackendKind;
 use xbar_crossbar::device::DeviceModel;
 use xbar_crossbar::power::PowerModel;
 use xbar_runtime::{Campaign, TrialContext, TrialRunner};
@@ -83,8 +84,21 @@ pub struct Fig4TrialOutput {
 }
 
 /// Runs Fig. 4 trials. Stateless: each trial retrains its panel's
-/// victim from the pinned seed, so trials are independent.
-pub struct Fig4Runner;
+/// victim from the pinned seed, so trials are independent. The
+/// evaluation backend only changes how oracle queries are executed —
+/// results are bit-identical across backends.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig4Runner {
+    backend: BackendKind,
+}
+
+impl Fig4Runner {
+    /// A runner evaluating oracles with the given backend.
+    #[must_use]
+    pub fn new(backend: BackendKind) -> Self {
+        Fig4Runner { backend }
+    }
+}
 
 impl TrialRunner for Fig4Runner {
     type Spec = Fig4Spec;
@@ -94,7 +108,9 @@ impl TrialRunner for Fig4Runner {
         let victim = train_victim(spec.dataset, spec.head, spec.num_samples, FIG4_VICTIM_SEED);
         let mut oracle = Oracle::new(
             victim.net.clone(),
-            &OracleConfig::ideal().with_access(OutputAccess::None),
+            &OracleConfig::ideal()
+                .with_access(OutputAccess::None)
+                .with_backend(self.backend),
             FIG4_ORACLE_SEED,
         )
         .map_err(|e| e.to_string())?;
@@ -210,7 +226,20 @@ pub struct Fig5RunOutput {
 /// Runs Fig. 5 trials, reproducing the serial binary's per-run closure
 /// (victim seed `300 + run`, oracle seed `4000 + run`, attack RNG seed
 /// `run * 1_000_003 + q` — shared across λ so comparisons are paired).
-pub struct Fig5Runner;
+/// The evaluation backend is a pure execution detail: outputs are
+/// bit-identical across backends.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig5Runner {
+    backend: BackendKind,
+}
+
+impl Fig5Runner {
+    /// A runner evaluating oracles with the given backend.
+    #[must_use]
+    pub fn new(backend: BackendKind) -> Self {
+        Fig5Runner { backend }
+    }
+}
 
 impl TrialRunner for Fig5Runner {
     type Spec = Fig5Spec;
@@ -232,7 +261,9 @@ impl TrialRunner for Fig5Runner {
             for &lambda in &spec.lambdas {
                 let mut oracle = Oracle::new(
                     victim.net.clone(),
-                    &OracleConfig::ideal().with_access(spec.access),
+                    &OracleConfig::ideal()
+                        .with_access(spec.access)
+                        .with_backend(self.backend),
                     4000 + spec.run,
                 )
                 .map_err(|e| e.to_string())?;
@@ -367,16 +398,20 @@ pub struct AblationOutput {
 pub struct AblationsRunner {
     victim: TrainedVictim,
     strength: f64,
+    backend: BackendKind,
 }
 
 impl AblationsRunner {
     /// Trains the shared victim (800 samples when `quick`, 3000
-    /// otherwise) at attack strength 4, as in the serial binary.
-    pub fn new(quick: bool) -> Self {
+    /// otherwise) at attack strength 4, as in the serial binary, and
+    /// evaluates oracles with `backend` (a pure execution detail —
+    /// results are bit-identical across backends).
+    pub fn new(quick: bool, backend: BackendKind) -> Self {
         let num_samples = if quick { 800 } else { 3000 };
         AblationsRunner {
             victim: train_victim(DatasetKind::Digits, HeadKind::SoftmaxCe, num_samples, 21),
             strength: 4.0,
+            backend,
         }
     }
 
@@ -520,7 +555,8 @@ impl AblationsRunner {
             .ok_or_else(|| format!("noise condition {index} out of range"))?;
         let cfg = OracleConfig::ideal()
             .with_access(OutputAccess::None)
-            .with_power(PowerModel::default().with_noise(sigma));
+            .with_power(PowerModel::default().with_noise(sigma))
+            .with_backend(self.backend);
         let (r, acc) = self.probe_and_attack(&cfg, 31, repeats)?;
         Ok(AblationOutput {
             probe_correlation: Some(r),
@@ -538,7 +574,9 @@ impl AblationsRunner {
         let truth = self.victim.net.column_l1_norms();
         let mut oracle = Oracle::new(
             self.victim.net.clone(),
-            &OracleConfig::ideal().with_access(OutputAccess::None),
+            &OracleConfig::ideal()
+                .with_access(OutputAccess::None)
+                .with_backend(self.backend),
             33,
         )
         .map_err(|e| e.to_string())?;
@@ -562,7 +600,8 @@ impl AblationsRunner {
             .ok_or_else(|| format!("device condition {index} out of range"))?;
         let cfg = OracleConfig::ideal()
             .with_access(OutputAccess::None)
-            .with_device(device);
+            .with_device(device)
+            .with_backend(self.backend);
         let (r, acc) = self.probe_and_attack(&cfg, 37, 1)?;
         // Also report how the non-ideality hurts the *victim* itself.
         let oracle = Oracle::new(self.victim.net.clone(), &cfg, 37).map_err(|e| e.to_string())?;
@@ -585,7 +624,9 @@ impl AblationsRunner {
             .ok_or_else(|| format!("defense condition {index} out of range"))?;
         let oracle = Oracle::new(
             self.victim.net.clone(),
-            &OracleConfig::ideal().with_access(OutputAccess::None),
+            &OracleConfig::ideal()
+                .with_access(OutputAccess::None)
+                .with_backend(self.backend),
             41,
         )
         .map_err(|e| e.to_string())?;

@@ -23,6 +23,7 @@ use crate::campaign::{
 };
 use crate::{train_victim, write_json, DatasetKind, HeadKind};
 use xbar_core::report::{fmt, fmt_with_significance, format_table};
+use xbar_crossbar::backend::BackendKind;
 use xbar_stats::aggregate::RunSummary;
 use xbar_stats::ttest::welch_t_test;
 
@@ -75,11 +76,14 @@ pub struct CampaignOptions {
     /// Results JSON path; `None` uses the figure's default under
     /// `results/`.
     pub json_out: Option<String>,
+    /// Oracle evaluation backend. A pure execution detail: results are
+    /// bit-identical across backends.
+    pub backend: BackendKind,
 }
 
 impl CampaignOptions {
     /// Defaults: all cores, one retry, no resume, no journal, no trace,
-    /// stderr progress on every trial.
+    /// stderr progress on every trial, naive backend.
     pub fn new(quick: bool) -> Self {
         CampaignOptions {
             quick,
@@ -91,6 +95,7 @@ impl CampaignOptions {
             progress: ProgressMode::Stderr,
             progress_every: 1,
             json_out: None,
+            backend: BackendKind::Naive,
         }
     }
 }
@@ -242,7 +247,7 @@ fn print_fig4(panels: &[Fig4Panel]) {
 /// Runs the Fig. 4 grid and prints/persists the panels.
 pub fn run_fig4(opts: &CampaignOptions) -> Result<(), String> {
     let campaign = fig4_campaign(opts.quick);
-    let report = execute(&Fig4Runner, &campaign, opts)?;
+    let report = execute(&Fig4Runner::new(opts.backend), &campaign, opts)?;
     let panels = fig4_panels(&campaign, &report.outputs)?;
     print_fig4(&panels);
     write_json(
@@ -291,7 +296,7 @@ pub struct Fig5Row {
 /// Runs the Fig. 5 grid and prints/persists the rows.
 pub fn run_fig5(opts: &CampaignOptions) -> Result<(), String> {
     let campaign = fig5_campaign(opts.quick);
-    let report = execute(&Fig5Runner, &campaign, opts)?;
+    let report = execute(&Fig5Runner::new(opts.backend), &campaign, opts)?;
     let (runs, _, q_list, _) = fig5_params(opts.quick);
 
     let mut json_rows = Vec::new();
@@ -431,7 +436,7 @@ pub struct AblationRecord {
 pub fn run_ablations(opts: &CampaignOptions) -> Result<(), String> {
     use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
 
-    let runner = AblationsRunner::new(opts.quick);
+    let runner = AblationsRunner::new(opts.quick, opts.backend);
     let victim = runner.victim().clone();
     let strength = runner.strength();
     let num_samples = if opts.quick { 800 } else { 3000 };

@@ -24,9 +24,13 @@
 //! resumable): their grids live in [`campaign`] and their drivers in
 //! [`figures`]. The same drivers back the `xbar campaign` CLI
 //! subcommand.
+//!
+//! [`mvmbench`] backs `xbar bench mvm`: the naive-vs-blocked batched
+//! MVM microbenchmark behind CI's `BENCH_mvm.json` artifact.
 
 pub mod campaign;
 pub mod figures;
+pub mod mvmbench;
 pub mod setup;
 
 pub use setup::*;

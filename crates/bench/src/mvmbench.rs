@@ -1,0 +1,133 @@
+//! The `xbar bench mvm` microbenchmark: naive vs blocked batched MVM.
+//!
+//! Times [`EvalBackend::mvm_batch`] for both backends on one
+//! crossbar-shaped workload (1024x256 outputs x inputs, batch 256 by
+//! default; smaller under `--quick`), verifies the outputs are
+//! bit-identical, and writes a machine-readable report — CI uploads it
+//! as the `BENCH_mvm.json` artifact.
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use xbar_crossbar::array::CrossbarArray;
+use xbar_crossbar::backend::{BackendKind, EvalBackend};
+use xbar_crossbar::device::DeviceModel;
+use xbar_linalg::Matrix;
+
+use crate::write_json;
+
+/// The result of one naive-vs-blocked MVM comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct MvmBenchReport {
+    /// Crossbar output rows.
+    pub outputs: usize,
+    /// Crossbar input columns.
+    pub inputs: usize,
+    /// Batch size (input vectors per `mvm_batch` call).
+    pub batch: usize,
+    /// Timed iterations per backend (after one warm-up).
+    pub iterations: usize,
+    /// Mean nanoseconds per `mvm_batch` call, naive backend.
+    pub naive_nanos: u64,
+    /// Mean nanoseconds per `mvm_batch` call, blocked backend.
+    pub blocked_nanos: u64,
+    /// `naive_nanos / blocked_nanos`.
+    pub speedup: f64,
+    /// Whether the two backends returned bit-identical outputs.
+    pub bit_identical: bool,
+}
+
+fn time_backend(
+    backend: &dyn EvalBackend,
+    array: &CrossbarArray,
+    refs: &[&[f64]],
+    iterations: usize,
+) -> u64 {
+    let start = Instant::now();
+    for _ in 0..iterations {
+        std::hint::black_box(
+            backend
+                .mvm_batch(array, refs)
+                .expect("benchmark inputs are well-formed"),
+        );
+    }
+    (start.elapsed().as_nanos() / iterations as u128) as u64
+}
+
+/// Runs the microbenchmark, prints a summary line, and persists the
+/// report (default `results/BENCH_mvm.json`).
+///
+/// # Errors
+///
+/// Fails if the crossbar cannot be programmed or if the two backends
+/// disagree on any output bit.
+pub fn run_mvm_bench(quick: bool, json_out: Option<&str>) -> Result<MvmBenchReport, String> {
+    let (outputs, inputs, batch, iterations) = if quick {
+        (256, 128, 64, 3)
+    } else {
+        (1024, 256, 256, 5)
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let w = Matrix::random_uniform(outputs, inputs, -1.0, 1.0, &mut rng);
+    let array =
+        CrossbarArray::program(&w, &DeviceModel::ideal(), &mut rng).map_err(|e| e.to_string())?;
+    let samples = Matrix::random_uniform(batch, inputs, 0.0, 1.0, &mut rng);
+    let refs: Vec<&[f64]> = (0..batch).map(|b| samples.row(b)).collect();
+
+    let naive = BackendKind::Naive.build();
+    let blocked = BackendKind::Blocked.build();
+
+    // Warm-up doubles as the correctness check: exact equality, not
+    // approximate — the blocked kernel's contract is bit-identity.
+    let out_naive = naive.mvm_batch(&array, &refs).map_err(|e| e.to_string())?;
+    let out_blocked = blocked
+        .mvm_batch(&array, &refs)
+        .map_err(|e| e.to_string())?;
+    let bit_identical = out_naive == out_blocked;
+
+    let naive_nanos = time_backend(naive.as_ref(), &array, &refs, iterations);
+    let blocked_nanos = time_backend(blocked.as_ref(), &array, &refs, iterations);
+    let speedup = naive_nanos as f64 / blocked_nanos.max(1) as f64;
+
+    let report = MvmBenchReport {
+        outputs,
+        inputs,
+        batch,
+        iterations,
+        naive_nanos,
+        blocked_nanos,
+        speedup,
+        bit_identical,
+    };
+    println!(
+        "mvm_batch {outputs}x{inputs} batch={batch}: naive {:.3} ms, blocked {:.3} ms, \
+         speedup {speedup:.2}x, bit-identical: {bit_identical}",
+        naive_nanos as f64 / 1e6,
+        blocked_nanos as f64 / 1e6,
+    );
+    write_json(json_out.unwrap_or("results/BENCH_mvm.json"), &report);
+    if !bit_identical {
+        return Err("blocked backend diverged from naive outputs".into());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_reports_bit_identical_outputs() {
+        let dir = std::env::temp_dir().join(format!("xbar_mvmbench_{}", std::process::id()));
+        let path = dir.join("BENCH_mvm.json");
+        let report = run_mvm_bench(true, path.to_str()).unwrap();
+        assert!(report.bit_identical);
+        assert!(report.naive_nanos > 0 && report.blocked_nanos > 0);
+        assert!(std::fs::read_to_string(&path)
+            .unwrap()
+            .contains("\"bit_identical\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -18,6 +18,7 @@ use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
 use xbar_core::pixel_attack::{single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources};
 use xbar_core::probe::probe_column_norms;
 use xbar_core::sweep::method_reps;
+use xbar_crossbar::backend::BackendKind;
 use xbar_runtime::journal::read_journal;
 use xbar_runtime::{run_campaign, Campaign, ExecutorConfig, NullSink, TrialStatus};
 
@@ -120,10 +121,14 @@ fn campaign_matches_serial_reference_across_thread_counts() {
     let campaign = tiny_campaign();
     let reference = serial_reference(&campaign);
 
-    let journals = [tmp("t1"), tmp("t4")];
-    for (threads, journal) in [(1, &journals[0]), (4, &journals[1])] {
+    let journals = [tmp("t1"), tmp("t4"), tmp("t4-blocked")];
+    for (threads, backend, journal) in [
+        (1, BackendKind::Naive, &journals[0]),
+        (4, BackendKind::Naive, &journals[1]),
+        (4, BackendKind::Blocked, &journals[2]),
+    ] {
         let report = run_campaign(
-            &Fig4Runner,
+            &Fig4Runner::new(backend),
             &campaign,
             &ExecutorConfig::with_threads(threads),
             Some(journal),
@@ -137,15 +142,20 @@ fn campaign_matches_serial_reference_across_thread_counts() {
             assert_eq!(
                 output.as_ref().unwrap(),
                 &reference[i],
-                "trial {i} diverged from the serial path at {threads} thread(s)"
+                "trial {i} diverged from the serial path at {threads} thread(s), {backend} backend"
             );
         }
     }
 
-    // The checkpoints are byte-identical too, once sorted by trial.
+    // The checkpoints are byte-identical too, once sorted by trial —
+    // across thread counts AND across evaluation backends.
     assert_eq!(
         canonical_journal(&journals[0]),
         canonical_journal(&journals[1])
+    );
+    assert_eq!(
+        canonical_journal(&journals[0]),
+        canonical_journal(&journals[2])
     );
     for journal in &journals {
         fs::remove_file(journal).ok();
@@ -158,7 +168,7 @@ fn resume_after_truncation_skips_completed_trials() {
     let journal = tmp("resume");
 
     let full = run_campaign(
-        &Fig4Runner,
+        &Fig4Runner::default(),
         &campaign,
         &ExecutorConfig::with_threads(2),
         Some(&journal),
@@ -175,7 +185,7 @@ fn resume_after_truncation_skips_completed_trials() {
     fs::write(&journal, format!("{}\n", lines.join("\n"))).unwrap();
 
     let resumed = run_campaign(
-        &Fig4Runner,
+        &Fig4Runner::default(),
         &campaign,
         &ExecutorConfig::with_threads(2),
         Some(&journal),

@@ -10,6 +10,7 @@ use serde::Value;
 use xbar_bench::campaign::{fig4_campaign, Fig4Runner, Fig4Spec, FIG4_VICTIM_SEED};
 use xbar_bench::{DatasetKind, HeadKind};
 use xbar_core::pixel_attack::PixelAttackMethod;
+use xbar_crossbar::backend::BackendKind;
 use xbar_runtime::{run_campaign_traced, Campaign, ExecutorConfig, NullSink};
 
 fn tmp(tag: &str) -> PathBuf {
@@ -78,10 +79,10 @@ fn deterministic_view(path: &PathBuf) -> Vec<String> {
 }
 
 fn assert_thread_invariant(campaign: &Campaign<Fig4Spec>, tag: &str) {
-    let run = |threads: usize| {
-        let path = tmp(&format!("{tag}_t{threads}"));
+    let run = |threads: usize, backend: BackendKind| {
+        let path = tmp(&format!("{tag}_t{threads}_{backend}"));
         let report = run_campaign_traced(
-            &Fig4Runner,
+            &Fig4Runner::new(backend),
             campaign,
             &ExecutorConfig::with_threads(threads),
             None,
@@ -97,18 +98,29 @@ fn assert_thread_invariant(campaign: &Campaign<Fig4Spec>, tag: &str) {
             report.metrics.probe_measurements,
         )
     };
-    let (serial_path, serial_queries, serial_probes) = run(1);
-    let (parallel_path, parallel_queries, parallel_probes) = run(4);
+    let (serial_path, serial_queries, serial_probes) = run(1, BackendKind::Naive);
+    let (parallel_path, parallel_queries, parallel_probes) = run(4, BackendKind::Naive);
+    let (blocked_path, blocked_queries, blocked_probes) = run(4, BackendKind::Blocked);
 
     let serial = deterministic_view(&serial_path);
     let parallel = deterministic_view(&parallel_path);
+    let blocked = deterministic_view(&blocked_path);
     std::fs::remove_file(&serial_path).ok();
     std::fs::remove_file(&parallel_path).ok();
+    std::fs::remove_file(&blocked_path).ok();
 
     assert_eq!(serial.len(), campaign.len());
     assert_eq!(
         serial, parallel,
         "deterministic trace content must be thread-count-invariant"
+    );
+    assert_eq!(
+        serial, blocked,
+        "deterministic trace content must be backend-invariant"
+    );
+    assert_eq!(
+        (serial_queries, serial_probes),
+        (blocked_queries, blocked_probes)
     );
     // The per-trial records really carry the side-channel accounting.
     assert!(

@@ -29,8 +29,9 @@ pub type CliError = Box<dyn std::error::Error>;
 /// Returns the subcommand's failure, or an [`ArgsError`] for an unknown
 /// command.
 pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
-    // Only `trace` takes positional arguments (its action and path).
-    if args.command != "trace" {
+    // Only `trace` and `bench` take positional arguments (their action,
+    // plus the trace path).
+    if args.command != "trace" && args.command != "bench" {
         args.expect_no_positionals()?;
     }
     match args.command.as_str() {
@@ -40,6 +41,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
         "blackbox" => cmd_blackbox(args),
         "recover" => cmd_recover(args),
         "campaign" => cmd_campaign(args),
+        "bench" => cmd_bench(args),
         "trace" => cmd_trace(args),
         "help" => {
             print_help();
@@ -75,8 +77,12 @@ COMMANDS:
             runtime (checkpointed and resumable)
             --figure fig4|fig5|ablations [--threads N] [--resume]
             [--journal FILE] [--out FILE] [--retries N] [--quick]
-            [--trace FILE] [--progress stderr|json|none]
-            [--progress-every N]
+            [--backend naive|blocked] [--trace FILE]
+            [--progress stderr|json|none] [--progress-every N]
+  bench     micro-benchmarks
+            mvm [--quick] [--out FILE]   naive vs blocked batched MVM
+                                         (bit-identity checked; writes
+                                         results/BENCH_mvm.json)
   trace     inspect an xbar-obs JSONL trace written by --trace
             summarize FILE   per-stage totals: counters per trial,
                              value series, span counts and wall times
@@ -99,6 +105,8 @@ fn cmd_campaign(args: &ParsedArgs) -> Result<(), CliError> {
         .map(std::path::PathBuf::from);
     opts.progress = args.get_or("progress", ProgressMode::Stderr)?;
     opts.progress_every = args.get_or("progress-every", 1usize)?.max(1);
+    // Pure execution detail: results are bit-identical across backends.
+    opts.backend = args.get_or("backend", xbar_crossbar::backend::BackendKind::Naive)?;
     // The journal is always kept (it is what --resume reads); default
     // path is per figure so campaigns don't clobber each other.
     let journal = args
@@ -120,6 +128,17 @@ fn cmd_campaign(args: &ParsedArgs) -> Result<(), CliError> {
         }
     };
     run(&opts).map_err(|e| -> CliError { e.into() })
+}
+
+fn cmd_bench(args: &ParsedArgs) -> Result<(), CliError> {
+    match args.positional(0) {
+        Some("mvm") => {
+            xbar_bench::mvmbench::run_mvm_bench(args.flag("quick"), args.get("out"))?;
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown bench {other:?} (expected: mvm)").into()),
+        None => Err("usage: xbar bench mvm [--quick] [--out FILE]".into()),
+    }
 }
 
 fn cmd_trace(args: &ParsedArgs) -> Result<(), CliError> {
@@ -650,6 +669,31 @@ mod tests {
             "lots",
         ]))
         .is_err());
+        // Unknown evaluation backend.
+        assert!(dispatch(&parse(&[
+            "campaign",
+            "--figure",
+            "fig4",
+            "--backend",
+            "quantum",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn bench_mvm_quick_writes_report() {
+        let out = tmp("bench-mvm.json");
+        dispatch(&parse(&["bench", "mvm", "--quick", "--out", &out])).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("\"bit_identical\": true"), "{text}");
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn bench_argument_validation() {
+        // Missing and unknown bench actions are rejected.
+        assert!(dispatch(&parse(&["bench"])).is_err());
+        assert!(dispatch(&parse(&["bench", "frobnicate"])).is_err());
     }
 
     #[test]

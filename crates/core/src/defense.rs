@@ -153,8 +153,24 @@ impl DefendedOracle {
     /// Propagates oracle query errors.
     pub fn query(&mut self, u: &[f64]) -> Result<QueryRecord> {
         let mut rec = self.oracle.query(u)?;
-        rec.power += self.defense.extra_power(u, &mut self.rng);
+        rec.observation.power += self.defense.extra_power(u, &mut self.rng);
         Ok(rec)
+    }
+
+    /// A batch of defended queries (same contract as
+    /// [`Oracle::query_batch`]). The defense's own randomness is drawn
+    /// per query in batch order, so a batch equals the same queries
+    /// issued one at a time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle query errors.
+    pub fn query_batch(&mut self, inputs: &[&[f64]]) -> Result<Vec<QueryRecord>> {
+        let mut records = self.oracle.query_batch(inputs)?;
+        for (rec, u) in records.iter_mut().zip(inputs) {
+            rec.observation.power += self.defense.extra_power(u, &mut self.rng);
+        }
+        Ok(records)
     }
 
     /// One defended power-only query.
@@ -162,14 +178,15 @@ impl DefendedOracle {
     /// # Errors
     ///
     /// Propagates oracle query errors.
+    #[deprecated(note = "use `query(u)?.observation.power` instead")]
     pub fn query_power(&mut self, u: &[f64]) -> Result<f64> {
-        let p = self.oracle.query_power(u)?;
-        Ok(p + self.defense.extra_power(u, &mut self.rng))
+        Ok(self.query(u)?.observation.power)
     }
 
     /// Probes all column norms through the defense (the defended analogue
     /// of [`crate::probe::probe_column_norms`]); what the attacker
-    /// recovers is the *defended* landscape.
+    /// recovers is the *defended* landscape. Each repeat issues its `N`
+    /// basis probes as one defended batch.
     ///
     /// # Errors
     ///
@@ -182,16 +199,23 @@ impl DefendedOracle {
             return Err(AttackError::InvalidParameter { name: "repeats" });
         }
         let n = self.num_inputs();
+        let probes: Vec<Vec<f64>> = (0..n)
+            .map(|j| {
+                let mut probe = vec![0.0; n];
+                probe[j] = beta;
+                probe
+            })
+            .collect();
+        let refs: Vec<&[f64]> = probes.iter().map(Vec::as_slice).collect();
         let mut norms = vec![0.0; n];
-        let mut probe = vec![0.0; n];
-        for (j, norm) in norms.iter_mut().enumerate() {
-            probe[j] = beta;
-            let mut acc = 0.0;
-            for _ in 0..repeats {
-                acc += self.query_power(&probe)?;
+        for _ in 0..repeats {
+            let records = self.query_batch(&refs)?;
+            for (norm, rec) in norms.iter_mut().zip(&records) {
+                *norm += rec.observation.power;
             }
-            *norm = acc / (repeats as f64 * beta);
-            probe[j] = 0.0;
+        }
+        for norm in &mut norms {
+            *norm /= repeats as f64 * beta;
         }
         Ok(norms)
     }
@@ -223,8 +247,8 @@ mod tests {
         let mut defended = DefendedOracle::new(base_oracle(), PowerDefense::None, 1).unwrap();
         let u = vec![0.5; 12];
         assert_eq!(
-            bare.query_power(&u).unwrap(),
-            defended.query_power(&u).unwrap()
+            bare.query(&u).unwrap().observation.power,
+            defended.query(&u).unwrap().observation.power
         );
     }
 

@@ -203,6 +203,15 @@ mod tests {
     use xbar_nn::network::SingleLayerNet;
     use xbar_nn::train::{train, SgdConfig};
 
+    fn batch_powers(oracle: &mut Oracle, rows: &[&[f64]]) -> Vec<f64> {
+        oracle
+            .query_batch(rows)
+            .unwrap()
+            .iter()
+            .map(|r| r.observation.power)
+            .collect()
+    }
+
     #[test]
     fn calibration_validates() {
         assert!(PowerAnomalyDetector::calibrate(&[1.0], 3.0).is_err());
@@ -255,9 +264,10 @@ mod tests {
         .unwrap();
 
         // Defender calibrates on clean traffic.
-        let clean_powers: Vec<f64> = (0..split.train.len())
-            .map(|i| oracle.query_power(split.train.input(i)).unwrap())
+        let train_rows: Vec<&[f64]> = (0..split.train.len())
+            .map(|i| split.train.input(i))
             .collect();
+        let clean_powers = batch_powers(&mut oracle, &train_rows);
         let det = PowerAnomalyDetector::calibrate(&clean_powers, 3.0).unwrap();
 
         // Attacker crafts norm-guided single-pixel adversarial inputs at a
@@ -273,12 +283,10 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let adv_powers: Vec<f64> = (0..adv.rows())
-            .map(|i| oracle.query_power(adv.row(i)).unwrap())
-            .collect();
-        let held_out: Vec<f64> = (0..split.test.len())
-            .map(|i| oracle.query_power(split.test.input(i)).unwrap())
-            .collect();
+        let adv_rows: Vec<&[f64]> = (0..adv.rows()).map(|i| adv.row(i)).collect();
+        let adv_powers = batch_powers(&mut oracle, &adv_rows);
+        let test_rows: Vec<&[f64]> = (0..split.test.len()).map(|i| split.test.input(i)).collect();
+        let held_out = batch_powers(&mut oracle, &test_rows);
         let report = evaluate_detector(&det, &held_out, &adv_powers);
         assert!(
             report.true_positive_rate > 0.9,
@@ -304,9 +312,8 @@ mod tests {
         )
         .unwrap();
         let clean = Matrix::random_uniform(200, 20, 0.0, 1.0, &mut rng);
-        let clean_powers: Vec<f64> = (0..200)
-            .map(|i| oracle.query_power(clean.row(i)).unwrap())
-            .collect();
+        let clean_rows: Vec<&[f64]> = (0..200).map(|i| clean.row(i)).collect();
+        let clean_powers = batch_powers(&mut oracle, &clean_rows);
         let det = PowerAnomalyDetector::calibrate(&clean_powers, 3.0).unwrap();
         // Tiny perturbation on a fresh clean batch.
         let fresh = Matrix::random_uniform(100, 20, 0.0, 1.0, &mut rng);
@@ -321,9 +328,8 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let adv_powers: Vec<f64> = (0..100)
-            .map(|i| oracle.query_power(adv.row(i)).unwrap())
-            .collect();
+        let adv_rows: Vec<&[f64]> = (0..100).map(|i| adv.row(i)).collect();
+        let adv_powers = batch_powers(&mut oracle, &adv_rows);
         assert!(det.detection_rate(&adv_powers) < 0.1);
     }
 

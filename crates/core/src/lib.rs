@@ -60,6 +60,7 @@ pub mod fgsm;
 pub mod oracle;
 pub mod persist;
 pub mod pixel_attack;
+pub mod prelude;
 pub mod probe;
 pub mod recovery;
 pub mod report;

@@ -6,8 +6,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use xbar_crossbar::array::CrossbarArray;
+use xbar_crossbar::backend::BackendKind;
 use xbar_crossbar::device::DeviceModel;
 use xbar_crossbar::power::PowerModel;
+use xbar_crossbar::CrossbarError;
 use xbar_linalg::{vec_ops, Matrix};
 use xbar_nn::network::SingleLayerNet;
 
@@ -36,6 +38,10 @@ pub struct OracleConfig {
     pub access: OutputAccess,
     /// Optional hard cap on the number of queries.
     pub query_budget: Option<usize>,
+    /// Evaluation backend used for batched queries and evaluation.
+    /// Backends are bit-identical by contract, so this is a pure
+    /// performance knob.
+    pub backend: BackendKind,
 }
 
 impl OracleConfig {
@@ -47,37 +53,52 @@ impl OracleConfig {
             power: PowerModel::default(),
             access: OutputAccess::Raw,
             query_budget: None,
+            backend: BackendKind::Naive,
         }
     }
 
     /// Builder-style setter for the output access level.
+    #[must_use]
     pub fn with_access(mut self, access: OutputAccess) -> Self {
         self.access = access;
         self
     }
 
     /// Builder-style setter for the device model.
+    #[must_use]
     pub fn with_device(mut self, device: DeviceModel) -> Self {
         self.device = device;
         self
     }
 
     /// Builder-style setter for the power model.
+    #[must_use]
     pub fn with_power(mut self, power: PowerModel) -> Self {
         self.power = power;
         self
     }
 
     /// Builder-style setter for the query budget.
+    #[must_use]
     pub fn with_query_budget(mut self, budget: usize) -> Self {
         self.query_budget = Some(budget);
         self
     }
+
+    /// Builder-style setter for the evaluation backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
-/// One query's worth of observations.
+/// Everything one query revealed, across both channels (the digital
+/// output — gated by [`OutputAccess`] — and the always-on power side
+/// channel). This is the typed response shape shared by every query
+/// entry point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct QueryRecord {
+pub struct Observation {
     /// Raw output vector, if [`OutputAccess::Raw`].
     pub output: Option<Vec<f64>>,
     /// Predicted label, if [`OutputAccess::LabelOnly`] or raw.
@@ -85,6 +106,17 @@ pub struct QueryRecord {
     /// Calibrated power observation in weight units (see
     /// [`Oracle::query`] for the calibration).
     pub power: f64,
+}
+
+/// One query's worth of observations, plus its bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// Global index of this query (0-based, monotone across the
+    /// oracle's lifetime; not reset by
+    /// [`Oracle::reset_query_count`]).
+    pub index: u64,
+    /// What the query revealed.
+    pub observation: Observation,
 }
 
 /// The victim: a trained [`SingleLayerNet`] programmed onto a
@@ -99,7 +131,8 @@ pub struct Oracle {
     xbar: CrossbarArray,
     config: OracleConfig,
     query_count: usize,
-    rng: ChaCha8Rng,
+    queries_issued: u64,
+    seed: u64,
 }
 
 impl Oracle {
@@ -107,7 +140,10 @@ impl Oracle {
     ///
     /// `seed` drives the oracle's internal noise streams (programming
     /// variation, read noise, measurement noise); the attacker has no
-    /// influence over or knowledge of it.
+    /// influence over or knowledge of it. Programming draws from the
+    /// seed's stream 0; query `q` draws from stream `q + 1`, so a
+    /// query's noise depends only on the seed and the query's global
+    /// index — never on batch boundaries or thread scheduling.
     ///
     /// # Errors
     ///
@@ -121,7 +157,8 @@ impl Oracle {
             xbar,
             config: *config,
             query_count: 0,
-            rng,
+            queries_issued: 0,
+            seed,
         })
     }
 
@@ -162,32 +199,45 @@ impl Oracle {
         self.xbar.effective_weights().col_l1_norms()
     }
 
-    fn consume_query(&mut self) -> Result<()> {
+    /// Consumes `count` queries against the budget, all-or-nothing, and
+    /// returns the global index of the first one.
+    fn consume_queries(&mut self, count: usize) -> Result<u64> {
         if let Some(budget) = self.config.query_budget {
-            if self.query_count >= budget {
+            if self.query_count + count > budget {
                 return Err(AttackError::QueryBudgetExhausted { budget });
             }
         }
-        self.query_count += 1;
-        xbar_obs::count(xbar_obs::names::ORACLE_QUERY, 1);
-        Ok(())
+        let base = self.queries_issued;
+        self.query_count += count;
+        self.queries_issued += count as u64;
+        xbar_obs::count(xbar_obs::names::ORACLE_QUERY, count as u64);
+        Ok(base)
     }
 
-    /// Crossbar forward pass (with read noise if the device has any),
-    /// activation applied. Internal — all external access goes through
-    /// [`Oracle::query`].
-    fn crossbar_forward(&mut self, u: &[f64]) -> Result<Vec<f64>> {
-        let mut s = if self.xbar.device().read_sigma > 0.0 {
-            self.xbar.noisy_mvm(u, &mut self.rng)?
-        } else {
-            self.xbar.checked_mvm(u)?
-        };
-        self.net.activation().apply_row(&mut s);
-        Ok(s)
+    /// The noise RNG for global query `index`: stream `index + 1` of the
+    /// oracle seed (stream 0 programmed the crossbar). Within one
+    /// query's stream, power-measurement noise draws come first, then
+    /// forward read noise — matching [`Oracle::query`]'s order.
+    fn stream_rng(seed: u64, index: u64) -> ChaCha8Rng {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        rng.set_stream(index + 1);
+        rng
+    }
+
+    /// Calibrates one raw power measurement to weight units and records
+    /// the observation.
+    fn calibrate(&self, raw: f64, u: &[f64]) -> f64 {
+        let mapping = self.xbar.mapping();
+        let m = self.xbar.num_outputs() as f64;
+        let baseline = 2.0 * m * mapping.g_min * u.iter().sum::<f64>();
+        let calibrated = (raw / self.config.power.v_dd - baseline) / mapping.scale;
+        xbar_obs::observe(xbar_obs::names::ORACLE_POWER, calibrated);
+        calibrated
     }
 
     /// One attacker query: runs the input on the crossbar and returns what
-    /// the access level allows, plus the power observation.
+    /// the access level allows, plus the power observation. Equivalent to
+    /// `query_batch(&[u])` — batch boundaries never change results.
     ///
     /// The power observation is *calibrated to weight units*: the raw
     /// measured power `P = V_dd · i_total` is mapped through the known
@@ -202,46 +252,141 @@ impl Oracle {
     /// * [`AttackError::QueryBudgetExhausted`] once the budget is spent.
     /// * Crossbar errors on malformed inputs.
     pub fn query(&mut self, u: &[f64]) -> Result<QueryRecord> {
-        self.consume_query()?;
-        let power = self.calibrated_power_internal(u)?;
-        let (output, label) = match self.config.access {
-            OutputAccess::None => (None, None),
-            OutputAccess::LabelOnly => {
-                let y = self.crossbar_forward(u)?;
-                (None, Some(vec_ops::argmax(&y)))
-            }
-            OutputAccess::Raw => {
-                let y = self.crossbar_forward(u)?;
-                let label = vec_ops::argmax(&y);
-                (Some(y), Some(label))
-            }
-        };
-        Ok(QueryRecord {
-            output,
-            label,
-            power,
-        })
+        let mut records = self.query_batch(&[u])?;
+        Ok(records.pop().expect("batch of one yields one record"))
     }
 
-    /// Power-only query (Case 1): cheaper notation for
-    /// [`Oracle::query`]`.power` that works at any access level.
+    /// A batch of attacker queries, evaluated by the configured
+    /// [`BackendKind`].
+    ///
+    /// Bit-identical to issuing the same inputs through [`Oracle::query`]
+    /// one at a time, in order, for every backend and at any batch
+    /// partitioning: query `q`'s noise comes from the seed's stream
+    /// `q + 1` alone, and the blocked backend's kernels reduce in the
+    /// same floating-point order as the per-vector path.
+    ///
+    /// Budget accounting is all-or-nothing: if fewer than `inputs.len()`
+    /// queries remain, no query is consumed.
+    ///
+    /// # Errors
+    ///
+    /// * [`AttackError::QueryBudgetExhausted`] if the batch does not fit
+    ///   in the remaining budget.
+    /// * Crossbar errors on malformed inputs (checked up front; no
+    ///   queries are consumed).
+    pub fn query_batch(&mut self, inputs: &[&[f64]]) -> Result<Vec<QueryRecord>> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = self.num_inputs();
+        for u in inputs {
+            if u.len() != n {
+                return Err(CrossbarError::InputLenMismatch {
+                    expected: n,
+                    got: u.len(),
+                }
+                .into());
+            }
+        }
+        let base = self.consume_queries(inputs.len())?;
+        let backend = self.config.backend.build();
+        let seed = self.seed;
+        let noisy_power = self.config.power.noise_sigma > 0.0;
+        let needs_forward = self.config.access != OutputAccess::None;
+        let noisy_read = needs_forward && self.xbar.device().read_sigma > 0.0;
+
+        let (powers, raw_outputs) = if noisy_power && noisy_read {
+            // Both noise sources share each query's stream (power draws
+            // first, then read draws), so the stages cannot be split
+            // into separate batch calls — run per sample.
+            let mut powers = Vec::with_capacity(inputs.len());
+            let mut outs = Vec::with_capacity(inputs.len());
+            for (i, u) in inputs.iter().enumerate() {
+                let mut rng = Self::stream_rng(seed, base + i as u64);
+                let raw = self.config.power.measure(&self.xbar, u, &mut rng)?;
+                powers.push(self.calibrate(raw, u));
+                outs.push(self.xbar.noisy_mvm(u, &mut rng)?);
+            }
+            (powers, Some(outs))
+        } else {
+            let raws = if noisy_power {
+                backend.noisy_power_batch(&self.config.power, &self.xbar, inputs, &mut |i| {
+                    Self::stream_rng(seed, base + i as u64)
+                })?
+            } else {
+                backend.power_batch(&self.config.power, &self.xbar, inputs)?
+            };
+            let powers = raws
+                .iter()
+                .zip(inputs)
+                .map(|(&raw, u)| self.calibrate(raw, u))
+                .collect();
+            let outs = if !needs_forward {
+                None
+            } else if noisy_read {
+                Some(backend.noisy_mvm_batch(&self.xbar, inputs, &mut |i| {
+                    Self::stream_rng(seed, base + i as u64)
+                })?)
+            } else {
+                Some(backend.mvm_batch(&self.xbar, inputs)?)
+            };
+            (powers, outs)
+        };
+
+        let mut out_iter = raw_outputs.map(|mut rows| {
+            for row in &mut rows {
+                self.net.activation().apply_row(row);
+            }
+            rows.into_iter()
+        });
+        let mut records = Vec::with_capacity(inputs.len());
+        for (i, power) in powers.into_iter().enumerate() {
+            let mut next_output = || {
+                out_iter
+                    .as_mut()
+                    .expect("forward ran")
+                    .next()
+                    .expect("one output row per query")
+            };
+            let (output, label) = match self.config.access {
+                OutputAccess::None => (None, None),
+                OutputAccess::LabelOnly => {
+                    let y = next_output();
+                    (None, Some(vec_ops::argmax(&y)))
+                }
+                OutputAccess::Raw => {
+                    let y = next_output();
+                    let label = vec_ops::argmax(&y);
+                    (Some(y), Some(label))
+                }
+            };
+            records.push(QueryRecord {
+                index: base + i as u64,
+                observation: Observation {
+                    output,
+                    label,
+                    power,
+                },
+            });
+        }
+        Ok(records)
+    }
+
+    /// Power-only notation for [`Oracle::query`] that works at any access
+    /// level.
+    ///
+    /// This is now a documented thin wrapper over
+    /// `query(u)?.observation.power` — in particular it runs whatever the
+    /// access level grants (including the forward pass, at
+    /// [`OutputAccess::LabelOnly`]/[`OutputAccess::Raw`]) and discards
+    /// everything but the power field.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Oracle::query`].
+    #[deprecated(note = "use `query(u)?.observation.power` instead")]
     pub fn query_power(&mut self, u: &[f64]) -> Result<f64> {
-        self.consume_query()?;
-        self.calibrated_power_internal(u)
-    }
-
-    fn calibrated_power_internal(&mut self, u: &[f64]) -> Result<f64> {
-        let raw = self.config.power.measure(&self.xbar, u, &mut self.rng)?;
-        let mapping = self.xbar.mapping();
-        let m = self.xbar.num_outputs() as f64;
-        let baseline = 2.0 * m * mapping.g_min * u.iter().sum::<f64>();
-        let calibrated = (raw / self.config.power.v_dd - baseline) / mapping.scale;
-        xbar_obs::observe(xbar_obs::names::ORACLE_POWER, calibrated);
-        Ok(calibrated)
+        Ok(self.query(u)?.observation.power)
     }
 
     // ------------------------------------------------------------------
@@ -255,13 +400,19 @@ impl Oracle {
     ///
     /// Propagates dimension errors.
     pub fn eval_predict_batch(&self, inputs: &Matrix) -> Result<Vec<usize>> {
-        let mut labels = Vec::with_capacity(inputs.rows());
-        for i in 0..inputs.rows() {
-            let mut s = self.xbar.checked_mvm(inputs.row(i))?;
-            self.net.activation().apply_row(&mut s);
-            labels.push(vec_ops::argmax(&s));
+        if inputs.rows() == 0 {
+            return Ok(Vec::new());
         }
-        Ok(labels)
+        let backend = self.config.backend.build();
+        let rows: Vec<&[f64]> = (0..inputs.rows()).map(|i| inputs.row(i)).collect();
+        let mut outs = backend.mvm_batch(&self.xbar, &rows)?;
+        Ok(outs
+            .iter_mut()
+            .map(|y| {
+                self.net.activation().apply_row(y);
+                vec_ops::argmax(y)
+            })
+            .collect())
     }
 
     /// Deployed-model accuracy on a labelled set.
@@ -288,14 +439,19 @@ mod tests {
         Oracle::new(net, &OracleConfig::ideal().with_access(access), 3).unwrap()
     }
 
+    fn power(o: &mut Oracle, u: &[f64]) -> f64 {
+        o.query(u).unwrap().observation.power
+    }
+
     #[test]
     fn raw_access_reveals_everything() {
         let mut o = toy_oracle(OutputAccess::Raw);
         let rec = o.query(&[1.0, 0.0, 0.0]).unwrap();
-        let out = rec.output.unwrap();
+        let out = rec.observation.output.unwrap();
         assert!((out[0] - 1.0).abs() < 1e-12);
         assert!((out[1] - 0.25).abs() < 1e-12);
-        assert_eq!(rec.label, Some(0));
+        assert_eq!(rec.observation.label, Some(0));
+        assert_eq!(rec.index, 0);
         assert_eq!(o.query_count(), 1);
     }
 
@@ -303,17 +459,17 @@ mod tests {
     fn label_only_hides_raw_outputs() {
         let mut o = toy_oracle(OutputAccess::LabelOnly);
         let rec = o.query(&[1.0, 0.0, 0.0]).unwrap();
-        assert!(rec.output.is_none());
-        assert_eq!(rec.label, Some(0));
+        assert!(rec.observation.output.is_none());
+        assert_eq!(rec.observation.label, Some(0));
     }
 
     #[test]
     fn no_access_reveals_only_power() {
         let mut o = toy_oracle(OutputAccess::None);
         let rec = o.query(&[1.0, 0.0, 0.0]).unwrap();
-        assert!(rec.output.is_none());
-        assert!(rec.label.is_none());
-        assert!(rec.power > 0.0);
+        assert!(rec.observation.output.is_none());
+        assert!(rec.observation.label.is_none());
+        assert!(rec.observation.power > 0.0);
     }
 
     #[test]
@@ -325,7 +481,7 @@ mod tests {
         for j in 0..3 {
             let mut e = vec![0.0; 3];
             e[j] = 1.0;
-            let p = o.query_power(&e).unwrap();
+            let p = power(&mut o, &e);
             assert!(
                 (p - norms[j]).abs() < 1e-9,
                 "column {j}: {p} vs {}",
@@ -333,7 +489,7 @@ mod tests {
             );
         }
         // Linearity in the input.
-        let p = o.query_power(&[0.5, 0.25, 1.0]).unwrap();
+        let p = power(&mut o, &[0.5, 0.25, 1.0]);
         let want = 0.5 * norms[0] + 0.25 * norms[1] + 1.0 * norms[2];
         assert!((p - want).abs() < 1e-9);
     }
@@ -355,7 +511,7 @@ mod tests {
         for j in 0..2 {
             let mut e = vec![0.0; 2];
             e[j] = 1.0;
-            let p = o.query_power(&e).unwrap();
+            let p = power(&mut o, &e);
             assert!((p - norms[j]).abs() < 1e-9, "column {j}");
         }
     }
@@ -366,14 +522,129 @@ mod tests {
             SingleLayerNet::from_weights(Matrix::from_rows(&[&[1.0, 0.5]]), Activation::Identity);
         let cfg = OracleConfig::ideal().with_query_budget(2);
         let mut o = Oracle::new(net, &cfg, 1).unwrap();
-        assert!(o.query_power(&[1.0, 0.0]).is_ok());
+        assert!(o.query(&[1.0, 0.0]).is_ok());
         assert!(o.query(&[0.0, 1.0]).is_ok());
         assert!(matches!(
-            o.query_power(&[1.0, 1.0]),
+            o.query(&[1.0, 1.0]),
             Err(AttackError::QueryBudgetExhausted { budget: 2 })
         ));
         o.reset_query_count();
-        assert!(o.query_power(&[1.0, 0.0]).is_ok());
+        assert!(o.query(&[1.0, 0.0]).is_ok());
+    }
+
+    #[test]
+    fn batch_budget_is_all_or_nothing() {
+        let net =
+            SingleLayerNet::from_weights(Matrix::from_rows(&[&[1.0, 0.5]]), Activation::Identity);
+        let cfg = OracleConfig::ideal().with_query_budget(3);
+        let mut o = Oracle::new(net, &cfg, 1).unwrap();
+        let u = [1.0, 0.0];
+        assert!(o.query_batch(&[&u, &u]).is_ok());
+        // Two more would overflow the budget of 3: nothing is consumed.
+        assert!(matches!(
+            o.query_batch(&[&u, &u]),
+            Err(AttackError::QueryBudgetExhausted { budget: 3 })
+        ));
+        assert_eq!(o.query_count(), 2);
+        assert!(o.query(&u).is_ok());
+    }
+
+    #[test]
+    fn batch_matches_sequential_queries_at_any_split() {
+        // Noisy power AND noisy reads: the strongest equivalence claim.
+        let net = SingleLayerNet::from_weights(
+            Matrix::from_rows(&[&[1.0, -0.5, 0.2], &[0.25, 0.5, -1.0]]),
+            Activation::Identity,
+        );
+        let cfg = OracleConfig::ideal()
+            .with_power(PowerModel::default().with_noise(0.05))
+            .with_device(DeviceModel::ideal().with_read_sigma(0.01));
+        let inputs: Vec<Vec<f64>> = (0..7)
+            .map(|i| (0..3).map(|j| ((i * 3 + j) as f64 * 0.21).sin()).collect())
+            .collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+
+        let mut seq = Oracle::new(net.clone(), &cfg, 42).unwrap();
+        let one_by_one: Vec<QueryRecord> = refs.iter().map(|u| seq.query(u).unwrap()).collect();
+
+        for backend in [BackendKind::Naive, BackendKind::Blocked] {
+            let cfg_b = cfg.with_backend(backend);
+            // One big batch.
+            let mut o = Oracle::new(net.clone(), &cfg_b, 42).unwrap();
+            assert_eq!(o.query_batch(&refs).unwrap(), one_by_one, "{backend}");
+            // An uneven split.
+            let mut o = Oracle::new(net.clone(), &cfg_b, 42).unwrap();
+            let mut split = o.query_batch(&refs[..2]).unwrap();
+            split.extend(o.query_batch(&refs[2..5]).unwrap());
+            split.extend(o.query_batch(&refs[5..]).unwrap());
+            assert_eq!(split, one_by_one, "{backend} split");
+        }
+    }
+
+    #[test]
+    fn blocked_backend_is_bit_identical_on_noiseless_batches() {
+        let mut naive = toy_oracle(OutputAccess::Raw);
+        let mut blocked = {
+            let net = SingleLayerNet::from_weights(
+                Matrix::from_rows(&[&[1.0, -0.5, 0.0], &[0.25, 0.5, -1.0]]),
+                Activation::Identity,
+            );
+            Oracle::new(
+                net,
+                &OracleConfig::ideal().with_backend(BackendKind::Blocked),
+                3,
+            )
+            .unwrap()
+        };
+        let inputs: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![0.1 * i as f64, 0.3, 1.0 - 0.2 * i as f64])
+            .collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        assert_eq!(
+            naive.query_batch(&refs).unwrap(),
+            blocked.query_batch(&refs).unwrap()
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_query_power_equals_batch_of_one() {
+        let cfg = OracleConfig::ideal().with_power(PowerModel::default().with_noise(0.1));
+        let net =
+            SingleLayerNet::from_weights(Matrix::from_rows(&[&[1.0, -0.5]]), Activation::Identity);
+        let mut a = Oracle::new(net.clone(), &cfg, 17).unwrap();
+        let mut b = Oracle::new(net, &cfg, 17).unwrap();
+        for i in 0..4 {
+            let u = [0.5 + 0.1 * i as f64, 0.25];
+            assert_eq!(
+                a.query_power(&u).unwrap(),
+                b.query_batch(&[&u]).unwrap()[0].observation.power
+            );
+        }
+    }
+
+    #[test]
+    fn query_indices_are_global_and_survive_resets() {
+        let mut o = toy_oracle(OutputAccess::None);
+        assert_eq!(o.query(&[1.0, 0.0, 0.0]).unwrap().index, 0);
+        o.reset_query_count();
+        let recs = o
+            .query_batch(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]])
+            .unwrap();
+        assert_eq!(recs[0].index, 1);
+        assert_eq!(recs[1].index, 2);
+        assert_eq!(o.query_count(), 2);
+    }
+
+    #[test]
+    fn batch_rejects_malformed_inputs_without_consuming() {
+        let mut o = toy_oracle(OutputAccess::None);
+        let good = [1.0, 0.0, 0.0];
+        let bad = [1.0, 0.0];
+        assert!(o.query_batch(&[&good, &bad]).is_err());
+        assert_eq!(o.query_count(), 0);
+        assert!(o.query_batch(&[]).unwrap().is_empty());
+        assert_eq!(o.query_count(), 0);
     }
 
     #[test]
@@ -395,14 +666,11 @@ mod tests {
         let mut o = Oracle::new(net.clone(), &cfg, 11).unwrap();
         let norms = net.weights().col_l1_norms();
         let n = 2000;
-        let mean: f64 = (0..n)
-            .map(|_| o.query_power(&[1.0, 0.0]).unwrap())
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 = (0..n).map(|_| power(&mut o, &[1.0, 0.0])).sum::<f64>() / n as f64;
         assert!((mean - norms[0]).abs() < 0.02, "{mean} vs {}", norms[0]);
         // Individual readings vary.
-        let a = o.query_power(&[1.0, 0.0]).unwrap();
-        let b = o.query_power(&[1.0, 0.0]).unwrap();
+        let a = power(&mut o, &[1.0, 0.0]);
+        let b = power(&mut o, &[1.0, 0.0]);
         assert_ne!(a, b);
     }
 
@@ -419,10 +687,7 @@ mod tests {
         let mut a = make();
         let mut b = make();
         for _ in 0..5 {
-            assert_eq!(
-                a.query_power(&[0.5, 0.5]).unwrap(),
-                b.query_power(&[0.5, 0.5]).unwrap()
-            );
+            assert_eq!(power(&mut a, &[0.5, 0.5]), power(&mut b, &[0.5, 0.5]));
         }
     }
 }

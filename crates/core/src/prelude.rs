@@ -1,0 +1,29 @@
+//! Convenience re-exports for the most common attack-pipeline types.
+//!
+//! ```
+//! use xbar_core::prelude::*;
+//! use xbar_nn::activation::Activation;
+//! use xbar_nn::network::SingleLayerNet;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let net = SingleLayerNet::new_random(4, 2, Activation::Identity, &mut rng);
+//! let cfg = OracleConfig::ideal().with_backend(BackendKind::Blocked);
+//! let mut oracle = Oracle::new(net, &cfg, 3)?;
+//! let records = oracle.query_batch(&[&[1.0, 0.0, 0.0, 0.0], &[0.0, 1.0, 0.0, 0.0]])?;
+//! assert_eq!(records.len(), 2);
+//! assert!(records[1].observation.power >= 0.0);
+//! # Ok::<(), AttackError>(())
+//! ```
+
+pub use crate::defense::{DefendedOracle, PowerDefense};
+pub use crate::fgsm::{fgsm_batch, fgsm_targeted_batch, pgd_batch, BoxConstraint};
+pub use crate::oracle::{Observation, Oracle, OracleConfig, OutputAccess, QueryRecord};
+pub use crate::pixel_attack::{single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources};
+pub use crate::probe::{probe_column_norms, probe_columns_subset, probe_norms_compressed};
+pub use crate::recovery::{
+    recover_columns_by_basis_probes, recover_weights_least_squares, recover_weights_ridge,
+};
+pub use crate::surrogate::{collect_queries, train_surrogate, QueryDataset, SurrogateConfig};
+pub use crate::{AttackError, Result};
+pub use xbar_crossbar::backend::{BackendKind, BatchConfig, EvalBackend};

@@ -38,7 +38,7 @@ pub fn recover_columns_by_basis_probes(oracle: &mut Oracle, beta: f64) -> Result
     for j in 0..n {
         probe[j] = beta;
         let rec = oracle.query(&probe)?;
-        let y = rec.output.expect("raw access checked above");
+        let y = rec.observation.output.expect("raw access checked above");
         for (i, &yi) in y.iter().enumerate() {
             w[(i, j)] = yi / beta;
         }

@@ -105,16 +105,16 @@ pub fn collect_queries(
     let mut inputs = Matrix::zeros(indices.len(), pool.cols());
     let mut targets = Matrix::zeros(indices.len(), m);
     let mut powers = Vec::with_capacity(indices.len());
-    for (row, &idx) in indices.iter().enumerate() {
-        let u = pool.row(idx);
-        let rec = oracle.query(u)?;
+    let rows: Vec<&[f64]> = indices.iter().map(|&idx| pool.row(idx)).collect();
+    let records = oracle.query_batch(&rows)?;
+    for (row, (u, rec)) in rows.iter().zip(&records).enumerate() {
         inputs.row_mut(row).copy_from_slice(u);
-        match (&rec.output, rec.label) {
+        match (&rec.observation.output, rec.observation.label) {
             (Some(y), _) => targets.row_mut(row).copy_from_slice(y),
             (None, Some(l)) => targets[(row, l)] = 1.0,
             (None, None) => unreachable!("access checked above"),
         }
-        powers.push(rec.power);
+        powers.push(rec.observation.power);
     }
     Ok(QueryDataset {
         inputs,
@@ -293,7 +293,7 @@ pub fn train_surrogate<R: Rng + ?Sized>(
             let deltas = outputs
                 .zip_map(&t, |o, y| 2.0 * (o - y) / m as f64)
                 .expect("shapes match");
-            let mut grad = deltas.transpose().matmul(&x);
+            let mut grad = deltas.matmul_tn(&x)?;
             grad.scale_inplace(1.0 / b);
             // Power-loss gradient: rank-structured — v_j = (2/B) Σ_b
             // (p̂_b − p_b) u_bj, then grad_ij += λ v_j sgn(ŵ_ij).

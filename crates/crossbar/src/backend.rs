@@ -1,0 +1,604 @@
+//! Batch-first evaluation backends for the crossbar hot path.
+//!
+//! Every attack stage is dominated by long runs of matrix-vector
+//! products and power readouts against one programmed array. The
+//! per-vector entry points ([`CrossbarArray::checked_mvm`],
+//! [`PowerModel::exact`]) re-materialise the effective weight matrix and
+//! the per-line conductance totals on every call; a batch of `B` inputs
+//! pays that `O(M·N)` setup `B` times. [`EvalBackend`] lifts the same
+//! operations to batches so a backend can amortise the setup:
+//!
+//! * [`NaiveBackend`] — the reference implementation: a straight loop
+//!   over the existing per-vector calls.
+//! * [`BlockedBackend`] — materialises the effective weights (or line
+//!   conductances) once per batch and runs a cache-blocked kernel over
+//!   `outputs x batch` tiles. Every output cell is still one full-length
+//!   ascending-index [`xbar_linalg::vec_ops::dot`] — the identical
+//!   floating-point reduction the per-vector path performs — so outputs
+//!   are **bit-identical** to [`NaiveBackend`], not merely close.
+//!
+//! Noisy variants take a per-sample RNG-stream factory (sample index →
+//! fresh [`ChaCha8Rng`]), so per-device noise draws depend only on the
+//! sample's own stream. Results are therefore bit-identical to the
+//! sequential path at any thread count and any batch partitioning.
+//!
+//! Both backends emit the same observability events — one
+//! [`xbar_obs::names::XBAR_MVM_BATCH`] count and one
+//! [`xbar_obs::names::XBAR_BATCH_OCCUPANCY`] observation per batch, plus
+//! the per-sample analog-MVM / power-read counts the per-vector path
+//! already emits — so campaign traces do not depend on the backend
+//! choice.
+
+use crate::array::CrossbarArray;
+use crate::power::PowerModel;
+use crate::{CrossbarError, Result};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use xbar_linalg::vec_ops::dot;
+
+/// A per-sample RNG-stream factory: maps the index of a sample within
+/// the batch to the RNG that sample's noise draws must come from.
+///
+/// Callers that need globally stable noise (e.g. an oracle numbering its
+/// queries) close over their own offset and derive the stream from the
+/// global index.
+pub type RngStreams<'a> = &'a mut dyn FnMut(usize) -> ChaCha8Rng;
+
+/// Which [`EvalBackend`] implementation to use — the value carried by
+/// configs and CLI flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Per-vector loop over the existing sequential calls.
+    #[default]
+    Naive,
+    /// Cache-blocked batch kernel (bit-identical outputs).
+    Blocked,
+}
+
+impl BackendKind {
+    /// Constructs the backend this kind names, with default
+    /// [`BatchConfig`].
+    pub fn build(self) -> Box<dyn EvalBackend> {
+        match self {
+            BackendKind::Naive => Box::new(NaiveBackend),
+            BackendKind::Blocked => Box::new(BlockedBackend::default()),
+        }
+    }
+
+    /// The CLI spelling of this kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Naive => "naive",
+            BackendKind::Blocked => "blocked",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "naive" => Ok(BackendKind::Naive),
+            "blocked" => Ok(BackendKind::Blocked),
+            other => Err(format!(
+                "unknown backend {other:?} (expected naive or blocked)"
+            )),
+        }
+    }
+}
+
+/// Tile sizes for the [`BlockedBackend`] kernel.
+///
+/// The defaults keep one tile of effective weights plus the tile's
+/// input/output slices within a typical L1/L2 working set. Tiling never
+/// changes results — each output cell is one full-length reduction — so
+/// these are pure performance knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Output rows per tile.
+    pub block_outputs: usize,
+    /// Batch samples per tile.
+    pub block_samples: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            block_outputs: 64,
+            block_samples: 16,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Builder-style setter for the output-row tile size.
+    #[must_use]
+    pub fn with_block_outputs(mut self, rows: usize) -> Self {
+        self.block_outputs = rows;
+        self
+    }
+
+    /// Builder-style setter for the batch-sample tile size.
+    #[must_use]
+    pub fn with_block_samples(mut self, samples: usize) -> Self {
+        self.block_samples = samples;
+        self
+    }
+
+    /// Validates the tile sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidConfig`] if either tile dimension
+    /// is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.block_outputs == 0 {
+            return Err(CrossbarError::InvalidConfig {
+                name: "block_outputs",
+            });
+        }
+        if self.block_samples == 0 {
+            return Err(CrossbarError::InvalidConfig {
+                name: "block_samples",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Batched evaluation of one programmed crossbar array.
+///
+/// All implementations must produce outputs bit-identical to looping the
+/// corresponding per-vector call over the batch in order, and must emit
+/// the same observability events while doing so.
+pub trait EvalBackend: Send + Sync + std::fmt::Debug {
+    /// Which [`BackendKind`] this backend implements.
+    fn kind(&self) -> BackendKind;
+
+    /// Noiseless differential MVM for a batch of inputs — the batched
+    /// [`CrossbarArray::checked_mvm`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLenMismatch`] if any input has the
+    /// wrong length (checked up front; no partial work happens).
+    fn mvm_batch(&self, array: &CrossbarArray, inputs: &[&[f64]]) -> Result<Vec<Vec<f64>>>;
+
+    /// Noiseless measured power for a batch of inputs — the batched
+    /// [`PowerModel::exact`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLenMismatch`] if any input has the
+    /// wrong length (checked up front; no partial work happens).
+    fn power_batch(
+        &self,
+        model: &PowerModel,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+    ) -> Result<Vec<f64>>;
+
+    /// Differential MVM with per-read device noise for a batch of
+    /// inputs. Sample `i`'s noise draws come from `streams(i)` only, so
+    /// results match the sequential per-vector loop at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLenMismatch`] if any input has the
+    /// wrong length (checked up front; no partial work happens).
+    fn noisy_mvm_batch(
+        &self,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        streams: RngStreams<'_>,
+    ) -> Result<Vec<Vec<f64>>>;
+
+    /// Noisy measured power for a batch of inputs; sample `i`'s
+    /// measurement noise comes from `streams(i)` only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLenMismatch`] if any input has the
+    /// wrong length (checked up front; no partial work happens).
+    fn noisy_power_batch(
+        &self,
+        model: &PowerModel,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        streams: RngStreams<'_>,
+    ) -> Result<Vec<f64>>;
+}
+
+/// Rejects the whole batch before any work (or counting) happens, so
+/// both backends fail identically and traces never record partial
+/// batches.
+fn validate_batch(array: &CrossbarArray, inputs: &[&[f64]]) -> Result<()> {
+    let n = array.num_inputs();
+    for input in inputs {
+        if input.len() != n {
+            return Err(CrossbarError::InputLenMismatch {
+                expected: n,
+                got: input.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The shared batch-entry observability events (deliberately identical
+/// across backends so traces are backend-invariant).
+fn record_batch(inputs: &[&[f64]]) {
+    xbar_obs::count(xbar_obs::names::XBAR_MVM_BATCH, 1);
+    xbar_obs::observe(xbar_obs::names::XBAR_BATCH_OCCUPANCY, inputs.len() as f64);
+}
+
+/// Per-sample noisy MVM loop shared by both backends: the per-device
+/// draw order inside one sample cannot be restructured without changing
+/// results, so batching buys nothing here beyond stream isolation.
+fn noisy_mvm_per_sample(
+    array: &CrossbarArray,
+    inputs: &[&[f64]],
+    streams: RngStreams<'_>,
+) -> Result<Vec<Vec<f64>>> {
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            let mut rng = streams(i);
+            array.noisy_mvm(input, &mut rng)
+        })
+        .collect()
+}
+
+/// Per-sample noisy power loop shared by both backends.
+fn noisy_power_per_sample(
+    model: &PowerModel,
+    array: &CrossbarArray,
+    inputs: &[&[f64]],
+    streams: RngStreams<'_>,
+) -> Result<Vec<f64>> {
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            let mut rng = streams(i);
+            model.measure(array, input, &mut rng)
+        })
+        .collect()
+}
+
+/// The reference backend: a straight loop over the per-vector calls.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveBackend;
+
+impl EvalBackend for NaiveBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Naive
+    }
+
+    fn mvm_batch(&self, array: &CrossbarArray, inputs: &[&[f64]]) -> Result<Vec<Vec<f64>>> {
+        validate_batch(array, inputs)?;
+        record_batch(inputs);
+        inputs
+            .iter()
+            .map(|input| array.checked_mvm(input))
+            .collect()
+    }
+
+    fn power_batch(
+        &self,
+        model: &PowerModel,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+    ) -> Result<Vec<f64>> {
+        validate_batch(array, inputs)?;
+        record_batch(inputs);
+        inputs
+            .iter()
+            .map(|input| model.exact(array, input))
+            .collect()
+    }
+
+    fn noisy_mvm_batch(
+        &self,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        streams: RngStreams<'_>,
+    ) -> Result<Vec<Vec<f64>>> {
+        validate_batch(array, inputs)?;
+        record_batch(inputs);
+        noisy_mvm_per_sample(array, inputs, streams)
+    }
+
+    fn noisy_power_batch(
+        &self,
+        model: &PowerModel,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        streams: RngStreams<'_>,
+    ) -> Result<Vec<f64>> {
+        validate_batch(array, inputs)?;
+        record_batch(inputs);
+        noisy_power_per_sample(model, array, inputs, streams)
+    }
+}
+
+/// The cache-blocked batch backend.
+///
+/// `mvm_batch` materialises [`CrossbarArray::effective_weights`] once
+/// per batch (the per-vector path pays that `O(M·N)` subtraction, scale,
+/// and allocation per sample) and walks `outputs x batch` tiles so a
+/// tile of weight rows stays cache-resident across the tile's samples.
+/// `power_batch` likewise computes
+/// [`CrossbarArray::input_line_conductances`] once per batch. Each
+/// output cell is one full-length ascending-index dot product, so every
+/// number equals the per-vector path's bit for bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockedBackend {
+    config: BatchConfig,
+}
+
+impl BlockedBackend {
+    /// A blocked backend with the given tile sizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BatchConfig::validate`].
+    pub fn new(config: BatchConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(BlockedBackend { config })
+    }
+
+    /// The tile sizes in effect.
+    pub fn config(&self) -> BatchConfig {
+        self.config
+    }
+}
+
+impl EvalBackend for BlockedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Blocked
+    }
+
+    fn mvm_batch(&self, array: &CrossbarArray, inputs: &[&[f64]]) -> Result<Vec<Vec<f64>>> {
+        validate_batch(array, inputs)?;
+        record_batch(inputs);
+        // One analog MVM per sample, exactly like the per-vector path.
+        xbar_obs::count(xbar_obs::names::XBAR_ANALOG_MVM, inputs.len() as u64);
+        let w_eff = array.effective_weights();
+        let m = array.num_outputs();
+        let mut out: Vec<Vec<f64>> = inputs.iter().map(|_| vec![0.0; m]).collect();
+        let bo = self.config.block_outputs.max(1);
+        let bs = self.config.block_samples.max(1);
+        for s0 in (0..inputs.len()).step_by(bs) {
+            let s1 = (s0 + bs).min(inputs.len());
+            for i0 in (0..m).step_by(bo) {
+                let i1 = (i0 + bo).min(m);
+                for (sample_out, input) in out[s0..s1].iter_mut().zip(&inputs[s0..s1]) {
+                    for (i, cell) in sample_out[i0..i1].iter_mut().enumerate() {
+                        // Identical reduction to `checked_mvm`'s
+                        // `matvec`: one full-length ascending-index dot.
+                        *cell = dot(w_eff.row(i0 + i), input);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn power_batch(
+        &self,
+        model: &PowerModel,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+    ) -> Result<Vec<f64>> {
+        validate_batch(array, inputs)?;
+        record_batch(inputs);
+        // One power read per sample, exactly like the per-vector path.
+        xbar_obs::count(xbar_obs::names::XBAR_POWER_READ, inputs.len() as u64);
+        let conductances = array.input_line_conductances();
+        Ok(inputs
+            .iter()
+            .map(|input| {
+                // Same accumulation as `total_current`, amortising the
+                // per-line conductance totals across the batch.
+                model.v_dd * dot(&conductances, input)
+            })
+            .collect())
+    }
+
+    fn noisy_mvm_batch(
+        &self,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        streams: RngStreams<'_>,
+    ) -> Result<Vec<Vec<f64>>> {
+        validate_batch(array, inputs)?;
+        record_batch(inputs);
+        noisy_mvm_per_sample(array, inputs, streams)
+    }
+
+    fn noisy_power_batch(
+        &self,
+        model: &PowerModel,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        streams: RngStreams<'_>,
+    ) -> Result<Vec<f64>> {
+        validate_batch(array, inputs)?;
+        record_batch(inputs);
+        noisy_power_per_sample(model, array, inputs, streams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceModel;
+    use rand::SeedableRng;
+    use xbar_linalg::Matrix;
+
+    fn array(m: usize, n: usize, seed: u64) -> CrossbarArray {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let w = Matrix::random_uniform(m, n, -1.0, 1.0, &mut rng);
+        CrossbarArray::program(&w, &DeviceModel::ideal(), &mut rng).unwrap()
+    }
+
+    fn batch(n: usize, b: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..b)
+            .map(|_| {
+                (0..n)
+                    .map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn refs(batch: &[Vec<f64>]) -> Vec<&[f64]> {
+        batch.iter().map(Vec::as_slice).collect()
+    }
+
+    #[test]
+    fn blocked_mvm_is_bit_identical_to_naive() {
+        let xbar = array(13, 29, 1);
+        let inputs = batch(29, 37, 2);
+        let refs = refs(&inputs);
+        let naive = NaiveBackend.mvm_batch(&xbar, &refs).unwrap();
+        let blocked = BlockedBackend::default().mvm_batch(&xbar, &refs).unwrap();
+        assert_eq!(naive, blocked);
+        // And both equal the sequential per-vector loop.
+        for (input, row) in refs.iter().zip(&naive) {
+            assert_eq!(row, &xbar.checked_mvm(input).unwrap());
+        }
+    }
+
+    #[test]
+    fn blocked_power_is_bit_identical_to_naive() {
+        let xbar = array(7, 31, 3);
+        let inputs = batch(31, 25, 4);
+        let refs = refs(&inputs);
+        let model = PowerModel::default();
+        let naive = NaiveBackend.power_batch(&model, &xbar, &refs).unwrap();
+        let blocked = BlockedBackend::default()
+            .power_batch(&model, &xbar, &refs)
+            .unwrap();
+        assert_eq!(naive, blocked);
+        for (input, p) in refs.iter().zip(&naive) {
+            assert_eq!(*p, model.exact(&xbar, input).unwrap());
+        }
+    }
+
+    #[test]
+    fn tiny_tiles_do_not_change_results() {
+        let xbar = array(9, 11, 5);
+        let inputs = batch(11, 10, 6);
+        let refs = refs(&inputs);
+        let tiny = BlockedBackend::new(
+            BatchConfig::default()
+                .with_block_outputs(2)
+                .with_block_samples(3),
+        )
+        .unwrap();
+        assert_eq!(
+            tiny.mvm_batch(&xbar, &refs).unwrap(),
+            NaiveBackend.mvm_batch(&xbar, &refs).unwrap()
+        );
+    }
+
+    #[test]
+    fn noisy_batches_match_sequential_per_sample_streams() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let w = Matrix::random_uniform(6, 10, -1.0, 1.0, &mut rng);
+        let device = DeviceModel::ideal().with_read_sigma(0.02);
+        let xbar = CrossbarArray::program(&w, &device, &mut rng).unwrap();
+        let inputs = batch(10, 9, 8);
+        let refs = refs(&inputs);
+        let stream = |i: usize| {
+            let mut r = ChaCha8Rng::seed_from_u64(99);
+            r.set_stream(i as u64);
+            r
+        };
+        let naive = NaiveBackend
+            .noisy_mvm_batch(&xbar, &refs, &mut { stream })
+            .unwrap();
+        let blocked = BlockedBackend::default()
+            .noisy_mvm_batch(&xbar, &refs, &mut { stream })
+            .unwrap();
+        assert_eq!(naive, blocked);
+        // Sequential reference with the same streams.
+        for (i, input) in refs.iter().enumerate() {
+            let mut r = stream(i);
+            assert_eq!(naive[i], xbar.noisy_mvm(input, &mut r).unwrap());
+        }
+
+        let model = PowerModel::default().with_noise(0.1);
+        let p_naive = NaiveBackend
+            .noisy_power_batch(&model, &xbar, &refs, &mut { stream })
+            .unwrap();
+        let p_blocked = BlockedBackend::default()
+            .noisy_power_batch(&model, &xbar, &refs, &mut { stream })
+            .unwrap();
+        assert_eq!(p_naive, p_blocked);
+    }
+
+    #[test]
+    fn wrong_length_inputs_are_rejected_up_front() {
+        let xbar = array(4, 6, 9);
+        let good = vec![0.5; 6];
+        let bad = vec![0.5; 5];
+        let refs: Vec<&[f64]> = vec![&good, &bad];
+        for backend in [BackendKind::Naive.build(), BackendKind::Blocked.build()] {
+            assert!(matches!(
+                backend.mvm_batch(&xbar, &refs),
+                Err(CrossbarError::InputLenMismatch {
+                    expected: 6,
+                    got: 5
+                })
+            ));
+            assert!(backend
+                .power_batch(&PowerModel::default(), &xbar, &refs)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let xbar = array(3, 4, 10);
+        let refs: Vec<&[f64]> = Vec::new();
+        assert!(NaiveBackend.mvm_batch(&xbar, &refs).unwrap().is_empty());
+        assert!(BlockedBackend::default()
+            .mvm_batch(&xbar, &refs)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn kind_roundtrips_through_strings() {
+        for kind in [BackendKind::Naive, BackendKind::Blocked] {
+            assert_eq!(kind.label().parse::<BackendKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.label());
+            assert_eq!(kind.build().kind(), kind);
+        }
+        assert!("gpu".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::default(), BackendKind::Naive);
+    }
+
+    #[test]
+    fn batch_config_validates() {
+        assert!(BatchConfig::default().validate().is_ok());
+        assert!(BlockedBackend::new(BatchConfig::default().with_block_outputs(0)).is_err());
+        assert!(BlockedBackend::new(BatchConfig::default().with_block_samples(0)).is_err());
+        let cfg = BatchConfig::default()
+            .with_block_outputs(8)
+            .with_block_samples(4);
+        assert_eq!(BlockedBackend::new(cfg).unwrap().config(), cfg);
+    }
+}

@@ -87,24 +87,28 @@ impl DeviceModel {
     }
 
     /// Builder-style setter for the number of conductance levels.
+    #[must_use]
     pub fn with_levels(mut self, levels: u32) -> Self {
         self.levels = Some(levels);
         self
     }
 
     /// Builder-style setter for the programming variation.
+    #[must_use]
     pub fn with_program_sigma(mut self, sigma: f64) -> Self {
         self.program_sigma = sigma;
         self
     }
 
     /// Builder-style setter for the stuck-at fault rate.
+    #[must_use]
     pub fn with_stuck_rate(mut self, rate: f64) -> Self {
         self.stuck_rate = rate;
         self
     }
 
     /// Builder-style setter for the read-noise σ.
+    #[must_use]
     pub fn with_read_sigma(mut self, sigma: f64) -> Self {
         self.read_sigma = sigma;
         self

@@ -24,6 +24,8 @@
 //! * [`mapping`] — weight ↔ conductance mapping (one-sided differential).
 //! * [`array`](mod@array) — [`array::CrossbarArray`]: programming, MVM, total
 //!   current.
+//! * [`backend`] — batch-first evaluation: the [`backend::EvalBackend`]
+//!   trait with naive and cache-blocked implementations.
 //! * [`power`] — the power side channel: measurement noise, averaging,
 //!   traces.
 //! * [`adc`] — input DAC / output ADC quantisation.
@@ -31,6 +33,7 @@
 //!   deferred electrical non-ideality.
 //! * [`energy`] — physical power/energy accounting (watts, joules).
 //! * [`tile`] — tiling large matrices onto fixed-size arrays.
+//! * [`prelude`] — one-line import of the common types.
 //!
 //! # Example
 //!
@@ -53,12 +56,14 @@
 
 pub mod adc;
 pub mod array;
+pub mod backend;
 pub mod device;
 pub mod energy;
 mod error;
 pub mod irdrop;
 pub mod mapping;
 pub mod power;
+pub mod prelude;
 pub mod tile;
 
 pub use error::CrossbarError;

@@ -64,13 +64,22 @@ impl PowerModel {
         Ok(())
     }
 
+    /// Builder-style setter for the supply voltage.
+    #[must_use]
+    pub fn with_v_dd(mut self, v_dd: f64) -> Self {
+        self.v_dd = v_dd;
+        self
+    }
+
     /// Builder-style setter for the measurement noise.
+    #[must_use]
     pub fn with_noise(mut self, sigma: f64) -> Self {
         self.noise_sigma = sigma;
         self
     }
 
     /// Builder-style setter for the averaging count.
+    #[must_use]
     pub fn with_averages(mut self, n: usize) -> Self {
         self.num_averages = n;
         self

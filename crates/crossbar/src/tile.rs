@@ -142,7 +142,7 @@ impl TiledCrossbar {
             for (tc, tile) in row_tiles.iter().enumerate() {
                 let c0 = tc * self.tile_cols;
                 let c1 = (c0 + self.tile_cols).min(self.num_inputs);
-                let partial = tile.mvm(&v[c0..c1]);
+                let partial = tile.checked_mvm(&v[c0..c1])?;
                 for (i, p) in partial.iter().enumerate() {
                     out[tr * self.tile_rows + i] += p;
                 }

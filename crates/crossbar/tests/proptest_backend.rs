@@ -1,0 +1,151 @@
+//! Property-based tests of the evaluation backends: the blocked kernel
+//! must be *bit-identical* to the naive per-vector loop — not merely
+//! close — for every crossbar shape, batch size, tile configuration,
+//! seed, and noise stream. Exact `==` on the floats everywhere.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar_crossbar::array::CrossbarArray;
+use xbar_crossbar::backend::{BatchConfig, BlockedBackend, EvalBackend, NaiveBackend};
+use xbar_crossbar::device::DeviceModel;
+use xbar_crossbar::power::PowerModel;
+use xbar_linalg::Matrix;
+
+fn programmed(m: usize, n: usize, seed: u64, device: &DeviceModel) -> CrossbarArray {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut w = Matrix::random_uniform(m, n, -1.0, 1.0, &mut rng);
+    if w.max_abs() == 0.0 {
+        w[(0, 0)] = 0.5;
+    }
+    CrossbarArray::program(&w, device, &mut rng).unwrap()
+}
+
+fn sample_batch(batch: usize, n: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB0);
+    Matrix::random_uniform(batch, n, -1.0, 1.0, &mut rng)
+}
+
+/// The oracle's per-query noise-stream scheme: one ChaCha stream per
+/// batch index, so draws are independent of batching and backend.
+fn streams(seed: u64) -> impl FnMut(usize) -> ChaCha8Rng {
+    move |i| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        rng.set_stream(i as u64 + 1);
+        rng
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Noiseless MVM and power: blocked == naive, bit for bit, for any
+    /// shape, batch size, and tile configuration (including tiles larger
+    /// than the problem).
+    #[test]
+    fn blocked_matches_naive_bit_identically(
+        m in 1usize..10,
+        n in 1usize..12,
+        batch in 1usize..9,
+        block_outputs in 1usize..12,
+        block_samples in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let array = programmed(m, n, seed, &DeviceModel::ideal());
+        let inputs = sample_batch(batch, n, seed);
+        let refs: Vec<&[f64]> = (0..batch).map(|b| inputs.row(b)).collect();
+
+        let naive = NaiveBackend;
+        let blocked = BlockedBackend::new(
+            BatchConfig::default()
+                .with_block_outputs(block_outputs)
+                .with_block_samples(block_samples),
+        )
+        .unwrap();
+
+        let out_naive = naive.mvm_batch(&array, &refs).unwrap();
+        let out_blocked = blocked.mvm_batch(&array, &refs).unwrap();
+        prop_assert_eq!(&out_naive, &out_blocked);
+
+        let model = PowerModel::default();
+        let p_naive = naive.power_batch(&model, &array, &refs).unwrap();
+        let p_blocked = blocked.power_batch(&model, &array, &refs).unwrap();
+        prop_assert_eq!(&p_naive, &p_blocked);
+
+        // Batch-of-one equals the sequential per-vector calls exactly —
+        // the contract the deprecated wrappers rely on.
+        for (b, &input) in refs.iter().enumerate() {
+            prop_assert_eq!(&out_naive[b], &array.checked_mvm(input).unwrap());
+            prop_assert_eq!(p_naive[b], model.exact(&array, input).unwrap());
+        }
+    }
+
+    /// Noisy MVM and power: with the same per-sample stream factory the
+    /// two backends draw identical noise, so outputs are bit-identical —
+    /// and equal to the sequential loop seeded per sample the same way.
+    #[test]
+    fn noisy_blocked_matches_naive_bit_identically(
+        m in 1usize..8,
+        n in 1usize..10,
+        batch in 1usize..7,
+        block_samples in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let device = DeviceModel::ideal().with_read_sigma(0.05);
+        let array = programmed(m, n, seed, &device);
+        let inputs = sample_batch(batch, n, seed);
+        let refs: Vec<&[f64]> = (0..batch).map(|b| inputs.row(b)).collect();
+
+        let naive = NaiveBackend;
+        let blocked = BlockedBackend::new(
+            BatchConfig::default().with_block_samples(block_samples),
+        )
+        .unwrap();
+
+        let nv = naive.noisy_mvm_batch(&array, &refs, &mut streams(seed)).unwrap();
+        let bv = blocked.noisy_mvm_batch(&array, &refs, &mut streams(seed)).unwrap();
+        prop_assert_eq!(&nv, &bv);
+
+        let model = PowerModel::default().with_noise(0.02).with_averages(2);
+        let np = naive
+            .noisy_power_batch(&model, &array, &refs, &mut streams(seed ^ 0x5))
+            .unwrap();
+        let bp = blocked
+            .noisy_power_batch(&model, &array, &refs, &mut streams(seed ^ 0x5))
+            .unwrap();
+        prop_assert_eq!(&np, &bp);
+
+        let mut make = streams(seed);
+        for (b, &input) in refs.iter().enumerate() {
+            let sequential = array.noisy_mvm(input, &mut make(b)).unwrap();
+            prop_assert_eq!(&nv[b], &sequential);
+        }
+    }
+
+    /// Malformed batches fail identically on both backends: a single
+    /// wrong-length row rejects the whole batch, on every backend, with
+    /// no partial work.
+    #[test]
+    fn length_errors_reject_whole_batch_on_both_backends(
+        m in 1usize..5,
+        n in 2usize..8,
+        batch in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let array = programmed(m, n, seed, &DeviceModel::ideal());
+        let inputs = sample_batch(batch, n, seed);
+        let short: Vec<f64> = vec![0.0; n - 1];
+        let mut refs: Vec<&[f64]> = (0..batch).map(|b| inputs.row(b)).collect();
+        refs.push(&short);
+
+        for backend in [
+            Box::new(NaiveBackend) as Box<dyn EvalBackend>,
+            Box::new(BlockedBackend::default()),
+        ] {
+            prop_assert!(backend.mvm_batch(&array, &refs).is_err());
+            prop_assert!(backend
+                .power_batch(&PowerModel::default(), &array, &refs)
+                .is_err());
+        }
+    }
+}

@@ -455,6 +455,94 @@ impl Matrix {
         })
     }
 
+    /// Product with a transposed right-hand side: `self * otherᵀ`, where
+    /// `self` is `m x k` and `other` is `n x k`, without forming the
+    /// transpose.
+    ///
+    /// Every output entry is a single row-row [`crate::vec_ops::dot`] —
+    /// the same full-length ascending-index reduction [`Matrix::matvec`]
+    /// performs — so `a.matmul_nt(&b)` row `i` is bit-identical to
+    /// `b.matvec(a.row(i))`. Batch evaluation paths rely on this to stay
+    /// bit-identical to their per-vector counterparts. Rows are
+    /// independent, so the rayon split above `PAR_ROW_THRESHOLD` cannot
+    /// change results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the column counts
+    /// (the shared inner dimension) differ.
+    pub fn matmul_nt(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_nt",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, n) = (self.rows, other.rows);
+        let mut out = vec![0.0; m * n];
+        let kernel = |i: usize, out_row: &mut [f64]| {
+            let a_row = self.row(i);
+            for (o, b_row) in out_row.iter_mut().zip(other.rows_iter()) {
+                *o = crate::vec_ops::dot(a_row, b_row);
+            }
+        };
+        if m >= PAR_ROW_THRESHOLD {
+            out.par_chunks_mut(n.max(1))
+                .enumerate()
+                .for_each(|(i, row)| kernel(i, row));
+        } else {
+            for (i, row) in out.chunks_mut(n.max(1)).enumerate() {
+                kernel(i, row);
+            }
+        }
+        Ok(Matrix {
+            rows: m,
+            cols: n,
+            data: out,
+        })
+    }
+
+    /// Product with a transposed left-hand side: `selfᵀ * other`, where
+    /// `self` is `k x m` and `other` is `k x n`, without forming the
+    /// transpose.
+    ///
+    /// Used by the SGD trainers for the gradient `Δᵀ·X` so no `k x m`
+    /// transpose is materialised per minibatch. Accumulates over `k` in
+    /// ascending order with contiguous row accesses on both operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the row counts (the
+    /// shared inner dimension) differ.
+    pub fn matmul_tn(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_tn",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, n) = (self.cols, other.cols);
+        let mut out = vec![0.0; m * n];
+        for (a_row, b_row) in self.rows_iter().zip(other.rows_iter()) {
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(Matrix {
+            rows: m,
+            cols: n,
+            data: out,
+        })
+    }
+
     /// Matrix-vector product `self * v`.
     ///
     /// # Panics
@@ -912,6 +1000,33 @@ mod tests {
         for (g, w) in got_t.iter().zip(&want_t) {
             assert!((g - w).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose_and_matvec() {
+        let mut r = rng();
+        // Exceeds PAR_ROW_THRESHOLD so the rayon path is exercised.
+        let a = Matrix::random_uniform(70, 9, -1.0, 1.0, &mut r);
+        let b = Matrix::random_uniform(5, 9, -1.0, 1.0, &mut r);
+        let got = a.matmul_nt(&b).unwrap();
+        assert_eq!(got.shape(), (70, 5));
+        assert!(got.approx_eq(&a.matmul(&b.transpose()), 1e-12));
+        // Bit-identity with the per-vector path, not just approximate.
+        for i in 0..a.rows() {
+            assert_eq!(got.row(i), b.matvec(a.row(i)).as_slice());
+        }
+        assert!(a.matmul_nt(&Matrix::zeros(5, 8)).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut r = rng();
+        let a = Matrix::random_uniform(9, 4, -1.0, 1.0, &mut r);
+        let b = Matrix::random_uniform(9, 6, -1.0, 1.0, &mut r);
+        let got = a.matmul_tn(&b).unwrap();
+        assert_eq!(got.shape(), (4, 6));
+        assert!(got.approx_eq(&a.transpose().matmul(&b), 1e-12));
+        assert!(a.matmul_tn(&Matrix::zeros(8, 6)).is_err());
     }
 
     #[test]

@@ -154,7 +154,9 @@ impl SingleLayerNet {
                 got: inputs.cols(),
             });
         }
-        let mut s = inputs.matmul(&self.weights.transpose());
+        let mut s = inputs
+            .matmul_nt(&self.weights)
+            .expect("dimensions checked above");
         if let Some(b) = &self.bias {
             for i in 0..s.rows() {
                 vec_ops::axpy(1.0, b, s.row_mut(i));

@@ -175,7 +175,9 @@ pub fn train_on_matrices<R: Rng + ?Sized>(
             let deltas = preactivation_deltas(&outputs, &preacts, &t, net.activation(), loss)?;
             let b = chunk.len() as f64;
             // ∇W = (1/B) Δᵀ X.
-            let mut grad = deltas.transpose().matmul(&x);
+            let mut grad = deltas
+                .matmul_tn(&x)
+                .expect("deltas and x have one row per batch sample");
             grad.scale_inplace(1.0 / b);
             if cfg.weight_decay > 0.0 {
                 grad.axpy(cfg.weight_decay, net.weights());

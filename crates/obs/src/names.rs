@@ -26,6 +26,14 @@ pub const XBAR_POWER_READ: &str = "xbar.power_read";
 /// One iterative IR-drop nodal solve.
 pub const XBAR_IR_DROP_SOLVE: &str = "xbar.ir_drop_solve";
 
+/// One batched evaluation call (`EvalBackend::mvm_batch` and friends),
+/// regardless of how many samples the batch carried.
+pub const XBAR_MVM_BATCH: &str = "xbar.mvm_batch";
+
+/// Observation (value series): number of samples in each batched
+/// evaluation call — the batch occupancy summary.
+pub const XBAR_BATCH_OCCUPANCY: &str = "xbar.batch_occupancy";
+
 /// One gradient-sign (FGSM/FGV) batch crafted.
 pub const ATTACK_FGSM_BATCH: &str = "attack.fgsm_batch";
 

@@ -27,6 +27,9 @@ pub struct CampaignMetrics {
     /// Power-probe measurements taken across all trials finished in this
     /// run (the [`xbar_obs::names::PROBE_MEASUREMENT`] counter, summed).
     pub probe_measurements: u64,
+    /// Batched MVM evaluations issued across all trials finished in this
+    /// run (the [`xbar_obs::names::XBAR_MVM_BATCH`] counter, summed).
+    pub mvm_batches: u64,
     /// Wall-clock time since the executor started.
     pub elapsed: Duration,
 }
@@ -60,6 +63,7 @@ impl CampaignMetrics {
     pub fn absorb_observations(&mut self, observations: &TrialObservations) {
         self.oracle_queries += observations.counter(xbar_obs::names::ORACLE_QUERY);
         self.probe_measurements += observations.counter(xbar_obs::names::PROBE_MEASUREMENT);
+        self.mvm_batches += observations.counter(xbar_obs::names::XBAR_MVM_BATCH);
     }
 }
 
@@ -155,7 +159,7 @@ impl ProgressSink for StderrReporter {
     fn on_end(&mut self, metrics: &CampaignMetrics) {
         eprintln!(
             "[{}] campaign finished: {} completed, {} failed, {} resumed, \
-             {} oracle queries, {} probe measurements, \
+             {} oracle queries, {} probe measurements, {} mvm batches, \
              {:.2}s elapsed ({:.2} trials/s)",
             self.label,
             metrics.completed,
@@ -163,6 +167,7 @@ impl ProgressSink for StderrReporter {
             metrics.skipped,
             metrics.oracle_queries,
             metrics.probe_measurements,
+            metrics.mvm_batches,
             metrics.elapsed.as_secs_f64(),
             metrics.throughput(),
         );
@@ -177,10 +182,10 @@ impl ProgressSink for StderrReporter {
 /// ```json
 /// {"event":"trial","campaign":"fig4","trial":3,"attempts":1,
 ///  "wall_nanos":1200,"finished":4,"total":16,"failed":0,"skipped":0,
-///  "oracle_queries":400,"probe_measurements":32}
+///  "oracle_queries":400,"probe_measurements":32,"mvm_batches":12}
 /// {"event":"end","campaign":"fig4","completed":16,"failed":0,
 ///  "skipped":0,"oracle_queries":1600,"probe_measurements":128,
-///  "elapsed_nanos":52000000}
+///  "mvm_batches":48,"elapsed_nanos":52000000}
 /// ```
 ///
 /// Like [`StderrReporter`], trial events are throttled to every `every`
@@ -242,7 +247,8 @@ impl<W: Write> ProgressSink for JsonlReporter<W> {
             .push("failed", metrics.failed)
             .push("skipped", metrics.skipped)
             .push("oracle_queries", metrics.oracle_queries)
-            .push("probe_measurements", metrics.probe_measurements);
+            .push("probe_measurements", metrics.probe_measurements)
+            .push("mvm_batches", metrics.mvm_batches);
         if let Some(error) = outcome.error {
             record.push("error", error);
         }
@@ -259,6 +265,7 @@ impl<W: Write> ProgressSink for JsonlReporter<W> {
             .push("skipped", metrics.skipped)
             .push("oracle_queries", metrics.oracle_queries)
             .push("probe_measurements", metrics.probe_measurements)
+            .push("mvm_batches", metrics.mvm_batches)
             .push("elapsed_nanos", nanos_u64(metrics.elapsed));
         self.emit(&record);
     }
@@ -307,6 +314,7 @@ mod tests {
         let counters = xbar_obs::Counters::new();
         counters.counter_add(Some(0), xbar_obs::names::ORACLE_QUERY, 25);
         counters.counter_add(Some(0), xbar_obs::names::PROBE_MEASUREMENT, 4);
+        counters.counter_add(Some(0), xbar_obs::names::XBAR_MVM_BATCH, 3);
         counters.counter_add(Some(0), "something.else", 7);
         let obs = counters.take_trial(0);
 
@@ -315,6 +323,7 @@ mod tests {
         metrics.absorb_observations(&obs);
         assert_eq!(metrics.oracle_queries, 50);
         assert_eq!(metrics.probe_measurements, 8);
+        assert_eq!(metrics.mvm_batches, 6);
     }
 
     #[test]

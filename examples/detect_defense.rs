@@ -42,9 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Defender calibrates current signatures on clean traffic — both a
     // single global band and per-predicted-class bands (DetectX-style).
-    let clean_powers: Vec<f64> = (0..split.train.len())
-        .map(|i| oracle.query_power(split.train.input(i)))
-        .collect::<Result<_, _>>()?;
+    let clean_rows: Vec<&[f64]> = (0..split.train.len())
+        .map(|i| split.train.input(i))
+        .collect();
+    let clean_powers: Vec<f64> = oracle
+        .query_batch(&clean_rows)?
+        .iter()
+        .map(|r| r.observation.power)
+        .collect();
     let global = PowerAnomalyDetector::calibrate(&clean_powers, 3.0)?;
     let clean_preds = oracle.eval_predict_batch(split.train.inputs())?;
     let per_class_samples: Vec<(usize, f64)> = clean_preds
@@ -67,11 +72,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                    inputs: &xbar_power_attacks::linalg::Matrix|
      -> Result<Vec<(usize, f64)>, Box<dyn std::error::Error>> {
         let preds = oracle.eval_predict_batch(inputs)?;
-        let mut obs = Vec::with_capacity(inputs.rows());
-        for (i, &c) in preds.iter().enumerate() {
-            obs.push((c, oracle.query_power(inputs.row(i))?));
-        }
-        Ok(obs)
+        let rows: Vec<&[f64]> = (0..inputs.rows()).map(|i| inputs.row(i)).collect();
+        let records = oracle.query_batch(&rows)?;
+        Ok(preds
+            .iter()
+            .zip(&records)
+            .map(|(&c, r)| (c, r.observation.power))
+            .collect())
     };
     let held_out = observe(&mut oracle, split.test.inputs())?;
     let fp_global = global.detection_rate(&held_out.iter().map(|&(_, p)| p).collect::<Vec<f64>>());
@@ -121,7 +128,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for j in (0..n).step_by(16) {
         let mut e = vec![0.0; n];
         e[j] = 1.0;
-        let p = oracle.query_power(&e)?;
+        let p = oracle.query(&e)?.observation.power;
         if global.is_anomalous(p) {
             probe_hits += 1;
         }

@@ -46,7 +46,7 @@ fn eq5_power_identity_holds_through_the_whole_stack() {
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     for _ in 0..10 {
         let u: Vec<f64> = (0..30).map(|_| rng.gen_range(0.0..1.0)).collect();
-        let p = oracle.query_power(&u).unwrap();
+        let p = oracle.query(&u).unwrap().observation.power;
         let want: f64 = u.iter().zip(&norms).map(|(&a, &b)| a * b).sum();
         assert!((p - want).abs() < 1e-9);
     }
@@ -113,7 +113,13 @@ fn measurement_noise_propagates_to_calibrated_power_at_the_right_scale() {
     let u = vec![0.5; 20];
     let truth: f64 = w.col_l1_norms().iter().map(|n| 0.5 * n).sum();
     let n = 4000;
-    let samples: Vec<f64> = (0..n).map(|_| oracle.query_power(&u).unwrap()).collect();
+    let rows: Vec<&[f64]> = (0..n).map(|_| u.as_slice()).collect();
+    let samples: Vec<f64> = oracle
+        .query_batch(&rows)
+        .unwrap()
+        .iter()
+        .map(|r| r.observation.power)
+        .collect();
     let mean = samples.iter().sum::<f64>() / n as f64;
     let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
     assert!((mean - truth).abs() < 0.05);

@@ -188,5 +188,11 @@ fn query_budget_cuts_off_mid_probe() {
     let mut oracle = Oracle::new(net, &cfg, 9).unwrap();
     let err = probe_column_norms(&mut oracle, 1.0, 1).unwrap_err();
     assert!(err.to_string().contains("budget"));
-    assert_eq!(oracle.query_count(), 100);
+    // Batched queries consume the budget all-or-nothing: the probe's
+    // 784-query batch is rejected wholesale, so nothing was spent and
+    // the remaining budget still serves smaller queries.
+    assert_eq!(oracle.query_count(), 0);
+    let u = vec![0.0; oracle.num_inputs()];
+    oracle.query(&u).unwrap();
+    assert_eq!(oracle.query_count(), 1);
 }

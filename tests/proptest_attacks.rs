@@ -88,7 +88,7 @@ proptest! {
         ).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 2);
         let u: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
-        prop_assert!(oracle.query_power(&u).unwrap() >= -1e-12);
+        prop_assert!(oracle.query(&u).unwrap().observation.power >= -1e-12);
     }
 
     /// FGSM perturbations are ℓ∞-bounded by ε and never *decrease* the
