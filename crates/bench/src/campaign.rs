@@ -29,6 +29,7 @@ use xbar_core::sweep::{attack_and_eval, method_reps};
 use xbar_crossbar::backend::BackendKind;
 use xbar_crossbar::device::DeviceModel;
 use xbar_crossbar::power::PowerModel;
+use xbar_faults::{FaultInjection, FaultKey, FaultSpec};
 use xbar_runtime::{Campaign, TrialContext, TrialRunner};
 use xbar_stats::correlation::pearson;
 
@@ -48,6 +49,22 @@ pub const FIG4_ORACLE_SEED: u64 = 99;
 /// RMS-normalised, scale-invariant power profiles. What transfers is
 /// the existence of a sweet spot at small-but-nonzero λ.
 pub const FIG5_LAMBDAS: [f64; 4] = [0.0, 0.1, 1.0, 10.0];
+
+/// Compiles an optional campaign-level fault spec into this trial's
+/// injection, keyed by `(campaign_seed, trial_index)` — the xbar-faults
+/// keying contract, so fault draws depend only on the trial's identity,
+/// never on scheduling or thread count.
+pub(crate) fn trial_injection(
+    faults: Option<FaultSpec>,
+    ctx: &TrialContext,
+) -> Option<FaultInjection> {
+    faults.map(|spec| {
+        FaultInjection::new(
+            spec,
+            FaultKey::new(ctx.campaign_seed, ctx.trial_index as u64),
+        )
+    })
+}
 
 // ---------------------------------------------------------------------
 // Fig. 4
@@ -90,13 +107,25 @@ pub struct Fig4TrialOutput {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig4Runner {
     backend: BackendKind,
+    faults: Option<FaultSpec>,
 }
 
 impl Fig4Runner {
     /// A runner evaluating oracles with the given backend.
     #[must_use]
     pub fn new(backend: BackendKind) -> Self {
-        Fig4Runner { backend }
+        Fig4Runner {
+            backend,
+            faults: None,
+        }
+    }
+
+    /// Injects `faults` into every trial's deployed crossbar, keyed by
+    /// `(campaign_seed, trial_index)`.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<FaultSpec>) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -104,16 +133,16 @@ impl TrialRunner for Fig4Runner {
     type Spec = Fig4Spec;
     type Output = Fig4TrialOutput;
 
-    fn run(&self, spec: &Fig4Spec, _ctx: &TrialContext) -> Result<Fig4TrialOutput, String> {
+    fn run(&self, spec: &Fig4Spec, ctx: &TrialContext) -> Result<Fig4TrialOutput, String> {
         let victim = train_victim(spec.dataset, spec.head, spec.num_samples, FIG4_VICTIM_SEED);
-        let mut oracle = Oracle::new(
-            victim.net.clone(),
-            &OracleConfig::ideal()
-                .with_access(OutputAccess::None)
-                .with_backend(self.backend),
-            FIG4_ORACLE_SEED,
-        )
-        .map_err(|e| e.to_string())?;
+        let mut cfg = OracleConfig::ideal()
+            .with_access(OutputAccess::None)
+            .with_backend(self.backend);
+        if let Some(injection) = trial_injection(self.faults, ctx) {
+            cfg = cfg.with_faults(injection);
+        }
+        let mut oracle =
+            Oracle::new(victim.net.clone(), &cfg, FIG4_ORACLE_SEED).map_err(|e| e.to_string())?;
 
         // Case-1 probe: N power queries reveal the column 1-norms.
         let norms = probe_column_norms(&mut oracle, 1.0, 1).map_err(|e| e.to_string())?;
@@ -231,13 +260,26 @@ pub struct Fig5RunOutput {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig5Runner {
     backend: BackendKind,
+    faults: Option<FaultSpec>,
 }
 
 impl Fig5Runner {
     /// A runner evaluating oracles with the given backend.
     #[must_use]
     pub fn new(backend: BackendKind) -> Self {
-        Fig5Runner { backend }
+        Fig5Runner {
+            backend,
+            faults: None,
+        }
+    }
+
+    /// Injects `faults` into every trial's deployed crossbar, keyed by
+    /// `(campaign_seed, trial_index)`. All (query count, λ) cells of a
+    /// trial share one fault realisation, so comparisons stay paired.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<FaultSpec>) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -245,7 +287,7 @@ impl TrialRunner for Fig5Runner {
     type Spec = Fig5Spec;
     type Output = Fig5RunOutput;
 
-    fn run(&self, spec: &Fig5Spec, _ctx: &TrialContext) -> Result<Fig5RunOutput, String> {
+    fn run(&self, spec: &Fig5Spec, ctx: &TrialContext) -> Result<Fig5RunOutput, String> {
         let victim = train_victim(
             spec.dataset,
             HeadKind::LinearMse,
@@ -255,18 +297,19 @@ impl TrialRunner for Fig5Runner {
         let test = victim
             .test
             .subset(&(0..victim.test.len().min(spec.test_eval)).collect::<Vec<usize>>());
+        let injection = trial_injection(self.faults, ctx);
         let mut points = Vec::with_capacity(spec.q_list.len());
         for &q in &spec.q_list {
             let mut row = Vec::with_capacity(spec.lambdas.len());
             for &lambda in &spec.lambdas {
-                let mut oracle = Oracle::new(
-                    victim.net.clone(),
-                    &OracleConfig::ideal()
-                        .with_access(spec.access)
-                        .with_backend(self.backend),
-                    4000 + spec.run,
-                )
-                .map_err(|e| e.to_string())?;
+                let mut cfg = OracleConfig::ideal()
+                    .with_access(spec.access)
+                    .with_backend(self.backend);
+                if let Some(injection) = injection {
+                    cfg = cfg.with_faults(injection);
+                }
+                let mut oracle = Oracle::new(victim.net.clone(), &cfg, 4000 + spec.run)
+                    .map_err(|e| e.to_string())?;
                 // Same RNG seed across lambdas: identical query samples,
                 // so the comparison is paired.
                 let mut rng = ChaCha8Rng::seed_from_u64(spec.run * 1_000_003 + q as u64);
@@ -399,6 +442,7 @@ pub struct AblationsRunner {
     victim: TrainedVictim,
     strength: f64,
     backend: BackendKind,
+    faults: Option<FaultSpec>,
 }
 
 impl AblationsRunner {
@@ -412,7 +456,16 @@ impl AblationsRunner {
             victim: train_victim(DatasetKind::Digits, HeadKind::SoftmaxCe, num_samples, 21),
             strength: 4.0,
             backend,
+            faults: None,
         }
+    }
+
+    /// Injects `faults` into every trial's deployed crossbar, keyed by
+    /// `(campaign_seed, trial_index)`.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<FaultSpec>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The shared victim.
@@ -549,14 +602,29 @@ impl AblationsRunner {
         Ok((r, acc))
     }
 
-    fn run_noise(&self, index: usize) -> Result<AblationOutput, String> {
+    /// Applies the trial's optional fault injection to an oracle config.
+    fn faulted(cfg: OracleConfig, injection: Option<FaultInjection>) -> OracleConfig {
+        match injection {
+            Some(injection) => cfg.with_faults(injection),
+            None => cfg,
+        }
+    }
+
+    fn run_noise(
+        &self,
+        index: usize,
+        injection: Option<FaultInjection>,
+    ) -> Result<AblationOutput, String> {
         let (sigma, repeats) = *Self::noise_conditions()
             .get(index)
             .ok_or_else(|| format!("noise condition {index} out of range"))?;
-        let cfg = OracleConfig::ideal()
-            .with_access(OutputAccess::None)
-            .with_power(PowerModel::default().with_noise(sigma))
-            .with_backend(self.backend);
+        let cfg = Self::faulted(
+            OracleConfig::ideal()
+                .with_access(OutputAccess::None)
+                .with_power(PowerModel::default().with_noise(sigma))
+                .with_backend(self.backend),
+            injection,
+        );
         let (r, acc) = self.probe_and_attack(&cfg, 31, repeats)?;
         Ok(AblationOutput {
             probe_correlation: Some(r),
@@ -566,7 +634,11 @@ impl AblationsRunner {
         })
     }
 
-    fn run_compressed(&self, index: usize) -> Result<AblationOutput, String> {
+    fn run_compressed(
+        &self,
+        index: usize,
+        injection: Option<FaultInjection>,
+    ) -> Result<AblationOutput, String> {
         let k = *self
             .compressed_ks()
             .get(index)
@@ -574,9 +646,12 @@ impl AblationsRunner {
         let truth = self.victim.net.column_l1_norms();
         let mut oracle = Oracle::new(
             self.victim.net.clone(),
-            &OracleConfig::ideal()
-                .with_access(OutputAccess::None)
-                .with_backend(self.backend),
+            &Self::faulted(
+                OracleConfig::ideal()
+                    .with_access(OutputAccess::None)
+                    .with_backend(self.backend),
+                injection,
+            ),
             33,
         )
         .map_err(|e| e.to_string())?;
@@ -593,15 +668,22 @@ impl AblationsRunner {
         })
     }
 
-    fn run_device(&self, index: usize) -> Result<AblationOutput, String> {
+    fn run_device(
+        &self,
+        index: usize,
+        injection: Option<FaultInjection>,
+    ) -> Result<AblationOutput, String> {
         let (_, device) = Self::device_conditions()
             .into_iter()
             .nth(index)
             .ok_or_else(|| format!("device condition {index} out of range"))?;
-        let cfg = OracleConfig::ideal()
-            .with_access(OutputAccess::None)
-            .with_device(device)
-            .with_backend(self.backend);
+        let cfg = Self::faulted(
+            OracleConfig::ideal()
+                .with_access(OutputAccess::None)
+                .with_device(device)
+                .with_backend(self.backend),
+            injection,
+        );
         let (r, acc) = self.probe_and_attack(&cfg, 37, 1)?;
         // Also report how the non-ideality hurts the *victim* itself.
         let oracle = Oracle::new(self.victim.net.clone(), &cfg, 37).map_err(|e| e.to_string())?;
@@ -616,7 +698,11 @@ impl AblationsRunner {
         })
     }
 
-    fn run_defense(&self, index: usize) -> Result<AblationOutput, String> {
+    fn run_defense(
+        &self,
+        index: usize,
+        injection: Option<FaultInjection>,
+    ) -> Result<AblationOutput, String> {
         let (_, defense) = self
             .defense_conditions()
             .into_iter()
@@ -624,9 +710,12 @@ impl AblationsRunner {
             .ok_or_else(|| format!("defense condition {index} out of range"))?;
         let oracle = Oracle::new(
             self.victim.net.clone(),
-            &OracleConfig::ideal()
-                .with_access(OutputAccess::None)
-                .with_backend(self.backend),
+            &Self::faulted(
+                OracleConfig::ideal()
+                    .with_access(OutputAccess::None)
+                    .with_backend(self.backend),
+                injection,
+            ),
             41,
         )
         .map_err(|e| e.to_string())?;
@@ -663,12 +752,13 @@ impl TrialRunner for AblationsRunner {
     type Spec = AblationSpec;
     type Output = AblationOutput;
 
-    fn run(&self, spec: &AblationSpec, _ctx: &TrialContext) -> Result<AblationOutput, String> {
+    fn run(&self, spec: &AblationSpec, ctx: &TrialContext) -> Result<AblationOutput, String> {
+        let injection = trial_injection(self.faults, ctx);
         match spec.study {
-            AblationStudy::Noise => self.run_noise(spec.index),
-            AblationStudy::Compressed => self.run_compressed(spec.index),
-            AblationStudy::Device => self.run_device(spec.index),
-            AblationStudy::Defense => self.run_defense(spec.index),
+            AblationStudy::Noise => self.run_noise(spec.index, injection),
+            AblationStudy::Compressed => self.run_compressed(spec.index, injection),
+            AblationStudy::Device => self.run_device(spec.index, injection),
+            AblationStudy::Defense => self.run_defense(spec.index, injection),
         }
     }
 }

@@ -24,6 +24,7 @@ use crate::campaign::{
 use crate::{train_victim, write_json, DatasetKind, HeadKind};
 use xbar_core::report::{fmt, fmt_with_significance, format_table};
 use xbar_crossbar::backend::BackendKind;
+use xbar_faults::FaultSpec;
 use xbar_stats::aggregate::RunSummary;
 use xbar_stats::ttest::welch_t_test;
 
@@ -79,6 +80,10 @@ pub struct CampaignOptions {
     /// Oracle evaluation backend. A pure execution detail: results are
     /// bit-identical across backends.
     pub backend: BackendKind,
+    /// Optional fault spec injected into every trial's deployed
+    /// crossbar, keyed by `(campaign_seed, trial_index)`; `None` runs
+    /// on pristine hardware.
+    pub faults: Option<FaultSpec>,
 }
 
 impl CampaignOptions {
@@ -96,6 +101,7 @@ impl CampaignOptions {
             progress_every: 1,
             json_out: None,
             backend: BackendKind::Naive,
+            faults: None,
         }
     }
 }
@@ -112,7 +118,7 @@ fn executor_config(opts: &CampaignOptions) -> ExecutorConfig {
 
 /// Runs `campaign` with progress on stderr; errors if any trial failed
 /// permanently (the journal still records the partial results).
-fn execute<R: TrialRunner>(
+pub(crate) fn execute<R: TrialRunner>(
     runner: &R,
     campaign: &Campaign<R::Spec>,
     opts: &CampaignOptions,
@@ -247,7 +253,11 @@ fn print_fig4(panels: &[Fig4Panel]) {
 /// Runs the Fig. 4 grid and prints/persists the panels.
 pub fn run_fig4(opts: &CampaignOptions) -> Result<(), String> {
     let campaign = fig4_campaign(opts.quick);
-    let report = execute(&Fig4Runner::new(opts.backend), &campaign, opts)?;
+    let report = execute(
+        &Fig4Runner::new(opts.backend).with_faults(opts.faults),
+        &campaign,
+        opts,
+    )?;
     let panels = fig4_panels(&campaign, &report.outputs)?;
     print_fig4(&panels);
     write_json(
@@ -296,7 +306,11 @@ pub struct Fig5Row {
 /// Runs the Fig. 5 grid and prints/persists the rows.
 pub fn run_fig5(opts: &CampaignOptions) -> Result<(), String> {
     let campaign = fig5_campaign(opts.quick);
-    let report = execute(&Fig5Runner::new(opts.backend), &campaign, opts)?;
+    let report = execute(
+        &Fig5Runner::new(opts.backend).with_faults(opts.faults),
+        &campaign,
+        opts,
+    )?;
     let (runs, _, q_list, _) = fig5_params(opts.quick);
 
     let mut json_rows = Vec::new();
@@ -436,7 +450,7 @@ pub struct AblationRecord {
 pub fn run_ablations(opts: &CampaignOptions) -> Result<(), String> {
     use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
 
-    let runner = AblationsRunner::new(opts.quick, opts.backend);
+    let runner = AblationsRunner::new(opts.quick, opts.backend).with_faults(opts.faults);
     let victim = runner.victim().clone();
     let strength = runner.strength();
     let num_samples = if opts.quick { 800 } else { 3000 };

@@ -27,8 +27,12 @@
 //!
 //! [`mvmbench`] backs `xbar bench mvm`: the naive-vs-blocked batched
 //! MVM microbenchmark behind CI's `BENCH_mvm.json` artifact.
+//!
+//! [`faultsweep`] backs `xbar faults sweep`: attack-success-vs-fault-rate
+//! robustness curves over the [`xbar_faults`] injection subsystem.
 
 pub mod campaign;
+pub mod faultsweep;
 pub mod figures;
 pub mod mvmbench;
 pub mod setup;

@@ -4,7 +4,9 @@
 //! crossbar-shaped workload (1024x256 outputs x inputs, batch 256 by
 //! default; smaller under `--quick`), verifies the outputs are
 //! bit-identical, and writes a machine-readable report — CI uploads it
-//! as the `BENCH_mvm.json` artifact.
+//! as the `BENCH_mvm.json` artifact. A third row times a
+//! [`FaultyBackend`] wrapping the blocked kernel under a representative
+//! fault plan, recording the fault-injection overhead.
 
 use std::time::Instant;
 
@@ -14,6 +16,7 @@ use serde::Serialize;
 use xbar_crossbar::array::CrossbarArray;
 use xbar_crossbar::backend::{BackendKind, EvalBackend};
 use xbar_crossbar::device::DeviceModel;
+use xbar_faults::{FaultKey, FaultSpec, FaultyBackend};
 use xbar_linalg::Matrix;
 
 use crate::write_json;
@@ -37,6 +40,15 @@ pub struct MvmBenchReport {
     pub speedup: f64,
     /// Whether the two backends returned bit-identical outputs.
     pub bit_identical: bool,
+    /// Mean nanoseconds per `mvm_batch` call, [`FaultyBackend`] over the
+    /// blocked backend with a representative (1% stuck-on, 1% stuck-off,
+    /// σ=0.1 variation) fault plan.
+    pub faulty_nanos: u64,
+    /// `faulty_nanos / blocked_nanos`: the fault-injection overhead.
+    pub fault_overhead: f64,
+    /// Whether a [`FaultyBackend`] carrying an *empty* fault plan
+    /// returned outputs bit-identical to the bare blocked backend.
+    pub faulty_noop_bit_identical: bool,
 }
 
 fn time_backend(
@@ -87,9 +99,30 @@ pub fn run_mvm_bench(quick: bool, json_out: Option<&str>) -> Result<MvmBenchRepo
         .map_err(|e| e.to_string())?;
     let bit_identical = out_naive == out_blocked;
 
+    // The faulty row: a representative non-trivial plan over the
+    // blocked kernel, plus the zero-fault bit-identity contract.
+    let key = FaultKey::new(77, 0);
+    let plan = FaultSpec::none()
+        .with_stuck_on_rate(0.01)
+        .with_stuck_off_rate(0.01)
+        .with_variation_sigma(0.1)
+        .compile(outputs, inputs, key)
+        .map_err(|e| e.to_string())?;
+    let faulty = FaultyBackend::from_kind(BackendKind::Blocked, plan);
+    let noop = FaultyBackend::from_kind(
+        BackendKind::Blocked,
+        FaultSpec::none()
+            .compile(outputs, inputs, key)
+            .map_err(|e| e.to_string())?,
+    );
+    let faulty_noop_bit_identical =
+        noop.mvm_batch(&array, &refs).map_err(|e| e.to_string())? == out_blocked;
+
     let naive_nanos = time_backend(naive.as_ref(), &array, &refs, iterations);
     let blocked_nanos = time_backend(blocked.as_ref(), &array, &refs, iterations);
+    let faulty_nanos = time_backend(&faulty, &array, &refs, iterations);
     let speedup = naive_nanos as f64 / blocked_nanos.max(1) as f64;
+    let fault_overhead = faulty_nanos as f64 / blocked_nanos.max(1) as f64;
 
     let report = MvmBenchReport {
         outputs,
@@ -100,6 +133,9 @@ pub fn run_mvm_bench(quick: bool, json_out: Option<&str>) -> Result<MvmBenchRepo
         blocked_nanos,
         speedup,
         bit_identical,
+        faulty_nanos,
+        fault_overhead,
+        faulty_noop_bit_identical,
     };
     println!(
         "mvm_batch {outputs}x{inputs} batch={batch}: naive {:.3} ms, blocked {:.3} ms, \
@@ -107,9 +143,17 @@ pub fn run_mvm_bench(quick: bool, json_out: Option<&str>) -> Result<MvmBenchRepo
         naive_nanos as f64 / 1e6,
         blocked_nanos as f64 / 1e6,
     );
+    println!(
+        "faulty(blocked) {:.3} ms, fault overhead {fault_overhead:.2}x, \
+         zero-fault bit-identical: {faulty_noop_bit_identical}",
+        faulty_nanos as f64 / 1e6,
+    );
     write_json(json_out.unwrap_or("results/BENCH_mvm.json"), &report);
     if !bit_identical {
         return Err("blocked backend diverged from naive outputs".into());
+    }
+    if !faulty_noop_bit_identical {
+        return Err("zero-fault FaultyBackend diverged from blocked outputs".into());
     }
     Ok(report)
 }
@@ -124,10 +168,12 @@ mod tests {
         let path = dir.join("BENCH_mvm.json");
         let report = run_mvm_bench(true, path.to_str()).unwrap();
         assert!(report.bit_identical);
-        assert!(report.naive_nanos > 0 && report.blocked_nanos > 0);
-        assert!(std::fs::read_to_string(&path)
-            .unwrap()
-            .contains("\"bit_identical\""));
+        assert!(report.faulty_noop_bit_identical);
+        assert!(report.naive_nanos > 0 && report.blocked_nanos > 0 && report.faulty_nanos > 0);
+        assert!(report.fault_overhead > 0.0);
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"bit_identical\""));
+        assert!(json.contains("\"fault_overhead\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

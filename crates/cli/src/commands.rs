@@ -29,9 +29,9 @@ pub type CliError = Box<dyn std::error::Error>;
 /// Returns the subcommand's failure, or an [`ArgsError`] for an unknown
 /// command.
 pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
-    // Only `trace` and `bench` take positional arguments (their action,
-    // plus the trace path).
-    if args.command != "trace" && args.command != "bench" {
+    // Only `trace`, `bench` and `faults` take positional arguments
+    // (their action, plus the trace path).
+    if args.command != "trace" && args.command != "bench" && args.command != "faults" {
         args.expect_no_positionals()?;
     }
     match args.command.as_str() {
@@ -42,6 +42,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
         "recover" => cmd_recover(args),
         "campaign" => cmd_campaign(args),
         "bench" => cmd_bench(args),
+        "faults" => cmd_faults(args),
         "trace" => cmd_trace(args),
         "help" => {
             print_help();
@@ -77,12 +78,21 @@ COMMANDS:
             runtime (checkpointed and resumable)
             --figure fig4|fig5|ablations [--threads N] [--resume]
             [--journal FILE] [--out FILE] [--retries N] [--quick]
-            [--backend naive|blocked] [--trace FILE]
+            [--backend naive|blocked] [--trace FILE] [--faults SPEC.json]
             [--progress stderr|json|none] [--progress-every N]
   bench     micro-benchmarks
-            mvm [--quick] [--out FILE]   naive vs blocked batched MVM
+            mvm [--quick] [--out FILE]   naive vs blocked batched MVM +
+                                         FaultyBackend overhead row
                                          (bit-identity checked; writes
                                          results/BENCH_mvm.json)
+  faults    deterministic device fault injection
+            sweep [--quick] [--threads N] [--out FILE] [--resume]
+                  [--journal FILE] [--retries N] [--backend naive|blocked]
+                  [--trace FILE] [--progress stderr|json|none]
+                  [--progress-every N]
+            attack-success-vs-fault-rate robustness curves over stuck-at,
+            variation, drift and line-resistance axes (writes
+            results/faults-sweep.json; bit-identical at any thread count)
   trace     inspect an xbar-obs JSONL trace written by --trace
             summarize FILE   per-stage totals: counters per trial,
                              value series, span counts and wall times
@@ -90,10 +100,24 @@ COMMANDS:
     );
 }
 
-fn cmd_campaign(args: &ParsedArgs) -> Result<(), CliError> {
-    use xbar_bench::figures::{run_ablations, run_fig4, run_fig5, CampaignOptions, ProgressMode};
+/// Reads a fault-spec JSON file into a validated [`xbar_faults::FaultSpec`].
+fn load_fault_spec(path: &str) -> Result<xbar_faults::FaultSpec, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read fault spec {path}: {e}"))?;
+    let value = serde_json::parse_value(&text).map_err(|e| format!("fault spec {path}: {e}"))?;
+    xbar_faults::FaultSpec::from_json_value(&value)
+        .map_err(|e| -> CliError { format!("fault spec {path}: {e}").into() })
+}
 
-    let figure = args.require("figure")?.to_string();
+/// Parses the executor options shared by `campaign` and `faults sweep`.
+/// The journal is always kept (it is what `--resume` reads); the default
+/// path is per campaign so grids don't clobber each other.
+fn campaign_options(
+    args: &ParsedArgs,
+    default_journal: &str,
+) -> Result<xbar_bench::figures::CampaignOptions, CliError> {
+    use xbar_bench::figures::{CampaignOptions, ProgressMode};
+
     let mut opts = CampaignOptions::new(args.flag("quick"));
     opts.threads = args.get_or("threads", 0usize)?;
     opts.max_retries = args.get_or("retries", 1u32)?;
@@ -107,14 +131,23 @@ fn cmd_campaign(args: &ParsedArgs) -> Result<(), CliError> {
     opts.progress_every = args.get_or("progress-every", 1usize)?.max(1);
     // Pure execution detail: results are bit-identical across backends.
     opts.backend = args.get_or("backend", xbar_crossbar::backend::BackendKind::Naive)?;
-    // The journal is always kept (it is what --resume reads); default
-    // path is per figure so campaigns don't clobber each other.
     let journal = args
         .get("journal")
         .filter(|j| !j.is_empty())
         .map(str::to_string)
-        .unwrap_or_else(|| format!("results/{figure}-journal.jsonl"));
+        .unwrap_or_else(|| default_journal.to_string());
     opts.journal = Some(journal.into());
+    Ok(opts)
+}
+
+fn cmd_campaign(args: &ParsedArgs) -> Result<(), CliError> {
+    use xbar_bench::figures::{run_ablations, run_fig4, run_fig5};
+
+    let figure = args.require("figure")?.to_string();
+    let mut opts = campaign_options(args, &format!("results/{figure}-journal.jsonl"))?;
+    // Optional device faults, injected into every trial's deployed
+    // crossbar under the (campaign_seed, trial_index) key.
+    opts.faults = args.get("faults").map(load_fault_spec).transpose()?;
 
     let run = match figure.as_str() {
         "fig4" => run_fig4,
@@ -138,6 +171,19 @@ fn cmd_bench(args: &ParsedArgs) -> Result<(), CliError> {
         }
         Some(other) => Err(format!("unknown bench {other:?} (expected: mvm)").into()),
         None => Err("usage: xbar bench mvm [--quick] [--out FILE]".into()),
+    }
+}
+
+fn cmd_faults(args: &ParsedArgs) -> Result<(), CliError> {
+    match args.positional(0) {
+        Some("sweep") => {
+            let opts = campaign_options(args, "results/faults-sweep-journal.jsonl")?;
+            xbar_bench::faultsweep::run_fault_sweep(&opts).map_err(|e| -> CliError { e.into() })
+        }
+        Some(other) => Err(format!("unknown faults action {other:?} (expected: sweep)").into()),
+        None => {
+            Err("usage: xbar faults sweep [--quick] [--threads N] [--out FILE] [--resume]".into())
+        }
     }
 }
 
@@ -694,6 +740,41 @@ mod tests {
         // Missing and unknown bench actions are rejected.
         assert!(dispatch(&parse(&["bench"])).is_err());
         assert!(dispatch(&parse(&["bench", "frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn faults_argument_validation() {
+        // Missing and unknown faults actions are rejected.
+        assert!(dispatch(&parse(&["faults"])).is_err());
+        assert!(dispatch(&parse(&["faults", "frobnicate"])).is_err());
+        // Bad executor options are rejected before any work starts.
+        assert!(dispatch(&parse(&["faults", "sweep", "--threads", "lots"])).is_err());
+    }
+
+    #[test]
+    fn fault_spec_loading() {
+        let path = tmp("fault-spec.json");
+        std::fs::write(&path, r#"{"stuck_on_rate": 0.02, "variation_sigma": 0.1}"#).unwrap();
+        let spec = load_fault_spec(&path).unwrap();
+        assert_eq!(spec.stuck_on_rate, 0.02);
+        assert_eq!(spec.variation_sigma, 0.1);
+        assert_eq!(spec.stuck_off_rate, 0.0);
+        // Unknown keys, invalid rates and missing files are rejected.
+        std::fs::write(&path, r#"{"stuck_rate": 0.02}"#).unwrap();
+        assert!(load_fault_spec(&path).is_err());
+        std::fs::write(&path, r#"{"stuck_on_rate": 1.5}"#).unwrap();
+        assert!(load_fault_spec(&path).is_err());
+        assert!(load_fault_spec("/nonexistent/spec.json").is_err());
+        // A bad --faults file fails the campaign command early.
+        assert!(dispatch(&parse(&[
+            "campaign",
+            "--figure",
+            "fig4",
+            "--faults",
+            "/nonexistent/spec.json",
+        ]))
+        .is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -173,16 +173,6 @@ impl DefendedOracle {
         Ok(records)
     }
 
-    /// One defended power-only query.
-    ///
-    /// # Errors
-    ///
-    /// Propagates oracle query errors.
-    #[deprecated(note = "use `query(u)?.observation.power` instead")]
-    pub fn query_power(&mut self, u: &[f64]) -> Result<f64> {
-        Ok(self.query(u)?.observation.power)
-    }
-
     /// Probes all column norms through the defense (the defended analogue
     /// of [`crate::probe::probe_column_norms`]); what the attacker
     /// recovers is the *defended* landscape. Each repeat issues its `N`

@@ -10,6 +10,8 @@ pub enum AttackError {
     Nn(xbar_nn::NnError),
     /// A crossbar-simulation failure.
     Crossbar(xbar_crossbar::CrossbarError),
+    /// A fault-injection failure (bad spec, plan/array shape mismatch).
+    Faults(xbar_faults::FaultsError),
     /// A statistics failure while aggregating results.
     Stats(xbar_stats::StatsError),
     /// The oracle's query budget was exhausted.
@@ -40,6 +42,7 @@ impl fmt::Display for AttackError {
             AttackError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             AttackError::Nn(e) => write!(f, "network error: {e}"),
             AttackError::Crossbar(e) => write!(f, "crossbar error: {e}"),
+            AttackError::Faults(e) => write!(f, "fault-injection error: {e}"),
             AttackError::Stats(e) => write!(f, "statistics error: {e}"),
             AttackError::QueryBudgetExhausted { budget } => {
                 write!(f, "oracle query budget of {budget} exhausted")
@@ -62,6 +65,7 @@ impl std::error::Error for AttackError {
             AttackError::Linalg(e) => Some(e),
             AttackError::Nn(e) => Some(e),
             AttackError::Crossbar(e) => Some(e),
+            AttackError::Faults(e) => Some(e),
             AttackError::Stats(e) => Some(e),
             AttackError::Io(e) => Some(e),
             AttackError::Serde(e) => Some(e),
@@ -85,6 +89,12 @@ impl From<xbar_nn::NnError> for AttackError {
 impl From<xbar_crossbar::CrossbarError> for AttackError {
     fn from(e: xbar_crossbar::CrossbarError) -> Self {
         AttackError::Crossbar(e)
+    }
+}
+
+impl From<xbar_faults::FaultsError> for AttackError {
+    fn from(e: xbar_faults::FaultsError) -> Self {
+        AttackError::Faults(e)
     }
 }
 

@@ -10,6 +10,7 @@ use xbar_crossbar::backend::BackendKind;
 use xbar_crossbar::device::DeviceModel;
 use xbar_crossbar::power::PowerModel;
 use xbar_crossbar::CrossbarError;
+use xbar_faults::FaultInjection;
 use xbar_linalg::{vec_ops, Matrix};
 use xbar_nn::network::SingleLayerNet;
 
@@ -42,6 +43,11 @@ pub struct OracleConfig {
     /// Backends are bit-identical by contract, so this is a pure
     /// performance knob.
     pub backend: BackendKind,
+    /// Optional device faults injected at deployment: the spec is
+    /// compiled under its key and applied to the freshly programmed
+    /// array, so queries, evaluation, and
+    /// [`Oracle::true_column_norms`] all see the faulted hardware.
+    pub faults: Option<FaultInjection>,
 }
 
 impl OracleConfig {
@@ -54,6 +60,7 @@ impl OracleConfig {
             access: OutputAccess::Raw,
             query_budget: None,
             backend: BackendKind::Naive,
+            faults: None,
         }
     }
 
@@ -89,6 +96,13 @@ impl OracleConfig {
     #[must_use]
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Builder-style setter for deployment-time fault injection.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultInjection) -> Self {
+        self.faults = Some(faults);
         self
     }
 }
@@ -145,13 +159,25 @@ impl Oracle {
     /// query's noise depends only on the seed and the query's global
     /// index — never on batch boundaries or thread scheduling.
     ///
+    /// If the config carries a [`FaultInjection`], the compiled fault
+    /// plan is applied to the freshly programmed array here, once — the
+    /// oracle *is* the faulted hardware from then on. Fault draws are
+    /// keyed by the injection's own `(campaign_seed, trial_index)` key,
+    /// not by `seed`, so they are independent of the oracle's noise
+    /// streams.
+    ///
     /// # Errors
     ///
-    /// Propagates crossbar programming and configuration errors.
+    /// Propagates crossbar programming, fault-spec, and configuration
+    /// errors.
     pub fn new(net: SingleLayerNet, config: &OracleConfig, seed: u64) -> Result<Self> {
         config.power.validate()?;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let xbar = CrossbarArray::program(net.weights(), &config.device, &mut rng)?;
+        let mut xbar = CrossbarArray::program(net.weights(), &config.device, &mut rng)?;
+        if let Some(injection) = &config.faults {
+            let plan = injection.compile(xbar.num_outputs(), xbar.num_inputs())?;
+            xbar = plan.apply(&xbar)?;
+        }
         Ok(Oracle {
             net,
             xbar,
@@ -372,23 +398,6 @@ impl Oracle {
         Ok(records)
     }
 
-    /// Power-only notation for [`Oracle::query`] that works at any access
-    /// level.
-    ///
-    /// This is now a documented thin wrapper over
-    /// `query(u)?.observation.power` — in particular it runs whatever the
-    /// access level grants (including the forward pass, at
-    /// [`OutputAccess::LabelOnly`]/[`OutputAccess::Raw`]) and discards
-    /// everything but the power field.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Oracle::query`].
-    #[deprecated(note = "use `query(u)?.observation.power` instead")]
-    pub fn query_power(&mut self, u: &[f64]) -> Result<f64> {
-        Ok(self.query(u)?.observation.power)
-    }
-
     // ------------------------------------------------------------------
     // Evaluation-side methods (free for the experimenter, not the
     // attacker: they do not consume queries).
@@ -607,8 +616,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_query_power_equals_batch_of_one() {
+    fn single_query_equals_batch_of_one() {
+        // The compat contract the removed `query_power` wrapper relied
+        // on: `query(u)` is exactly `query_batch(&[u])`, noise included.
         let cfg = OracleConfig::ideal().with_power(PowerModel::default().with_noise(0.1));
         let net =
             SingleLayerNet::from_weights(Matrix::from_rows(&[&[1.0, -0.5]]), Activation::Identity);
@@ -617,10 +627,39 @@ mod tests {
         for i in 0..4 {
             let u = [0.5 + 0.1 * i as f64, 0.25];
             assert_eq!(
-                a.query_power(&u).unwrap(),
-                b.query_batch(&[&u]).unwrap()[0].observation.power
+                a.query(&u).unwrap(),
+                b.query_batch(&[&u]).unwrap()[0].clone()
             );
         }
+    }
+
+    #[test]
+    fn fault_injection_changes_deployment_deterministically() {
+        use xbar_faults::{FaultInjection, FaultKey, FaultSpec};
+        let net = SingleLayerNet::from_weights(
+            Matrix::from_rows(&[&[1.0, -0.5, 0.0], &[0.25, 0.5, -1.0]]),
+            Activation::Identity,
+        );
+        let injection = FaultInjection::new(
+            FaultSpec::none().with_stuck_off_rate(0.4),
+            FaultKey::new(99, 1),
+        );
+        let cfg = OracleConfig::ideal().with_faults(injection);
+        let faulted = Oracle::new(net.clone(), &cfg, 3).unwrap();
+        let pristine = Oracle::new(net.clone(), &OracleConfig::ideal(), 3).unwrap();
+        // The faulted deployment's ground truth differs...
+        assert_ne!(faulted.true_column_norms(), pristine.true_column_norms());
+        // ...but is reproducible given the same injection key.
+        let again = Oracle::new(net.clone(), &cfg, 3).unwrap();
+        assert_eq!(faulted.true_column_norms(), again.true_column_norms());
+        // An empty spec deploys bit-identically to no injection at all.
+        let noop = OracleConfig::ideal()
+            .with_faults(FaultInjection::new(FaultSpec::none(), FaultKey::new(99, 1)));
+        let noop_oracle = Oracle::new(net, &noop, 3).unwrap();
+        assert_eq!(
+            noop_oracle.true_column_norms(),
+            pristine.true_column_norms()
+        );
     }
 
     #[test]

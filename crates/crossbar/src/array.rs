@@ -146,6 +146,31 @@ impl CrossbarArray {
         diff.scaled(1.0 / self.mapping.scale)
     }
 
+    /// Total number of programmable devices, `2·M·N` (the `G⁺` plane
+    /// followed by the `G⁻` plane).
+    pub fn num_devices(&self) -> usize {
+        2 * self.num_outputs() * self.num_inputs()
+    }
+
+    /// Returns a copy of the array with every conductance replaced by
+    /// `f(device_index, g)`, keeping the mapping and device model.
+    ///
+    /// Device indices enumerate the `G⁺` plane row-major (`i·N + j`),
+    /// then the `G⁻` plane (`M·N + i·N + j`). This is the canonical
+    /// device ordering that fault-injection plans key their per-device
+    /// draws by, so it must never change.
+    pub fn map_conductances<F: FnMut(usize, f64) -> f64>(&self, mut f: F) -> CrossbarArray {
+        let mut out = self.clone();
+        let offset = self.num_outputs() * self.num_inputs();
+        for (idx, g) in out.g_plus.as_mut_slice().iter_mut().enumerate() {
+            *g = f(idx, *g);
+        }
+        for (idx, g) in out.g_minus.as_mut_slice().iter_mut().enumerate() {
+            *g = f(offset + idx, *g);
+        }
+        out
+    }
+
     /// Noiseless differential MVM in weight units: `i = W_eff · v`
     /// (Eq. 3-4 with the normalisation folded in).
     ///
@@ -432,6 +457,27 @@ mod tests {
         let (_, total) = xbar.ir_drop_mvm(&v, &cfg).unwrap();
         assert!(total < xbar.total_current(&v).unwrap());
         assert!(total > 0.0);
+    }
+
+    #[test]
+    fn map_conductances_visits_devices_in_canonical_order() {
+        let w = Matrix::from_rows(&[&[0.5, -1.0, 0.25], &[0.0, 0.75, -0.5]]);
+        let xbar = ideal_array(&w);
+        let mut seen = Vec::new();
+        let identity = xbar.map_conductances(|idx, g| {
+            seen.push(idx);
+            g
+        });
+        // Identity map is bit-identical and visits 0..num_devices once,
+        // G⁺ row-major then G⁻ row-major.
+        assert_eq!(identity, xbar);
+        assert_eq!(seen, (0..xbar.num_devices()).collect::<Vec<_>>());
+        assert_eq!(xbar.num_devices(), 12);
+        // A real transform lands in the right plane: zeroing device 0
+        // touches G⁺[0,0] only.
+        let zeroed = xbar.map_conductances(|idx, g| if idx == 0 { 0.0 } else { g });
+        assert_eq!(zeroed.g_plus()[(0, 0)], 0.0);
+        assert_eq!(zeroed.g_minus()[(0, 0)], xbar.g_minus()[(0, 0)]);
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! [`FaultyBackend`]: fault injection as an [`EvalBackend`] wrapper.
+
+use xbar_crossbar::array::CrossbarArray;
+use xbar_crossbar::backend::{BackendKind, EvalBackend, RngStreams};
+use xbar_crossbar::power::PowerModel;
+use xbar_crossbar::CrossbarError;
+
+use crate::plan::FaultPlan;
+
+/// An [`EvalBackend`] decorator that applies a [`FaultPlan`] to the
+/// array before delegating every batch to the wrapped backend.
+///
+/// With a no-op plan (compiled from an empty [`crate::FaultSpec`]) the
+/// wrapper delegates directly — no copy, no fault events — so outputs
+/// *and* traces are bit-identical to the bare backend; the property
+/// tests in `tests/proptest_faults.rs` pin that contract. With a real
+/// plan, each batch call pays one `O(M·N)` faulted-copy materialisation
+/// (measured by `xbar bench mvm` as the fault-injection overhead row)
+/// plus the wrapped backend's own cost.
+#[derive(Debug)]
+pub struct FaultyBackend {
+    inner: Box<dyn EvalBackend>,
+    plan: FaultPlan,
+}
+
+impl FaultyBackend {
+    /// Wraps a backend with a compiled plan.
+    pub fn new(inner: Box<dyn EvalBackend>, plan: FaultPlan) -> Self {
+        FaultyBackend { inner, plan }
+    }
+
+    /// Convenience constructor from a [`BackendKind`].
+    pub fn from_kind(kind: BackendKind, plan: FaultPlan) -> Self {
+        FaultyBackend::new(kind.build(), plan)
+    }
+
+    /// The plan in effect.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The faulted array for this call, or `None` when the plan is a
+    /// no-op and the original array must be used untouched.
+    fn faulted(&self, array: &CrossbarArray) -> xbar_crossbar::Result<Option<CrossbarArray>> {
+        if self.plan.is_noop() {
+            return Ok(None);
+        }
+        self.plan
+            .apply(array)
+            .map(Some)
+            // The only fallible path is a shape mismatch, which at this
+            // layer is a configuration error.
+            .map_err(|_| CrossbarError::InvalidConfig {
+                name: "fault_plan_shape",
+            })
+    }
+}
+
+impl EvalBackend for FaultyBackend {
+    fn kind(&self) -> BackendKind {
+        self.inner.kind()
+    }
+
+    fn mvm_batch(
+        &self,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+    ) -> xbar_crossbar::Result<Vec<Vec<f64>>> {
+        match self.faulted(array)? {
+            None => self.inner.mvm_batch(array, inputs),
+            Some(faulted) => self.inner.mvm_batch(&faulted, inputs),
+        }
+    }
+
+    fn power_batch(
+        &self,
+        model: &PowerModel,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+    ) -> xbar_crossbar::Result<Vec<f64>> {
+        match self.faulted(array)? {
+            None => self.inner.power_batch(model, array, inputs),
+            Some(faulted) => self.inner.power_batch(model, &faulted, inputs),
+        }
+    }
+
+    fn noisy_mvm_batch(
+        &self,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        streams: RngStreams<'_>,
+    ) -> xbar_crossbar::Result<Vec<Vec<f64>>> {
+        match self.faulted(array)? {
+            None => self.inner.noisy_mvm_batch(array, inputs, streams),
+            Some(faulted) => self.inner.noisy_mvm_batch(&faulted, inputs, streams),
+        }
+    }
+
+    fn noisy_power_batch(
+        &self,
+        model: &PowerModel,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        streams: RngStreams<'_>,
+    ) -> xbar_crossbar::Result<Vec<f64>> {
+        match self.faulted(array)? {
+            None => self.inner.noisy_power_batch(model, array, inputs, streams),
+            Some(faulted) => self
+                .inner
+                .noisy_power_batch(model, &faulted, inputs, streams),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultKey, FaultSpec};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use xbar_crossbar::device::DeviceModel;
+    use xbar_linalg::Matrix;
+
+    fn programmed(m: usize, n: usize, seed: u64) -> CrossbarArray {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let w = Matrix::random_uniform(m, n, -1.0, 1.0, &mut rng);
+        CrossbarArray::program(&w, &DeviceModel::ideal(), &mut rng).unwrap()
+    }
+
+    fn batch(n: usize, b: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..b)
+            .map(|_| {
+                (0..n)
+                    .map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn noop_plan_is_bit_identical_to_inner() {
+        let xbar = programmed(6, 8, 1);
+        let inputs = batch(8, 5, 2);
+        let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        let plan = FaultSpec::none()
+            .compile(6, 8, FaultKey::new(0, 0))
+            .unwrap();
+        for kind in [BackendKind::Naive, BackendKind::Blocked] {
+            let bare = kind.build();
+            let faulty = FaultyBackend::from_kind(kind, plan.clone());
+            assert_eq!(faulty.kind(), kind);
+            assert_eq!(
+                faulty.mvm_batch(&xbar, &refs).unwrap(),
+                bare.mvm_batch(&xbar, &refs).unwrap()
+            );
+            let model = PowerModel::default();
+            assert_eq!(
+                faulty.power_batch(&model, &xbar, &refs).unwrap(),
+                bare.power_batch(&model, &xbar, &refs).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_outputs_equal_applying_plan_manually() {
+        let xbar = programmed(5, 7, 3);
+        let inputs = batch(7, 4, 4);
+        let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        let spec = FaultSpec::none()
+            .with_stuck_off_rate(0.3)
+            .with_variation_sigma(0.2);
+        let plan = spec.compile(5, 7, FaultKey::new(9, 2)).unwrap();
+        let faulted = plan.apply(&xbar).unwrap();
+        let faulty = FaultyBackend::from_kind(BackendKind::Blocked, plan);
+        let bare = BackendKind::Blocked.build();
+        assert_eq!(
+            faulty.mvm_batch(&xbar, &refs).unwrap(),
+            bare.mvm_batch(&faulted, &refs).unwrap()
+        );
+        let model = PowerModel::default();
+        assert_eq!(
+            faulty.power_batch(&model, &xbar, &refs).unwrap(),
+            bare.power_batch(&model, &faulted, &refs).unwrap()
+        );
+        // And the faulted array really differs from the pristine one.
+        assert_ne!(
+            faulty.mvm_batch(&xbar, &refs).unwrap(),
+            bare.mvm_batch(&xbar, &refs).unwrap()
+        );
+    }
+
+    #[test]
+    fn noisy_paths_use_the_faulted_array_and_given_streams() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let w = Matrix::random_uniform(4, 6, -1.0, 1.0, &mut rng);
+        let device = DeviceModel::ideal().with_read_sigma(0.02);
+        let xbar = CrossbarArray::program(&w, &device, &mut rng).unwrap();
+        let inputs = batch(6, 3, 6);
+        let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        let stream = |i: usize| {
+            let mut r = ChaCha8Rng::seed_from_u64(77);
+            r.set_stream(i as u64);
+            r
+        };
+        let spec = FaultSpec::none().with_variation_sigma(0.1);
+        let plan = spec.compile(4, 6, FaultKey::new(1, 1)).unwrap();
+        let faulted = plan.apply(&xbar).unwrap();
+        let faulty = FaultyBackend::from_kind(BackendKind::Naive, plan);
+        let bare = BackendKind::Naive.build();
+        assert_eq!(
+            faulty
+                .noisy_mvm_batch(&xbar, &refs, &mut { stream })
+                .unwrap(),
+            bare.noisy_mvm_batch(&faulted, &refs, &mut { stream })
+                .unwrap()
+        );
+        let model = PowerModel::default().with_noise(0.05);
+        assert_eq!(
+            faulty
+                .noisy_power_batch(&model, &xbar, &refs, &mut { stream })
+                .unwrap(),
+            bare.noisy_power_batch(&model, &faulted, &refs, &mut { stream })
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_surfaces_as_invalid_config() {
+        let plan = FaultSpec::none()
+            .with_stuck_on_rate(0.1)
+            .compile(3, 3, FaultKey::new(0, 0))
+            .unwrap();
+        let faulty = FaultyBackend::from_kind(BackendKind::Naive, plan);
+        let xbar = programmed(4, 4, 7);
+        let inputs = batch(4, 2, 8);
+        let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        assert!(matches!(
+            faulty.mvm_batch(&xbar, &refs),
+            Err(CrossbarError::InvalidConfig {
+                name: "fault_plan_shape"
+            })
+        ));
+    }
+}

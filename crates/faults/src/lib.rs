@@ -1,0 +1,137 @@
+//! # xbar-faults
+//!
+//! Deterministic device fault injection for NVM crossbar arrays.
+//!
+//! The attack pipeline elsewhere in this workspace assumes an ideal
+//! crossbar; real arrays have stuck-at devices, lognormal programming
+//! variation, conductance drift, and wire resistance. This crate models
+//! those non-idealities as a *deployment-time* transform of a programmed
+//! [`CrossbarArray`](xbar_crossbar::array::CrossbarArray), so robustness
+//! sweeps can ask how attack success degrades as hardware degrades.
+//!
+//! The pipeline is spec → plan → apply:
+//!
+//! 1. [`FaultSpec`] — a serializable description of fault *rates*
+//!    (stuck-at-on/off probabilities, variation sigma, drift
+//!    parameters, per-line resistance). No randomness yet.
+//! 2. [`FaultPlan`] — the spec compiled for one array shape under one
+//!    [`FaultKey`]. Every per-device draw comes from its own
+//!    counter-mode RNG stream keyed by
+//!    `(campaign_seed, trial_index, device_index)`, so plans are
+//!    bit-identical at any thread count and independent of compilation
+//!    order — the same discipline `xbar-runtime` uses for trial RNGs.
+//! 3. [`FaultPlan::apply`] — materialises a faulted copy of a
+//!    programmed array. A [`FaultyBackend`] wraps any
+//!    [`EvalBackend`](xbar_crossbar::backend::EvalBackend) and applies
+//!    the plan before delegating; a no-op plan delegates directly and
+//!    is bit-identical to the bare backend.
+//!
+//! Observability: compilation counts
+//! [`xbar_obs::names::XBAR_FAULT_PLAN_COMPILE`] and observes the stuck
+//! fraction; application counts [`xbar_obs::names::XBAR_FAULT_APPLY`]
+//! and [`xbar_obs::names::XBAR_FAULT_STUCK_DEVICES`] under the
+//! [`xbar_obs::names::SPAN_FAULT_APPLY`] span.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use xbar_crossbar::array::CrossbarArray;
+//! use xbar_crossbar::device::DeviceModel;
+//! use xbar_faults::{FaultKey, FaultSpec};
+//! use xbar_linalg::Matrix;
+//!
+//! let w = Matrix::from_rows(&[&[0.5, -1.0], &[0.25, 0.75]]);
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let xbar = CrossbarArray::program(&w, &DeviceModel::ideal(), &mut rng)?;
+//!
+//! let spec = FaultSpec::none().with_stuck_off_rate(0.25);
+//! let plan = spec.compile(xbar.num_outputs(), xbar.num_inputs(), FaultKey::new(42, 0))?;
+//! let faulted = plan.apply(&xbar)?;
+//! assert_eq!(faulted.num_devices(), xbar.num_devices());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt;
+
+pub mod backend;
+pub mod plan;
+pub mod spec;
+
+pub use backend::FaultyBackend;
+pub use plan::{FaultInjection, FaultKey, FaultPlan, StuckKind};
+pub use spec::FaultSpec;
+
+/// Errors produced by the fault-injection subsystem.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FaultsError {
+    /// A [`FaultSpec`] parameter is outside its valid domain.
+    InvalidSpec {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// A [`FaultPlan`] was applied to an array of a different shape.
+    ShapeMismatch {
+        /// The `(outputs, inputs)` shape the plan was compiled for.
+        expected: (usize, usize),
+        /// The shape of the array it was applied to.
+        got: (usize, usize),
+    },
+    /// A JSON fault-spec document could not be interpreted.
+    BadSpecFile {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FaultsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultsError::InvalidSpec { name } => {
+                write!(f, "fault-spec parameter {name} is outside its valid domain")
+            }
+            FaultsError::ShapeMismatch { expected, got } => write!(
+                f,
+                "fault plan compiled for {}x{} applied to {}x{} array",
+                expected.0, expected.1, got.0, got.1
+            ),
+            FaultsError::BadSpecFile { reason } => {
+                write!(f, "bad fault-spec document: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultsError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FaultsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FaultsError>();
+        let e = FaultsError::InvalidSpec {
+            name: "stuck_on_rate",
+        };
+        assert!(e.to_string().contains("stuck_on_rate"));
+        let e = FaultsError::ShapeMismatch {
+            expected: (2, 3),
+            got: (4, 5),
+        };
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains("4x5"));
+        let e = FaultsError::BadSpecFile {
+            reason: "not an object".into(),
+        };
+        assert!(e.to_string().contains("not an object"));
+    }
+}

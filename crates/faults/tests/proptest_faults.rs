@@ -1,0 +1,147 @@
+//! Property-based tests of the fault-injection contracts:
+//!
+//! * An empty `FaultSpec` compiles to a no-op plan, and a
+//!   `FaultyBackend` carrying it is *bit-identical* to the wrapped
+//!   backend — exact `==` on every float, every shape, every batch.
+//! * Identical `(spec, key)` pairs compile to identical plans; the
+//!   trial index and campaign seed both separate the draws.
+//! * Stuck-at rates are honoured within binomial tolerance on large
+//!   arrays.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xbar_crossbar::array::CrossbarArray;
+use xbar_crossbar::backend::{BackendKind, EvalBackend};
+use xbar_crossbar::device::DeviceModel;
+use xbar_crossbar::power::PowerModel;
+use xbar_faults::{FaultKey, FaultSpec, FaultyBackend};
+use xbar_linalg::Matrix;
+
+fn programmed(m: usize, n: usize, seed: u64, device: &DeviceModel) -> CrossbarArray {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut w = Matrix::random_uniform(m, n, -1.0, 1.0, &mut rng);
+    if w.max_abs() == 0.0 {
+        w[(0, 0)] = 0.5;
+    }
+    CrossbarArray::program(&w, device, &mut rng).unwrap()
+}
+
+fn sample_batch(batch: usize, n: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB0);
+    Matrix::random_uniform(batch, n, -1.0, 1.0, &mut rng)
+}
+
+fn streams(seed: u64) -> impl FnMut(usize) -> ChaCha8Rng {
+    move |i| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        rng.set_stream(i as u64 + 1);
+        rng
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The zero-fault contract: an empty spec wrapped around either
+    /// backend returns the wrapped backend's outputs bit for bit, on
+    /// all four batch entry points.
+    #[test]
+    fn empty_spec_is_bit_identical_to_wrapped_backend(
+        m in 1usize..10,
+        n in 1usize..12,
+        batch in 1usize..9,
+        seed in any::<u64>(),
+        trial in any::<u64>(),
+    ) {
+        let device = DeviceModel::ideal().with_read_sigma(0.03);
+        let array = programmed(m, n, seed, &device);
+        let inputs = sample_batch(batch, n, seed);
+        let refs: Vec<&[f64]> = (0..batch).map(|b| inputs.row(b)).collect();
+        let plan = FaultSpec::none()
+            .compile(m, n, FaultKey::new(seed, trial))
+            .unwrap();
+        prop_assert!(plan.is_noop());
+
+        for kind in [BackendKind::Naive, BackendKind::Blocked] {
+            let bare = kind.build();
+            let faulty = FaultyBackend::from_kind(kind, plan.clone());
+            prop_assert_eq!(
+                faulty.mvm_batch(&array, &refs).unwrap(),
+                bare.mvm_batch(&array, &refs).unwrap()
+            );
+            let model = PowerModel::default().with_noise(0.02);
+            prop_assert_eq!(
+                faulty.power_batch(&model, &array, &refs).unwrap(),
+                bare.power_batch(&model, &array, &refs).unwrap()
+            );
+            prop_assert_eq!(
+                faulty.noisy_mvm_batch(&array, &refs, &mut streams(seed)).unwrap(),
+                bare.noisy_mvm_batch(&array, &refs, &mut streams(seed)).unwrap()
+            );
+            prop_assert_eq!(
+                faulty
+                    .noisy_power_batch(&model, &array, &refs, &mut streams(seed ^ 0x5))
+                    .unwrap(),
+                bare.noisy_power_batch(&model, &array, &refs, &mut streams(seed ^ 0x5))
+                    .unwrap()
+            );
+        }
+    }
+
+    /// Determinism and key separation: the same `(spec, key)` always
+    /// compiles to the same plan (and the same faulted conductances);
+    /// changing the trial index or the campaign seed changes the draws.
+    #[test]
+    fn plans_are_deterministic_in_their_key(
+        m in 2usize..9,
+        n in 2usize..9,
+        seed in any::<u64>(),
+        trial in 0u64..1000,
+    ) {
+        let spec = FaultSpec::none()
+            .with_stuck_on_rate(0.1)
+            .with_stuck_off_rate(0.1)
+            .with_variation_sigma(0.15);
+        let key = FaultKey::new(seed, trial);
+        let a = spec.compile(m, n, key).unwrap();
+        let b = spec.compile(m, n, key).unwrap();
+        prop_assert_eq!(&a, &b);
+
+        let array = programmed(m, n, seed ^ 0x11, &DeviceModel::ideal());
+        prop_assert_eq!(a.apply(&array).unwrap(), b.apply(&array).unwrap());
+
+        let other_trial = spec.compile(m, n, FaultKey::new(seed, trial + 1)).unwrap();
+        let other_seed = spec
+            .compile(m, n, FaultKey::new(seed.wrapping_add(1), trial))
+            .unwrap();
+        prop_assert!(a != other_trial, "trial index did not separate draws");
+        prop_assert!(a != other_seed, "campaign seed did not separate draws");
+    }
+
+    /// Rate fidelity: on a large array the realised stuck fractions sit
+    /// within 5 binomial standard deviations of the spec'd rates.
+    #[test]
+    fn stuck_rates_are_honoured_within_tolerance(
+        on_pct in 0usize..4,
+        off_pct in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let rates = [0.0, 0.02, 0.05, 0.1];
+        let (p_on, p_off) = (rates[on_pct], rates[off_pct]);
+        let spec = FaultSpec::none()
+            .with_stuck_on_rate(p_on)
+            .with_stuck_off_rate(p_off);
+        let (m, n) = (100, 100);
+        let plan = spec.compile(m, n, FaultKey::new(seed, 0)).unwrap();
+        let devices = plan.num_devices() as f64;
+        for (p, got) in [(p_on, plan.stuck_on()), (p_off, plan.stuck_off())] {
+            let sigma = (p * (1.0 - p) / devices).sqrt();
+            let realised = got as f64 / devices;
+            prop_assert!(
+                (realised - p).abs() <= 5.0 * sigma + f64::EPSILON,
+                "rate {} realised as {} (sigma {})", p, realised, sigma
+            );
+        }
+    }
+}

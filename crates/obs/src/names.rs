@@ -6,7 +6,7 @@
 //! and the emitting code cannot drift apart.
 
 /// One oracle query consumed against the attacker's budget
-/// (`Oracle::query` / `Oracle::query_power`).
+/// (`Oracle::query` / `Oracle::query_batch`).
 pub const ORACLE_QUERY: &str = "oracle.query";
 
 /// A calibrated power reading returned to the attacker, recorded as an
@@ -34,6 +34,21 @@ pub const XBAR_MVM_BATCH: &str = "xbar.mvm_batch";
 /// evaluation call — the batch occupancy summary.
 pub const XBAR_BATCH_OCCUPANCY: &str = "xbar.batch_occupancy";
 
+/// One fault plan compiled from a `FaultSpec` (`FaultSpec::compile`).
+pub const XBAR_FAULT_PLAN_COMPILE: &str = "xbar.fault_plan_compile";
+
+/// One fault plan applied to a programmed array (one faulted copy
+/// materialised).
+pub const XBAR_FAULT_APPLY: &str = "xbar.fault_apply";
+
+/// Devices pinned to a rail (stuck-at-on/off) by an applied fault plan,
+/// counted once per application.
+pub const XBAR_FAULT_STUCK_DEVICES: &str = "xbar.fault_stuck_devices";
+
+/// Observation (value series): fraction of devices a fault plan marks
+/// stuck, recorded once per compilation.
+pub const XBAR_FAULT_STUCK_FRACTION: &str = "xbar.fault_stuck_fraction";
+
 /// One gradient-sign (FGSM/FGV) batch crafted.
 pub const ATTACK_FGSM_BATCH: &str = "attack.fgsm_batch";
 
@@ -60,3 +75,11 @@ pub const SPAN_CRAFT: &str = "blackbox.craft";
 
 /// Span: evaluating the oracle on clean and adversarial inputs.
 pub const SPAN_EVALUATE: &str = "blackbox.evaluate";
+
+/// Span: materialising a faulted copy of a programmed array
+/// (`FaultPlan::apply`).
+pub const SPAN_FAULT_APPLY: &str = "faults.apply";
+
+/// Span: one fault-robustness sweep trial (deploy faulted oracle, probe,
+/// attack, evaluate).
+pub const SPAN_FAULT_TRIAL: &str = "faults.sweep_trial";
