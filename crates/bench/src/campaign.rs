@@ -29,7 +29,7 @@ use xbar_core::sweep::{attack_and_eval, method_reps};
 use xbar_crossbar::backend::BackendKind;
 use xbar_crossbar::device::DeviceModel;
 use xbar_crossbar::power::PowerModel;
-use xbar_faults::{FaultInjection, FaultKey, FaultSpec};
+use xbar_faults::{FaultInjection, FaultKey, FaultSpec, TransientInjection, TransientSpec};
 use xbar_runtime::{Campaign, TrialContext, TrialRunner};
 use xbar_stats::correlation::pearson;
 
@@ -60,6 +60,23 @@ pub(crate) fn trial_injection(
 ) -> Option<FaultInjection> {
     faults.map(|spec| {
         FaultInjection::new(
+            spec,
+            FaultKey::new(ctx.campaign_seed, ctx.trial_index as u64),
+        )
+    })
+}
+
+/// Compiles an optional campaign-level transient spec into this trial's
+/// per-query injection, under the same `(campaign_seed, trial_index)`
+/// key as [`trial_injection`] — the oracle then extends the key with the
+/// global query index, so per-query disturbances are deterministic in
+/// the trial's identity and query position alone.
+pub(crate) fn trial_transients(
+    transients: Option<TransientSpec>,
+    ctx: &TrialContext,
+) -> Option<TransientInjection> {
+    transients.map(|spec| {
+        TransientInjection::new(
             spec,
             FaultKey::new(ctx.campaign_seed, ctx.trial_index as u64),
         )
@@ -108,6 +125,7 @@ pub struct Fig4TrialOutput {
 pub struct Fig4Runner {
     backend: BackendKind,
     faults: Option<FaultSpec>,
+    transients: Option<TransientSpec>,
 }
 
 impl Fig4Runner {
@@ -117,6 +135,7 @@ impl Fig4Runner {
         Fig4Runner {
             backend,
             faults: None,
+            transients: None,
         }
     }
 
@@ -125,6 +144,14 @@ impl Fig4Runner {
     #[must_use]
     pub fn with_faults(mut self, faults: Option<FaultSpec>) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Applies per-query transient disturbances to every trial's oracle,
+    /// keyed by `(campaign_seed, trial_index, query index)`.
+    #[must_use]
+    pub fn with_transients(mut self, transients: Option<TransientSpec>) -> Self {
+        self.transients = transients;
         self
     }
 }
@@ -140,6 +167,9 @@ impl TrialRunner for Fig4Runner {
             .with_backend(self.backend);
         if let Some(injection) = trial_injection(self.faults, ctx) {
             cfg = cfg.with_faults(injection);
+        }
+        if let Some(injection) = trial_transients(self.transients, ctx) {
+            cfg = cfg.with_transients(injection);
         }
         let mut oracle =
             Oracle::new(victim.net.clone(), &cfg, FIG4_ORACLE_SEED).map_err(|e| e.to_string())?;
@@ -261,6 +291,7 @@ pub struct Fig5RunOutput {
 pub struct Fig5Runner {
     backend: BackendKind,
     faults: Option<FaultSpec>,
+    transients: Option<TransientSpec>,
 }
 
 impl Fig5Runner {
@@ -270,6 +301,7 @@ impl Fig5Runner {
         Fig5Runner {
             backend,
             faults: None,
+            transients: None,
         }
     }
 
@@ -279,6 +311,14 @@ impl Fig5Runner {
     #[must_use]
     pub fn with_faults(mut self, faults: Option<FaultSpec>) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Applies per-query transient disturbances to every trial's oracle,
+    /// keyed by `(campaign_seed, trial_index, query index)`.
+    #[must_use]
+    pub fn with_transients(mut self, transients: Option<TransientSpec>) -> Self {
+        self.transients = transients;
         self
     }
 }
@@ -298,6 +338,7 @@ impl TrialRunner for Fig5Runner {
             .test
             .subset(&(0..victim.test.len().min(spec.test_eval)).collect::<Vec<usize>>());
         let injection = trial_injection(self.faults, ctx);
+        let transients = trial_transients(self.transients, ctx);
         let mut points = Vec::with_capacity(spec.q_list.len());
         for &q in &spec.q_list {
             let mut row = Vec::with_capacity(spec.lambdas.len());
@@ -307,6 +348,9 @@ impl TrialRunner for Fig5Runner {
                     .with_backend(self.backend);
                 if let Some(injection) = injection {
                     cfg = cfg.with_faults(injection);
+                }
+                if let Some(transients) = transients {
+                    cfg = cfg.with_transients(transients);
                 }
                 let mut oracle = Oracle::new(victim.net.clone(), &cfg, 4000 + spec.run)
                     .map_err(|e| e.to_string())?;
@@ -443,6 +487,7 @@ pub struct AblationsRunner {
     strength: f64,
     backend: BackendKind,
     faults: Option<FaultSpec>,
+    transients: Option<TransientSpec>,
 }
 
 impl AblationsRunner {
@@ -457,6 +502,7 @@ impl AblationsRunner {
             strength: 4.0,
             backend,
             faults: None,
+            transients: None,
         }
     }
 
@@ -465,6 +511,14 @@ impl AblationsRunner {
     #[must_use]
     pub fn with_faults(mut self, faults: Option<FaultSpec>) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Applies per-query transient disturbances to every trial's oracle,
+    /// keyed by `(campaign_seed, trial_index, query index)`.
+    #[must_use]
+    pub fn with_transients(mut self, transients: Option<TransientSpec>) -> Self {
+        self.transients = transients;
         self
     }
 
@@ -602,10 +656,19 @@ impl AblationsRunner {
         Ok((r, acc))
     }
 
-    /// Applies the trial's optional fault injection to an oracle config.
-    fn faulted(cfg: OracleConfig, injection: Option<FaultInjection>) -> OracleConfig {
-        match injection {
+    /// Applies the trial's optional fault and transient injections to an
+    /// oracle config.
+    fn faulted(
+        cfg: OracleConfig,
+        injection: Option<FaultInjection>,
+        transients: Option<TransientInjection>,
+    ) -> OracleConfig {
+        let cfg = match injection {
             Some(injection) => cfg.with_faults(injection),
+            None => cfg,
+        };
+        match transients {
+            Some(transients) => cfg.with_transients(transients),
             None => cfg,
         }
     }
@@ -614,6 +677,7 @@ impl AblationsRunner {
         &self,
         index: usize,
         injection: Option<FaultInjection>,
+        transients: Option<TransientInjection>,
     ) -> Result<AblationOutput, String> {
         let (sigma, repeats) = *Self::noise_conditions()
             .get(index)
@@ -624,6 +688,7 @@ impl AblationsRunner {
                 .with_power(PowerModel::default().with_noise(sigma))
                 .with_backend(self.backend),
             injection,
+            transients,
         );
         let (r, acc) = self.probe_and_attack(&cfg, 31, repeats)?;
         Ok(AblationOutput {
@@ -638,6 +703,7 @@ impl AblationsRunner {
         &self,
         index: usize,
         injection: Option<FaultInjection>,
+        transients: Option<TransientInjection>,
     ) -> Result<AblationOutput, String> {
         let k = *self
             .compressed_ks()
@@ -651,6 +717,7 @@ impl AblationsRunner {
                     .with_access(OutputAccess::None)
                     .with_backend(self.backend),
                 injection,
+                transients,
             ),
             33,
         )
@@ -672,6 +739,7 @@ impl AblationsRunner {
         &self,
         index: usize,
         injection: Option<FaultInjection>,
+        transients: Option<TransientInjection>,
     ) -> Result<AblationOutput, String> {
         let (_, device) = Self::device_conditions()
             .into_iter()
@@ -683,6 +751,7 @@ impl AblationsRunner {
                 .with_device(device)
                 .with_backend(self.backend),
             injection,
+            transients,
         );
         let (r, acc) = self.probe_and_attack(&cfg, 37, 1)?;
         // Also report how the non-ideality hurts the *victim* itself.
@@ -702,6 +771,7 @@ impl AblationsRunner {
         &self,
         index: usize,
         injection: Option<FaultInjection>,
+        transients: Option<TransientInjection>,
     ) -> Result<AblationOutput, String> {
         let (_, defense) = self
             .defense_conditions()
@@ -715,6 +785,7 @@ impl AblationsRunner {
                     .with_access(OutputAccess::None)
                     .with_backend(self.backend),
                 injection,
+                transients,
             ),
             41,
         )
@@ -754,11 +825,12 @@ impl TrialRunner for AblationsRunner {
 
     fn run(&self, spec: &AblationSpec, ctx: &TrialContext) -> Result<AblationOutput, String> {
         let injection = trial_injection(self.faults, ctx);
+        let transients = trial_transients(self.transients, ctx);
         match spec.study {
-            AblationStudy::Noise => self.run_noise(spec.index, injection),
-            AblationStudy::Compressed => self.run_compressed(spec.index, injection),
-            AblationStudy::Device => self.run_device(spec.index, injection),
-            AblationStudy::Defense => self.run_defense(spec.index, injection),
+            AblationStudy::Noise => self.run_noise(spec.index, injection, transients),
+            AblationStudy::Compressed => self.run_compressed(spec.index, injection, transients),
+            AblationStudy::Device => self.run_device(spec.index, injection, transients),
+            AblationStudy::Defense => self.run_defense(spec.index, injection, transients),
         }
     }
 }

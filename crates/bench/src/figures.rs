@@ -24,7 +24,7 @@ use crate::campaign::{
 use crate::{train_victim, write_json, DatasetKind, HeadKind};
 use xbar_core::report::{fmt, fmt_with_significance, format_table};
 use xbar_crossbar::backend::BackendKind;
-use xbar_faults::FaultSpec;
+use xbar_faults::{FaultSpec, TransientSpec};
 use xbar_stats::aggregate::RunSummary;
 use xbar_stats::ttest::welch_t_test;
 
@@ -84,6 +84,14 @@ pub struct CampaignOptions {
     /// crossbar, keyed by `(campaign_seed, trial_index)`; `None` runs
     /// on pristine hardware.
     pub faults: Option<FaultSpec>,
+    /// Optional per-query transient disturbances (read-disturb flips,
+    /// conductance jitter), keyed by `(campaign_seed, trial_index,
+    /// query index)`; `None` disables them.
+    pub transients: Option<TransientSpec>,
+    /// Keep going when trials fail permanently: degraded results are
+    /// journaled and reported instead of aborting the figure. Defaults
+    /// to `false` — the figure drivers need every cell.
+    pub tolerate_failures: bool,
 }
 
 impl CampaignOptions {
@@ -102,6 +110,8 @@ impl CampaignOptions {
             json_out: None,
             backend: BackendKind::Naive,
             faults: None,
+            transients: None,
+            tolerate_failures: false,
         }
     }
 }
@@ -153,15 +163,22 @@ pub(crate) fn execute<R: TrialRunner>(
     if !report.all_ok() {
         for failure in &report.failures {
             eprintln!(
-                "[{}] trial {} failed after {} attempt(s): {}",
-                campaign.name, failure.trial_index, failure.attempts, failure.error
+                "[{}] trial {} failed after {} attempt(s) [{:?}]: {}",
+                campaign.name, failure.trial_index, failure.attempts, failure.class, failure.error
             );
         }
-        return Err(format!(
-            "{} of {} trials failed permanently",
-            report.failures.len(),
-            campaign.len()
-        ));
+        if !opts.tolerate_failures {
+            return Err(format!(
+                "{} of {} trials failed permanently",
+                report.failures.len(),
+                campaign.len()
+            ));
+        }
+        eprintln!(
+            "[{}] continuing despite {} failed trial(s) (tolerate_failures)",
+            campaign.name,
+            report.failures.len()
+        );
     }
     Ok(report)
 }
@@ -254,7 +271,9 @@ fn print_fig4(panels: &[Fig4Panel]) {
 pub fn run_fig4(opts: &CampaignOptions) -> Result<(), String> {
     let campaign = fig4_campaign(opts.quick);
     let report = execute(
-        &Fig4Runner::new(opts.backend).with_faults(opts.faults),
+        &Fig4Runner::new(opts.backend)
+            .with_faults(opts.faults)
+            .with_transients(opts.transients),
         &campaign,
         opts,
     )?;
@@ -307,7 +326,9 @@ pub struct Fig5Row {
 pub fn run_fig5(opts: &CampaignOptions) -> Result<(), String> {
     let campaign = fig5_campaign(opts.quick);
     let report = execute(
-        &Fig5Runner::new(opts.backend).with_faults(opts.faults),
+        &Fig5Runner::new(opts.backend)
+            .with_faults(opts.faults)
+            .with_transients(opts.transients),
         &campaign,
         opts,
     )?;
@@ -450,7 +471,9 @@ pub struct AblationRecord {
 pub fn run_ablations(opts: &CampaignOptions) -> Result<(), String> {
     use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
 
-    let runner = AblationsRunner::new(opts.quick, opts.backend).with_faults(opts.faults);
+    let runner = AblationsRunner::new(opts.quick, opts.backend)
+        .with_faults(opts.faults)
+        .with_transients(opts.transients);
     let victim = runner.victim().clone();
     let strength = runner.strength();
     let num_samples = if opts.quick { 800 } else { 3000 };
@@ -645,7 +668,15 @@ pub fn run_ablations(opts: &CampaignOptions) -> Result<(), String> {
                 r_wire,
                 tolerance: 1e-8,
                 max_iterations: 2000,
+                ..IrDropConfig::default()
             };
+            // The fault layer's first-order line_resistance scaling and
+            // the iterative IR-drop solver model the same wire physics;
+            // refuse to stack them on one study without the explicit
+            // opt-in (see DESIGN.md).
+            if let Some(spec) = opts.faults {
+                xbar_faults::check_ir_drop_compose(&spec, &cfg).map_err(|e| e.to_string())?;
+            }
             // Probe a deterministic subset of columns (full probing with
             // the iterative solver over 784 columns is slow; 60 columns
             // give a stable correlation estimate).

@@ -30,10 +30,15 @@
 //!
 //! [`faultsweep`] backs `xbar faults sweep`: attack-success-vs-fault-rate
 //! robustness curves over the [`xbar_faults`] injection subsystem.
+//!
+//! [`lifetimesweep`] backs `xbar lifetime sweep`: attack efficacy over a
+//! decaying hardware lifetime — a (drift time × transient rate ×
+//! defense) cross-sweep with probe recalibration.
 
 pub mod campaign;
 pub mod faultsweep;
 pub mod figures;
+pub mod lifetimesweep;
 pub mod mvmbench;
 pub mod setup;
 

@@ -49,6 +49,13 @@ pub struct MvmBenchReport {
     /// Whether a [`FaultyBackend`] carrying an *empty* fault plan
     /// returned outputs bit-identical to the bare blocked backend.
     pub faulty_noop_bit_identical: bool,
+    /// Mean nanoseconds per `FaultSpec::compile` of the representative
+    /// plan (the per-trial cost of drawing a fault realisation).
+    pub fault_compile_nanos: u64,
+    /// Mean nanoseconds per `FaultPlan::apply` to the benchmark array
+    /// (the per-deployment cost of materialising the faulted
+    /// conductances).
+    pub fault_apply_nanos: u64,
 }
 
 fn time_backend(
@@ -108,7 +115,7 @@ pub fn run_mvm_bench(quick: bool, json_out: Option<&str>) -> Result<MvmBenchRepo
         .with_variation_sigma(0.1)
         .compile(outputs, inputs, key)
         .map_err(|e| e.to_string())?;
-    let faulty = FaultyBackend::from_kind(BackendKind::Blocked, plan);
+    let faulty = FaultyBackend::from_kind(BackendKind::Blocked, plan.clone());
     let noop = FaultyBackend::from_kind(
         BackendKind::Blocked,
         FaultSpec::none()
@@ -124,6 +131,31 @@ pub fn run_mvm_bench(quick: bool, json_out: Option<&str>) -> Result<MvmBenchRepo
     let speedup = naive_nanos as f64 / blocked_nanos.max(1) as f64;
     let fault_overhead = faulty_nanos as f64 / blocked_nanos.max(1) as f64;
 
+    // Plan lifecycle rows: what a campaign pays per trial to draw a
+    // fault realisation (compile) and to bake it into an array (apply).
+    let fault_spec = FaultSpec::none()
+        .with_stuck_on_rate(0.01)
+        .with_stuck_off_rate(0.01)
+        .with_variation_sigma(0.1);
+    let fault_compile_nanos = {
+        let start = Instant::now();
+        for _ in 0..iterations {
+            std::hint::black_box(
+                fault_spec
+                    .compile(outputs, inputs, key)
+                    .expect("spec validated above"),
+            );
+        }
+        (start.elapsed().as_nanos() / iterations as u128) as u64
+    };
+    let fault_apply_nanos = {
+        let start = Instant::now();
+        for _ in 0..iterations {
+            std::hint::black_box(plan.apply(&array).expect("shapes match"));
+        }
+        (start.elapsed().as_nanos() / iterations as u128) as u64
+    };
+
     let report = MvmBenchReport {
         outputs,
         inputs,
@@ -136,6 +168,8 @@ pub fn run_mvm_bench(quick: bool, json_out: Option<&str>) -> Result<MvmBenchRepo
         faulty_nanos,
         fault_overhead,
         faulty_noop_bit_identical,
+        fault_compile_nanos,
+        fault_apply_nanos,
     };
     println!(
         "mvm_batch {outputs}x{inputs} batch={batch}: naive {:.3} ms, blocked {:.3} ms, \
@@ -147,6 +181,11 @@ pub fn run_mvm_bench(quick: bool, json_out: Option<&str>) -> Result<MvmBenchRepo
         "faulty(blocked) {:.3} ms, fault overhead {fault_overhead:.2}x, \
          zero-fault bit-identical: {faulty_noop_bit_identical}",
         faulty_nanos as f64 / 1e6,
+    );
+    println!(
+        "fault plan: compile {:.3} ms, apply {:.3} ms",
+        fault_compile_nanos as f64 / 1e6,
+        fault_apply_nanos as f64 / 1e6,
     );
     write_json(json_out.unwrap_or("results/BENCH_mvm.json"), &report);
     if !bit_identical {
@@ -171,9 +210,12 @@ mod tests {
         assert!(report.faulty_noop_bit_identical);
         assert!(report.naive_nanos > 0 && report.blocked_nanos > 0 && report.faulty_nanos > 0);
         assert!(report.fault_overhead > 0.0);
+        assert!(report.fault_compile_nanos > 0 && report.fault_apply_nanos > 0);
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"bit_identical\""));
         assert!(json.contains("\"fault_overhead\""));
+        assert!(json.contains("\"fault_compile_nanos\""));
+        assert!(json.contains("\"fault_apply_nanos\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -29,9 +29,13 @@ pub type CliError = Box<dyn std::error::Error>;
 /// Returns the subcommand's failure, or an [`ArgsError`] for an unknown
 /// command.
 pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
-    // Only `trace`, `bench` and `faults` take positional arguments
-    // (their action, plus the trace path).
-    if args.command != "trace" && args.command != "bench" && args.command != "faults" {
+    // Only `trace`, `bench`, `faults` and `lifetime` take positional
+    // arguments (their action, plus the trace path).
+    if args.command != "trace"
+        && args.command != "bench"
+        && args.command != "faults"
+        && args.command != "lifetime"
+    {
         args.expect_no_positionals()?;
     }
     match args.command.as_str() {
@@ -43,6 +47,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
         "campaign" => cmd_campaign(args),
         "bench" => cmd_bench(args),
         "faults" => cmd_faults(args),
+        "lifetime" => cmd_lifetime(args),
         "trace" => cmd_trace(args),
         "help" => {
             print_help();
@@ -79,7 +84,8 @@ COMMANDS:
             --figure fig4|fig5|ablations [--threads N] [--resume]
             [--journal FILE] [--out FILE] [--retries N] [--quick]
             [--backend naive|blocked] [--trace FILE] [--faults SPEC.json]
-            [--progress stderr|json|none] [--progress-every N]
+            [--transients FLIP[,JITTER]] [--progress stderr|json|none]
+            [--progress-every N]
   bench     micro-benchmarks
             mvm [--quick] [--out FILE]   naive vs blocked batched MVM +
                                          FaultyBackend overhead row
@@ -93,6 +99,14 @@ COMMANDS:
             attack-success-vs-fault-rate robustness curves over stuck-at,
             variation, drift and line-resistance axes (writes
             results/faults-sweep.json; bit-identical at any thread count)
+  lifetime  device-lifetime robustness
+            sweep [--quick] [--threads N] [--out FILE] [--resume]
+                  [--journal FILE] [--retries N] [--backend naive|blocked]
+                  [--recalibrate never|every:N|stale:X] [--trace FILE]
+                  [--progress stderr|json|none] [--progress-every N]
+            (drift time x transient rate x defense) cross-sweep with
+            probe recalibration and graceful degradation — failed cells
+            are journaled and skipped (writes results/lifetime-sweep.json)
   trace     inspect an xbar-obs JSONL trace written by --trace
             summarize FILE   per-stage totals: counters per trial,
                              value series, span counts and wall times
@@ -107,6 +121,59 @@ fn load_fault_spec(path: &str) -> Result<xbar_faults::FaultSpec, CliError> {
     let value = serde_json::parse_value(&text).map_err(|e| format!("fault spec {path}: {e}"))?;
     xbar_faults::FaultSpec::from_json_value(&value)
         .map_err(|e| -> CliError { format!("fault spec {path}: {e}").into() })
+}
+
+/// Parses `--transients "FLIP[,JITTER]"` into a validated
+/// [`xbar_faults::TransientSpec`]. A single number sets only the
+/// read-disturb flip rate; a second, comma-separated number sets the
+/// transient jitter sigma.
+fn parse_transients(text: &str) -> Result<xbar_faults::TransientSpec, CliError> {
+    let mut parts = text.splitn(2, ',');
+    let flip: f64 =
+        parts.next().unwrap_or("").trim().parse().map_err(|_| {
+            format!("--transients: bad flip rate in {text:?} (expected FLIP[,JITTER])")
+        })?;
+    let jitter: f64 = match parts.next() {
+        Some(j) => j
+            .trim()
+            .parse()
+            .map_err(|_| format!("--transients: bad jitter sigma in {text:?}"))?,
+        None => 0.0,
+    };
+    let spec = xbar_faults::TransientSpec::none()
+        .with_flip_rate(flip)
+        .with_jitter_sigma(jitter);
+    spec.validate()
+        .map_err(|e| -> CliError { format!("--transients {text:?}: {e}").into() })?;
+    Ok(spec)
+}
+
+/// Parses `--recalibrate never|every:N|stale:X` into a
+/// [`xbar_core::probe::RecalibrationPolicy`].
+fn parse_recalibrate(text: &str) -> Result<xbar_core::probe::RecalibrationPolicy, CliError> {
+    use xbar_core::probe::RecalibrationPolicy;
+    if text == "never" {
+        return Ok(RecalibrationPolicy::never());
+    }
+    if let Some(n) = text.strip_prefix("every:") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("--recalibrate: bad query count in {text:?}"))?;
+        if n == 0 {
+            return Err(format!("--recalibrate: every:N needs N > 0, got {text:?}").into());
+        }
+        return Ok(RecalibrationPolicy::every(n));
+    }
+    if let Some(x) = text.strip_prefix("stale:") {
+        let x: f64 = x
+            .parse()
+            .map_err(|_| format!("--recalibrate: bad staleness threshold in {text:?}"))?;
+        if !(x.is_finite() && x > 0.0) {
+            return Err(format!("--recalibrate: stale:X needs X > 0, got {text:?}").into());
+        }
+        return Ok(RecalibrationPolicy::on_staleness(x));
+    }
+    Err(format!("--recalibrate: expected never|every:N|stale:X, got {text:?}").into())
 }
 
 /// Parses the executor options shared by `campaign` and `faults sweep`.
@@ -148,6 +215,9 @@ fn cmd_campaign(args: &ParsedArgs) -> Result<(), CliError> {
     // Optional device faults, injected into every trial's deployed
     // crossbar under the (campaign_seed, trial_index) key.
     opts.faults = args.get("faults").map(load_fault_spec).transpose()?;
+    // Optional per-query transient faults, keyed additionally by the
+    // global query index.
+    opts.transients = args.get("transients").map(parse_transients).transpose()?;
 
     let run = match figure.as_str() {
         "fig4" => run_fig4,
@@ -184,6 +254,31 @@ fn cmd_faults(args: &ParsedArgs) -> Result<(), CliError> {
         None => {
             Err("usage: xbar faults sweep [--quick] [--threads N] [--out FILE] [--resume]".into())
         }
+    }
+}
+
+fn cmd_lifetime(args: &ParsedArgs) -> Result<(), CliError> {
+    match args.positional(0) {
+        Some("sweep") => {
+            let mut opts = campaign_options(args, "results/lifetime-sweep-journal.jsonl")?;
+            // The lifetime sweep is the graceful-degradation showcase:
+            // permanently failing cells are journaled and skipped in the
+            // aggregation instead of aborting the sweep.
+            opts.tolerate_failures = true;
+            let policy = args
+                .get("recalibrate")
+                .map(parse_recalibrate)
+                .transpose()?
+                .unwrap_or(xbar_core::probe::RecalibrationPolicy::every(1));
+            xbar_bench::lifetimesweep::run_lifetime_sweep(&opts, &policy)
+                .map_err(|e| -> CliError { e.into() })
+        }
+        Some(other) => Err(format!("unknown lifetime action {other:?} (expected: sweep)").into()),
+        None => Err(
+            "usage: xbar lifetime sweep [--quick] [--threads N] [--out FILE] [--resume] \
+             [--recalibrate never|every:N|stale:X]"
+                .into(),
+        ),
     }
 }
 
@@ -749,6 +844,56 @@ mod tests {
         assert!(dispatch(&parse(&["faults", "frobnicate"])).is_err());
         // Bad executor options are rejected before any work starts.
         assert!(dispatch(&parse(&["faults", "sweep", "--threads", "lots"])).is_err());
+    }
+
+    #[test]
+    fn lifetime_argument_validation() {
+        // Missing and unknown lifetime actions are rejected.
+        assert!(dispatch(&parse(&["lifetime"])).is_err());
+        assert!(dispatch(&parse(&["lifetime", "frobnicate"])).is_err());
+        // Bad executor and recalibration options fail before any work.
+        assert!(dispatch(&parse(&["lifetime", "sweep", "--threads", "lots"])).is_err());
+        assert!(dispatch(&parse(&["lifetime", "sweep", "--recalibrate", "sometimes"])).is_err());
+    }
+
+    #[test]
+    fn transient_spec_parsing() {
+        let spec = parse_transients("0.02").unwrap();
+        assert_eq!(spec.flip_rate, 0.02);
+        assert_eq!(spec.jitter_sigma, 0.0);
+        let spec = parse_transients("0.02, 0.1").unwrap();
+        assert_eq!(spec.flip_rate, 0.02);
+        assert_eq!(spec.jitter_sigma, 0.1);
+        // Malformed numbers and out-of-domain rates are rejected.
+        assert!(parse_transients("").is_err());
+        assert!(parse_transients("lots").is_err());
+        assert!(parse_transients("0.02,many").is_err());
+        assert!(parse_transients("1.5").is_err());
+        assert!(parse_transients("0.02,-0.1").is_err());
+        // A bad --transients value fails the campaign command early.
+        assert!(dispatch(&parse(&[
+            "campaign",
+            "--figure",
+            "fig4",
+            "--transients",
+            "lots",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn recalibration_policy_parsing() {
+        assert!(parse_recalibrate("never").unwrap().is_never());
+        let every = parse_recalibrate("every:500").unwrap();
+        assert_eq!(every.every_queries, 500);
+        let stale = parse_recalibrate("stale:2.5").unwrap();
+        assert_eq!(stale.staleness_threshold, 2.5);
+        // Unknown shapes and out-of-domain values are rejected.
+        assert!(parse_recalibrate("sometimes").is_err());
+        assert!(parse_recalibrate("every:0").is_err());
+        assert!(parse_recalibrate("every:lots").is_err());
+        assert!(parse_recalibrate("stale:0").is_err());
+        assert!(parse_recalibrate("stale:NaN").is_err());
     }
 
     #[test]

@@ -10,9 +10,72 @@ use xbar_crossbar::backend::BackendKind;
 use xbar_crossbar::device::DeviceModel;
 use xbar_crossbar::power::PowerModel;
 use xbar_crossbar::CrossbarError;
-use xbar_faults::FaultInjection;
+use xbar_faults::{FaultInjection, TransientInjection};
 use xbar_linalg::{vec_ops, Matrix};
 use xbar_nn::network::SingleLayerNet;
+
+/// A schedule on which the oracle's hardware decays: every
+/// `interval_queries` queries the fault plan's `drift_time` advances by
+/// `time_step` and the array is redeployed from the pristine
+/// programming (stuck-at and variation draws are key-stable, so only
+/// the drift factors move — monotonically toward `g_min`).
+///
+/// Epochs are a pure function of a query's *global index*
+/// (`epoch = index / interval_queries`), never of batch boundaries or
+/// issue order within a batch, so drifting campaigns keep the oracle's
+/// bit-identity across backends, threads, and batch splits.
+///
+/// The schedule is inert when `interval_queries` is zero
+/// ([`DriftSchedule::never`], the default) or when the oracle carries
+/// no [`FaultInjection`] with a non-zero `drift_nu` — the drift model's
+/// parameters live in the fault spec; the schedule only advances its
+/// clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftSchedule {
+    /// Queries per drift epoch; zero disables the schedule.
+    pub interval_queries: u64,
+    /// How far `drift_time` advances per epoch.
+    pub time_step: f64,
+}
+
+impl Default for DriftSchedule {
+    fn default() -> Self {
+        DriftSchedule::never()
+    }
+}
+
+impl DriftSchedule {
+    /// The inert schedule: the hardware never ages.
+    pub const fn never() -> Self {
+        DriftSchedule {
+            interval_queries: 0,
+            time_step: 0.0,
+        }
+    }
+
+    /// Advance `drift_time` by `time_step` every `interval_queries`
+    /// queries.
+    pub const fn every(interval_queries: u64, time_step: f64) -> Self {
+        DriftSchedule {
+            interval_queries,
+            time_step,
+        }
+    }
+
+    /// Whether the schedule ever advances the clock.
+    pub fn is_active(&self) -> bool {
+        self.interval_queries > 0 && self.time_step > 0.0
+    }
+
+    /// The drift epoch global query `index` falls in.
+    pub fn epoch(&self, index: u64) -> u64 {
+        if self.is_active() {
+            index / self.interval_queries
+        } else {
+            0
+        }
+    }
+}
 
 /// What the attacker can see of the network's output per query.
 ///
@@ -48,6 +111,15 @@ pub struct OracleConfig {
     /// array, so queries, evaluation, and
     /// [`Oracle::true_column_norms`] all see the faulted hardware.
     pub faults: Option<FaultInjection>,
+    /// Optional per-query transient faults (read-disturb flips and
+    /// conductance jitter): every attacker query reads a transiently
+    /// perturbed copy of the deployed array, keyed by the query's
+    /// global index. Evaluation-side methods are unaffected.
+    pub transients: Option<TransientInjection>,
+    /// Schedule on which the deployed hardware's conductance drift
+    /// advances. Requires `faults` with a non-zero `drift_nu` to have
+    /// any effect.
+    pub drift: DriftSchedule,
 }
 
 impl OracleConfig {
@@ -61,6 +133,8 @@ impl OracleConfig {
             query_budget: None,
             backend: BackendKind::Naive,
             faults: None,
+            transients: None,
+            drift: DriftSchedule::never(),
         }
     }
 
@@ -105,6 +179,25 @@ impl OracleConfig {
         self.faults = Some(faults);
         self
     }
+
+    /// Builder-style setter for per-query transient faults.
+    #[must_use]
+    pub fn with_transients(mut self, transients: TransientInjection) -> Self {
+        self.transients = Some(transients);
+        self
+    }
+
+    /// Builder-style setter for the drift schedule.
+    #[must_use]
+    pub fn with_drift_schedule(mut self, drift: DriftSchedule) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// The transient injection, if one is configured and non-empty.
+    fn active_transients(&self) -> Option<TransientInjection> {
+        self.transients.filter(|t| !t.spec.is_empty())
+    }
 }
 
 /// Everything one query revealed, across both channels (the digital
@@ -143,9 +236,15 @@ pub struct QueryRecord {
 pub struct Oracle {
     net: SingleLayerNet,
     xbar: CrossbarArray,
+    /// The as-programmed array before any fault plan — kept so an
+    /// active [`DriftSchedule`] can redeploy the plan at a later
+    /// `drift_time` (the key-stable draws leave stuck-at and variation
+    /// identical; only the drift factors advance).
+    pristine: CrossbarArray,
     config: OracleConfig,
     query_count: usize,
     queries_issued: u64,
+    drift_epoch: u64,
     seed: u64,
 }
 
@@ -172,8 +271,12 @@ impl Oracle {
     /// errors.
     pub fn new(net: SingleLayerNet, config: &OracleConfig, seed: u64) -> Result<Self> {
         config.power.validate()?;
+        if let Some(transients) = &config.transients {
+            transients.spec.validate()?;
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut xbar = CrossbarArray::program(net.weights(), &config.device, &mut rng)?;
+        let pristine = CrossbarArray::program(net.weights(), &config.device, &mut rng)?;
+        let mut xbar = pristine.clone();
         if let Some(injection) = &config.faults {
             let plan = injection.compile(xbar.num_outputs(), xbar.num_inputs())?;
             xbar = plan.apply(&xbar)?;
@@ -181,9 +284,11 @@ impl Oracle {
         Ok(Oracle {
             net,
             xbar,
+            pristine,
             config: *config,
             query_count: 0,
             queries_issued: 0,
+            drift_epoch: 0,
             seed,
         })
     }
@@ -206,6 +311,26 @@ impl Oracle {
     /// Queries consumed so far.
     pub fn query_count(&self) -> usize {
         self.query_count
+    }
+
+    /// Global queries issued over the oracle's lifetime. Unlike
+    /// [`Oracle::query_count`], this is never reset — it is the clock
+    /// the drift schedule and staleness-based recalibration policies
+    /// read.
+    pub fn queries_issued(&self) -> u64 {
+        self.queries_issued
+    }
+
+    /// The effective `drift_time` of the currently deployed array: the
+    /// fault spec's base time plus the elapsed schedule epochs. Zero
+    /// when no fault injection is configured.
+    pub fn drift_time(&self) -> f64 {
+        match &self.config.faults {
+            Some(injection) => {
+                injection.spec.drift_time + self.drift_epoch as f64 * self.config.drift.time_step
+            }
+            None => 0.0,
+        }
     }
 
     /// Resets the query counter (e.g. between experiment repetitions).
@@ -248,6 +373,35 @@ impl Oracle {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         rng.set_stream(index + 1);
         rng
+    }
+
+    /// Whether queries can change the deployed array (active schedule
+    /// with a fault injection to re-apply).
+    fn drifting(&self) -> bool {
+        self.config.drift.is_active() && self.config.faults.is_some()
+    }
+
+    /// Redeploys the array if global query `index` falls in a later
+    /// drift epoch than the currently deployed one. The fault plan is
+    /// recompiled under its original key at the advanced `drift_time`
+    /// and re-applied to the pristine programming: the key-stable draw
+    /// order keeps stuck-at and variation decisions identical while
+    /// the drift factors decay.
+    fn advance_drift_to(&mut self, index: u64) -> Result<()> {
+        let epoch = self.config.drift.epoch(index);
+        if epoch <= self.drift_epoch || !self.drifting() {
+            return Ok(());
+        }
+        let advanced = epoch - self.drift_epoch;
+        self.drift_epoch = epoch;
+        let injection = self.config.faults.expect("drifting() checked faults");
+        let mut spec = injection.spec;
+        spec.drift_time += epoch as f64 * self.config.drift.time_step;
+        let plan = FaultInjection::new(spec, injection.key)
+            .compile(self.pristine.num_outputs(), self.pristine.num_inputs())?;
+        self.xbar = plan.apply(&self.pristine)?;
+        xbar_obs::count(xbar_obs::names::ORACLE_DRIFT_ADVANCE, advanced);
+        Ok(())
     }
 
     /// Calibrates one raw power measurement to weight units and records
@@ -315,7 +469,40 @@ impl Oracle {
             }
         }
         let base = self.consume_queries(inputs.len())?;
-        let backend = self.config.backend.build();
+        if !self.drifting() {
+            return self.query_chunk(inputs, base);
+        }
+        // The deployed array is a pure function of each query's global
+        // index; split the batch at drift-epoch boundaries so a batch
+        // spanning an epoch stays bit-identical to the same queries
+        // issued one at a time.
+        let mut records = Vec::with_capacity(inputs.len());
+        let mut start = 0usize;
+        while start < inputs.len() {
+            let q = base + start as u64;
+            self.advance_drift_to(q)?;
+            let boundary = (self.config.drift.epoch(q) + 1) * self.config.drift.interval_queries;
+            let end = inputs.len().min((boundary - base) as usize);
+            records.extend(self.query_chunk(&inputs[start..end], q)?);
+            start = end;
+        }
+        Ok(records)
+    }
+
+    /// Evaluates one epoch-homogeneous chunk of queries whose first
+    /// sample has global index `base`.
+    fn query_chunk(&mut self, inputs: &[&[f64]], base: u64) -> Result<Vec<QueryRecord>> {
+        use xbar_crossbar::backend::EvalBackend;
+        use xbar_faults::TransientBackend;
+        let transients = self.config.active_transients();
+        let backend: Box<dyn EvalBackend> = match transients {
+            Some(injection) => Box::new(TransientBackend::new(
+                self.config.backend.build(),
+                injection,
+                base,
+            )),
+            None => self.config.backend.build(),
+        };
         let seed = self.seed;
         let noisy_power = self.config.power.noise_sigma > 0.0;
         let needs_forward = self.config.access != OutputAccess::None;
@@ -329,9 +516,17 @@ impl Oracle {
             let mut outs = Vec::with_capacity(inputs.len());
             for (i, u) in inputs.iter().enumerate() {
                 let mut rng = Self::stream_rng(seed, base + i as u64);
-                let raw = self.config.power.measure(&self.xbar, u, &mut rng)?;
+                let perturbed;
+                let array = match transients {
+                    Some(injection) => {
+                        perturbed = injection.perturbed(&self.xbar, base + i as u64);
+                        &perturbed
+                    }
+                    None => &self.xbar,
+                };
+                let raw = self.config.power.measure(array, u, &mut rng)?;
                 powers.push(self.calibrate(raw, u));
-                outs.push(self.xbar.noisy_mvm(u, &mut rng)?);
+                outs.push(array.noisy_mvm(u, &mut rng)?);
             }
             (powers, Some(outs))
         } else {
@@ -660,6 +855,115 @@ mod tests {
             noop_oracle.true_column_norms(),
             pristine.true_column_norms()
         );
+    }
+
+    #[test]
+    fn transient_queries_are_split_invariant_and_keyed() {
+        use xbar_faults::{FaultKey, TransientInjection, TransientSpec};
+        let net = SingleLayerNet::from_weights(
+            Matrix::from_rows(&[&[1.0, -0.5, 0.2], &[0.25, 0.5, -1.0]]),
+            Activation::Identity,
+        );
+        let device = DeviceModel {
+            g_min: 0.05,
+            g_max: 1.0,
+            ..DeviceModel::ideal()
+        };
+        let spec = TransientSpec::none()
+            .with_flip_rate(0.2)
+            .with_jitter_sigma(0.1);
+        let cfg = OracleConfig::ideal()
+            .with_device(device)
+            .with_transients(TransientInjection::new(spec, FaultKey::new(5, 3)));
+        let inputs: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..3).map(|j| ((i * 3 + j) as f64 * 0.37).cos()).collect())
+            .collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+
+        let mut seq = Oracle::new(net.clone(), &cfg, 42).unwrap();
+        let one_by_one: Vec<QueryRecord> = refs.iter().map(|u| seq.query(u).unwrap()).collect();
+        for backend in [BackendKind::Naive, BackendKind::Blocked] {
+            let mut o = Oracle::new(net.clone(), &cfg.with_backend(backend), 42).unwrap();
+            let mut split = o.query_batch(&refs[..4]).unwrap();
+            split.extend(o.query_batch(&refs[4..]).unwrap());
+            assert_eq!(split, one_by_one, "{backend}");
+        }
+        // The same input at two different global indices reads two
+        // different transient perturbations.
+        let mut o = Oracle::new(net.clone(), &cfg, 42).unwrap();
+        let a = o.query(refs[0]).unwrap().observation.power;
+        let b = o.query(refs[0]).unwrap().observation.power;
+        assert_ne!(a, b);
+        // An empty transient spec deploys bit-identically to none.
+        let noop = cfg.with_transients(TransientInjection::new(
+            TransientSpec::none(),
+            FaultKey::new(5, 3),
+        ));
+        let mut plain =
+            Oracle::new(net.clone(), &OracleConfig::ideal().with_device(device), 7).unwrap();
+        let mut wrapped = Oracle::new(net, &noop, 7).unwrap();
+        assert_eq!(
+            plain.query_batch(&refs).unwrap(),
+            wrapped.query_batch(&refs).unwrap()
+        );
+    }
+
+    #[test]
+    fn drift_schedule_ages_the_array_split_invariantly() {
+        use xbar_faults::{FaultInjection, FaultKey, FaultSpec};
+        let net = SingleLayerNet::from_weights(
+            Matrix::from_rows(&[&[1.0, -0.5, 0.2], &[0.25, 0.5, -1.0]]),
+            Activation::Identity,
+        );
+        let device = DeviceModel {
+            g_min: 0.02,
+            g_max: 1.0,
+            ..DeviceModel::ideal()
+        };
+        let injection = FaultInjection::new(
+            FaultSpec::none().with_drift(0.1, 0.05, 1.0),
+            FaultKey::new(77, 0),
+        );
+        let cfg = OracleConfig::ideal()
+            .with_device(device)
+            .with_faults(injection)
+            .with_drift_schedule(DriftSchedule::every(3, 50.0));
+        // The same input at every query, so the power trend isolates
+        // the hardware's decay.
+        let u = vec![0.8, 0.5, 0.9];
+        let refs: Vec<&[f64]> = (0..8).map(|_| u.as_slice()).collect();
+
+        let mut seq = Oracle::new(net.clone(), &cfg, 42).unwrap();
+        assert_eq!(seq.drift_time(), 1.0);
+        let one_by_one: Vec<QueryRecord> = refs.iter().map(|u| seq.query(u).unwrap()).collect();
+        // 8 queries at 3 per epoch: the deployed array has aged twice.
+        assert_eq!(seq.drift_time(), 1.0 + 2.0 * 50.0);
+        assert_eq!(seq.queries_issued(), 8);
+
+        // One big batch spanning both epoch boundaries is bit-identical.
+        for backend in [BackendKind::Naive, BackendKind::Blocked] {
+            let mut o = Oracle::new(net.clone(), &cfg.with_backend(backend), 42).unwrap();
+            assert_eq!(o.query_batch(&refs).unwrap(), one_by_one, "{backend}");
+        }
+
+        // Power on a fixed input decays as the hardware drifts toward
+        // g_min (columns lose conductance, so less current flows).
+        let early = one_by_one[0].observation.power;
+        let late = one_by_one[7].observation.power;
+        assert!(
+            late < early,
+            "power should decay under drift: {early} -> {late}"
+        );
+
+        // Without a fault injection the schedule is inert.
+        let inert = OracleConfig::ideal()
+            .with_device(device)
+            .with_drift_schedule(DriftSchedule::every(3, 50.0));
+        let mut o = Oracle::new(net, &inert, 42).unwrap();
+        for u in &refs {
+            o.query(u).unwrap();
+        }
+        assert_eq!(o.drift_time(), 0.0);
     }
 
     #[test]

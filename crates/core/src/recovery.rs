@@ -10,8 +10,52 @@
 //! For noisy observations the ridge variant trades bias for variance.
 
 use crate::oracle::{Oracle, OutputAccess};
+use crate::probe::RecalibrationPolicy;
 use crate::{AttackError, Result};
 use xbar_linalg::{cholesky, qr, Matrix};
+
+/// Basis-probe weight recovery that re-measures itself under a
+/// [`RecalibrationPolicy`] as the hardware decays: the column scan of
+/// [`recover_columns_by_basis_probes`] is only as fresh as its last
+/// run, so on a drifting oracle callers should route recovery through
+/// this helper instead of caching the matrix forever.
+///
+/// `last`, `last_drift_time`, and `last_queries_issued` describe the
+/// previous recovery (pass `None`/`0.0`/`0` for the first call).
+/// Returns `Some(fresh matrix)` when the previous recovery is stale
+/// under the policy (a re-measurement counts
+/// [`xbar_obs::names::PROBE_RECALIBRATION`] and is charged against the
+/// oracle's query budget), or `None` when `last` is still fresh.
+///
+/// # Errors
+///
+/// Same conditions as [`recover_columns_by_basis_probes`].
+pub fn recover_columns_recalibrated(
+    oracle: &mut Oracle,
+    beta: f64,
+    policy: &RecalibrationPolicy,
+    last: Option<&Matrix>,
+    last_drift_time: f64,
+    last_queries_issued: u64,
+) -> Result<Option<Matrix>> {
+    let stale = match last {
+        None => true,
+        Some(_) => {
+            (policy.every_queries > 0
+                && oracle.queries_issued() - last_queries_issued >= policy.every_queries)
+                || (policy.staleness_threshold > 0.0
+                    && oracle.drift_time() - last_drift_time >= policy.staleness_threshold)
+        }
+    };
+    if !stale {
+        return Ok(None);
+    }
+    let w = recover_columns_by_basis_probes(oracle, beta)?;
+    if last.is_some() {
+        xbar_obs::count(xbar_obs::names::PROBE_RECALIBRATION, 1);
+    }
+    Ok(Some(w))
+}
 
 /// Recovers the full weight matrix of a *linear* oracle by `N` basis
 /// queries `β e_j`: each response is `β · W[:, j]`.
@@ -183,6 +227,31 @@ mod tests {
         let fit = u.matmul(&rec.transpose());
         assert!(fit.approx_eq(&y, 1e-3));
         assert!(recover_weights_ridge(&u, &y, -1.0).is_err());
+    }
+
+    #[test]
+    fn recalibrated_recovery_reprobes_when_stale() {
+        let w = Matrix::random_uniform(3, 4, -1.0, 1.0, &mut rng());
+        let mut o = linear_oracle(&w, OutputAccess::Raw);
+        let policy = RecalibrationPolicy::every(5);
+        // First call always measures.
+        let first = recover_columns_recalibrated(&mut o, 1.0, &policy, None, 0.0, 0)
+            .unwrap()
+            .expect("first recovery measures");
+        assert!(first.approx_eq(&w, 1e-9));
+        let issued = o.queries_issued();
+        // Immediately after: fresh, no re-scan.
+        let again =
+            recover_columns_recalibrated(&mut o, 1.0, &policy, Some(&first), 0.0, issued).unwrap();
+        assert!(again.is_none());
+        assert_eq!(o.queries_issued(), issued);
+        // Push past the query trigger.
+        for _ in 0..5 {
+            o.query(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        }
+        let fresh =
+            recover_columns_recalibrated(&mut o, 1.0, &policy, Some(&first), 0.0, issued).unwrap();
+        assert!(fresh.is_some());
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub struct IrDropConfig {
     pub tolerance: f64,
     /// Iteration cap for the relaxation.
     pub max_iterations: usize,
+    /// Opt-in to combining the IR-drop solve with the fault layer's
+    /// first-order `line_resistance` attenuation on the same array.
+    /// Both model series wire resistance, so enabling both silently
+    /// double-counts the physics; `xbar_faults::check_ir_drop_compose`
+    /// rejects the combination unless this flag is set (deliberate
+    /// worst-case studies only).
+    pub allow_with_line_faults: bool,
 }
 
 impl Default for IrDropConfig {
@@ -39,6 +46,7 @@ impl Default for IrDropConfig {
             r_wire: 0.01,
             tolerance: 1e-10,
             max_iterations: 20_000,
+            allow_with_line_faults: false,
         }
     }
 }
@@ -383,6 +391,7 @@ mod tests {
                 r_wire: 0.05,
                 tolerance: 1e-12,
                 max_iterations: 100_000,
+                ..IrDropConfig::default()
             },
         )
         .unwrap();

@@ -60,10 +60,44 @@ use std::fmt;
 pub mod backend;
 pub mod plan;
 pub mod spec;
+pub mod transient;
 
 pub use backend::FaultyBackend;
 pub use plan::{FaultInjection, FaultKey, FaultPlan, StuckKind};
 pub use spec::FaultSpec;
+pub use transient::{TransientBackend, TransientInjection, TransientSpec};
+
+/// Guards against double-counting wire resistance: the iterative
+/// IR-drop solver (`ir_drop_mvm` with `r_wire > 0`) and the fault
+/// layer's first-order `line_resistance` scaling model the *same*
+/// physics, so enabling both on one array silently compounds the
+/// effect. This check rejects that combination unless the IR-drop
+/// config opts in explicitly via
+/// [`allow_with_line_faults`](xbar_crossbar::irdrop::IrDropConfig::allow_with_line_faults)
+/// (for deliberate worst-case studies). See DESIGN.md "IR drop vs.
+/// fault-layer line resistance" for when each model applies.
+///
+/// # Errors
+///
+/// Returns [`FaultsError::InvalidSpec`] naming `line_resistance` when
+/// both models are active and the opt-in flag is unset.
+pub fn check_ir_drop_compose(
+    spec: &FaultSpec,
+    ir: &xbar_crossbar::irdrop::IrDropConfig,
+) -> Result<()> {
+    if spec.line_resistance > 0.0 && ir.r_wire > 0.0 && !ir.allow_with_line_faults {
+        debug_assert!(
+            false,
+            "IR-drop solve (r_wire={}) combined with fault-layer line_resistance={} \
+             without allow_with_line_faults — the wire physics would be double-counted",
+            ir.r_wire, spec.line_resistance
+        );
+        return Err(FaultsError::InvalidSpec {
+            name: "line_resistance",
+        });
+    }
+    Ok(())
+}
 
 /// Errors produced by the fault-injection subsystem.
 #[derive(Debug)]

@@ -16,7 +16,7 @@ const FAULT_DOMAIN: u64 = 0xFA17_5EED_D00D_0001;
 
 /// SplitMix64 — the standard 64-bit finalising mixer. Used to derive
 /// one well-mixed base seed per `(campaign_seed, trial_index)` pair.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -25,7 +25,7 @@ fn splitmix64(mut x: u64) -> u64 {
 
 /// Same Box–Muller transform the crossbar device model uses for its
 /// programming noise, reproduced here so fault draws stay self-contained.
-fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -264,6 +264,15 @@ impl FaultPlan {
     /// Total devices covered by the plan, `2·M·N`.
     pub fn num_devices(&self) -> usize {
         2 * self.outputs * self.inputs
+    }
+
+    /// Per-device drift factors in `(0, 1]` (1.0 = untouched), in the
+    /// canonical device order (G⁺ row-major then G⁻). Empty for a no-op
+    /// plan. Exposed so lifetime tests can check the monotone-decay
+    /// contract: at a fixed key, each device's factor is non-increasing
+    /// in [`FaultSpec::drift_time`].
+    pub fn drift_factors(&self) -> &[f64] {
+        &self.drift
     }
 
     /// Materialises a faulted copy of a programmed array.

@@ -188,13 +188,44 @@ impl FaultSpec {
     /// keys, or non-numeric values, and propagates
     /// [`FaultSpec::validate`].
     pub fn from_json_value(value: &Value) -> Result<FaultSpec> {
+        FaultSpec::load_fields(value, &|_key| String::new())
+    }
+
+    /// Parses a JSON string via [`FaultSpec::from_json_value`].
+    ///
+    /// Errors carry source locations: malformed JSON reports the line
+    /// and column of the parse failure, and unknown or non-numeric
+    /// fields report the line their key appears on — so a typo in a
+    /// sweep spec points at the offending line, not at "bad file".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultsError::BadSpecFile`] on malformed JSON and
+    /// everything [`FaultSpec::from_json_value`] rejects.
+    pub fn from_json_str(text: &str) -> Result<FaultSpec> {
+        let value = serde_json::parse_value(text).map_err(|e| FaultsError::BadSpecFile {
+            reason: describe_parse_error(text, &e.to_string()),
+        })?;
+        FaultSpec::load_fields(&value, &|key| match key_line(text, key) {
+            Some(line) => format!(" (line {line})"),
+            None => String::new(),
+        })
+    }
+
+    /// Shared lenient-loader body. `locate` renders a source-location
+    /// suffix for a key (empty when no source text is available).
+    fn load_fields(value: &Value, locate: &dyn Fn(&str) -> String) -> Result<FaultSpec> {
         let fields = value.as_object().ok_or_else(|| FaultsError::BadSpecFile {
             reason: format!("expected an object, got {}", value.type_name()),
         })?;
         let mut spec = FaultSpec::none();
         for (key, v) in fields {
             let num = as_f64(v).ok_or_else(|| FaultsError::BadSpecFile {
-                reason: format!("field {key:?} must be a number, got {}", v.type_name()),
+                reason: format!(
+                    "field {key:?} must be a number, got {}{}",
+                    v.type_name(),
+                    locate(key)
+                ),
             })?;
             match key.as_str() {
                 "stuck_on_rate" => spec.stuck_on_rate = num,
@@ -206,26 +237,18 @@ impl FaultSpec {
                 "line_resistance" => spec.line_resistance = num,
                 other => {
                     return Err(FaultsError::BadSpecFile {
-                        reason: format!("unknown field {other:?}"),
+                        reason: format!(
+                            "unknown field {other:?}{}; expected one of stuck_on_rate, \
+                             stuck_off_rate, variation_sigma, drift_nu, drift_sigma, \
+                             drift_time, line_resistance",
+                            locate(other)
+                        ),
                     })
                 }
             }
         }
         spec.validate()?;
         Ok(spec)
-    }
-
-    /// Parses a JSON string via [`FaultSpec::from_json_value`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`FaultsError::BadSpecFile`] on malformed JSON and
-    /// everything [`FaultSpec::from_json_value`] rejects.
-    pub fn from_json_str(text: &str) -> Result<FaultSpec> {
-        let value = serde_json::parse_value(text).map_err(|e| FaultsError::BadSpecFile {
-            reason: e.to_string(),
-        })?;
-        FaultSpec::from_json_value(&value)
     }
 }
 
@@ -236,6 +259,41 @@ fn as_f64(value: &Value) -> Option<f64> {
         Value::I64(x) => Some(*x as f64),
         _ => None,
     }
+}
+
+/// 1-based line number of the byte offset `byte` in `text`.
+fn line_of_byte(text: &str, byte: usize) -> usize {
+    let byte = byte.min(text.len());
+    1 + text.as_bytes()[..byte]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+/// 1-based line number of the first occurrence of `"key"` in `text`.
+fn key_line(text: &str, key: &str) -> Option<usize> {
+    let needle = format!("{key:?}");
+    text.find(&needle).map(|pos| line_of_byte(text, pos))
+}
+
+/// Rewrites the parser's `... at byte N` suffix into a line/column
+/// location, which is what a human editing a sweep spec actually needs.
+fn describe_parse_error(text: &str, message: &str) -> String {
+    let message = message.strip_prefix("JSON error: ").unwrap_or(message);
+    if let Some((head, tail)) = message.rsplit_once(" at byte ") {
+        if let Ok(byte) = tail.trim().parse::<usize>() {
+            let clamped = byte.min(text.len());
+            let line_start = text.as_bytes()[..clamped]
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            let line = line_of_byte(text, clamped);
+            let column = clamped - line_start + 1;
+            return format!("{head} at line {line} column {column} (byte {byte})");
+        }
+    }
+    message.to_string()
 }
 
 #[cfg(test)]
@@ -328,5 +386,29 @@ mod tests {
         assert!(FaultSpec::from_json_str(r#"{"stuck_off_rat": 0.05}"#).is_err());
         assert!(FaultSpec::from_json_str(r#"{"stuck_off_rate": "high"}"#).is_err());
         assert!(FaultSpec::from_json_str(r#"{"stuck_off_rate": 2.0}"#).is_err());
+    }
+
+    #[test]
+    fn loader_errors_carry_key_and_line() {
+        // The typo'd key is named, with the line it appears on and the
+        // accepted field names.
+        let text = "{\n  \"stuck_off_rate\": 0.05,\n  \"stuck_off_rat\": 0.1\n}";
+        let err = FaultSpec::from_json_str(text).unwrap_err().to_string();
+        assert!(err.contains("\"stuck_off_rat\""), "{err}");
+        assert!(err.contains("(line 3)"), "{err}");
+        assert!(err.contains("expected one of"), "{err}");
+
+        // Non-numeric values are located too.
+        let text = "{\n  \"drift_nu\": \"fast\"\n}";
+        let err = FaultSpec::from_json_str(text).unwrap_err().to_string();
+        assert!(err.contains("\"drift_nu\""), "{err}");
+        assert!(err.contains("(line 2)"), "{err}");
+
+        // Parse failures report line and column instead of a raw byte
+        // offset.
+        let text = "{\n  \"drift_nu\": 0.1,\n  oops\n}";
+        let err = FaultSpec::from_json_str(text).unwrap_err().to_string();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("column"), "{err}");
     }
 }

@@ -7,6 +7,10 @@
 //!   trial index and campaign seed both separate the draws.
 //! * Stuck-at rates are honoured within binomial tolerance on large
 //!   arrays.
+//! * An empty `TransientSpec` makes `TransientBackend` bit-identical to
+//!   the wrapped backend at any base query index.
+//! * At a fixed key, every device's drift factor is monotonically
+//!   non-increasing in `drift_time` (hardware only decays).
 
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -15,7 +19,9 @@ use xbar_crossbar::array::CrossbarArray;
 use xbar_crossbar::backend::{BackendKind, EvalBackend};
 use xbar_crossbar::device::DeviceModel;
 use xbar_crossbar::power::PowerModel;
-use xbar_faults::{FaultKey, FaultSpec, FaultyBackend};
+use xbar_faults::{
+    FaultKey, FaultSpec, FaultyBackend, TransientBackend, TransientInjection, TransientSpec,
+};
 use xbar_linalg::Matrix;
 
 fn programmed(m: usize, n: usize, seed: u64, device: &DeviceModel) -> CrossbarArray {
@@ -117,6 +123,86 @@ proptest! {
             .unwrap();
         prop_assert!(a != other_trial, "trial index did not separate draws");
         prop_assert!(a != other_seed, "campaign seed did not separate draws");
+    }
+
+    /// The zero-transient contract: an empty `TransientSpec` wrapped
+    /// around either backend returns the wrapped backend's outputs bit
+    /// for bit, on all four batch entry points, at any base query index.
+    #[test]
+    fn empty_transient_spec_is_bit_identical_to_wrapped_backend(
+        m in 1usize..10,
+        n in 1usize..12,
+        batch in 1usize..9,
+        seed in any::<u64>(),
+        trial in any::<u64>(),
+        base_query in any::<u64>(),
+    ) {
+        let device = DeviceModel::ideal().with_read_sigma(0.03);
+        let array = programmed(m, n, seed, &device);
+        let inputs = sample_batch(batch, n, seed);
+        let refs: Vec<&[f64]> = (0..batch).map(|b| inputs.row(b)).collect();
+        let injection = TransientInjection::new(TransientSpec::none(), FaultKey::new(seed, trial));
+        prop_assert!(injection.spec.is_empty());
+
+        for kind in [BackendKind::Naive, BackendKind::Blocked] {
+            let bare = kind.build();
+            let transient = TransientBackend::from_kind(kind, injection, base_query);
+            prop_assert_eq!(
+                transient.mvm_batch(&array, &refs).unwrap(),
+                bare.mvm_batch(&array, &refs).unwrap()
+            );
+            let model = PowerModel::default().with_noise(0.02);
+            prop_assert_eq!(
+                transient.power_batch(&model, &array, &refs).unwrap(),
+                bare.power_batch(&model, &array, &refs).unwrap()
+            );
+            prop_assert_eq!(
+                transient.noisy_mvm_batch(&array, &refs, &mut streams(seed)).unwrap(),
+                bare.noisy_mvm_batch(&array, &refs, &mut streams(seed)).unwrap()
+            );
+            prop_assert_eq!(
+                transient
+                    .noisy_power_batch(&model, &array, &refs, &mut streams(seed ^ 0x5))
+                    .unwrap(),
+                bare.noisy_power_batch(&model, &array, &refs, &mut streams(seed ^ 0x5))
+                    .unwrap()
+            );
+        }
+    }
+
+    /// The monotone-decay contract: at a fixed key, each device's drift
+    /// factor is non-increasing in `drift_time` — the same hardware
+    /// read later is never in better shape.
+    #[test]
+    fn drift_factors_are_monotone_in_drift_time(
+        m in 1usize..10,
+        n in 1usize..12,
+        seed in any::<u64>(),
+        trial in any::<u64>(),
+        t1 in 0.001f64..1000.0,
+        dt in 0.001f64..1000.0,
+    ) {
+        let at = |t: f64| {
+            FaultSpec::none()
+                .with_drift(0.3, 0.1, t)
+                .compile(m, n, FaultKey::new(seed, trial))
+                .unwrap()
+        };
+        let early = at(t1);
+        let late = at(t1 + dt);
+        prop_assert_eq!(early.drift_factors().len(), late.drift_factors().len());
+        for (device, (a, b)) in early
+            .drift_factors()
+            .iter()
+            .zip(late.drift_factors())
+            .enumerate()
+        {
+            prop_assert!(
+                b <= a && *b > 0.0 && *a <= 1.0,
+                "device {}: factor went {} -> {} from t={} to t={}",
+                device, a, b, t1, t1 + dt
+            );
+        }
     }
 
     /// Rate fidelity: on a large array the realised stuck fractions sit

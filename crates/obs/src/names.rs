@@ -49,6 +49,22 @@ pub const XBAR_FAULT_STUCK_DEVICES: &str = "xbar.fault_stuck_devices";
 /// stuck, recorded once per compilation.
 pub const XBAR_FAULT_STUCK_FRACTION: &str = "xbar.fault_stuck_fraction";
 
+/// One per-query transient perturbation materialised (a read-disturbed
+/// copy of the deployed array for a single query).
+pub const XBAR_TRANSIENT_APPLY: &str = "xbar.transient_apply";
+
+/// Devices flipped to a rail by per-query read-disturb transients,
+/// summed over every perturbed query.
+pub const XBAR_TRANSIENT_FLIPS: &str = "xbar.transient_flips";
+
+/// One drift epoch advanced by the oracle's drift schedule (the fault
+/// plan recompiled at a later `drift_time` and re-applied).
+pub const ORACLE_DRIFT_ADVANCE: &str = "oracle.drift_advance";
+
+/// One recalibration of a cached column-norm estimate (a fresh probe
+/// issued because a recalibration policy declared the estimate stale).
+pub const PROBE_RECALIBRATION: &str = "probe.recalibration";
+
 /// One gradient-sign (FGSM/FGV) batch crafted.
 pub const ATTACK_FGSM_BATCH: &str = "attack.fgsm_batch";
 
@@ -83,3 +99,7 @@ pub const SPAN_FAULT_APPLY: &str = "faults.apply";
 /// Span: one fault-robustness sweep trial (deploy faulted oracle, probe,
 /// attack, evaluate).
 pub const SPAN_FAULT_TRIAL: &str = "faults.sweep_trial";
+
+/// Span: one device-lifetime sweep trial (deploy decaying oracle, probe,
+/// recalibrate, attack, evaluate).
+pub const SPAN_LIFETIME_TRIAL: &str = "lifetime.sweep_trial";

@@ -18,7 +18,7 @@ use crate::journal::{
     JOURNAL_KIND,
 };
 use crate::progress::{CampaignMetrics, ProgressSink, TrialOutcome};
-use crate::runner::{TrialContext, TrialRunner};
+use crate::runner::{classify_failure, FailureClass, TrialContext, TrialRunner};
 
 /// Errors from the campaign executor and its journal.
 #[derive(Debug)]
@@ -63,16 +63,27 @@ pub struct ExecutorConfig {
     /// this in any way (see the crate docs on determinism).
     pub threads: usize,
     /// How many times a failed trial is retried before being journaled
-    /// as failed. `0` means one attempt total.
+    /// as failed. `0` means one attempt total. Only
+    /// [`FailureClass::Retryable`] failures are retried; a
+    /// [`FailureClass::Permanent`] error (see
+    /// [`crate::runner::PERMANENT_ERROR_PREFIX`]) always gets exactly one
+    /// attempt.
     pub max_retries: u32,
+    /// Per-trial wall-clock deadline. A running attempt is never aborted
+    /// (trials are pure compute), but once a trial's elapsed time crosses
+    /// the deadline no further retries are granted — the last error is
+    /// journaled instead. `None` disables the deadline.
+    pub trial_deadline: Option<Duration>,
 }
 
 impl ExecutorConfig {
-    /// A config with `threads` workers and the default retry bound (1).
+    /// A config with `threads` workers, the default retry bound (1), and
+    /// no per-trial deadline.
     pub fn with_threads(threads: usize) -> Self {
         ExecutorConfig {
             threads: threads.max(1),
             max_retries: 1,
+            trial_deadline: None,
         }
     }
 }
@@ -85,6 +96,7 @@ impl Default for ExecutorConfig {
         ExecutorConfig {
             threads,
             max_retries: 1,
+            trial_deadline: None,
         }
     }
 }
@@ -98,6 +110,8 @@ pub struct TrialFailure {
     pub attempts: u32,
     /// The final failure message.
     pub error: String,
+    /// How the executor classified the final error.
+    pub class: FailureClass,
 }
 
 /// The result of running (or resuming) a campaign.
@@ -287,6 +301,7 @@ pub fn run_campaign_traced<R: TrialRunner>(
         let (tx, rx) = mpsc::channel::<Finished<R::Output>>();
         let worker_count = config.threads.max(1).min(pending.len());
         let max_attempts = config.max_retries.saturating_add(1);
+        let trial_deadline = config.trial_deadline;
         // One deterministic registry shared by all workers; events are
         // keyed by trial index, so sharing is attribution-safe.
         let counters = Arc::new(Counters::new());
@@ -338,8 +353,21 @@ pub fn run_campaign_traced<R: TrialRunner>(
                             };
                             match flat {
                                 Ok(output) => break Ok(output),
-                                Err(_) if attempts < max_attempts => continue,
-                                Err(message) => break Err(message),
+                                Err(message) => {
+                                    // Permanent errors reproduce
+                                    // deterministically: one attempt.
+                                    // Retryable errors get the bounded
+                                    // retry, unless the trial has already
+                                    // blown its wall-clock deadline.
+                                    let retryable = classify_failure(&message)
+                                        == FailureClass::Retryable
+                                        && attempts < max_attempts
+                                        && trial_deadline.is_none_or(|d| trial_start.elapsed() < d);
+                                    if retryable {
+                                        continue;
+                                    }
+                                    break Err(message);
+                                }
                             }
                         };
                         let finished = Finished {
@@ -368,6 +396,7 @@ pub fn run_campaign_traced<R: TrialRunner>(
                         attempts: finished.attempts,
                         output: Some(serde_json::to_value(output)?),
                         error: None,
+                        failure_class: None,
                     },
                     Err(message) => TrialRecord {
                         trial: finished.trial_index,
@@ -375,6 +404,7 @@ pub fn run_campaign_traced<R: TrialRunner>(
                         attempts: finished.attempts,
                         output: None,
                         error: Some(message.clone()),
+                        failure_class: Some(classify_failure(message)),
                     },
                 };
                 if let Some(writer) = writer.as_mut() {
@@ -394,6 +424,12 @@ pub fn run_campaign_traced<R: TrialRunner>(
                 match finished.result {
                     Ok(output) => {
                         metrics.completed += 1;
+                        if finished.attempts > 1 {
+                            // Recovered after at least one retry: the
+                            // trial succeeded but the hardware/run was
+                            // degraded enough to need another attempt.
+                            metrics.degraded += 1;
+                        }
                         outputs[finished.trial_index] = Some(output);
                         sink.on_trial(
                             &TrialOutcome {
@@ -421,6 +457,7 @@ pub fn run_campaign_traced<R: TrialRunner>(
                         failures.push(TrialFailure {
                             trial_index: finished.trial_index,
                             attempts: finished.attempts,
+                            class: classify_failure(&message),
                             error: message,
                         });
                     }
@@ -588,6 +625,7 @@ mod tests {
             &ExecutorConfig {
                 threads: 2,
                 max_retries: 1,
+                trial_deadline: None,
             },
             Some(&path),
             false,
@@ -661,6 +699,7 @@ mod tests {
             &ExecutorConfig {
                 threads: 3,
                 max_retries: 2,
+                trial_deadline: None,
             },
             None,
             false,
@@ -668,6 +707,8 @@ mod tests {
         )
         .unwrap();
         assert!(report.all_ok());
+        // Every trial needed a retry, so all surface as degraded.
+        assert_eq!(report.metrics.degraded, 6);
         // Retried trials produce exactly what a clean run produces.
         let clean = run_campaign(
             &DrawRunner,
@@ -679,6 +720,116 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.outputs, clean.outputs);
+    }
+
+    /// Fails trial 2 permanently on every attempt; everything else runs
+    /// clean.
+    struct PermanentFailRunner {
+        runs: AtomicU32,
+    }
+
+    impl TrialRunner for PermanentFailRunner {
+        type Spec = DrawSpec;
+        type Output = DrawOutput;
+
+        fn run(&self, spec: &DrawSpec, ctx: &TrialContext) -> Result<DrawOutput, String> {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            if ctx.trial_index == 2 {
+                return Err(crate::runner::permanent_error("spec cell out of range"));
+            }
+            DrawRunner.run(spec, ctx)
+        }
+    }
+
+    #[test]
+    fn permanent_failures_get_one_attempt_and_do_not_abort_the_campaign() {
+        let campaign = draw_campaign(5);
+        let path = test_path("permanent");
+        let runner = PermanentFailRunner {
+            runs: AtomicU32::new(0),
+        };
+        let report = run_campaign(
+            &runner,
+            &campaign,
+            &ExecutorConfig {
+                threads: 2,
+                max_retries: 3,
+                trial_deadline: None,
+            },
+            Some(&path),
+            false,
+            &mut NullSink,
+        )
+        .unwrap();
+        // The other four trials complete despite the permanent failure.
+        assert_eq!(report.metrics.completed, 4);
+        assert_eq!(report.metrics.failed, 1);
+        assert_eq!(report.metrics.degraded, 0);
+        assert_eq!(report.failures.len(), 1);
+        let failure = &report.failures[0];
+        assert_eq!(failure.trial_index, 2);
+        assert_eq!(failure.class, FailureClass::Permanent);
+        // No retries were burnt on a deterministic failure: 4 clean
+        // trials + 1 permanent attempt.
+        assert_eq!(failure.attempts, 1);
+        assert_eq!(runner.runs.load(Ordering::Relaxed), 5);
+
+        // The journal carries the structured failure record.
+        let (_, records) = read_journal(&path).unwrap();
+        let failed: Vec<_> = records
+            .iter()
+            .filter(|r| r.status == TrialStatus::Failed)
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].trial, 2);
+        assert_eq!(failed[0].failure_class, Some(FailureClass::Permanent));
+        assert!(
+            failed[0]
+                .error
+                .as_deref()
+                .unwrap()
+                .starts_with("permanent:"),
+            "{:?}",
+            failed[0].error
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Always fails retryably, burning wall-clock time on each attempt.
+    struct SlowFailRunner;
+
+    impl TrialRunner for SlowFailRunner {
+        type Spec = DrawSpec;
+        type Output = DrawOutput;
+
+        fn run(&self, _spec: &DrawSpec, ctx: &TrialContext) -> Result<DrawOutput, String> {
+            std::thread::sleep(Duration::from_millis(20));
+            Err(format!("transient wobble on attempt {}", ctx.attempt))
+        }
+    }
+
+    #[test]
+    fn trial_deadline_caps_retries_without_aborting_the_attempt() {
+        let campaign = draw_campaign(1);
+        let report = run_campaign(
+            &SlowFailRunner,
+            &campaign,
+            &ExecutorConfig {
+                threads: 1,
+                max_retries: 1000,
+                trial_deadline: Some(Duration::from_millis(1)),
+            },
+            None,
+            false,
+            &mut NullSink,
+        )
+        .unwrap();
+        assert_eq!(report.metrics.failed, 1);
+        let failure = &report.failures[0];
+        // The first attempt alone exceeds the 1 ms deadline, so the
+        // generous retry budget is never consumed.
+        assert_eq!(failure.attempts, 1);
+        assert_eq!(failure.class, FailureClass::Retryable);
     }
 
     /// Counts how many trials actually execute.
@@ -708,6 +859,7 @@ mod tests {
             &ExecutorConfig {
                 threads: 2,
                 max_retries: 0,
+                trial_deadline: None,
             },
             Some(&path),
             false,

@@ -23,7 +23,11 @@ use crate::executor::RuntimeError;
 pub const JOURNAL_KIND: &str = "xbar-campaign-journal";
 
 /// Current journal format version.
-pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+///
+/// Version history: v1 had no `failure_class` field on [`TrialRecord`];
+/// v2 added it so failed trials carry their
+/// [`FailureClass`](crate::runner::FailureClass) into the journal.
+pub const JOURNAL_FORMAT_VERSION: u32 = 2;
 
 /// First line of a journal: identifies the campaign the records belong to.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -68,6 +72,9 @@ pub struct TrialRecord {
     pub output: Option<Value>,
     /// Failure message (present iff `status == Failed`).
     pub error: Option<String>,
+    /// How the executor classified the failure (present iff
+    /// `status == Failed`).
+    pub failure_class: Option<crate::runner::FailureClass>,
 }
 
 /// Append-only journal writer. Each record is flushed to the OS as soon
@@ -237,6 +244,7 @@ mod tests {
             attempts: 1,
             output: Some(Value::U64(trial as u64 * 10)),
             error: None,
+            failure_class: None,
         }
     }
 
@@ -252,6 +260,7 @@ mod tests {
                 attempts: 3,
                 output: None,
                 error: Some("boom".into()),
+                failure_class: Some(crate::runner::FailureClass::Retryable),
             })
             .unwrap();
         drop(writer);

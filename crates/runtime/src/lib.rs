@@ -21,7 +21,13 @@
 //!   index.
 //! * **Failure isolation.** A failing (or panicking) trial is retried up
 //!   to a bound and then journaled as failed; it never aborts the
-//!   campaign.
+//!   campaign. Failures are classified: an error prefixed with
+//!   [`runner::PERMANENT_ERROR_PREFIX`] is deterministic (bad spec,
+//!   shape error) and gets exactly one attempt, everything else is
+//!   presumed transient and retried — optionally under a per-trial
+//!   wall-clock deadline ([`ExecutorConfig::trial_deadline`]). Trials
+//!   that recover after a retry are surfaced as
+//!   [`CampaignMetrics::degraded`].
 //! * **Resumability.** The journal doubles as a checkpoint: re-running
 //!   with resume enabled skips every trial already recorded as completed,
 //!   after verifying the journal header's campaign fingerprint. A
@@ -87,4 +93,7 @@ pub use journal::{JournalHeader, TrialRecord, TrialStatus};
 pub use progress::{
     CampaignMetrics, JsonlReporter, NullSink, ProgressSink, StderrReporter, TrialOutcome,
 };
-pub use runner::{TrialContext, TrialRunner};
+pub use runner::{
+    classify_failure, permanent_error, FailureClass, TrialContext, TrialRunner,
+    PERMANENT_ERROR_PREFIX,
+};

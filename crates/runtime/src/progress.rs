@@ -21,6 +21,10 @@ pub struct CampaignMetrics {
     pub completed: usize,
     /// Trials that exhausted their retries in this run.
     pub failed: usize,
+    /// Trials that completed only after at least one retry — the
+    /// campaign's graceful-degradation signal: work got done, but the
+    /// run needed extra attempts to do it.
+    pub degraded: usize,
     /// Oracle queries consumed across all trials finished in this run
     /// (the [`xbar_obs::names::ORACLE_QUERY`] counter, summed).
     pub oracle_queries: u64,
@@ -158,11 +162,12 @@ impl ProgressSink for StderrReporter {
 
     fn on_end(&mut self, metrics: &CampaignMetrics) {
         eprintln!(
-            "[{}] campaign finished: {} completed, {} failed, {} resumed, \
-             {} oracle queries, {} probe measurements, {} mvm batches, \
-             {:.2}s elapsed ({:.2} trials/s)",
+            "[{}] campaign finished: {} completed ({} degraded), {} failed, \
+             {} resumed, {} oracle queries, {} probe measurements, \
+             {} mvm batches, {:.2}s elapsed ({:.2} trials/s)",
             self.label,
             metrics.completed,
+            metrics.degraded,
             metrics.failed,
             metrics.skipped,
             metrics.oracle_queries,
@@ -183,9 +188,9 @@ impl ProgressSink for StderrReporter {
 /// {"event":"trial","campaign":"fig4","trial":3,"attempts":1,
 ///  "wall_nanos":1200,"finished":4,"total":16,"failed":0,"skipped":0,
 ///  "oracle_queries":400,"probe_measurements":32,"mvm_batches":12}
-/// {"event":"end","campaign":"fig4","completed":16,"failed":0,
-///  "skipped":0,"oracle_queries":1600,"probe_measurements":128,
-///  "mvm_batches":48,"elapsed_nanos":52000000}
+/// {"event":"end","campaign":"fig4","completed":16,"degraded":0,
+///  "failed":0,"skipped":0,"oracle_queries":1600,
+///  "probe_measurements":128,"mvm_batches":48,"elapsed_nanos":52000000}
 /// ```
 ///
 /// Like [`StderrReporter`], trial events are throttled to every `every`
@@ -261,6 +266,7 @@ impl<W: Write> ProgressSink for JsonlReporter<W> {
             .push("event", "end")
             .push("campaign", self.label.as_str())
             .push("completed", metrics.completed)
+            .push("degraded", metrics.degraded)
             .push("failed", metrics.failed)
             .push("skipped", metrics.skipped)
             .push("oracle_queries", metrics.oracle_queries)

@@ -3,7 +3,45 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::de::DeserializeOwned;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::fmt::Display;
+
+/// Error-message prefix that marks a trial failure as permanent.
+///
+/// Runners signal "retrying cannot help" (bad spec, shape mismatch,
+/// out-of-range grid cell) by prefixing their error string with this
+/// marker — most conveniently through [`permanent_error`]. The executor
+/// gives such failures exactly one attempt; everything else (panics,
+/// plain `Err` strings) is presumed transient and retried up to the
+/// configured bound.
+pub const PERMANENT_ERROR_PREFIX: &str = "permanent:";
+
+/// How the executor should treat a trial failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureClass {
+    /// Plausibly transient (fault storm, budget race, panic): worth a
+    /// bounded retry.
+    Retryable,
+    /// Deterministic (bad spec, shape error): retrying reproduces the
+    /// same failure, so the executor journals it after one attempt.
+    Permanent,
+}
+
+/// Classifies a trial error message by the [`PERMANENT_ERROR_PREFIX`]
+/// convention. Unmarked messages — including panic payloads — default to
+/// [`FailureClass::Retryable`].
+pub fn classify_failure(message: &str) -> FailureClass {
+    if message.trim_start().starts_with(PERMANENT_ERROR_PREFIX) {
+        FailureClass::Permanent
+    } else {
+        FailureClass::Retryable
+    }
+}
+
+/// Builds a permanent-classified error message: `"permanent: {msg}"`.
+pub fn permanent_error(msg: impl Display) -> String {
+    format!("{PERMANENT_ERROR_PREFIX} {msg}")
+}
 
 /// Per-trial execution context handed to [`TrialRunner::run`].
 ///
@@ -71,6 +109,31 @@ mod tests {
         let first0 = r0.next_u64();
         assert_eq!(first0, r0b.next_u64(), "same trial, same stream");
         assert_ne!(first0, r1.next_u64(), "different trials, different streams");
+    }
+
+    #[test]
+    fn failure_classification_follows_the_prefix_convention() {
+        assert_eq!(
+            classify_failure(&permanent_error("spec cell out of range")),
+            FailureClass::Permanent
+        );
+        assert_eq!(
+            classify_failure("  permanent: leading whitespace tolerated"),
+            FailureClass::Permanent
+        );
+        assert_eq!(
+            classify_failure("oracle budget exhausted"),
+            FailureClass::Retryable
+        );
+        assert_eq!(
+            classify_failure("trial panicked: index out of bounds"),
+            FailureClass::Retryable
+        );
+        assert_eq!(classify_failure(""), FailureClass::Retryable);
+        assert_eq!(
+            permanent_error("bad spec"),
+            format!("{PERMANENT_ERROR_PREFIX} bad spec")
+        );
     }
 
     #[test]
