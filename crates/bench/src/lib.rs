@@ -34,12 +34,17 @@
 //! [`lifetimesweep`] backs `xbar lifetime sweep`: attack efficacy over a
 //! decaying hardware lifetime — a (drift time × transient rate ×
 //! defense) cross-sweep with probe recalibration.
+//!
+//! [`servebench`] backs `xbar bench serve`: campaign-service
+//! throughput at 1/8/64 concurrent sessions, cross-session batch
+//! coalescing on vs off, behind CI's `BENCH_serve.json` artifact.
 
 pub mod campaign;
 pub mod faultsweep;
 pub mod figures;
 pub mod lifetimesweep;
 pub mod mvmbench;
+pub mod servebench;
 pub mod setup;
 
 pub use setup::*;

@@ -1,0 +1,250 @@
+//! The `xbar bench serve` throughput benchmark: the campaign service
+//! under concurrent sessions, coalescing on vs off.
+//!
+//! Starts an in-process [`xbar_serve::Server`] hosting one power-only
+//! victim on a blocked-kernel crossbar, drives 1/8/64 concurrent
+//! client sessions issuing single-query requests, and records
+//! aggregate queries/sec per configuration — CI uploads the report as
+//! the `BENCH_serve.json` artifact. The interesting row is 64
+//! sessions: cross-session coalescing fills one blocked `mvm_batch`
+//! from unrelated clients' queries, amortising the per-call crossbar
+//! traversal that single-query evaluation pays 64 times over.
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
+use xbar_crossbar::backend::BackendKind;
+use xbar_crossbar::power::PowerModel;
+use xbar_nn::activation::Activation;
+use xbar_nn::network::SingleLayerNet;
+use xbar_serve::coalesce::CoalescePolicy;
+use xbar_serve::{Client, ServeConfig, Server, VictimRegistry};
+
+use crate::write_json;
+
+/// One (session count, coalescing) throughput measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBenchRow {
+    /// Concurrent client sessions.
+    pub sessions: usize,
+    /// Whether cross-session batch coalescing was enabled.
+    pub coalesce: bool,
+    /// Total queries served across all sessions.
+    pub queries: usize,
+    /// Wall-clock nanoseconds from first request to last reply.
+    pub elapsed_nanos: u64,
+    /// Aggregate throughput, queries per second.
+    pub qps: f64,
+}
+
+/// The full serve-throughput report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBenchReport {
+    /// Victim crossbar output rows.
+    pub outputs: usize,
+    /// Victim crossbar input columns.
+    pub inputs: usize,
+    /// Single-input queries issued per session.
+    pub queries_per_session: usize,
+    /// Worker threads in the server's evaluation pool.
+    pub workers: usize,
+    /// One row per (sessions, coalescing) configuration.
+    pub rows: Vec<ServeBenchRow>,
+    /// `qps(coalesce on) / qps(coalesce off)` at the highest session
+    /// count.
+    pub coalesce_speedup_at_max_sessions: f64,
+    /// Whether coalescing improved aggregate throughput at the highest
+    /// session count.
+    pub coalescing_wins_at_max_sessions: bool,
+}
+
+/// Session `s`'s `q`-th benchmark input, deterministic and cheap.
+fn bench_input(s: usize, q: usize, dim: usize) -> Vec<f64> {
+    (0..dim)
+        .map(|j| (((s * 131 + q * 17 + j) as f64) * 0.013).sin())
+        .collect()
+}
+
+/// Runs one (sessions, coalescing) configuration against a fresh
+/// server and returns its throughput row.
+fn run_config(
+    victim: &Oracle,
+    sessions: usize,
+    coalesce: bool,
+    queries_per_session: usize,
+    workers: usize,
+    dim: usize,
+) -> Result<ServeBenchRow, String> {
+    let mut registry = VictimRegistry::new();
+    registry
+        .insert("bench", victim.clone())
+        .map_err(|e| e.to_string())?;
+    let config = ServeConfig {
+        workers,
+        coalesce: CoalescePolicy {
+            enabled: coalesce,
+            ..CoalescePolicy::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", registry, config).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| -> Result<(), String> {
+        let handles: Vec<_> = (0..sessions)
+            .map(|s| {
+                scope.spawn(move || -> Result<(), String> {
+                    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                    let id = format!("bench-{s}");
+                    client
+                        .hello(&id, Some("bench"), Some(7000 + s as u64), None)
+                        .map_err(|e| e.to_string())?;
+                    for q in 0..queries_per_session {
+                        let input = bench_input(s, q, dim);
+                        client
+                            .query(&id, std::slice::from_ref(&input))
+                            .map_err(|e| e.to_string())?;
+                    }
+                    client.close(&id).map_err(|e| e.to_string())?;
+                    Ok(())
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle
+                .join()
+                .map_err(|_| "bench client thread panicked".to_string())??;
+        }
+        Ok(())
+    })?;
+    let elapsed = start.elapsed();
+    server.shutdown();
+
+    let queries = sessions * queries_per_session;
+    let elapsed_nanos = elapsed.as_nanos() as u64;
+    Ok(ServeBenchRow {
+        sessions,
+        coalesce,
+        queries,
+        elapsed_nanos,
+        qps: queries as f64 / (elapsed_nanos.max(1) as f64 / 1e9),
+    })
+}
+
+/// Runs the serve throughput benchmark, prints one line per
+/// configuration, and persists the report (default
+/// `results/BENCH_serve.json`).
+///
+/// # Errors
+///
+/// Fails if the server cannot start or any benchmark session errors.
+pub fn run_serve_bench(quick: bool, json_out: Option<&str>) -> Result<ServeBenchReport, String> {
+    // A tall crossbar (many output rows, few inputs) keeps the wire
+    // cost per query small relative to the per-batch conductance
+    // reduction that coalescing amortises.
+    let (outputs, inputs, queries_per_session) = if quick {
+        (512, 128, 16)
+    } else {
+        (2048, 128, 48)
+    };
+    let workers = 4;
+    let session_counts = [1usize, 8, 64];
+
+    // A power-only victim — the paper's attacker model (power side
+    // channel, no output access) and the shape coalescing amortises:
+    // the blocked backend materialises the array's input-line
+    // conductance totals once per `power_batch`, so a single-query
+    // batch pays the full O(outputs x inputs) reduction per query
+    // while a coalesced batch pays it once for every session in the
+    // batch. Noise sources stay off so evaluation takes the batched
+    // kernel (per-device noise draws are inherently per-sample).
+    let mut rng = ChaCha8Rng::seed_from_u64(4096);
+    let net = SingleLayerNet::new_random(inputs, outputs, Activation::Identity, &mut rng);
+    let cfg = OracleConfig::ideal()
+        .with_access(OutputAccess::None)
+        .with_backend(BackendKind::Blocked)
+        .with_power(PowerModel::default());
+    let victim = Oracle::new(net, &cfg, 2026).map_err(|e| e.to_string())?;
+
+    let mut rows = Vec::new();
+    for &sessions in &session_counts {
+        for coalesce in [false, true] {
+            let row = run_config(
+                &victim,
+                sessions,
+                coalesce,
+                queries_per_session,
+                workers,
+                inputs,
+            )?;
+            println!(
+                "serve {:>2} sessions, coalescing {:>3}: {:>6} queries in {:>8.1} ms, {:>9.0} q/s",
+                row.sessions,
+                if row.coalesce { "on" } else { "off" },
+                row.queries,
+                row.elapsed_nanos as f64 / 1e6,
+                row.qps,
+            );
+            rows.push(row);
+        }
+    }
+
+    let max_sessions = *session_counts.last().expect("non-empty");
+    let qps_at = |coalesce: bool| {
+        rows.iter()
+            .find(|r| r.sessions == max_sessions && r.coalesce == coalesce)
+            .map(|r| r.qps)
+            .unwrap_or(0.0)
+    };
+    let coalesce_speedup_at_max_sessions = qps_at(true) / qps_at(false).max(f64::MIN_POSITIVE);
+    let coalescing_wins_at_max_sessions = coalesce_speedup_at_max_sessions > 1.0;
+    println!(
+        "coalescing at {max_sessions} sessions: {coalesce_speedup_at_max_sessions:.2}x \
+         ({})",
+        if coalescing_wins_at_max_sessions {
+            "improves aggregate throughput"
+        } else {
+            "no improvement on this run"
+        }
+    );
+
+    let report = ServeBenchReport {
+        outputs,
+        inputs,
+        queries_per_session,
+        workers,
+        rows,
+        coalesce_speedup_at_max_sessions,
+        coalescing_wins_at_max_sessions,
+    };
+    write_json(json_out.unwrap_or("results/BENCH_serve.json"), &report);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_measures_all_configurations() {
+        let dir = std::env::temp_dir().join(format!("xbar_servebench_{}", std::process::id()));
+        let path = dir.join("BENCH_serve.json");
+        let report = run_serve_bench(true, path.to_str()).unwrap();
+        assert_eq!(report.rows.len(), 6);
+        for row in &report.rows {
+            assert_eq!(row.queries, row.sessions * report.queries_per_session);
+            assert!(row.qps > 0.0, "row {row:?}");
+        }
+        // The speedup is machine-dependent; the report just has to
+        // record it (the full run is where the win is demonstrated).
+        assert!(report.coalesce_speedup_at_max_sessions > 0.0);
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"coalesce_speedup_at_max_sessions\""));
+        assert!(json.contains("\"qps\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

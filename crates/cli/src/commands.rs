@@ -29,12 +29,13 @@ pub type CliError = Box<dyn std::error::Error>;
 /// Returns the subcommand's failure, or an [`ArgsError`] for an unknown
 /// command.
 pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
-    // Only `trace`, `bench`, `faults` and `lifetime` take positional
-    // arguments (their action, plus the trace path).
+    // Only `trace`, `bench`, `faults`, `lifetime` and `serve` take
+    // positional arguments (their action, plus the trace path).
     if args.command != "trace"
         && args.command != "bench"
         && args.command != "faults"
         && args.command != "lifetime"
+        && args.command != "serve"
     {
         args.expect_no_positionals()?;
     }
@@ -48,6 +49,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
         "bench" => cmd_bench(args),
         "faults" => cmd_faults(args),
         "lifetime" => cmd_lifetime(args),
+        "serve" => cmd_serve(args),
         "trace" => cmd_trace(args),
         "help" => {
             print_help();
@@ -91,6 +93,22 @@ COMMANDS:
                                          FaultyBackend overhead row
                                          (bit-identity checked; writes
                                          results/BENCH_mvm.json)
+            serve [--quick] [--out FILE] campaign-service throughput at
+                                         1/8/64 concurrent sessions,
+                                         coalescing on vs off (writes
+                                         results/BENCH_serve.json)
+  serve     multi-tenant attack-campaign service (NDJSON over TCP)
+            host --model FILE [--name NAME] [--addr HOST:PORT]
+                 [--workers N] [--max-sessions N] [--max-inflight N]
+                 [--no-coalesce] [--journal FILE] [--seed S]
+                 [--access none|label|raw] [--power-noise X]
+                 [--read-sigma X]
+            serve the model until a client sends the shutdown op;
+            --journal makes sessions resumable across restarts
+            drive --addr HOST:PORT --dim N [--sessions N] [--queries Q]
+                  [--victim NAME] [--seed S] [--shutdown]
+            scripted multi-session client: concurrent budgeted
+            sessions plus a same-seed determinism check
   faults    deterministic device fault injection
             sweep [--quick] [--threads N] [--out FILE] [--resume]
                   [--journal FILE] [--retries N] [--backend naive|blocked]
@@ -239,9 +257,191 @@ fn cmd_bench(args: &ParsedArgs) -> Result<(), CliError> {
             xbar_bench::mvmbench::run_mvm_bench(args.flag("quick"), args.get("out"))?;
             Ok(())
         }
-        Some(other) => Err(format!("unknown bench {other:?} (expected: mvm)").into()),
-        None => Err("usage: xbar bench mvm [--quick] [--out FILE]".into()),
+        Some("serve") => {
+            xbar_bench::servebench::run_serve_bench(args.flag("quick"), args.get("out"))?;
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown bench {other:?} (expected: mvm, serve)").into()),
+        None => Err("usage: xbar bench mvm|serve [--quick] [--out FILE]".into()),
     }
+}
+
+/// Parses `--access none|label|raw` into an [`OutputAccess`].
+fn parse_output_access(text: &str) -> Result<OutputAccess, CliError> {
+    match text {
+        "none" => Ok(OutputAccess::None),
+        "label" => Ok(OutputAccess::LabelOnly),
+        "raw" => Ok(OutputAccess::Raw),
+        other => Err(Box::new(ArgsError::BadValue {
+            name: "access",
+            value: other.to_string(),
+        })),
+    }
+}
+
+fn cmd_serve(args: &ParsedArgs) -> Result<(), CliError> {
+    match args.positional(0) {
+        Some("host") => cmd_serve_host(args),
+        Some("drive") => cmd_serve_drive(args),
+        Some(other) => {
+            Err(format!("unknown serve action {other:?} (expected: host, drive)").into())
+        }
+        None => Err("usage: xbar serve host --model FILE [--addr HOST:PORT] | \
+             xbar serve drive --addr HOST:PORT --dim N"
+            .into()),
+    }
+}
+
+/// `xbar serve host`: deploy a saved model behind the campaign service
+/// and serve it until a client sends the `shutdown` op.
+fn cmd_serve_host(args: &ParsedArgs) -> Result<(), CliError> {
+    use xbar_crossbar::backend::BackendKind;
+    use xbar_crossbar::device::DeviceModel;
+    use xbar_crossbar::power::PowerModel;
+    use xbar_serve::coalesce::CoalescePolicy;
+    use xbar_serve::{ServeConfig, Server, VictimRegistry};
+
+    // Validate every option before touching the filesystem or network.
+    let model_path = args.require("model")?.to_string();
+    let name = args.get("name").unwrap_or("victim").to_string();
+    let seed: u64 = args.get_or("seed", 1)?;
+    let access = parse_output_access(args.get("access").unwrap_or("none"))?;
+    let power_noise: f64 = args.get_or("power-noise", 0.0)?;
+    let device = DeviceModel {
+        read_sigma: args.get_or("read-sigma", 0.0)?,
+        ..DeviceModel::ideal()
+    };
+    let net = persist::load_network(&model_path)?;
+    let cfg = OracleConfig::ideal()
+        .with_access(access)
+        .with_device(device)
+        .with_backend(BackendKind::Blocked)
+        .with_power(PowerModel::default().with_noise(power_noise));
+    let oracle = Oracle::new(net, &cfg, seed)?;
+    let dim = oracle.num_inputs();
+
+    let mut registry = VictimRegistry::new();
+    registry.insert(&name, oracle)?;
+    let config = ServeConfig {
+        workers: args.get_or("workers", 4usize)?.max(1),
+        max_sessions: args.get_or("max-sessions", 256usize)?,
+        max_inflight: args.get_or("max-inflight", 4096usize)?,
+        coalesce: CoalescePolicy {
+            enabled: !args.flag("no-coalesce"),
+            ..CoalescePolicy::default()
+        },
+        journal: args
+            .get("journal")
+            .filter(|j| !j.is_empty())
+            .map(std::path::PathBuf::from),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(
+        args.get("addr").unwrap_or("127.0.0.1:7878"),
+        registry,
+        config,
+    )?;
+    println!(
+        "serving victim {name:?} ({dim} inputs) on {} — send the shutdown op to stop",
+        server.local_addr()
+    );
+    server.run_until_shutdown();
+    println!("campaign service drained and stopped");
+    Ok(())
+}
+
+/// `xbar serve drive`: a scripted multi-session client for smoke tests —
+/// drives N concurrent budgeted sessions, then replays one seed twice
+/// and checks the served streams are bit-identical.
+fn cmd_serve_drive(args: &ParsedArgs) -> Result<(), CliError> {
+    use xbar_serve::Client;
+
+    let addr = args.require("addr")?.to_string();
+    let dim: usize = args.get_or("dim", 0usize)?;
+    if dim == 0 {
+        return Err("serve drive: --dim N (the victim's input dimension) is required".into());
+    }
+    let sessions: usize = args.get_or("sessions", 4usize)?.max(1);
+    let queries: usize = args.get_or("queries", 8usize)?.max(1);
+    let victim = args.get("victim").unwrap_or("victim").to_string();
+    let base_seed: u64 = args.get_or("seed", 100)?;
+
+    let input = |s: usize, q: usize| -> Vec<f64> {
+        (0..dim)
+            .map(|j| (((s * 131 + q * 17 + j) as f64) * 0.013).sin())
+            .collect()
+    };
+
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| -> Result<(), CliError> {
+        let handles: Vec<_> = (0..sessions)
+            .map(|s| {
+                let (addr, victim) = (&addr, &victim);
+                scope.spawn(move || -> Result<(), String> {
+                    let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+                    let id = format!("drive-{s}");
+                    let budget = queries as u64;
+                    client
+                        .hello(
+                            &id,
+                            Some(victim),
+                            Some(base_seed + 1 + s as u64),
+                            Some(budget),
+                        )
+                        .map_err(|e| e.to_string())?;
+                    for q in 0..queries {
+                        client
+                            .query(&id, std::slice::from_ref(&input(s, q)))
+                            .map_err(|e| e.to_string())?;
+                    }
+                    // The budget is exactly spent: one more must bounce.
+                    if client
+                        .query(&id, std::slice::from_ref(&input(s, 0)))
+                        .is_ok()
+                    {
+                        return Err(format!("session {id} exceeded its budget"));
+                    }
+                    client.close(&id).map_err(|e| e.to_string())?;
+                    Ok(())
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle
+                .join()
+                .map_err(|_| -> CliError { "drive session thread panicked".into() })??;
+        }
+        Ok(())
+    })?;
+    let elapsed = start.elapsed();
+    let total = sessions * queries;
+    println!(
+        "drove {sessions} sessions x {queries} queries ({total} total) in {:.1} ms \
+         ({:.0} q/s aggregate)",
+        elapsed.as_secs_f64() * 1e3,
+        total as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+
+    // Determinism spot-check: the same seed served twice must yield
+    // bit-identical records, however its queries were coalesced.
+    let mut client = Client::connect(addr.as_str())?;
+    let probes: Vec<Vec<f64>> = (0..2).map(|q| input(0, q)).collect();
+    client.hello("drive-check-a", Some(&victim), Some(base_seed), None)?;
+    let a = client.query("drive-check-a", &probes)?;
+    client.close("drive-check-a")?;
+    client.hello("drive-check-b", Some(&victim), Some(base_seed), None)?;
+    let b = client.query("drive-check-b", &probes)?;
+    client.close("drive-check-b")?;
+    if a != b {
+        return Err("determinism check failed: same-seed sessions diverged".into());
+    }
+    println!("determinism check: same-seed sessions bit-identical");
+
+    if args.flag("shutdown") {
+        client.shutdown_server()?;
+        println!("asked the server to drain and stop");
+    }
+    Ok(())
 }
 
 fn cmd_faults(args: &ParsedArgs) -> Result<(), CliError> {
@@ -835,6 +1035,116 @@ mod tests {
         // Missing and unknown bench actions are rejected.
         assert!(dispatch(&parse(&["bench"])).is_err());
         assert!(dispatch(&parse(&["bench", "frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn serve_argument_validation() {
+        // Missing and unknown serve actions are rejected.
+        assert!(dispatch(&parse(&["serve"])).is_err());
+        assert!(dispatch(&parse(&["serve", "frobnicate"])).is_err());
+        // host: missing model and malformed options fail before any
+        // socket is opened or file is read.
+        assert!(dispatch(&parse(&["serve", "host"])).is_err());
+        assert!(dispatch(&parse(&[
+            "serve",
+            "host",
+            "--model",
+            "/nonexistent/m.json",
+            "--access",
+            "quantum",
+        ]))
+        .is_err());
+        assert!(dispatch(&parse(&[
+            "serve",
+            "host",
+            "--model",
+            "/nonexistent/m.json",
+            "--seed",
+            "lots",
+        ]))
+        .is_err());
+        // drive: missing address / dimension and malformed counts fail
+        // before any connection attempt.
+        assert!(dispatch(&parse(&["serve", "drive"])).is_err());
+        assert!(dispatch(&parse(&["serve", "drive", "--addr", "127.0.0.1:1"])).is_err());
+        assert!(dispatch(&parse(&[
+            "serve",
+            "drive",
+            "--addr",
+            "127.0.0.1:1",
+            "--dim",
+            "3",
+            "--sessions",
+            "lots",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn output_access_parsing() {
+        assert!(matches!(
+            parse_output_access("none"),
+            Ok(OutputAccess::None)
+        ));
+        assert!(matches!(
+            parse_output_access("label"),
+            Ok(OutputAccess::LabelOnly)
+        ));
+        assert!(matches!(parse_output_access("raw"), Ok(OutputAccess::Raw)));
+        assert!(parse_output_access("quantum").is_err());
+    }
+
+    #[test]
+    fn serve_host_drive_round_trip() {
+        // Train a tiny victim, host it on an ephemeral port in a
+        // background thread, and drive it with the scripted client —
+        // the out-of-process CI smoke, in-process.
+        let model = tmp("serve-model");
+        dispatch(&parse(&[
+            "train",
+            "--out",
+            &model,
+            "--head",
+            "linear",
+            "--samples",
+            "200",
+            "--epochs",
+            "2",
+        ]))
+        .unwrap();
+        let net = persist::load_network(&model).unwrap();
+        let dim = net.weights().cols();
+
+        let mut registry = xbar_serve::VictimRegistry::new();
+        let oracle = Oracle::new(
+            net,
+            &OracleConfig::ideal().with_access(OutputAccess::None),
+            1,
+        )
+        .unwrap();
+        registry.insert("victim", oracle).unwrap();
+        let server =
+            xbar_serve::Server::start("127.0.0.1:0", registry, xbar_serve::ServeConfig::default())
+                .unwrap();
+        let addr = server.local_addr().to_string();
+        let host = std::thread::spawn(move || server.run_until_shutdown());
+
+        dispatch(&parse(&[
+            "serve",
+            "drive",
+            "--addr",
+            &addr,
+            "--dim",
+            &dim.to_string(),
+            "--sessions",
+            "3",
+            "--queries",
+            "4",
+            "--shutdown",
+        ]))
+        .unwrap();
+        host.join().unwrap();
+        std::fs::remove_file(&model).ok();
     }
 
     #[test]

@@ -77,6 +77,32 @@ impl DriftSchedule {
     }
 }
 
+/// The noise key of one evaluated query: which per-entity noise stream
+/// the draws come from (`seed`) and the query's position in that stream
+/// (`index`).
+///
+/// This is exactly the `(oracle seed, global query index)` pair the
+/// oracle keys its own queries by — lifted into a value so a
+/// multi-tenant service can evaluate queries belonging to *different*
+/// sessions in one coalesced batch: sample `i` of the batch draws from
+/// `keys[i]`'s stream and from nothing else, so a query's result is a
+/// pure function of its key and the deployed hardware, never of its
+/// batch-mates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QueryKey {
+    /// The noise-stream seed (a session's seed, or the oracle's own).
+    pub seed: u64,
+    /// The global query index within that seed's stream.
+    pub index: u64,
+}
+
+impl QueryKey {
+    /// Pairs a stream seed with a global query index.
+    pub const fn new(seed: u64, index: u64) -> Self {
+        QueryKey { seed, index }
+    }
+}
+
 /// What the attacker can see of the network's output per query.
 ///
 /// Power is always observable (that is the premise of the paper); this
@@ -492,18 +518,114 @@ impl Oracle {
     /// Evaluates one epoch-homogeneous chunk of queries whose first
     /// sample has global index `base`.
     fn query_chunk(&mut self, inputs: &[&[f64]], base: u64) -> Result<Vec<QueryRecord>> {
+        let keys: Vec<QueryKey> = (0..inputs.len())
+            .map(|i| QueryKey::new(self.seed, base + i as u64))
+            .collect();
+        let observations = self.observe_keyed_unchecked(inputs, &keys)?;
+        Ok(observations
+            .into_iter()
+            .enumerate()
+            .map(|(i, observation)| QueryRecord {
+                index: base + i as u64,
+                observation,
+            })
+            .collect())
+    }
+
+    /// A session's private view of this deployed oracle: the **same
+    /// hardware** (network, programmed and faulted arrays,
+    /// configuration), but noise drawn from `seed`'s streams instead of
+    /// the deployment seed's, fresh query counters, and its own
+    /// `budget`.
+    ///
+    /// This is the multi-tenant primitive behind `xbar serve`: one
+    /// victim crossbar is deployed once, and every attack session forks
+    /// a view whose query stream is keyed by
+    /// `(session seed, session query index)` — so a session's
+    /// [`QueryRecord`]s are a pure function of its own seed and indices,
+    /// bit-identical no matter what other sessions do to the shared
+    /// hardware.
+    ///
+    /// The view restarts the drift clock at the deployment's current
+    /// epoch's base spec; session views are intended for non-drifting
+    /// deployments (a served, aging victim would couple sessions through
+    /// the shared clock — see [`Oracle::observe_batch_keyed`]).
+    pub fn session_view(&self, seed: u64, budget: Option<usize>) -> Oracle {
+        let mut config = self.config;
+        config.query_budget = budget;
+        Oracle {
+            net: self.net.clone(),
+            xbar: self.xbar.clone(),
+            pristine: self.pristine.clone(),
+            config,
+            query_count: 0,
+            queries_issued: 0,
+            drift_epoch: 0,
+            seed,
+        }
+    }
+
+    /// Evaluates a batch of queries whose noise keys are supplied by the
+    /// caller instead of this oracle's own counter — the cross-session
+    /// coalescing entry point.
+    ///
+    /// Sample `i` draws its noise from `keys[i]`'s stream exactly as a
+    /// [`Oracle::query_batch`] call would for its own
+    /// `(seed, global index)` pair, so filling one batch with unrelated
+    /// sessions' pending queries returns, for each session, bit-identical
+    /// observations to that session issuing the same queries alone
+    /// through its [`Oracle::session_view`]. Budget accounting, query
+    /// counting, and [`QueryRecord`] indexing are the caller's job (the
+    /// session manager's, in `xbar serve`).
+    ///
+    /// Takes `&self`: keyed observation never mutates the deployed
+    /// hardware.
+    ///
+    /// # Errors
+    ///
+    /// * [`AttackError::InvalidParameter`] if `keys.len() !=
+    ///   inputs.len()`, or if the oracle has an active
+    ///   [`DriftSchedule`] — a drifting deployment's hardware is a
+    ///   function of *its own* query clock, which cross-session keying
+    ///   cannot reproduce.
+    /// * Crossbar errors on malformed inputs.
+    pub fn observe_batch_keyed(
+        &self,
+        inputs: &[&[f64]],
+        keys: &[QueryKey],
+    ) -> Result<Vec<Observation>> {
+        if keys.len() != inputs.len() {
+            return Err(AttackError::InvalidParameter { name: "keys" });
+        }
+        if self.drifting() {
+            return Err(AttackError::InvalidParameter {
+                name: "drift (keyed observation requires a non-drifting oracle)",
+            });
+        }
+        let n = self.num_inputs();
+        for u in inputs {
+            if u.len() != n {
+                return Err(CrossbarError::InputLenMismatch {
+                    expected: n,
+                    got: u.len(),
+                }
+                .into());
+            }
+        }
+        self.observe_keyed_unchecked(inputs, keys)
+    }
+
+    /// The shared evaluation core: sample `i`'s noise (and transient
+    /// perturbation) is keyed by `keys[i]`. Inputs are assumed validated
+    /// and the deployed array assumed current for every key.
+    fn observe_keyed_unchecked(
+        &self,
+        inputs: &[&[f64]],
+        keys: &[QueryKey],
+    ) -> Result<Vec<Observation>> {
         use xbar_crossbar::backend::EvalBackend;
-        use xbar_faults::TransientBackend;
         let transients = self.config.active_transients();
-        let backend: Box<dyn EvalBackend> = match transients {
-            Some(injection) => Box::new(TransientBackend::new(
-                self.config.backend.build(),
-                injection,
-                base,
-            )),
-            None => self.config.backend.build(),
-        };
-        let seed = self.seed;
+        let backend: Box<dyn EvalBackend> = self.config.backend.build();
         let noisy_power = self.config.power.noise_sigma > 0.0;
         let needs_forward = self.config.access != OutputAccess::None;
         let noisy_read = needs_forward && self.xbar.device().read_sigma > 0.0;
@@ -515,11 +637,11 @@ impl Oracle {
             let mut powers = Vec::with_capacity(inputs.len());
             let mut outs = Vec::with_capacity(inputs.len());
             for (i, u) in inputs.iter().enumerate() {
-                let mut rng = Self::stream_rng(seed, base + i as u64);
+                let mut rng = Self::stream_rng(keys[i].seed, keys[i].index);
                 let perturbed;
                 let array = match transients {
                     Some(injection) => {
-                        perturbed = injection.perturbed(&self.xbar, base + i as u64);
+                        perturbed = injection.perturbed(&self.xbar, keys[i].index);
                         &perturbed
                     }
                     None => &self.xbar,
@@ -531,11 +653,9 @@ impl Oracle {
             (powers, Some(outs))
         } else {
             let raws = if noisy_power {
-                backend.noisy_power_batch(&self.config.power, &self.xbar, inputs, &mut |i| {
-                    Self::stream_rng(seed, base + i as u64)
-                })?
+                self.keyed_noisy_power(backend.as_ref(), transients, inputs, keys)?
             } else {
-                backend.power_batch(&self.config.power, &self.xbar, inputs)?
+                self.keyed_power(backend.as_ref(), transients, inputs, keys)?
             };
             let powers = raws
                 .iter()
@@ -545,11 +665,9 @@ impl Oracle {
             let outs = if !needs_forward {
                 None
             } else if noisy_read {
-                Some(backend.noisy_mvm_batch(&self.xbar, inputs, &mut |i| {
-                    Self::stream_rng(seed, base + i as u64)
-                })?)
+                Some(self.keyed_noisy_mvm(backend.as_ref(), transients, inputs, keys)?)
             } else {
-                Some(backend.mvm_batch(&self.xbar, inputs)?)
+                Some(self.keyed_mvm(backend.as_ref(), transients, inputs, keys)?)
             };
             (powers, outs)
         };
@@ -560,8 +678,8 @@ impl Oracle {
             }
             rows.into_iter()
         });
-        let mut records = Vec::with_capacity(inputs.len());
-        for (i, power) in powers.into_iter().enumerate() {
+        let mut observations = Vec::with_capacity(inputs.len());
+        for power in powers {
             let mut next_output = || {
                 out_iter
                     .as_mut()
@@ -581,16 +699,116 @@ impl Oracle {
                     (Some(y), Some(label))
                 }
             };
-            records.push(QueryRecord {
-                index: base + i as u64,
-                observation: Observation {
-                    output,
-                    label,
-                    power,
-                },
+            observations.push(Observation {
+                output,
+                label,
+                power,
             });
         }
-        Ok(records)
+        Ok(observations)
+    }
+
+    // The four keyed evaluation shapes. With transients active each
+    // sample reads its own perturbed array, so every sample becomes a
+    // single-sample batch under its key's index — exactly what
+    // `xbar_faults::TransientBackend` does for contiguous indices, but
+    // valid for the arbitrary per-sample keys of a coalesced batch.
+    // Without transients the whole batch goes to the backend in one
+    // call; backends are bit-identical per sample by contract, so both
+    // shapes yield the same floats.
+
+    fn keyed_power(
+        &self,
+        backend: &dyn xbar_crossbar::backend::EvalBackend,
+        transients: Option<xbar_faults::TransientInjection>,
+        inputs: &[&[f64]],
+        keys: &[QueryKey],
+    ) -> Result<Vec<f64>> {
+        match transients {
+            None => Ok(backend.power_batch(&self.config.power, &self.xbar, inputs)?),
+            Some(injection) => {
+                let mut out = Vec::with_capacity(inputs.len());
+                for (i, input) in inputs.iter().enumerate() {
+                    let perturbed = injection.perturbed(&self.xbar, keys[i].index);
+                    out.extend(backend.power_batch(&self.config.power, &perturbed, &[input])?);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn keyed_noisy_power(
+        &self,
+        backend: &dyn xbar_crossbar::backend::EvalBackend,
+        transients: Option<xbar_faults::TransientInjection>,
+        inputs: &[&[f64]],
+        keys: &[QueryKey],
+    ) -> Result<Vec<f64>> {
+        match transients {
+            None => Ok(backend.noisy_power_batch(
+                &self.config.power,
+                &self.xbar,
+                inputs,
+                &mut |i| Self::stream_rng(keys[i].seed, keys[i].index),
+            )?),
+            Some(injection) => {
+                let mut out = Vec::with_capacity(inputs.len());
+                for (i, input) in inputs.iter().enumerate() {
+                    let perturbed = injection.perturbed(&self.xbar, keys[i].index);
+                    out.extend(backend.noisy_power_batch(
+                        &self.config.power,
+                        &perturbed,
+                        &[input],
+                        &mut |_| Self::stream_rng(keys[i].seed, keys[i].index),
+                    )?);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn keyed_mvm(
+        &self,
+        backend: &dyn xbar_crossbar::backend::EvalBackend,
+        transients: Option<xbar_faults::TransientInjection>,
+        inputs: &[&[f64]],
+        keys: &[QueryKey],
+    ) -> Result<Vec<Vec<f64>>> {
+        match transients {
+            None => Ok(backend.mvm_batch(&self.xbar, inputs)?),
+            Some(injection) => {
+                let mut out = Vec::with_capacity(inputs.len());
+                for (i, input) in inputs.iter().enumerate() {
+                    let perturbed = injection.perturbed(&self.xbar, keys[i].index);
+                    out.extend(backend.mvm_batch(&perturbed, &[input])?);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn keyed_noisy_mvm(
+        &self,
+        backend: &dyn xbar_crossbar::backend::EvalBackend,
+        transients: Option<xbar_faults::TransientInjection>,
+        inputs: &[&[f64]],
+        keys: &[QueryKey],
+    ) -> Result<Vec<Vec<f64>>> {
+        match transients {
+            None => Ok(backend.noisy_mvm_batch(&self.xbar, inputs, &mut |i| {
+                Self::stream_rng(keys[i].seed, keys[i].index)
+            })?),
+            Some(injection) => {
+                let mut out = Vec::with_capacity(inputs.len());
+                for (i, input) in inputs.iter().enumerate() {
+                    let perturbed = injection.perturbed(&self.xbar, keys[i].index);
+                    out.extend(backend.noisy_mvm_batch(&perturbed, &[input], &mut |_| {
+                        Self::stream_rng(keys[i].seed, keys[i].index)
+                    })?);
+                }
+                Ok(out)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1032,5 +1250,182 @@ mod tests {
         for _ in 0..5 {
             assert_eq!(power(&mut a, &[0.5, 0.5]), power(&mut b, &[0.5, 0.5]));
         }
+    }
+
+    /// A deployment whose configuration exercises every noise source a
+    /// served victim can carry (noisy power, noisy reads, transient
+    /// faults, permanent faults) — the hardest case for keyed-batch
+    /// equivalence.
+    fn serveable_oracle(access: OutputAccess, backend: BackendKind) -> Oracle {
+        use xbar_faults::{FaultInjection, FaultKey, FaultSpec, TransientInjection, TransientSpec};
+        let net = SingleLayerNet::from_weights(
+            Matrix::from_rows(&[&[1.0, -0.5, 0.2], &[0.25, 0.5, -1.0]]),
+            Activation::Identity,
+        );
+        let device = DeviceModel {
+            g_min: 0.05,
+            g_max: 1.0,
+            read_sigma: 0.01,
+            ..DeviceModel::ideal()
+        };
+        let cfg = OracleConfig::ideal()
+            .with_access(access)
+            .with_device(device)
+            .with_backend(backend)
+            .with_power(PowerModel::default().with_noise(0.05))
+            .with_faults(FaultInjection::new(
+                FaultSpec::none().with_stuck_off_rate(0.1),
+                FaultKey::new(31, 4),
+            ))
+            .with_transients(TransientInjection::new(
+                TransientSpec::none()
+                    .with_flip_rate(0.1)
+                    .with_jitter_sigma(0.05),
+                FaultKey::new(31, 4),
+            ));
+        Oracle::new(net, &cfg, 1234).unwrap()
+    }
+
+    fn probe_inputs(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..3).map(|j| ((i * 3 + j) as f64 * 0.29).sin()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn keyed_batch_matches_session_view_queries() {
+        // The serve contract: a session's results through
+        // `observe_batch_keyed` on the shared deployment must be
+        // bit-identical to the same session querying its own
+        // `session_view` directly — for every access level, backend,
+        // and noise/transient combination.
+        for access in [
+            OutputAccess::None,
+            OutputAccess::LabelOnly,
+            OutputAccess::Raw,
+        ] {
+            for backend in [BackendKind::Naive, BackendKind::Blocked] {
+                let deployed = serveable_oracle(access, backend);
+                let inputs = probe_inputs(5);
+                let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+                for session_seed in [7u64, 8, 9] {
+                    let mut solo = deployed.session_view(session_seed, None);
+                    let direct = solo.query_batch(&refs).unwrap();
+                    let keys: Vec<QueryKey> = (0..refs.len() as u64)
+                        .map(|i| QueryKey::new(session_seed, i))
+                        .collect();
+                    let keyed = deployed.observe_batch_keyed(&refs, &keys).unwrap();
+                    for (rec, obs) in direct.iter().zip(&keyed) {
+                        assert_eq!(&rec.observation, obs, "{access:?} {backend} {session_seed}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_batch_is_order_and_mix_invariant() {
+        // A coalesced batch mixing sessions in arbitrary order returns,
+        // per key, the same floats as each session served alone.
+        let deployed = serveable_oracle(OutputAccess::Raw, BackendKind::Blocked);
+        let inputs = probe_inputs(6);
+        let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        // Solo baselines: session 100 asks queries 0..3 on inputs 0..3,
+        // session 200 asks queries 0..3 on inputs 3..6.
+        let base_a = deployed
+            .observe_batch_keyed(
+                &refs[..3],
+                &[
+                    QueryKey::new(100, 0),
+                    QueryKey::new(100, 1),
+                    QueryKey::new(100, 2),
+                ],
+            )
+            .unwrap();
+        let base_b = deployed
+            .observe_batch_keyed(
+                &refs[3..],
+                &[
+                    QueryKey::new(200, 0),
+                    QueryKey::new(200, 1),
+                    QueryKey::new(200, 2),
+                ],
+            )
+            .unwrap();
+        // One interleaved batch, sessions shuffled together.
+        let mixed = deployed
+            .observe_batch_keyed(
+                &[refs[3], refs[0], refs[4], refs[1], refs[5], refs[2]],
+                &[
+                    QueryKey::new(200, 0),
+                    QueryKey::new(100, 0),
+                    QueryKey::new(200, 1),
+                    QueryKey::new(100, 1),
+                    QueryKey::new(200, 2),
+                    QueryKey::new(100, 2),
+                ],
+            )
+            .unwrap();
+        assert_eq!(mixed[1], base_a[0]);
+        assert_eq!(mixed[3], base_a[1]);
+        assert_eq!(mixed[5], base_a[2]);
+        assert_eq!(mixed[0], base_b[0]);
+        assert_eq!(mixed[2], base_b[1]);
+        assert_eq!(mixed[4], base_b[2]);
+    }
+
+    #[test]
+    fn session_view_shares_hardware_but_not_noise_or_budget() {
+        let deployed = serveable_oracle(OutputAccess::None, BackendKind::Naive);
+        let mut a = deployed.session_view(1, Some(2));
+        let mut b = deployed.session_view(2, Some(2));
+        // Same deployed (faulted) hardware: identical ground truth.
+        assert_eq!(a.true_column_norms(), deployed.true_column_norms());
+        assert_eq!(b.true_column_norms(), deployed.true_column_norms());
+        // Different seeds draw different noise on the same query.
+        let u = [0.4, -0.2, 0.8];
+        let pa = a.query(&u).unwrap().observation.power;
+        let pb = b.query(&u).unwrap().observation.power;
+        assert_ne!(pa, pb);
+        // Budgets are per view, independent of the deployment's.
+        assert!(a.query(&u).is_ok());
+        assert!(matches!(
+            a.query(&u),
+            Err(AttackError::QueryBudgetExhausted { budget: 2 })
+        ));
+        assert!(b.query(&u).is_ok());
+    }
+
+    #[test]
+    fn keyed_batch_rejects_mismatch_and_drift() {
+        let deployed = serveable_oracle(OutputAccess::None, BackendKind::Naive);
+        let u = [0.1, 0.2, 0.3];
+        // keys.len() != inputs.len()
+        assert!(matches!(
+            deployed.observe_batch_keyed(&[&u], &[]),
+            Err(AttackError::InvalidParameter { .. })
+        ));
+        // Wrong input dimension.
+        assert!(deployed
+            .observe_batch_keyed(&[&[0.1, 0.2]], &[QueryKey::new(1, 0)])
+            .is_err());
+        // A drifting deployment cannot serve keyed batches: its
+        // hardware is a function of its own query clock.
+        use xbar_faults::{FaultInjection, FaultKey, FaultSpec};
+        let net = SingleLayerNet::from_weights(
+            Matrix::from_rows(&[&[1.0, -0.5, 0.2], &[0.25, 0.5, -1.0]]),
+            Activation::Identity,
+        );
+        let cfg = OracleConfig::ideal()
+            .with_faults(FaultInjection::new(
+                FaultSpec::none().with_drift(0.1, 0.05, 1.0),
+                FaultKey::new(1, 0),
+            ))
+            .with_drift_schedule(DriftSchedule::every(3, 50.0));
+        let drifting = Oracle::new(net, &cfg, 5).unwrap();
+        assert!(matches!(
+            drifting.observe_batch_keyed(&[&u], &[QueryKey::new(1, 0)]),
+            Err(AttackError::InvalidParameter { .. })
+        ));
     }
 }

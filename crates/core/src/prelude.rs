@@ -18,7 +18,7 @@
 
 pub use crate::defense::{DefendedOracle, PowerDefense};
 pub use crate::fgsm::{fgsm_batch, fgsm_targeted_batch, pgd_batch, BoxConstraint};
-pub use crate::oracle::{Observation, Oracle, OracleConfig, OutputAccess, QueryRecord};
+pub use crate::oracle::{Observation, Oracle, OracleConfig, OutputAccess, QueryKey, QueryRecord};
 pub use crate::pixel_attack::{single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources};
 pub use crate::probe::{probe_column_norms, probe_columns_subset, probe_norms_compressed};
 pub use crate::recovery::{

@@ -72,8 +72,10 @@ proptest! {
         let p_blocked = blocked.power_batch(&model, &array, &refs).unwrap();
         prop_assert_eq!(&p_naive, &p_blocked);
 
-        // Batch-of-one equals the sequential per-vector calls exactly —
-        // the contract the deprecated wrappers rely on.
+        // Every batch entry equals the sequential per-vector call
+        // exactly — the contract that lets callers split or merge
+        // batches (including the serve coalescer) without changing
+        // results.
         for (b, &input) in refs.iter().enumerate() {
             prop_assert_eq!(&out_naive[b], &array.checked_mvm(input).unwrap());
             prop_assert_eq!(p_naive[b], model.exact(&array, input).unwrap());

@@ -103,3 +103,26 @@ pub const SPAN_FAULT_TRIAL: &str = "faults.sweep_trial";
 /// Span: one device-lifetime sweep trial (deploy decaying oracle, probe,
 /// recalibrate, attack, evaluate).
 pub const SPAN_LIFETIME_TRIAL: &str = "lifetime.sweep_trial";
+
+/// One attack session admitted by the campaign service (`xbar serve`),
+/// counting resumes as well as fresh sessions.
+pub const SERVE_SESSIONS: &str = "serve.sessions";
+
+/// A session turned away by admission control (session table full).
+pub const SERVE_ADMISSION_REJECT: &str = "serve.admission_reject";
+
+/// One coalesced evaluation batch flushed by the campaign service —
+/// however many sessions' queries it carried.
+pub const SERVE_COALESCED_BATCH: &str = "serve.coalesced_batch";
+
+/// Observation (value series): number of queries in each coalesced
+/// batch the campaign service flushed.
+pub const SERVE_BATCH_OCCUPANCY: &str = "serve.batch_occupancy";
+
+/// Observation (value series): evaluation-queue depth sampled each time
+/// the campaign service enqueues a job.
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+
+/// Span: one client request handled by the campaign service, from parse
+/// to response write.
+pub const SPAN_SERVE_REQUEST: &str = "serve.request";

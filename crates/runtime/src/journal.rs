@@ -11,13 +11,14 @@
 //! [`read_journal`] tolerates exactly that (a malformed line anywhere
 //! else is a hard error).
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::fs::File;
+use std::io::{BufRead, BufReader};
 use std::path::Path;
 
 use serde::{Deserialize, Serialize, Value};
 
 use crate::executor::RuntimeError;
+use crate::jsonl::{read_jsonl_records, JsonlAppender};
 
 /// The `kind` tag expected in a journal header.
 pub const JOURNAL_KIND: &str = "xbar-campaign-journal";
@@ -77,68 +78,37 @@ pub struct TrialRecord {
     pub failure_class: Option<crate::runner::FailureClass>,
 }
 
-/// Append-only journal writer. Each record is flushed to the OS as soon
-/// as it is written, so a killed process loses at most the line being
-/// written at that instant.
+/// Append-only journal writer: a [`JsonlAppender`] whose first line is
+/// the campaign header. Each record is flushed to the OS as soon as it
+/// is written, so a killed process loses at most the line being written
+/// at that instant.
 pub struct JournalWriter {
-    out: BufWriter<File>,
+    out: JsonlAppender,
 }
 
 impl JournalWriter {
     /// Creates a fresh journal at `path` (truncating any existing file)
     /// and writes the header line.
     pub fn create(path: &Path, header: &JournalHeader) -> Result<Self, RuntimeError> {
-        let file = File::create(path)?;
-        let mut writer = JournalWriter {
-            out: BufWriter::new(file),
-        };
-        writer.write_line(&serde_json::to_string(header)?)?;
-        Ok(writer)
+        let mut out = JsonlAppender::create(path)?;
+        out.write(header)?;
+        Ok(JournalWriter { out })
     }
 
-    /// Opens an existing journal at `path` for appending.
-    ///
-    /// A writer killed mid-record leaves a torn final line with no
-    /// newline; blindly appending after it would merge the next record
-    /// into that fragment and corrupt the *middle* of the file. So the
-    /// tail is repaired first: a complete record that merely lost its
-    /// newline gets the newline back, anything else after the last
-    /// newline is dropped.
+    /// Opens an existing journal at `path` for appending, repairing a
+    /// torn tail first (see [`JsonlAppender::append`]): a complete
+    /// record that merely lost its newline gets the newline back,
+    /// anything else after the last newline is dropped.
     pub fn append(path: &Path) -> Result<Self, RuntimeError> {
-        let bytes = std::fs::read(path)?;
-        let mut file = OpenOptions::new().write(true).open(path)?;
-        let line_start = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
-        let tail = &bytes[line_start..];
-        let tail_is_complete_record = std::str::from_utf8(tail)
-            .ok()
-            .is_some_and(|s| serde_json::from_str::<TrialRecord>(s).is_ok());
-        if tail.is_empty() {
-            file.seek(SeekFrom::End(0))?;
-        } else if tail_is_complete_record {
-            // The record bytes made it to disk but the newline didn't.
-            file.seek(SeekFrom::End(0))?;
-            file.write_all(b"\n")?;
-        } else {
-            // A torn fragment (or trailing garbage): drop it so the next
-            // record starts on a fresh line.
-            file.set_len(line_start as u64)?;
-            file.seek(SeekFrom::Start(line_start as u64))?;
-        }
-        Ok(JournalWriter {
-            out: BufWriter::new(file),
-        })
+        let out = JsonlAppender::append(path, |tail| {
+            serde_json::from_str::<TrialRecord>(tail).is_ok()
+        })?;
+        Ok(JournalWriter { out })
     }
 
     /// Appends one trial record and flushes it.
     pub fn record(&mut self, record: &TrialRecord) -> Result<(), RuntimeError> {
-        self.write_line(&serde_json::to_string(record)?)
-    }
-
-    fn write_line(&mut self, line: &str) -> Result<(), RuntimeError> {
-        self.out.write_all(line.as_bytes())?;
-        self.out.write_all(b"\n")?;
-        self.out.flush()?;
-        Ok(())
+        self.out.write(record)
     }
 }
 
@@ -183,41 +153,7 @@ pub fn read_journal(path: &Path) -> Result<(JournalHeader, Vec<TrialRecord>), Ru
         )));
     }
 
-    let mut records: Vec<TrialRecord> = Vec::new();
-    let mut pending_error: Option<String> = None;
-    let mut line_no = 1usize;
-    loop {
-        buf.clear();
-        if reader.read_until(b'\n', &mut buf)? == 0 {
-            break;
-        }
-        line_no += 1;
-        // A malformed line is only tolerable if nothing follows it.
-        if let Some(err) = pending_error.take() {
-            return Err(RuntimeError::Journal(err));
-        }
-        let parsed = std::str::from_utf8(&buf)
-            .map_err(|e| format!("invalid utf-8: {e}"))
-            .and_then(|line| {
-                let line = line.trim();
-                if line.is_empty() {
-                    return Ok(None);
-                }
-                serde_json::from_str::<TrialRecord>(line)
-                    .map(Some)
-                    .map_err(|e| e.to_string())
-            });
-        match parsed {
-            Ok(None) => {}
-            Ok(Some(record)) => records.push(record),
-            Err(e) => {
-                pending_error = Some(format!(
-                    "journal {}: corrupt record on line {line_no}: {e}",
-                    path.display(),
-                ));
-            }
-        }
-    }
+    let records = read_jsonl_records::<TrialRecord>(&mut reader, path, 2)?;
     Ok((header, records))
 }
 
@@ -225,6 +161,8 @@ pub fn read_journal(path: &Path) -> Result<(JournalHeader, Vec<TrialRecord>), Ru
 mod tests {
     use super::*;
     use crate::executor::test_path;
+    use std::fs::OpenOptions;
+    use std::io::Write;
 
     fn header() -> JournalHeader {
         JournalHeader {

@@ -1,0 +1,224 @@
+//! Crash-tolerant append-only JSON Lines files.
+//!
+//! The campaign journal ([`crate::journal`]) and the serve session log
+//! share one durability story: records are appended and flushed one per
+//! line, a killed process leaves at most one torn final line, and both
+//! the reader and the re-opening appender repair exactly that tail —
+//! nothing else. This module is that story, generic over the record
+//! type, so every JSONL consumer inherits the same tested semantics.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::executor::RuntimeError;
+
+/// Append-only JSON Lines writer. Each record is flushed to the OS as
+/// soon as it is written, so a killed process loses at most the line
+/// being written at that instant.
+pub struct JsonlAppender {
+    out: BufWriter<File>,
+}
+
+impl JsonlAppender {
+    /// Creates a fresh file at `path`, truncating any existing one.
+    pub fn create(path: &Path) -> Result<Self, RuntimeError> {
+        Ok(JsonlAppender {
+            out: BufWriter::new(File::create(path)?),
+        })
+    }
+
+    /// Opens an existing file at `path` for appending, repairing its
+    /// tail first.
+    ///
+    /// A writer killed mid-record leaves a torn final line with no
+    /// newline; blindly appending after it would merge the next record
+    /// into that fragment and corrupt the *middle* of the file. So: if
+    /// the bytes after the last newline satisfy `tail_is_complete_record`
+    /// (the record made it to disk, only the newline didn't), the
+    /// newline is restored; anything else after the last newline is
+    /// truncated away.
+    pub fn append(
+        path: &Path,
+        tail_is_complete_record: impl Fn(&str) -> bool,
+    ) -> Result<Self, RuntimeError> {
+        let bytes = std::fs::read(path)?;
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        let line_start = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+        let tail = &bytes[line_start..];
+        let tail_complete = std::str::from_utf8(tail)
+            .ok()
+            .is_some_and(&tail_is_complete_record);
+        if tail.is_empty() {
+            file.seek(SeekFrom::End(0))?;
+        } else if tail_complete {
+            // The record bytes made it to disk but the newline didn't.
+            file.seek(SeekFrom::End(0))?;
+            file.write_all(b"\n")?;
+        } else {
+            // A torn fragment (or trailing garbage): drop it so the next
+            // record starts on a fresh line.
+            file.set_len(line_start as u64)?;
+            file.seek(SeekFrom::Start(line_start as u64))?;
+        }
+        Ok(JsonlAppender {
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Serialises one record, appends it, and flushes.
+    pub fn write<T: Serialize>(&mut self, record: &T) -> Result<(), RuntimeError> {
+        self.write_line(&serde_json::to_string(record)?)
+    }
+
+    /// Appends one pre-serialised line and flushes.
+    pub fn write_line(&mut self, line: &str) -> Result<(), RuntimeError> {
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// Reads every record from an already-positioned reader, tolerating a
+/// malformed or truncated *final* line (the signature of a killed
+/// writer) — including one that isn't valid UTF-8, which a torn
+/// multi-byte write can produce. A malformed line anywhere else is
+/// corruption and fails with [`RuntimeError::Journal`]. Blank lines are
+/// skipped. `first_line_no` is the 1-based number of the next line, for
+/// error messages.
+pub fn read_jsonl_records<T: Deserialize>(
+    reader: &mut impl BufRead,
+    path: &Path,
+    first_line_no: usize,
+) -> Result<Vec<T>, RuntimeError> {
+    let mut records: Vec<T> = Vec::new();
+    let mut pending_error: Option<String> = None;
+    let mut line_no = first_line_no;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            break;
+        }
+        // A malformed line is only tolerable if nothing follows it.
+        if let Some(err) = pending_error.take() {
+            return Err(RuntimeError::Journal(err));
+        }
+        let parsed = std::str::from_utf8(&buf)
+            .map_err(|e| format!("invalid utf-8: {e}"))
+            .and_then(|line| {
+                let line = line.trim();
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                serde_json::from_str::<T>(line)
+                    .map(Some)
+                    .map_err(|e| e.to_string())
+            });
+        match parsed {
+            Ok(None) => {}
+            Ok(Some(record)) => records.push(record),
+            Err(e) => {
+                pending_error = Some(format!(
+                    "journal {}: corrupt record on line {line_no}: {e}",
+                    path.display(),
+                ));
+            }
+        }
+        line_no += 1;
+    }
+    Ok(records)
+}
+
+/// Reads a headerless JSON Lines file of `T` records with the tolerant
+/// tail semantics of [`read_jsonl_records`].
+pub fn read_jsonl<T: Deserialize>(path: &Path) -> Result<Vec<T>, RuntimeError> {
+    let mut reader = BufReader::new(File::open(path)?);
+    read_jsonl_records(&mut reader, path, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::test_path;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Row {
+        k: u64,
+        v: String,
+    }
+
+    fn row(k: u64) -> Row {
+        Row {
+            k,
+            v: format!("row-{k}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_tolerant_tail() {
+        let path = test_path("jsonl_roundtrip");
+        let mut w = JsonlAppender::create(&path).unwrap();
+        w.write(&row(0)).unwrap();
+        w.write(&row(1)).unwrap();
+        drop(w);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{\"k\":2,\"v").unwrap();
+        drop(file);
+
+        let rows: Vec<Row> = read_jsonl(&path).unwrap();
+        assert_eq!(rows, vec![row(0), row(1)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_repairs_torn_tail_and_restores_lost_newline() {
+        let path = test_path("jsonl_append_repair");
+        let is_row = |s: &str| serde_json::from_str::<Row>(s).is_ok();
+        let mut w = JsonlAppender::create(&path).unwrap();
+        w.write(&row(0)).unwrap();
+        drop(w);
+
+        // Complete record, missing only its newline: kept.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(serde_json::to_string(&row(1)).unwrap().as_bytes())
+            .unwrap();
+        drop(file);
+        let mut w = JsonlAppender::append(&path, is_row).unwrap();
+        w.write(&row(2)).unwrap();
+        drop(w);
+        assert_eq!(
+            read_jsonl::<Row>(&path).unwrap(),
+            vec![row(0), row(1), row(2)]
+        );
+
+        // Torn fragment: dropped, not merged into.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&[0xff, 0xfe, b'x']).unwrap();
+        drop(file);
+        let mut w = JsonlAppender::append(&path, is_row).unwrap();
+        w.write(&row(3)).unwrap();
+        drop(w);
+        assert_eq!(
+            read_jsonl::<Row>(&path).unwrap(),
+            vec![row(0), row(1), row(2), row(3)]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interior_corruption_is_an_error() {
+        let path = test_path("jsonl_interior");
+        let mut w = JsonlAppender::create(&path).unwrap();
+        w.write(&row(0)).unwrap();
+        w.write_line("not json").unwrap();
+        w.write(&row(1)).unwrap();
+        drop(w);
+        let err = read_jsonl::<Row>(&path).unwrap_err();
+        assert!(err.to_string().contains("corrupt record"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

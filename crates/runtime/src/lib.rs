@@ -82,6 +82,7 @@
 pub mod campaign;
 pub mod executor;
 pub mod journal;
+pub mod jsonl;
 pub mod progress;
 pub mod runner;
 
@@ -90,6 +91,7 @@ pub use executor::{
     run_campaign, run_campaign_traced, CampaignReport, ExecutorConfig, RuntimeError, TrialFailure,
 };
 pub use journal::{JournalHeader, TrialRecord, TrialStatus};
+pub use jsonl::{read_jsonl, JsonlAppender};
 pub use progress::{
     CampaignMetrics, JsonlReporter, NullSink, ProgressSink, StderrReporter, TrialOutcome,
 };

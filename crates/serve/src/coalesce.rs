@@ -1,0 +1,352 @@
+//! The cross-session batch coalescer.
+//!
+//! Sessions enqueue evaluation jobs; a pool of worker threads drains
+//! the queue, and — with coalescing enabled — each worker fills one
+//! backend batch from *unrelated* sessions' pending jobs before
+//! evaluating, flushing on size (`max_batch` samples) or deadline
+//! (`flush_after`). Jobs for different victims never share a batch;
+//! jobs for the same victim do, which is where the throughput comes
+//! from: the `Blocked` backend materialises the victim's effective
+//! weights and line conductances once per batch, so a batch carrying
+//! 64 sessions' queries costs barely more than one session's.
+//!
+//! Correctness does not depend on what lands in a batch: every sample
+//! carries its own [`QueryKey`] and
+//! [`Oracle::observe_batch_keyed`] draws each sample's noise from its
+//! key's stream, so results are bit-identical however jobs are grouped
+//! — the property the solo-vs-interleaved integration test pins down.
+//!
+//! Shutdown is by sender-drop: workers block on the queue until every
+//! [`Coalescer`] clone is gone, then drain what remains and exit —
+//! in-flight jobs are always answered.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use xbar_core::oracle::{Observation, Oracle, QueryKey};
+use xbar_obs::names;
+
+/// One evaluation job: a contiguous slice of one session's reserved
+/// queries, plus the channel its observations go back on.
+pub struct Job {
+    /// The deployed victim the queries target.
+    pub oracle: Arc<Oracle>,
+    /// Registry name of the victim (batches group by this).
+    pub victim: String,
+    /// Query inputs, one per sample.
+    pub inputs: Vec<Vec<f64>>,
+    /// Per-sample noise keys, parallel to `inputs`.
+    pub keys: Vec<QueryKey>,
+    /// Where the observations (or an evaluation error) are delivered.
+    pub reply: mpsc::Sender<std::result::Result<Vec<Observation>, String>>,
+}
+
+/// Coalescing policy for a worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct CoalescePolicy {
+    /// Whether to coalesce at all; `false` evaluates each job alone
+    /// (the bench baseline).
+    pub enabled: bool,
+    /// Flush once a batch holds this many samples.
+    pub max_batch: usize,
+    /// Flush once the oldest job in the batch has waited this long.
+    pub flush_after: Duration,
+}
+
+impl Default for CoalescePolicy {
+    fn default() -> Self {
+        CoalescePolicy {
+            enabled: true,
+            max_batch: 256,
+            flush_after: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Handle for enqueuing jobs onto the worker pool. Clone one per
+/// connection; drop every clone (and the pool's own) to initiate drain.
+#[derive(Clone)]
+pub struct Coalescer {
+    tx: mpsc::Sender<Job>,
+    inflight: Arc<AtomicUsize>,
+    max_inflight: usize,
+}
+
+impl Coalescer {
+    /// Tries to enqueue `job`, enforcing the in-flight sample cap.
+    ///
+    /// Returns `Err(job)` (backpressure — nothing enqueued, nothing
+    /// consumed downstream) when the queue already holds
+    /// `max_inflight` samples or the pool is gone.
+    pub fn enqueue(&self, job: Job) -> std::result::Result<(), Job> {
+        let samples = job.inputs.len();
+        // Optimistic reservation: bump, then back out on overflow. Two
+        // racing enqueues can both back out slightly early, which errs
+        // on the side of shedding load — acceptable for a cap.
+        let occupied = self.inflight.fetch_add(samples, Ordering::SeqCst);
+        if occupied + samples > self.max_inflight {
+            self.inflight.fetch_sub(samples, Ordering::SeqCst);
+            return Err(job);
+        }
+        xbar_obs::observe(names::SERVE_QUEUE_DEPTH, (occupied + samples) as f64);
+        match self.tx.send(job) {
+            Ok(()) => Ok(()),
+            Err(mpsc::SendError(job)) => {
+                self.inflight.fetch_sub(samples, Ordering::SeqCst);
+                Err(job)
+            }
+        }
+    }
+}
+
+/// The worker pool: owns the threads and the sending half handed to
+/// connections via [`WorkerPool::coalescer`].
+pub struct WorkerPool {
+    coalescer: Option<Coalescer>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` evaluation threads applying `policy`.
+    /// `max_inflight` caps queued samples across the pool
+    /// (backpressure); `collector` observes the pool when given.
+    pub fn start(
+        workers: usize,
+        policy: CoalescePolicy,
+        max_inflight: usize,
+        collector: Option<Arc<dyn xbar_obs::Collector>>,
+    ) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let inflight = Arc::clone(&inflight);
+                let collector = collector.clone();
+                std::thread::spawn(move || match collector {
+                    Some(collector) => xbar_obs::with_scope(collector, None, || {
+                        worker_loop(&rx, &inflight, policy)
+                    }),
+                    None => worker_loop(&rx, &inflight, policy),
+                })
+            })
+            .collect();
+        WorkerPool {
+            coalescer: Some(Coalescer {
+                tx,
+                inflight,
+                max_inflight,
+            }),
+            workers: handles,
+        }
+    }
+
+    /// A cloneable enqueue handle.
+    pub fn coalescer(&self) -> Coalescer {
+        self.coalescer.clone().expect("pool not yet shut down")
+    }
+
+    /// Drains and joins the pool: in-flight jobs are evaluated and
+    /// answered first. Callers must drop every [`Coalescer`] clone they
+    /// handed out, or this blocks until those clones die.
+    pub fn shutdown(mut self) {
+        self.coalescer.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, inflight: &AtomicUsize, policy: CoalescePolicy) {
+    loop {
+        // One worker at a time owns the receiver, from blocking recv
+        // through batch accumulation; it releases before evaluating, so
+        // dequeueing serialises (which is what fills batches) while
+        // evaluation parallelises. The lock holder is always
+        // progressing toward release — blocked recv ends when a job
+        // arrives, accumulation ends on size or deadline — so waiters
+        // starve for at most one flush window.
+        let (jobs, samples) = {
+            let queue = rx.lock().expect("queue lock");
+            let first = match queue.recv() {
+                Ok(job) => job,
+                // Every sender gone: drained, exit.
+                Err(mpsc::RecvError) => return,
+            };
+            let mut jobs = vec![first];
+            let mut samples = jobs[0].inputs.len();
+            if policy.enabled {
+                let deadline = Instant::now() + policy.flush_after;
+                while samples < policy.max_batch {
+                    match queue.try_recv() {
+                        Ok(job) => {
+                            samples += job.inputs.len();
+                            jobs.push(job);
+                        }
+                        Err(mpsc::TryRecvError::Empty) => {
+                            if Instant::now() >= deadline {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_micros(100));
+                        }
+                        Err(mpsc::TryRecvError::Disconnected) => break,
+                    }
+                }
+            }
+            (jobs, samples)
+        };
+        evaluate(&jobs);
+        inflight.fetch_sub(samples, Ordering::SeqCst);
+    }
+}
+
+/// Evaluates a flush group: one keyed batch per victim, results split
+/// back per job.
+fn evaluate(jobs: &[Job]) {
+    // Group job indices by victim name, preserving arrival order.
+    let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        match groups.iter_mut().find(|(name, _)| *name == job.victim) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((&job.victim, vec![i])),
+        }
+    }
+    for (_, members) in &groups {
+        let oracle = &jobs[members[0]].oracle;
+        let mut inputs: Vec<&[f64]> = Vec::new();
+        let mut keys: Vec<QueryKey> = Vec::new();
+        for &i in members {
+            inputs.extend(jobs[i].inputs.iter().map(Vec::as_slice));
+            keys.extend_from_slice(&jobs[i].keys);
+        }
+        xbar_obs::count(names::SERVE_COALESCED_BATCH, 1);
+        xbar_obs::observe(names::SERVE_BATCH_OCCUPANCY, inputs.len() as f64);
+        match oracle.observe_batch_keyed(&inputs, &keys) {
+            Ok(mut observations) => {
+                for &i in members {
+                    let take = jobs[i].inputs.len();
+                    let rest = observations.split_off(take);
+                    let own = std::mem::replace(&mut observations, rest);
+                    let _ = jobs[i].reply.send(Ok(own));
+                }
+            }
+            Err(e) => {
+                for &i in members {
+                    let _ = jobs[i].reply.send(Err(e.to_string()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_core::oracle::OracleConfig;
+    use xbar_crossbar::power::PowerModel;
+    use xbar_linalg::Matrix;
+    use xbar_nn::activation::Activation;
+    use xbar_nn::network::SingleLayerNet;
+
+    fn victim() -> Arc<Oracle> {
+        let net = SingleLayerNet::from_weights(
+            Matrix::from_rows(&[&[1.0, -0.5, 0.2], &[0.25, 0.5, -1.0]]),
+            Activation::Identity,
+        );
+        let cfg = OracleConfig::ideal().with_power(PowerModel::default().with_noise(0.05));
+        Arc::new(Oracle::new(net, &cfg, 77).unwrap())
+    }
+
+    fn job(
+        oracle: &Arc<Oracle>,
+        seed: u64,
+        base: u64,
+        inputs: Vec<Vec<f64>>,
+    ) -> (
+        Job,
+        mpsc::Receiver<std::result::Result<Vec<Observation>, String>>,
+    ) {
+        let (reply, rx) = mpsc::channel();
+        let keys = (0..inputs.len() as u64)
+            .map(|i| QueryKey::new(seed, base + i))
+            .collect();
+        (
+            Job {
+                oracle: Arc::clone(oracle),
+                victim: "toy".to_string(),
+                inputs,
+                keys,
+                reply,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn coalesced_results_match_direct_keyed_evaluation() {
+        let oracle = victim();
+        let pool = WorkerPool::start(2, CoalescePolicy::default(), 1024, None);
+        let coalescer = pool.coalescer();
+        let inputs_a = vec![vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]];
+        let inputs_b = vec![vec![-0.1, 0.7, 0.0]];
+        let (job_a, rx_a) = job(&oracle, 1, 0, inputs_a.clone());
+        let (job_b, rx_b) = job(&oracle, 2, 5, inputs_b.clone());
+        coalescer.enqueue(job_a).map_err(|_| ()).unwrap();
+        coalescer.enqueue(job_b).map_err(|_| ()).unwrap();
+        let got_a = rx_a.recv().unwrap().unwrap();
+        let got_b = rx_b.recv().unwrap().unwrap();
+        drop(coalescer);
+        pool.shutdown();
+
+        let refs_a: Vec<&[f64]> = inputs_a.iter().map(Vec::as_slice).collect();
+        let want_a = oracle
+            .observe_batch_keyed(&refs_a, &[QueryKey::new(1, 0), QueryKey::new(1, 1)])
+            .unwrap();
+        assert_eq!(got_a, want_a);
+        let refs_b: Vec<&[f64]> = inputs_b.iter().map(Vec::as_slice).collect();
+        let want_b = oracle
+            .observe_batch_keyed(&refs_b, &[QueryKey::new(2, 5)])
+            .unwrap();
+        assert_eq!(got_b, want_b);
+    }
+
+    #[test]
+    fn backpressure_rejects_without_losing_jobs() {
+        let oracle = victim();
+        // One worker, tiny in-flight cap.
+        let pool = WorkerPool::start(1, CoalescePolicy::default(), 2, None);
+        let coalescer = pool.coalescer();
+        let (job_big, _rx) = job(&oracle, 1, 0, vec![vec![0.0; 3]; 3]);
+        // 3 samples > cap of 2: rejected, job returned intact.
+        let rejected = coalescer.enqueue(job_big).unwrap_err();
+        assert_eq!(rejected.inputs.len(), 3);
+        // Within the cap still works.
+        let (job_ok, rx) = job(&oracle, 1, 0, vec![vec![0.0; 3]; 2]);
+        coalescer.enqueue(job_ok).map_err(|_| ()).unwrap();
+        assert!(rx.recv().unwrap().is_ok());
+        drop(coalescer);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_jobs() {
+        let oracle = victim();
+        let pool = WorkerPool::start(1, CoalescePolicy::default(), 4096, None);
+        let coalescer = pool.coalescer();
+        let receivers: Vec<_> = (0..32)
+            .map(|i| {
+                let (j, rx) = job(&oracle, i, 0, vec![vec![0.1, 0.1, 0.1]]);
+                coalescer.enqueue(j).map_err(|_| ()).unwrap();
+                rx
+            })
+            .collect();
+        drop(coalescer);
+        pool.shutdown();
+        for rx in receivers {
+            assert!(rx.recv().unwrap().is_ok(), "job dropped during drain");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! # xbar-serve
+//!
+//! The multi-tenant attack-campaign service: a long-running TCP server
+//! that hosts a registry of victim crossbar oracles and serves budgeted
+//! query streams to many concurrent attack sessions — the paper's
+//! query-metered black-box threat model turned into traffic.
+//!
+//! ## Determinism contract
+//!
+//! A session's results are a pure function of `(victim, session seed,
+//! session query index)` — the service reuses the oracle's own noise
+//! keying through [`xbar_core::oracle::Oracle::observe_batch_keyed`],
+//! so a session's [`xbar_core::oracle::QueryRecord`] stream is
+//! bit-identical whether it is served alone, interleaved with other
+//! sessions, coalesced into shared evaluation batches, or resumed after
+//! a server restart. The float payloads survive the wire because the
+//! vendored `serde_json` round-trips `f64` exactly
+//! (`float_roundtrip`).
+//!
+//! ## Architecture
+//!
+//! * [`protocol`] — the newline-delimited JSON wire protocol
+//!   ([`Request`] / [`Response`]).
+//! * [`registry`] — [`VictimRegistry`]: named, deployed, non-drifting
+//!   oracles shared by every session.
+//! * [`session`] — [`SessionManager`]: per-session budgets and query
+//!   indices with optional crash-tolerant JSONL persistence
+//!   (`xbar-runtime`'s appender), so a reconnecting client resumes
+//!   exactly where it died.
+//! * [`coalesce`] — the cross-session batch coalescer: a worker pool
+//!   that fills one backend batch from unrelated sessions' pending
+//!   queries, flushing on size or deadline.
+//! * [`server`] — [`Server`]: the TCP accept loop, admission control,
+//!   backpressure, and graceful drain.
+//! * [`client`] — [`Client`]: a small blocking client used by the
+//!   bench driver, the CI smoke test, and the integration tests.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod client;
+pub mod coalesce;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod session;
+
+pub use client::Client;
+pub use protocol::{codes, Request, Response, SessionStatus};
+pub use registry::VictimRegistry;
+pub use server::{ServeConfig, Server};
+pub use session::{SessionManager, SessionRecord};
+
+/// Errors from the service and its client.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or filesystem failure.
+    Io(std::io::Error),
+    /// A malformed wire message or an unexpected response shape.
+    Protocol(String),
+    /// The server answered a request with an error response.
+    Rejected {
+        /// Machine-readable code (one of [`protocol::codes`]).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Rejected { code, message } => write!(f, "rejected ({code}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ServeError {
+    fn from(e: serde_json::Error) -> Self {
+        ServeError::Protocol(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

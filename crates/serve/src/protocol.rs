@@ -1,0 +1,199 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every line the client sends is one [`Request`]; every line the
+//! server answers is one [`Response`], in request order. Both sides are
+//! flat structs with optional fields (rather than tagged enums) because
+//! the vendored serde derive supports exactly named-field structs and
+//! unit enums — and because it keeps the protocol trivially greppable
+//! on the wire.
+//!
+//! A session's life:
+//!
+//! ```text
+//! → {"op":"hello","session":"s1","victim":"mnist","seed":7,"budget":100}
+//! ← {"ok":true,"op":"hello","status":{"session":"s1","victim":"mnist","seed":7,"budget":100,"used":0},...}
+//! → {"op":"query","session":"s1","inputs":[[0.1,0.9,...],[...]]}
+//! ← {"ok":true,"op":"query","records":[{"index":0,"observation":{...}},...],...}
+//! → {"op":"close","session":"s1"}
+//! ← {"ok":true,"op":"close",...}
+//! ```
+//!
+//! Reconnecting with the same `session` id resumes the budget remainder
+//! and query index (`hello` may then omit `victim`/`seed`/`budget`; if
+//! given they must match). Error responses set `ok:false` plus a
+//! machine-readable `code` from [`codes`] — `codes::BUSY` means
+//! backpressure: nothing was consumed and the client should retry.
+
+use serde::{Deserialize, Serialize};
+use xbar_core::oracle::QueryRecord;
+
+/// Machine-readable error codes carried in [`Response::code`].
+pub mod codes {
+    /// Malformed request (missing field, bad dimensions, unknown op).
+    pub const USAGE: &str = "usage";
+    /// `hello` named a victim the registry doesn't host.
+    pub const UNKNOWN_VICTIM: &str = "unknown_victim";
+    /// `query`/`close` named a session that was never opened here.
+    pub const UNKNOWN_SESSION: &str = "unknown_session";
+    /// Admission control: the attached-session table is full.
+    pub const SESSION_TABLE_FULL: &str = "session_table_full";
+    /// Backpressure: too many queries in flight; retry, nothing was
+    /// consumed.
+    pub const BUSY: &str = "busy";
+    /// The batch would overrun the session's query budget; nothing was
+    /// consumed.
+    pub const BUDGET_EXHAUSTED: &str = "budget_exhausted";
+    /// A resume `hello` contradicted the session's stored victim/seed/
+    /// budget.
+    pub const CONFLICT: &str = "conflict";
+    /// The server is draining and accepts no new work.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// The server failed internally (evaluation error).
+    pub const INTERNAL: &str = "internal";
+}
+
+/// One client request line.
+///
+/// `op` selects the operation; the other fields are that operation's
+/// arguments:
+///
+/// * `"hello"` — open or resume a session: `session` (required),
+///   `victim` + `seed` (required for a new session), `budget`
+///   (optional, `None` = unlimited).
+/// * `"query"` — issue a batch: `session` + non-empty `inputs`.
+/// * `"close"` — detach a session (its state persists for resume).
+/// * `"shutdown"` — ask the server to drain and exit (used by the
+///   bench driver and CI smoke test).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Operation: `hello` | `query` | `close` | `shutdown`.
+    pub op: String,
+    /// Session id (client-chosen, stable across reconnects).
+    pub session: Option<String>,
+    /// Victim name in the server's registry (`hello` on a new session).
+    pub victim: Option<String>,
+    /// Session noise seed (`hello` on a new session).
+    pub seed: Option<u64>,
+    /// Query budget (`hello`; `None` = unlimited).
+    pub budget: Option<u64>,
+    /// Query inputs, one vector per query (`query`).
+    pub inputs: Option<Vec<Vec<f64>>>,
+}
+
+impl Request {
+    /// A bare request with only `op` set.
+    pub fn new(op: &str) -> Self {
+        Request {
+            op: op.to_string(),
+            session: None,
+            victim: None,
+            seed: None,
+            budget: None,
+            inputs: None,
+        }
+    }
+}
+
+/// A session's authoritative accounting, as the server sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionStatus {
+    /// Session id.
+    pub session: String,
+    /// Victim the session is bound to.
+    pub victim: String,
+    /// The session's noise seed.
+    pub seed: u64,
+    /// Query budget (`None` = unlimited).
+    pub budget: Option<u64>,
+    /// Queries consumed so far — also the next global query index.
+    pub used: u64,
+}
+
+/// One server response line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Echo of the request's `op`.
+    pub op: String,
+    /// Error code (one of [`codes`]); present iff `ok` is false.
+    pub code: Option<String>,
+    /// Human-readable error; present iff `ok` is false.
+    pub error: Option<String>,
+    /// Session accounting after the request (`hello`, `query`, `close`).
+    pub status: Option<SessionStatus>,
+    /// The batch's results, in input order (`query`).
+    pub records: Option<Vec<QueryRecord>>,
+}
+
+impl Response {
+    /// A success response for `op`.
+    pub fn success(op: &str) -> Self {
+        Response {
+            ok: true,
+            op: op.to_string(),
+            code: None,
+            error: None,
+            status: None,
+            records: None,
+        }
+    }
+
+    /// An error response for `op` with a [`codes`] code and message.
+    pub fn failure(op: &str, code: &str, message: impl Into<String>) -> Self {
+        Response {
+            ok: false,
+            op: op.to_string(),
+            code: Some(code.to_string()),
+            error: Some(message.into()),
+            status: None,
+            records: None,
+        }
+    }
+
+    /// Builder-style setter for [`Response::status`].
+    #[must_use]
+    pub fn with_status(mut self, status: SessionStatus) -> Self {
+        self.status = Some(status);
+        self
+    }
+
+    /// Builder-style setter for [`Response::records`].
+    #[must_use]
+    pub fn with_records(mut self, records: Vec<QueryRecord>) -> Self {
+        self.records = Some(records);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_with_absent_fields() {
+        let mut req = Request::new("hello");
+        req.session = Some("s1".into());
+        req.seed = Some(7);
+        let line = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, req);
+        assert!(back.inputs.is_none());
+    }
+
+    #[test]
+    fn response_roundtrips_with_records() {
+        use xbar_core::oracle::Observation;
+        let resp = Response::success("query").with_records(vec![QueryRecord {
+            index: 3,
+            observation: Observation {
+                output: Some(vec![0.125, -7.5e-3]),
+                label: Some(0),
+                power: 0.25,
+            },
+        }]);
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
+    }
+}

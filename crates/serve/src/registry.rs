@@ -1,0 +1,64 @@
+//! The victim registry: named, deployed oracles shared by all sessions.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use xbar_core::oracle::Oracle;
+
+use crate::{Result, ServeError};
+
+/// A read-only map from victim name to its deployed [`Oracle`].
+///
+/// Registered once before the server starts; sessions bind to a victim
+/// by name in their `hello`. Every query against a victim goes through
+/// [`Oracle::observe_batch_keyed`], which never mutates the deployment
+/// — so one `Arc<Oracle>` serves every session and worker thread.
+#[derive(Default)]
+pub struct VictimRegistry {
+    victims: BTreeMap<String, Arc<Oracle>>,
+}
+
+impl VictimRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        VictimRegistry::default()
+    }
+
+    /// Registers `oracle` under `name`, replacing any previous entry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] if the oracle carries an active drift
+    /// schedule: a drifting deployment's hardware is a function of its
+    /// own query clock, which keyed multi-tenant serving cannot
+    /// reproduce (checked by probing an empty keyed batch).
+    pub fn insert(&mut self, name: &str, oracle: Oracle) -> Result<()> {
+        if oracle.observe_batch_keyed(&[], &[]).is_err() {
+            return Err(ServeError::Protocol(format!(
+                "victim {name:?} has an active drift schedule and cannot be served"
+            )));
+        }
+        self.victims.insert(name.to_string(), Arc::new(oracle));
+        Ok(())
+    }
+
+    /// Looks up a victim by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Oracle>> {
+        self.victims.get(name).cloned()
+    }
+
+    /// The registered victim names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.victims.keys().cloned().collect()
+    }
+
+    /// Number of registered victims.
+    pub fn len(&self) -> usize {
+        self.victims.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.victims.is_empty()
+    }
+}

@@ -1,0 +1,197 @@
+//! The serve-side extension of the batch/thread/backend invariance
+//! contract: a session's `QueryRecord` stream is bit-identical whether
+//! it is computed directly on the oracle, served alone, or served
+//! interleaved with seven other sessions whose queries share coalesced
+//! evaluation batches — at any worker-thread count.
+
+use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess, QueryRecord};
+use xbar_crossbar::backend::BackendKind;
+use xbar_crossbar::device::DeviceModel;
+use xbar_crossbar::power::PowerModel;
+use xbar_faults::{FaultKey, TransientInjection, TransientSpec};
+use xbar_linalg::Matrix;
+use xbar_nn::activation::Activation;
+use xbar_nn::network::SingleLayerNet;
+use xbar_serve::coalesce::CoalescePolicy;
+use xbar_serve::{Client, ServeConfig, Server, VictimRegistry};
+
+const SESSIONS: usize = 8;
+const QUERIES_PER_SESSION: usize = 12;
+const INPUT_DIM: usize = 4;
+
+/// A victim with every noise source live: noisy power, noisy reads,
+/// per-query transients — the hardest case for coalescing to get right.
+fn victim() -> Oracle {
+    let net = SingleLayerNet::from_weights(
+        Matrix::from_rows(&[
+            &[1.0, -0.5, 0.2, 0.8],
+            &[0.25, 0.5, -1.0, 0.1],
+            &[-0.3, 0.9, 0.4, -0.7],
+        ]),
+        Activation::Identity,
+    );
+    let device = DeviceModel {
+        g_min: 0.05,
+        g_max: 1.0,
+        read_sigma: 0.01,
+        ..DeviceModel::ideal()
+    };
+    let cfg = OracleConfig::ideal()
+        .with_access(OutputAccess::Raw)
+        .with_device(device)
+        .with_backend(BackendKind::Blocked)
+        .with_power(PowerModel::default().with_noise(0.05))
+        .with_transients(TransientInjection::new(
+            TransientSpec::none()
+                .with_flip_rate(0.05)
+                .with_jitter_sigma(0.02),
+            FaultKey::new(91, 2),
+        ));
+    Oracle::new(net, &cfg, 4242).unwrap()
+}
+
+fn session_seed(s: usize) -> u64 {
+    1000 + s as u64
+}
+
+/// Session `s`'s deterministic input stream.
+fn session_inputs(s: usize) -> Vec<Vec<f64>> {
+    (0..QUERIES_PER_SESSION)
+        .map(|q| {
+            (0..INPUT_DIM)
+                .map(|j| (((s * 31 + q * 7 + j) as f64) * 0.37).sin())
+                .collect()
+        })
+        .collect()
+}
+
+/// Ground truth: the session querying its own private view directly, no
+/// server involved.
+fn direct_records(deployed: &Oracle, s: usize) -> Vec<QueryRecord> {
+    let mut view = deployed.session_view(session_seed(s), None);
+    let inputs = session_inputs(s);
+    let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+    view.query_batch(&refs).unwrap()
+}
+
+fn server(workers: usize, coalesce: bool) -> Server {
+    let mut registry = VictimRegistry::new();
+    registry.insert("victim", victim()).unwrap();
+    let config = ServeConfig {
+        workers,
+        coalesce: CoalescePolicy {
+            enabled: coalesce,
+            ..CoalescePolicy::default()
+        },
+        ..ServeConfig::default()
+    };
+    Server::start("127.0.0.1:0", registry, config).unwrap()
+}
+
+/// Drives session `s` over its own connection in uneven batch splits,
+/// returning the served records.
+fn drive_session(addr: std::net::SocketAddr, s: usize) -> Vec<QueryRecord> {
+    let mut client = Client::connect(addr).unwrap();
+    let id = format!("session-{s}");
+    let status = client
+        .hello(&id, Some("victim"), Some(session_seed(s)), None)
+        .unwrap();
+    assert_eq!(status.used, 0);
+    let inputs = session_inputs(s);
+    let mut records = Vec::new();
+    // Per-session batch splits differ (1, then 3s, then the rest) so
+    // coalesced batches mix sessions at misaligned offsets.
+    let splits = [1usize, 3, 3, QUERIES_PER_SESSION - 7];
+    let mut offset = 0;
+    for &take in &splits {
+        records.extend(client.query(&id, &inputs[offset..offset + take]).unwrap());
+        offset += take;
+    }
+    assert_eq!(offset, QUERIES_PER_SESSION);
+    client.close(&id).unwrap();
+    records
+}
+
+#[test]
+fn solo_session_matches_direct_evaluation_bit_for_bit() {
+    let deployed = victim();
+    let server = server(2, true);
+    let addr = server.local_addr();
+    for s in [0, 3] {
+        let served = drive_session(addr, s);
+        assert_eq!(served, direct_records(&deployed, s), "session {s}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn interleaved_sessions_match_solo_at_any_worker_count() {
+    let deployed = victim();
+    let baselines: Vec<Vec<QueryRecord>> = (0..SESSIONS)
+        .map(|s| direct_records(&deployed, s))
+        .collect();
+
+    for workers in [1usize, 4, 8] {
+        let server = server(workers, true);
+        let addr = server.local_addr();
+        let served: Vec<Vec<QueryRecord>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..SESSIONS)
+                .map(|s| scope.spawn(move || drive_session(addr, s)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (s, (got, want)) in served.iter().zip(&baselines).enumerate() {
+            assert_eq!(
+                got, want,
+                "session {s} diverged under load at {workers} workers"
+            );
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn coalescing_off_is_bit_identical_too() {
+    let deployed = victim();
+    let baselines: Vec<Vec<QueryRecord>> = (0..SESSIONS)
+        .map(|s| direct_records(&deployed, s))
+        .collect();
+    let server = server(4, false);
+    let addr = server.local_addr();
+    let served: Vec<Vec<QueryRecord>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|s| scope.spawn(move || drive_session(addr, s)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (s, (got, want)) in served.iter().zip(&baselines).enumerate() {
+        assert_eq!(got, want, "session {s} diverged with coalescing off");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shared_hardware_is_actually_shared() {
+    // Two sessions with the same seed see the same noise; two sessions
+    // with different seeds see different noise on the same hardware —
+    // the keying, not the victim, is what separates tenants.
+    let server = server(2, true);
+    let addr = server.local_addr();
+    let inputs = session_inputs(0);
+
+    let mut a = Client::connect(addr).unwrap();
+    a.hello("a", Some("victim"), Some(5), None).unwrap();
+    let ra = a.query("a", &inputs[..2]).unwrap();
+
+    let mut b = Client::connect(addr).unwrap();
+    b.hello("b", Some("victim"), Some(5), None).unwrap();
+    let rb = b.query("b", &inputs[..2]).unwrap();
+
+    let mut c = Client::connect(addr).unwrap();
+    c.hello("c", Some("victim"), Some(6), None).unwrap();
+    let rc = c.query("c", &inputs[..2]).unwrap();
+
+    assert_eq!(ra, rb, "same seed, same queries, same records");
+    assert_ne!(ra, rc, "different seeds must draw different noise");
+    server.shutdown();
+}
