@@ -20,6 +20,7 @@ use xbar_crossbar::backend::BackendKind;
 use xbar_crossbar::power::PowerModel;
 use xbar_nn::activation::Activation;
 use xbar_nn::network::SingleLayerNet;
+use xbar_obs::Histogram;
 use xbar_serve::coalesce::CoalescePolicy;
 use xbar_serve::{Client, ServeConfig, Server, VictimRegistry};
 
@@ -38,6 +39,16 @@ pub struct ServeBenchRow {
     pub elapsed_nanos: u64,
     /// Aggregate throughput, queries per second.
     pub qps: f64,
+    /// Median per-query round-trip latency, nanoseconds (client-side,
+    /// estimated from a log-spaced [`Histogram`] merged across all
+    /// session threads).
+    pub latency_p50_nanos: f64,
+    /// 95th-percentile per-query round-trip latency, nanoseconds.
+    pub latency_p95_nanos: f64,
+    /// 99th-percentile per-query round-trip latency, nanoseconds.
+    pub latency_p99_nanos: f64,
+    /// Worst observed per-query round-trip latency, nanoseconds.
+    pub latency_max_nanos: u64,
 }
 
 /// The full serve-throughput report.
@@ -94,10 +105,14 @@ fn run_config(
     let addr = server.local_addr();
 
     let start = Instant::now();
-    std::thread::scope(|scope| -> Result<(), String> {
+    // Each session thread records its round-trip latencies into its own
+    // histogram; the merge is associative, so the merged histogram is
+    // exactly what one shared (but contended) histogram would hold.
+    let latency = std::thread::scope(|scope| -> Result<Histogram, String> {
         let handles: Vec<_> = (0..sessions)
             .map(|s| {
-                scope.spawn(move || -> Result<(), String> {
+                scope.spawn(move || -> Result<Histogram, String> {
+                    let mut latency = Histogram::new();
                     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
                     let id = format!("bench-{s}");
                     client
@@ -105,21 +120,25 @@ fn run_config(
                         .map_err(|e| e.to_string())?;
                     for q in 0..queries_per_session {
                         let input = bench_input(s, q, dim);
+                        let sent = Instant::now();
                         client
                             .query(&id, std::slice::from_ref(&input))
                             .map_err(|e| e.to_string())?;
+                        latency.record(sent.elapsed().as_nanos() as u64);
                     }
                     client.close(&id).map_err(|e| e.to_string())?;
-                    Ok(())
+                    Ok(latency)
                 })
             })
             .collect();
+        let mut merged = Histogram::new();
         for handle in handles {
-            handle
+            let latency = handle
                 .join()
                 .map_err(|_| "bench client thread panicked".to_string())??;
+            merged.merge(&latency);
         }
-        Ok(())
+        Ok(merged)
     })?;
     let elapsed = start.elapsed();
     server.shutdown();
@@ -132,6 +151,10 @@ fn run_config(
         queries,
         elapsed_nanos,
         qps: queries as f64 / (elapsed_nanos.max(1) as f64 / 1e9),
+        latency_p50_nanos: latency.quantile(0.50),
+        latency_p95_nanos: latency.quantile(0.95),
+        latency_p99_nanos: latency.quantile(0.99),
+        latency_max_nanos: latency.max(),
     })
 }
 
@@ -182,12 +205,16 @@ pub fn run_serve_bench(quick: bool, json_out: Option<&str>) -> Result<ServeBench
                 inputs,
             )?;
             println!(
-                "serve {:>2} sessions, coalescing {:>3}: {:>6} queries in {:>8.1} ms, {:>9.0} q/s",
+                "serve {:>2} sessions, coalescing {:>3}: {:>6} queries in {:>8.1} ms, \
+                 {:>9.0} q/s, p50/p95/p99 {:.2}/{:.2}/{:.2} ms",
                 row.sessions,
                 if row.coalesce { "on" } else { "off" },
                 row.queries,
                 row.elapsed_nanos as f64 / 1e6,
                 row.qps,
+                row.latency_p50_nanos / 1e6,
+                row.latency_p95_nanos / 1e6,
+                row.latency_p99_nanos / 1e6,
             );
             rows.push(row);
         }
@@ -238,6 +265,20 @@ mod tests {
         for row in &report.rows {
             assert_eq!(row.queries, row.sessions * report.queries_per_session);
             assert!(row.qps > 0.0, "row {row:?}");
+            // Latency percentiles are monotone and bounded by the max.
+            assert!(row.latency_p50_nanos > 0.0, "row {row:?}");
+            assert!(
+                row.latency_p95_nanos >= row.latency_p50_nanos,
+                "row {row:?}"
+            );
+            assert!(
+                row.latency_p99_nanos >= row.latency_p95_nanos,
+                "row {row:?}"
+            );
+            assert!(
+                row.latency_p99_nanos <= row.latency_max_nanos as f64,
+                "row {row:?}"
+            );
         }
         // The speedup is machine-dependent; the report just has to
         // record it (the full run is where the win is demonstrated).
@@ -245,6 +286,9 @@ mod tests {
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"coalesce_speedup_at_max_sessions\""));
         assert!(json.contains("\"qps\""));
+        assert!(json.contains("\"latency_p50_nanos\""));
+        assert!(json.contains("\"latency_p95_nanos\""));
+        assert!(json.contains("\"latency_p99_nanos\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -102,13 +102,18 @@ COMMANDS:
                  [--workers N] [--max-sessions N] [--max-inflight N]
                  [--no-coalesce] [--journal FILE] [--seed S]
                  [--access none|label|raw] [--power-noise X]
-                 [--read-sigma X]
+                 [--read-sigma X] [--metrics FILE] [--metrics-every MS]
             serve the model until a client sends the shutdown op;
-            --journal makes sessions resumable across restarts
+            --journal makes sessions resumable across restarts;
+            --metrics appends periodic telemetry snapshots as JSONL
             drive --addr HOST:PORT --dim N [--sessions N] [--queries Q]
                   [--victim NAME] [--seed S] [--shutdown]
             scripted multi-session client: concurrent budgeted
             sessions plus a same-seed determinism check
+            stats [--addr HOST:PORT] [--prom]
+            scrape a running service's live metrics plane: per-victim
+            request counters, gauges and latency histograms
+            (--prom prints Prometheus text exposition instead)
   faults    deterministic device fault injection
             sweep [--quick] [--threads N] [--out FILE] [--resume]
                   [--journal FILE] [--retries N] [--backend naive|blocked]
@@ -127,7 +132,10 @@ COMMANDS:
             are journaled and skipped (writes results/lifetime-sweep.json)
   trace     inspect an xbar-obs JSONL trace written by --trace
             summarize FILE   per-stage totals: counters per trial,
-                             value series, span counts and wall times
+                             value series, span counts and wall times;
+                             also reads `serve host --metrics` snapshot
+                             files (last snapshot wins — counters are
+                             cumulative)
   help      this message"
     );
 }
@@ -283,11 +291,13 @@ fn cmd_serve(args: &ParsedArgs) -> Result<(), CliError> {
     match args.positional(0) {
         Some("host") => cmd_serve_host(args),
         Some("drive") => cmd_serve_drive(args),
+        Some("stats") => cmd_serve_stats(args),
         Some(other) => {
-            Err(format!("unknown serve action {other:?} (expected: host, drive)").into())
+            Err(format!("unknown serve action {other:?} (expected: host, drive, stats)").into())
         }
         None => Err("usage: xbar serve host --model FILE [--addr HOST:PORT] | \
-             xbar serve drive --addr HOST:PORT --dim N"
+             xbar serve drive --addr HOST:PORT --dim N | \
+             xbar serve stats [--addr HOST:PORT] [--prom]"
             .into()),
     }
 }
@@ -311,6 +321,12 @@ fn cmd_serve_host(args: &ParsedArgs) -> Result<(), CliError> {
         read_sigma: args.get_or("read-sigma", 0.0)?,
         ..DeviceModel::ideal()
     };
+    let metrics = args
+        .get("metrics")
+        .filter(|m| !m.is_empty())
+        .map(std::path::PathBuf::from);
+    let metrics_every =
+        std::time::Duration::from_millis(args.get_or("metrics-every", 1000u64)?.max(1));
     let net = persist::load_network(&model_path)?;
     let cfg = OracleConfig::ideal()
         .with_access(access)
@@ -334,6 +350,8 @@ fn cmd_serve_host(args: &ParsedArgs) -> Result<(), CliError> {
             .get("journal")
             .filter(|j| !j.is_empty())
             .map(std::path::PathBuf::from),
+        metrics,
+        metrics_every,
         ..ServeConfig::default()
     };
     let server = Server::start(
@@ -379,7 +397,10 @@ fn cmd_serve_drive(args: &ParsedArgs) -> Result<(), CliError> {
                 let (addr, victim) = (&addr, &victim);
                 scope.spawn(move || -> Result<(), String> {
                     let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
-                    let id = format!("drive-{s}");
+                    // Seed-scoped ids: sessions persist server-side
+                    // (resumable), so repeated drives against one
+                    // server must not collide unless they share --seed.
+                    let id = format!("drive-{base_seed}-{s}");
                     let budget = queries as u64;
                     client
                         .hello(
@@ -426,12 +447,14 @@ fn cmd_serve_drive(args: &ParsedArgs) -> Result<(), CliError> {
     // bit-identical records, however its queries were coalesced.
     let mut client = Client::connect(addr.as_str())?;
     let probes: Vec<Vec<f64>> = (0..2).map(|q| input(0, q)).collect();
-    client.hello("drive-check-a", Some(&victim), Some(base_seed), None)?;
-    let a = client.query("drive-check-a", &probes)?;
-    client.close("drive-check-a")?;
-    client.hello("drive-check-b", Some(&victim), Some(base_seed), None)?;
-    let b = client.query("drive-check-b", &probes)?;
-    client.close("drive-check-b")?;
+    let check_a = format!("drive-{base_seed}-check-a");
+    let check_b = format!("drive-{base_seed}-check-b");
+    client.hello(&check_a, Some(&victim), Some(base_seed), None)?;
+    let a = client.query(&check_a, &probes)?;
+    client.close(&check_a)?;
+    client.hello(&check_b, Some(&victim), Some(base_seed), None)?;
+    let b = client.query(&check_b, &probes)?;
+    client.close(&check_b)?;
     if a != b {
         return Err("determinism check failed: same-seed sessions diverged".into());
     }
@@ -441,6 +464,23 @@ fn cmd_serve_drive(args: &ParsedArgs) -> Result<(), CliError> {
         client.shutdown_server()?;
         println!("asked the server to drain and stop");
     }
+    Ok(())
+}
+
+/// `xbar serve stats`: scrape the live metrics plane of a running
+/// service. Read-only — consumes no budget, admitted even when the
+/// session table is full or the server is draining.
+fn cmd_serve_stats(args: &ParsedArgs) -> Result<(), CliError> {
+    use xbar_serve::Client;
+
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let mut client = Client::connect(addr)?;
+    if args.flag("prom") {
+        print!("{}", client.stats_prometheus()?);
+        return Ok(());
+    }
+    let stats = client.stats()?;
+    print!("{}", render_serve_stats(&stats));
     Ok(())
 }
 
@@ -485,7 +525,10 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<(), CliError> {
 fn cmd_trace(args: &ParsedArgs) -> Result<(), CliError> {
     match args.positional(0) {
         Some("summarize") => match args.positional(1) {
-            Some(path) => summarize_trace(path),
+            Some(path) => {
+                print!("{}", summarize_trace(path)?);
+                Ok(())
+            }
             None => Err("usage: xbar trace summarize <trace.jsonl>".into()),
         },
         Some(other) => Err(format!("unknown trace action {other:?} (expected: summarize)").into()),
@@ -493,33 +536,109 @@ fn cmd_trace(args: &ParsedArgs) -> Result<(), CliError> {
     }
 }
 
+/// Best-effort unsigned coercion for a trace/stats JSON number.
+fn json_u64(v: &serde::Value) -> u64 {
+    use serde::Value;
+    match v {
+        Value::U64(x) => *x,
+        Value::I64(x) => (*x).max(0) as u64,
+        Value::F64(x) => *x as u64,
+        _ => 0,
+    }
+}
+
+/// Best-effort float coercion for a trace/stats JSON number.
+fn json_f64(v: &serde::Value) -> f64 {
+    use serde::Value;
+    match v {
+        Value::U64(x) => *x as f64,
+        Value::I64(x) => *x as f64,
+        Value::F64(x) => *x,
+        _ => 0.0,
+    }
+}
+
+/// Renders a serve `stats` snapshot (the JSON shape of
+/// [`xbar_obs::MetricsSnapshot::to_json`]) as per-victim counter, gauge
+/// and histogram tables. Shared by `xbar serve stats` and the
+/// serve-metrics section of `xbar trace summarize`.
+fn render_serve_stats(stats: &serde::Value) -> String {
+    use serde::Value;
+
+    let mut out = String::new();
+    let Some(Value::Object(victims)) = stats.get("victims") else {
+        out.push_str("snapshot has no victims section\n");
+        return out;
+    };
+    let mut counter_rows: Vec<Vec<String>> = Vec::new();
+    let mut gauge_rows: Vec<Vec<String>> = Vec::new();
+    let mut histogram_rows: Vec<Vec<String>> = Vec::new();
+    for (victim, section) in victims {
+        if let Some(Value::Object(counters)) = section.get("counters") {
+            for (name, v) in counters {
+                counter_rows.push(vec![victim.clone(), name.clone(), json_u64(v).to_string()]);
+            }
+        }
+        if let Some(Value::Object(gauges)) = section.get("gauges") {
+            for (name, v) in gauges {
+                gauge_rows.push(vec![victim.clone(), name.clone(), fmt(json_f64(v), 1)]);
+            }
+        }
+        if let Some(Value::Object(histograms)) = section.get("histograms") {
+            for (name, h) in histograms {
+                let q = |key: &str| h.get(key).map(json_f64).unwrap_or(0.0);
+                histogram_rows.push(vec![
+                    victim.clone(),
+                    name.clone(),
+                    h.get("count").map(json_u64).unwrap_or(0).to_string(),
+                    fmt(q("p50"), 1),
+                    fmt(q("p90"), 1),
+                    fmt(q("p99"), 1),
+                    fmt(q("max"), 1),
+                ]);
+            }
+        }
+    }
+    if !counter_rows.is_empty() {
+        out.push_str("--- service counters (cumulative) ---\n");
+        out.push_str(&format_table(
+            &["victim", "counter", "total"],
+            &counter_rows,
+        ));
+        out.push('\n');
+    }
+    if !gauge_rows.is_empty() {
+        out.push_str("--- service gauges (instantaneous) ---\n");
+        out.push_str(&format_table(&["victim", "gauge", "value"], &gauge_rows));
+        out.push('\n');
+    }
+    if !histogram_rows.is_empty() {
+        out.push_str("--- service histograms ---\n");
+        out.push_str(&format_table(
+            &["victim", "histogram", "count", "p50", "p90", "p99", "max"],
+            &histogram_rows,
+        ));
+        out.push('\n');
+    }
+    if counter_rows.is_empty() && gauge_rows.is_empty() && histogram_rows.is_empty() {
+        out.push_str("snapshot is empty — no metrics recorded yet\n");
+    }
+    out
+}
+
 /// Aggregates an `xbar-obs` JSONL trace into per-stage tables: counter
 /// totals and per-trial means, value-series summaries, and span counts
 /// with mean wall times. Totals are recomputed from the per-trial
 /// records, so a trace whose run was killed before the `end` line still
-/// summarizes.
-fn summarize_trace(path: &str) -> Result<(), CliError> {
+/// summarizes. Also understands the `xbar-serve-metrics` snapshot
+/// records written by `serve host --metrics` — snapshots are cumulative,
+/// so only the last one is rendered.
+fn summarize_trace(path: &str) -> Result<String, CliError> {
     use serde::Value;
     use std::collections::BTreeMap;
 
-    fn as_u64(v: &Value) -> u64 {
-        match v {
-            Value::U64(x) => *x,
-            Value::I64(x) => (*x).max(0) as u64,
-            Value::F64(x) => *x as u64,
-            _ => 0,
-        }
-    }
-    fn as_f64(v: &Value) -> f64 {
-        match v {
-            Value::U64(x) => *x as f64,
-            Value::I64(x) => *x as f64,
-            Value::F64(x) => *x,
-            _ => 0.0,
-        }
-    }
     fn field_u64(record: &Value, key: &str) -> u64 {
-        record.get(key).map(as_u64).unwrap_or(0)
+        record.get(key).map(json_u64).unwrap_or(0)
     }
 
     #[derive(Default)]
@@ -550,6 +669,9 @@ fn summarize_trace(path: &str) -> Result<(), CliError> {
     let mut counters: BTreeMap<String, CounterAgg> = BTreeMap::new();
     let mut values: BTreeMap<String, ValueAgg> = BTreeMap::new();
     let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    // Live-plane snapshots are cumulative: keep only the last one.
+    let mut serve_snapshots = 0usize;
+    let mut serve_stats: Option<Value> = None;
 
     for (line_no, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -577,7 +699,7 @@ fn summarize_trace(path: &str) -> Result<(), CliError> {
                 }
                 if let Some(Value::Object(fields)) = record.get("counters") {
                     for (name, v) in fields {
-                        let delta = as_u64(v);
+                        let delta = json_u64(v);
                         let agg = counters.entry(name.clone()).or_default();
                         if agg.trials == 0 {
                             (agg.min, agg.max) = (delta, delta);
@@ -596,8 +718,8 @@ fn summarize_trace(path: &str) -> Result<(), CliError> {
                             continue;
                         }
                         let (lo, hi) = (
-                            v.get("min").map(as_f64).unwrap_or(0.0),
-                            v.get("max").map(as_f64).unwrap_or(0.0),
+                            v.get("min").map(json_f64).unwrap_or(0.0),
+                            v.get("max").map(json_f64).unwrap_or(0.0),
                         );
                         let agg = values.entry(name.clone()).or_default();
                         if agg.count == 0 {
@@ -607,7 +729,7 @@ fn summarize_trace(path: &str) -> Result<(), CliError> {
                             agg.max = agg.max.max(hi);
                         }
                         agg.count += count;
-                        agg.sum += v.get("sum").map(as_f64).unwrap_or(0.0);
+                        agg.sum += v.get("sum").map(json_f64).unwrap_or(0.0);
                     }
                 }
                 if let Some(Value::Object(fields)) = record.get("spans") {
@@ -618,89 +740,110 @@ fn summarize_trace(path: &str) -> Result<(), CliError> {
                     }
                 }
             }
+            Some(kind) if kind == xbar_serve::METRICS_RECORD_KIND => {
+                serve_snapshots += 1;
+                if let Some(stats) = record.get("stats") {
+                    serve_stats = Some(stats.clone());
+                }
+            }
             // `end` totals are recomputed from the trial records above.
             _ => {}
         }
     }
 
-    if campaigns.is_empty() {
+    // A trial trace needs its header; a pure serve-metrics snapshot
+    // file has no header and that is fine.
+    if campaigns.is_empty() && serve_snapshots == 0 {
         return Err(format!("trace {path} has no xbar-trace header").into());
     }
+
+    let mut out = String::new();
     let trials = trials_ok + trials_failed;
     for campaign in &campaigns {
-        println!("campaign: {campaign}");
+        out.push_str(&format!("campaign: {campaign}\n"));
     }
-    println!("trials recorded: {trials} ({trials_ok} ok, {trials_failed} failed)\n");
-    if trials == 0 {
-        println!("no trial records — nothing to aggregate");
-        return Ok(());
+    if !campaigns.is_empty() {
+        out.push_str(&format!(
+            "trials recorded: {trials} ({trials_ok} ok, {trials_failed} failed)\n\n"
+        ));
     }
 
-    let counter_rows: Vec<Vec<String>> = counters
-        .iter()
-        .map(|(name, agg)| {
-            vec![
-                name.clone(),
-                agg.total.to_string(),
-                fmt(agg.total as f64 / trials as f64, 2),
-                agg.min.to_string(),
-                agg.max.to_string(),
-            ]
-        })
-        .collect();
-    println!("--- counters (deterministic) ---");
-    println!(
-        "{}",
-        format_table(
+    if trials > 0 {
+        let counter_rows: Vec<Vec<String>> = counters
+            .iter()
+            .map(|(name, agg)| {
+                vec![
+                    name.clone(),
+                    agg.total.to_string(),
+                    fmt(agg.total as f64 / trials as f64, 2),
+                    agg.min.to_string(),
+                    agg.max.to_string(),
+                ]
+            })
+            .collect();
+        out.push_str("--- counters (deterministic) ---\n");
+        out.push_str(&format_table(
             &["counter", "total", "per trial", "min", "max"],
-            &counter_rows
-        )
-    );
+            &counter_rows,
+        ));
+        out.push('\n');
 
-    if !values.is_empty() {
-        let value_rows: Vec<Vec<String>> = values
-            .iter()
-            .map(|(name, agg)| {
-                vec![
-                    name.clone(),
-                    agg.count.to_string(),
-                    fmt(agg.sum / agg.count as f64, 4),
-                    fmt(agg.min, 4),
-                    fmt(agg.max, 4),
-                ]
-            })
-            .collect();
-        println!("--- value series ---");
-        println!(
-            "{}",
-            format_table(&["series", "samples", "mean", "min", "max"], &value_rows)
-        );
+        if !values.is_empty() {
+            let value_rows: Vec<Vec<String>> = values
+                .iter()
+                .map(|(name, agg)| {
+                    vec![
+                        name.clone(),
+                        agg.count.to_string(),
+                        fmt(agg.sum / agg.count as f64, 4),
+                        fmt(agg.min, 4),
+                        fmt(agg.max, 4),
+                    ]
+                })
+                .collect();
+            out.push_str("--- value series ---\n");
+            out.push_str(&format_table(
+                &["series", "samples", "mean", "min", "max"],
+                &value_rows,
+            ));
+            out.push('\n');
+        }
+
+        if !spans.is_empty() {
+            let span_rows: Vec<Vec<String>> = spans
+                .iter()
+                .map(|(name, agg)| {
+                    let mean_ms = if agg.count > 0 {
+                        agg.total_nanos as f64 / agg.count as f64 / 1e6
+                    } else {
+                        0.0
+                    };
+                    vec![
+                        name.clone(),
+                        agg.count.to_string(),
+                        fmt(agg.total_nanos as f64 / 1e9, 3),
+                        fmt(mean_ms, 3),
+                    ]
+                })
+                .collect();
+            out.push_str("--- spans (wall clock) ---\n");
+            out.push_str(&format_table(
+                &["span", "count", "total s", "mean ms"],
+                &span_rows,
+            ));
+            out.push('\n');
+        }
+    } else if !campaigns.is_empty() {
+        out.push_str("no trial records — nothing to aggregate\n");
     }
 
-    if !spans.is_empty() {
-        let span_rows: Vec<Vec<String>> = spans
-            .iter()
-            .map(|(name, agg)| {
-                let mean_ms = if agg.count > 0 {
-                    agg.total_nanos as f64 / agg.count as f64 / 1e6
-                } else {
-                    0.0
-                };
-                vec![
-                    name.clone(),
-                    agg.count.to_string(),
-                    fmt(agg.total_nanos as f64 / 1e9, 3),
-                    fmt(mean_ms, 3),
-                ]
-            })
-            .collect();
-        println!("--- spans (wall clock) ---");
-        println!(
-            "{}",
-            format_table(&["span", "count", "total s", "mean ms"], &span_rows)
-        );
+    if let Some(stats) = &serve_stats {
+        out.push_str(&format!(
+            "serve-metrics snapshots: {serve_snapshots} (rendering the last — counters are cumulative)\n"
+        ));
+        out.push_str(&render_serve_stats(stats));
     }
-    Ok(())
+    Ok(out)
 }
 
 fn load_dataset(args: &ParsedArgs) -> Result<Dataset, CliError> {
@@ -1063,6 +1206,17 @@ mod tests {
             "lots",
         ]))
         .is_err());
+        assert!(dispatch(&parse(&[
+            "serve",
+            "host",
+            "--model",
+            "/nonexistent/m.json",
+            "--metrics-every",
+            "lots",
+        ]))
+        .is_err());
+        // stats: an unresolvable address fails without hanging.
+        assert!(dispatch(&parse(&["serve", "stats", "--addr", "not an addr"])).is_err());
         // drive: missing address / dimension and malformed counts fail
         // before any connection attempt.
         assert!(dispatch(&parse(&["serve", "drive"])).is_err());
@@ -1140,11 +1294,42 @@ mod tests {
             "3",
             "--queries",
             "4",
-            "--shutdown",
         ]))
         .unwrap();
+        // Scrape the live metrics plane both ways, then stop the server.
+        dispatch(&parse(&["serve", "stats", "--addr", &addr])).unwrap();
+        dispatch(&parse(&["serve", "stats", "--addr", &addr, "--prom"])).unwrap();
+        let mut client = xbar_serve::Client::connect(addr.as_str()).unwrap();
+        client.shutdown_server().unwrap();
         host.join().unwrap();
         std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn serve_stats_renders_a_snapshot() {
+        use serde_json::parse_value;
+
+        let stats = parse_value(
+            r#"{"victims":{"toy":{
+                "counters":{"serve.requests":9,"serve.queries":40},
+                "gauges":{"serve.inflight":0.0},
+                "histograms":{"serve.request_ns":{"count":9,"sum":900,
+                    "min":10,"max":200,"p50":95.0,"p90":180.0,
+                    "p99":199.0,"p999":200.0,"buckets":[[256.0,9]]}}}}}"#,
+        )
+        .unwrap();
+        let rendered = render_serve_stats(&stats);
+        assert!(rendered.contains("service counters"), "{rendered}");
+        assert!(rendered.contains("serve.queries"), "{rendered}");
+        assert!(rendered.contains("40"), "{rendered}");
+        assert!(rendered.contains("serve.inflight"), "{rendered}");
+        assert!(rendered.contains("serve.request_ns"), "{rendered}");
+        assert!(rendered.contains("95.0"), "{rendered}");
+        // Degenerate shapes degrade gracefully instead of panicking.
+        let empty = parse_value(r#"{"victims":{}}"#).unwrap();
+        assert!(render_serve_stats(&empty).contains("no metrics recorded"));
+        let hostile = parse_value(r#"{"something":"else"}"#).unwrap();
+        assert!(render_serve_stats(&hostile).contains("no victims"));
     }
 
     #[test]
@@ -1252,11 +1437,60 @@ mod tests {
         drop(writer);
 
         dispatch(&parse(&["trace", "summarize", &path])).unwrap();
+        let summary = summarize_trace(&path).unwrap();
+        assert!(summary.contains("test-campaign"), "{summary}");
+        assert!(summary.contains(xbar_obs::names::ORACLE_QUERY), "{summary}");
 
         // Unknown action and missing path are rejected.
         assert!(dispatch(&parse(&["trace", "frobnicate", &path])).is_err());
         assert!(dispatch(&parse(&["trace", "summarize"])).is_err());
         assert!(dispatch(&parse(&["trace"])).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_summarize_reads_serve_metrics_snapshots() {
+        let path = tmp("serve-metrics.jsonl");
+        // Two cumulative snapshots; no xbar-trace header. The summary
+        // must accept the headerless file and render only the LAST
+        // snapshot (counters are cumulative, not deltas).
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"kind\":\"xbar-serve-metrics\",\"seq\":0,\"stats\":{\"victims\":{\
+                 \"toy\":{\"counters\":{\"serve.requests\":3}}}}}\n",
+                "{\"kind\":\"xbar-serve-metrics\",\"seq\":1,\"stats\":{\"victims\":{\
+                 \"toy\":{\"counters\":{\"serve.requests\":9,\"serve.queries\":40},\
+                 \"gauges\":{\"serve.draining\":0.0},\
+                 \"histograms\":{\"serve.request_ns\":{\"count\":9,\"sum\":900,\
+                 \"min\":10,\"max\":200,\"p50\":95.0,\"p90\":180.0,\"p99\":199.0,\
+                 \"p999\":200.0,\"buckets\":[[256.0,9]]}}}}}}\n",
+            ),
+        )
+        .unwrap();
+        let summary = summarize_trace(&path).unwrap();
+        assert!(summary.contains("serve-metrics snapshots: 2"), "{summary}");
+        assert!(summary.contains("serve.queries"), "{summary}");
+        assert!(summary.contains("40"), "{summary}");
+        assert!(summary.contains("serve.request_ns"), "{summary}");
+        assert!(!summary.contains("campaign:"), "{summary}");
+        // Through the CLI too.
+        dispatch(&parse(&["trace", "summarize", &path])).unwrap();
+
+        // A mixed file — trial trace plus serve snapshots — renders
+        // both planes.
+        let mut mixed = std::fs::read_to_string(&path).unwrap();
+        mixed.insert_str(
+            0,
+            "{\"kind\":\"xbar-trace\",\"campaign\":\"mixed\",\"campaign_seed\":7,\
+             \"total_trials\":1}\n{\"kind\":\"trial\",\"status\":\"ok\",\
+             \"counters\":{\"serve.sessions\":2}}\n",
+        );
+        std::fs::write(&path, mixed).unwrap();
+        let summary = summarize_trace(&path).unwrap();
+        assert!(summary.contains("campaign: mixed"), "{summary}");
+        assert!(summary.contains("serve.sessions"), "{summary}");
+        assert!(summary.contains("serve.request_ns"), "{summary}");
         std::fs::remove_file(&path).ok();
     }
 

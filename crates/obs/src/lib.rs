@@ -36,6 +36,12 @@
 //! * [`scope`] carries the ambient `(collector, trial)` pair through a
 //!   thread so instrumentation sites ([`count`], [`observe`], [`span`])
 //!   need no plumbing.
+//! * [`metrics`] is the second, *live* telemetry plane: log-bucketed
+//!   latency histograms, gauges, and a sharded [`MetricsRegistry`]
+//!   keyed by `(victim, metric)` for long-running services (the
+//!   campaign service's `stats` op scrapes it). Unlike the trial
+//!   plane, its histograms carry timing-class data; its counters and
+//!   bucket *totals* remain deterministic and shard-order-invariant.
 //!
 //! Instrumented layers name their events with the dotted constants in
 //! [`names`]; anything that aggregates traces (the `xbar trace
@@ -46,11 +52,13 @@
 
 pub mod counters;
 pub mod json;
+pub mod metrics;
 pub mod names;
 pub mod scope;
 pub mod trace;
 
 pub use counters::{Counters, SpanStats, TrialObservations, ValueSummary};
+pub use metrics::{Histogram, Metric, MetricsRegistry, MetricsShard, MetricsSnapshot};
 pub use scope::{count, observe, span, with_scope, SpanGuard};
 pub use trace::TraceWriter;
 

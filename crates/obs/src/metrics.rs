@@ -1,0 +1,723 @@
+//! Live service metrics: histograms, gauges, and the sharded
+//! per-victim registry behind the campaign service's `stats` plane.
+//!
+//! This module is the *timing-class* counterpart to the deterministic
+//! trial plane in [`crate::counters`]. Where [`crate::Counters`]
+//! attributes events to campaign trials and guarantees
+//! thread-count-invariant content, the metrics registry attributes
+//! events to long-lived *victims* served by a process and is built for
+//! concurrent hot paths: it is sharded so that each worker or
+//! connection records into its own lock (uncontended in the steady
+//! state), and shards are merged only when a snapshot is scraped.
+//!
+//! The merge is well-defined because every piece of state is a
+//! commutative monoid:
+//!
+//! * counters add;
+//! * histograms hold counts in a *fixed, global* log-spaced bucket
+//!   layout, so [`Histogram::merge`] is element-wise addition —
+//!   associative, commutative, and bit-identical to having recorded
+//!   every value into a single histogram (values are integers, so even
+//!   the running `sum` is exact);
+//! * gauges are last-write-wins and, by convention, only ever set on
+//!   shard 0 (via [`MetricsRegistry::gauge_set`]), so the merge never
+//!   has to arbitrate between shards.
+//!
+//! Snapshots carry both *deterministic* fields (counts, sums of
+//! integer-valued series, bucket totals — a pure function of the
+//! workload served) and *timing* fields (latency quantiles, min/max of
+//! wall-clock series). Consumers that diff snapshots across runs, like
+//! the cross-worker e2e test in `xbar-serve`, compare the former and
+//! only sanity-check the latter.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::JsonValue;
+
+/// The victim-slot name used for server-wide metrics that belong to no
+/// particular victim (in-flight gauges, drain state, request errors
+/// that never resolved a victim).
+pub const SERVER_SCOPE: &str = "_server";
+
+/// Growth factor between consecutive histogram bucket bounds
+/// (`2^(1/4)`, ~19% relative width — quantile estimates are within one
+/// bucket of the exact order statistic, i.e. within this factor).
+pub const BUCKET_GROWTH: f64 = 1.189_207_115_002_721;
+
+/// Number of log-spaced buckets: 4 per octave over 44 octaves covers
+/// `1` to `2^44` (~4.9 hours when values are nanoseconds). Values of 0
+/// land in the first bucket; larger values clamp into the last.
+pub const NUM_BUCKETS: usize = 4 * 44;
+
+/// The shared bucket upper bounds (`le` bounds, inclusive). One global
+/// layout — never parameterised per histogram — is what makes
+/// [`Histogram::merge`] total: any two histograms can merge.
+fn bucket_bounds() -> &'static [f64; NUM_BUCKETS] {
+    static BOUNDS: OnceLock<[f64; NUM_BUCKETS]> = OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut bounds = [0.0; NUM_BUCKETS];
+        let mut bound = 1.0f64;
+        for slot in bounds.iter_mut() {
+            *slot = bound;
+            bound *= BUCKET_GROWTH;
+        }
+        bounds
+    })
+}
+
+/// Index of the bucket whose `(prev_bound, bound]` range contains
+/// `value` (bucket 0 also absorbs 0; the last bucket absorbs overflow).
+fn bucket_index(value: u64) -> usize {
+    let bounds = bucket_bounds();
+    let v = value as f64;
+    bounds
+        .partition_point(|bound| *bound < v)
+        .min(NUM_BUCKETS - 1)
+}
+
+/// A fixed-layout log-spaced histogram over non-negative integer
+/// values (by convention nanoseconds, sample counts, byte counts, …).
+///
+/// Tracks exact `count`, `sum`, `min`, `max` alongside the bucket
+/// counts; quantiles ([`Histogram::quantile`]) are estimated from the
+/// buckets and are within one bucket's relative error
+/// ([`BUCKET_GROWTH`]) of the exact order statistic.
+///
+/// Everything is integer state, so [`Histogram::merge`] is exactly
+/// associative and commutative, and merging per-shard histograms is
+/// bit-identical to recording every value into one histogram — the
+/// contract the property tests in `tests/proptest_metrics.rs` pin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(u128::from(value));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded values (saturating).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from the buckets.
+    ///
+    /// The estimate is the geometric midpoint of the bucket holding the
+    /// exact order statistic `sorted[ceil(q·count) - 1]`, clamped to
+    /// the exact `[min, max]`; it is therefore within a factor of
+    /// [`BUCKET_GROWTH`] of the exact value. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &bucket_count) in self.counts.iter().enumerate() {
+            cumulative += bucket_count;
+            if cumulative >= rank {
+                let bounds = bucket_bounds();
+                let hi = bounds[i];
+                let lo = if i == 0 {
+                    hi / BUCKET_GROWTH
+                } else {
+                    bounds[i - 1]
+                };
+                let estimate = (lo * hi).sqrt();
+                return estimate.clamp(self.min as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Folds `other` into `self` — element-wise bucket addition plus
+    /// exact min/max/sum/count merges. Associative, commutative, and
+    /// equal to single-histogram recording of the union of values.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The non-empty buckets as `(le_bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        let bounds = bucket_bounds();
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(i, &count)| (bounds[i], count))
+            .collect()
+    }
+
+    /// The JSON snapshot encoding. `count`, `sum`, `min`, `max` and the
+    /// bucket counts are deterministic for a deterministic workload;
+    /// `p50`/`p90`/`p99`/`p999` are bucket estimates. An empty
+    /// histogram encodes with all-zero scalars and no buckets.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.push("count", self.count)
+            .push("sum", self.sum.min(u128::from(u64::MAX)) as u64)
+            .push("min", self.min())
+            .push("max", self.max())
+            .push("p50", self.quantile(0.50))
+            .push("p90", self.quantile(0.90))
+            .push("p99", self.quantile(0.99))
+            .push("p999", self.quantile(0.999));
+        let buckets = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(le, count)| JsonValue::Array(vec![JsonValue::F64(le), JsonValue::U64(count)]))
+            .collect();
+        obj.push("buckets", JsonValue::Array(buckets));
+        obj
+    }
+}
+
+/// One live metric: a monotone counter, a last-write-wins gauge, or a
+/// log-bucketed histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// An instantaneous level (set, not accumulated).
+    Gauge(f64),
+    /// A value distribution.
+    Histogram(Histogram),
+}
+
+type MetricKey = (String, String);
+
+/// One shard of the live metrics plane: a mutex-guarded map from
+/// `(victim, metric)` to [`Metric`].
+///
+/// Hot paths hold only their own shard's lock, so with one shard per
+/// worker/connection the common case is uncontended. All methods take
+/// `&self`.
+#[derive(Debug, Default)]
+pub struct MetricsShard {
+    inner: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl MetricsShard {
+    /// An empty shard.
+    pub fn new() -> Self {
+        MetricsShard::default()
+    }
+
+    /// Adds `delta` to the counter `(victim, name)`.
+    ///
+    /// If the key already holds a different metric kind the call is
+    /// ignored (names are library constants; a kind clash is a bug
+    /// caught by `debug_assert`).
+    pub fn counter_add(&self, victim: &str, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics shard lock");
+        let entry = inner
+            .entry((victim.to_string(), name.to_string()))
+            .or_insert(Metric::Counter(0));
+        match entry {
+            Metric::Counter(total) => *total += delta,
+            _ => debug_assert!(false, "metric {victim}/{name} is not a counter"),
+        }
+    }
+
+    /// Sets the gauge `(victim, name)` to `value`.
+    pub fn gauge_set(&self, victim: &str, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics shard lock");
+        let entry = inner
+            .entry((victim.to_string(), name.to_string()))
+            .or_insert(Metric::Gauge(0.0));
+        match entry {
+            Metric::Gauge(current) => *current = value,
+            _ => debug_assert!(false, "metric {victim}/{name} is not a gauge"),
+        }
+    }
+
+    /// Records `value` into the histogram `(victim, name)`.
+    pub fn record(&self, victim: &str, name: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("metrics shard lock");
+        let entry = inner
+            .entry((victim.to_string(), name.to_string()))
+            .or_insert_with(|| Metric::Histogram(Histogram::new()));
+        match entry {
+            Metric::Histogram(histogram) => histogram.record(value),
+            _ => debug_assert!(false, "metric {victim}/{name} is not a histogram"),
+        }
+    }
+
+    /// A copy of this shard's metrics (used by the registry merge).
+    fn drain_copy(&self) -> BTreeMap<MetricKey, Metric> {
+        self.inner.lock().expect("metrics shard lock").clone()
+    }
+}
+
+/// The sharded live-metrics registry.
+///
+/// Construction fixes the shard count; recording sites obtain an
+/// `Arc<MetricsShard>` via [`MetricsRegistry::shard`] (indices wrap, so
+/// any worker/connection ordinal is a valid pick) and record into it
+/// without touching any global lock. [`MetricsRegistry::snapshot`]
+/// merges all shards into one coherent [`MetricsSnapshot`]; because
+/// counter addition and [`Histogram::merge`] are associative and
+/// commutative, the merged deterministic fields are independent of how
+/// work was spread over shards.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: Vec<Arc<MetricsShard>>,
+}
+
+impl MetricsRegistry {
+    /// A registry with `shards` shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        MetricsRegistry {
+            shards: (0..shards.max(1))
+                .map(|_| Arc::new(MetricsShard::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard for ordinal `index` (wraps modulo the shard count).
+    pub fn shard(&self, index: usize) -> Arc<MetricsShard> {
+        Arc::clone(&self.shards[index % self.shards.len()])
+    }
+
+    /// Sets a gauge on shard 0 — the convention that keeps gauges
+    /// single-writer so the shard merge never arbitrates between stale
+    /// copies.
+    pub fn gauge_set(&self, victim: &str, name: &str, value: f64) {
+        self.shards[0].gauge_set(victim, name, value);
+    }
+
+    /// Merges every shard into one coherent snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut merged: BTreeMap<MetricKey, Metric> = BTreeMap::new();
+        for shard in &self.shards {
+            for (key, metric) in shard.drain_copy() {
+                match merged.entry(key) {
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(metric);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut slot) => {
+                        match (slot.get_mut(), metric) {
+                            (Metric::Counter(total), Metric::Counter(delta)) => *total += delta,
+                            (Metric::Histogram(mine), Metric::Histogram(theirs)) => {
+                                mine.merge(&theirs)
+                            }
+                            // Gauges are single-writer (shard 0); a
+                            // duplicate on another shard is ignored.
+                            (Metric::Gauge(_), Metric::Gauge(_)) => {}
+                            _ => debug_assert!(false, "metric kind clash across shards"),
+                        }
+                    }
+                }
+            }
+        }
+        MetricsSnapshot { metrics: merged }
+    }
+}
+
+/// A coherent point-in-time merge of every shard's metrics, grouped by
+/// victim on encode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    metrics: BTreeMap<MetricKey, Metric>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        MetricsSnapshot {
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// The metric `(victim, name)`, if present.
+    pub fn get(&self, victim: &str, name: &str) -> Option<&Metric> {
+        self.metrics.get(&(victim.to_string(), name.to_string()))
+    }
+
+    /// The counter `(victim, name)`, or 0 if absent.
+    pub fn counter(&self, victim: &str, name: &str) -> u64 {
+        match self.get(victim, name) {
+            Some(Metric::Counter(total)) => *total,
+            _ => 0,
+        }
+    }
+
+    /// The victims (scopes) present, sorted and deduplicated.
+    pub fn victims(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.metrics.keys().map(|(v, _)| v.as_str()).collect();
+        names.dedup();
+        names
+    }
+
+    /// Iterates `(victim, name, metric)` in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, &Metric)> {
+        self.metrics
+            .iter()
+            .map(|((victim, name), metric)| (victim.as_str(), name.as_str(), metric))
+    }
+
+    /// The snapshot as JSON: `{"victims": {victim: {"counters": {...},
+    /// "gauges": {...}, "histograms": {name: {...}}}}}`.
+    pub fn to_json(&self) -> JsonValue {
+        let mut victims = JsonValue::object();
+        let mut current: Option<(&str, JsonValue, JsonValue, JsonValue)> = None;
+        let flush = |victims: &mut JsonValue,
+                     entry: Option<(&str, JsonValue, JsonValue, JsonValue)>| {
+            if let Some((victim, counters, gauges, histograms)) = entry {
+                let mut obj = JsonValue::object();
+                obj.push("counters", counters)
+                    .push("gauges", gauges)
+                    .push("histograms", histograms);
+                victims.push(victim, obj);
+            }
+        };
+        for (victim, name, metric) in self.iter() {
+            let start_new = !matches!(&current, Some((v, ..)) if *v == victim);
+            if start_new {
+                flush(&mut victims, current.take());
+                current = Some((
+                    victim,
+                    JsonValue::object(),
+                    JsonValue::object(),
+                    JsonValue::object(),
+                ));
+            }
+            let (_, counters, gauges, histograms) = current.as_mut().expect("just set");
+            match metric {
+                Metric::Counter(total) => {
+                    counters.push(name, *total);
+                }
+                Metric::Gauge(value) => {
+                    gauges.push(name, *value);
+                }
+                Metric::Histogram(histogram) => {
+                    histograms.push(name, histogram.to_json());
+                }
+            }
+        }
+        flush(&mut victims, current.take());
+        let mut obj = JsonValue::object();
+        obj.push("victims", victims);
+        obj
+    }
+
+    /// The snapshot in Prometheus text exposition format. Metric names
+    /// are sanitised (`serve.request_ns` → `xbar_serve_request_ns`),
+    /// the victim becomes a `victim` label, counters gain `_total`, and
+    /// histograms emit cumulative `_bucket{le=...}` series plus `_sum`
+    /// and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitise(name: &str) -> String {
+            let cleaned: String = name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            format!("xbar_{cleaned}")
+        }
+
+        // Group by metric name so each gets exactly one # TYPE header.
+        let mut by_name: BTreeMap<&str, Vec<(&str, &Metric)>> = BTreeMap::new();
+        for (victim, name, metric) in self.iter() {
+            by_name.entry(name).or_default().push((victim, metric));
+        }
+        let mut out = String::new();
+        for (name, series) in by_name {
+            let base = sanitise(name);
+            match series.first().map(|(_, m)| m) {
+                Some(Metric::Counter(_)) => {
+                    out.push_str(&format!("# TYPE {base}_total counter\n"));
+                    for (victim, metric) in &series {
+                        if let Metric::Counter(total) = metric {
+                            out.push_str(&format!("{base}_total{{victim=\"{victim}\"}} {total}\n"));
+                        }
+                    }
+                }
+                Some(Metric::Gauge(_)) => {
+                    out.push_str(&format!("# TYPE {base} gauge\n"));
+                    for (victim, metric) in &series {
+                        if let Metric::Gauge(value) = metric {
+                            out.push_str(&format!("{base}{{victim=\"{victim}\"}} {value}\n"));
+                        }
+                    }
+                }
+                Some(Metric::Histogram(_)) => {
+                    out.push_str(&format!("# TYPE {base} histogram\n"));
+                    for (victim, metric) in &series {
+                        if let Metric::Histogram(histogram) = metric {
+                            let mut cumulative = 0u64;
+                            for (le, count) in histogram.nonzero_buckets() {
+                                cumulative += count;
+                                out.push_str(&format!(
+                                    "{base}_bucket{{victim=\"{victim}\",le=\"{le}\"}} {cumulative}\n"
+                                ));
+                            }
+                            out.push_str(&format!(
+                                "{base}_bucket{{victim=\"{victim}\",le=\"+Inf\"}} {}\n",
+                                histogram.count()
+                            ));
+                            out.push_str(&format!(
+                                "{base}_sum{{victim=\"{victim}\"}} {}\n",
+                                histogram.sum().min(u128::from(u64::MAX))
+                            ));
+                            out.push_str(&format!(
+                                "{base}_count{{victim=\"{victim}\"}} {}\n",
+                                histogram.count()
+                            ));
+                        }
+                    }
+                }
+                None => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_clamped() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        let mut last = 0;
+        for v in [2u64, 10, 1000, 1 << 20, 1 << 43] {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index not monotone at {v}");
+            last = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_scalars() {
+        let mut h = Histogram::new();
+        for v in [5u64, 10, 1000, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1018);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 254.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_within_one_bucket() {
+        let mut h = Histogram::new();
+        let values: Vec<u64> = (1..=1000).map(|i| i * 7 + 13).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1] as f64;
+            let estimate = h.quantile(q);
+            let ratio = estimate / exact;
+            assert!(
+                (1.0 / BUCKET_GROWTH..=BUCKET_GROWTH).contains(&ratio),
+                "q={q}: estimate {estimate} vs exact {exact} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_clean() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        let rendered = h.to_json().render();
+        assert!(rendered.contains("\"count\":0"), "{rendered}");
+        assert!(rendered.contains("\"buckets\":[]"), "{rendered}");
+        assert!(!rendered.contains("null"), "{rendered}");
+    }
+
+    #[test]
+    fn merge_equals_single_recording() {
+        let values: Vec<u64> = (0..200).map(|i| (i * i + 1) as u64).collect();
+        let mut single = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            single.record(v);
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, single);
+        assert_eq!(ba, single);
+    }
+
+    #[test]
+    fn registry_merges_shards_deterministically() {
+        let registry = MetricsRegistry::new(3);
+        for i in 0..30u64 {
+            let shard = registry.shard(i as usize);
+            shard.counter_add("mnist", "serve.queries", 1);
+            shard.record("mnist", "serve.request_ns", 100 + i);
+        }
+        registry.gauge_set("_server", "serve.inflight", 4.0);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("mnist", "serve.queries"), 30);
+        match snapshot.get("mnist", "serve.request_ns") {
+            Some(Metric::Histogram(h)) => {
+                assert_eq!(h.count(), 30);
+                assert_eq!(h.min(), 100);
+                assert_eq!(h.max(), 129);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert!(matches!(
+            snapshot.get("_server", "serve.inflight"),
+            Some(Metric::Gauge(v)) if *v == 4.0
+        ));
+        // The same workload recorded on one shard snapshots identically
+        // (modulo nothing: all state is a commutative monoid).
+        let solo = MetricsRegistry::new(1);
+        for i in 0..30u64 {
+            let shard = solo.shard(0);
+            shard.counter_add("mnist", "serve.queries", 1);
+            shard.record("mnist", "serve.request_ns", 100 + i);
+        }
+        solo.gauge_set("_server", "serve.inflight", 4.0);
+        assert_eq!(solo.snapshot(), snapshot);
+    }
+
+    #[test]
+    fn snapshot_json_groups_by_victim() {
+        let registry = MetricsRegistry::new(2);
+        registry.shard(0).counter_add("a", "serve.requests", 2);
+        registry.shard(1).counter_add("b", "serve.requests", 3);
+        registry.shard(0).record("a", "serve.request_ns", 50);
+        registry.gauge_set("_server", "serve.inflight", 0.0);
+        let rendered = registry.snapshot().to_json().render();
+        assert!(rendered.contains("\"victims\""), "{rendered}");
+        assert!(rendered.contains("\"a\""), "{rendered}");
+        assert!(rendered.contains("\"serve.requests\":2"), "{rendered}");
+        assert!(rendered.contains("\"serve.requests\":3"), "{rendered}");
+        assert!(rendered.contains("\"serve.inflight\":0.0"), "{rendered}");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let registry = MetricsRegistry::new(1);
+        let shard = registry.shard(0);
+        shard.counter_add("mnist", "serve.queries", 7);
+        for v in [10u64, 20, 20, 4000] {
+            shard.record("mnist", "serve.request_ns", v);
+        }
+        registry.gauge_set("_server", "serve.inflight", 2.0);
+        let text = registry.snapshot().to_prometheus();
+        assert!(
+            text.contains("# TYPE xbar_serve_queries_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("xbar_serve_queries_total{victim=\"mnist\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE xbar_serve_request_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("xbar_serve_request_ns_count{victim=\"mnist\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("le=\"+Inf\"}} 4") || text.contains("le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE xbar_serve_inflight gauge"), "{text}");
+        // Bucket series are cumulative and end at the total count.
+        let last_bucket = text
+            .lines()
+            .rfind(|l| l.starts_with("xbar_serve_request_ns_bucket"))
+            .unwrap();
+        assert!(last_bucket.ends_with(" 4"), "{last_bucket}");
+    }
+}

@@ -126,3 +126,56 @@ pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 /// Span: one client request handled by the campaign service, from parse
 /// to response write.
 pub const SPAN_SERVE_REQUEST: &str = "serve.request";
+
+// --- Live metrics plane (crate::metrics, scraped via the `stats` op) ---
+//
+// These name the campaign service's *live* metrics, keyed by victim in
+// a [`crate::MetricsRegistry`] rather than by trial. Counters and
+// histogram bucket totals are deterministic for a deterministic
+// workload; `*_ns` histograms carry wall-clock timing.
+
+/// Live counter: client requests handled (any op, any outcome).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+
+/// Live counter: oracle queries answered on behalf of a victim.
+pub const SERVE_QUERIES: &str = "serve.queries";
+
+/// Live counter name prefix: rejected requests, one counter per
+/// rejection code (`serve.reject.busy`, `serve.reject.session_table_full`,
+/// ...).
+pub const SERVE_REJECT_PREFIX: &str = "serve.reject.";
+
+/// Live histogram (ns): end-to-end per-request latency, from line parse
+/// to response write.
+pub const SERVE_REQUEST_NS: &str = "serve.request_ns";
+
+/// Live histogram (ns): time a query job waited in the coalescing queue
+/// before a worker picked it up.
+pub const SERVE_QUEUE_WAIT_NS: &str = "serve.queue_wait_ns";
+
+/// Live histogram (queries): occupancy of each per-victim evaluation
+/// batch a worker flushed. Its *sum* equals total queries evaluated and
+/// is deterministic; its count/distribution depends on timing.
+pub const SERVE_FLUSH_OCCUPANCY: &str = "serve.flush_occupancy";
+
+/// Live counter: batches flushed because they reached the size cap.
+pub const SERVE_FLUSH_SIZE: &str = "serve.flush_size";
+
+/// Live counter: batches flushed before filling — deadline expiry,
+/// queue drain, or coalescing disabled.
+pub const SERVE_FLUSH_DEADLINE: &str = "serve.flush_deadline";
+
+/// Live histogram (ns): latency of each durable session-journal write.
+pub const SERVE_JOURNAL_WRITE_NS: &str = "serve.journal_write_ns";
+
+/// Live gauge: query jobs currently in flight (enqueued, not yet
+/// answered), sampled at scrape time.
+pub const SERVE_INFLIGHT: &str = "serve.inflight";
+
+/// Live gauge: attached sessions in the session table, sampled at
+/// scrape time.
+pub const SERVE_ATTACHED_SESSIONS: &str = "serve.attached_sessions";
+
+/// Live gauge: 1 while the server is draining (shutdown requested),
+/// else 0.
+pub const SERVE_DRAINING: &str = "serve.draining";

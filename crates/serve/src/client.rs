@@ -125,6 +125,27 @@ impl Client {
             .ok_or_else(|| ServeError::Protocol("close response missing status".into()))
     }
 
+    /// Scrapes the live metrics plane as a JSON snapshot. Read-only:
+    /// consumes no budget and is answered even while the server drains
+    /// or its session table is full.
+    pub fn stats(&mut self) -> Result<serde::Value> {
+        let response = Self::expect_ok(self.request(&Request::new("stats"))?)?;
+        response
+            .stats
+            .ok_or_else(|| ServeError::Protocol("stats response missing stats".into()))
+    }
+
+    /// Scrapes the live metrics plane in Prometheus text exposition
+    /// format.
+    pub fn stats_prometheus(&mut self) -> Result<String> {
+        let mut request = Request::new("stats");
+        request.format = Some("prom".to_string());
+        let response = Self::expect_ok(self.request(&request)?)?;
+        response
+            .text
+            .ok_or_else(|| ServeError::Protocol("stats response missing text".into()))
+    }
+
     /// Asks the server to drain and exit.
     pub fn shutdown_server(&mut self) -> Result<()> {
         Self::expect_ok(self.request(&Request::new("shutdown"))?)?;

@@ -27,6 +27,9 @@ use std::time::{Duration, Instant};
 
 use xbar_core::oracle::{Observation, Oracle, QueryKey};
 use xbar_obs::names;
+use xbar_obs::MetricsShard;
+
+use crate::metrics::ServeMetrics;
 
 /// One evaluation job: a contiguous slice of one session's reserved
 /// queries, plus the channel its observations go back on.
@@ -41,6 +44,13 @@ pub struct Job {
     pub keys: Vec<QueryKey>,
     /// Where the observations (or an evaluation error) are delivered.
     pub reply: mpsc::Sender<std::result::Result<Vec<Observation>, String>>,
+}
+
+/// A [`Job`] plus the instant it entered the queue, so the dequeuing
+/// worker can attribute queue-wait latency to the job's victim.
+struct QueuedJob {
+    job: Job,
+    enqueued: Instant,
 }
 
 /// Coalescing policy for a worker pool.
@@ -69,7 +79,7 @@ impl Default for CoalescePolicy {
 /// connection; drop every clone (and the pool's own) to initiate drain.
 #[derive(Clone)]
 pub struct Coalescer {
-    tx: mpsc::Sender<Job>,
+    tx: mpsc::Sender<QueuedJob>,
     inflight: Arc<AtomicUsize>,
     max_inflight: usize,
 }
@@ -91,13 +101,23 @@ impl Coalescer {
             return Err(job);
         }
         xbar_obs::observe(names::SERVE_QUEUE_DEPTH, (occupied + samples) as f64);
-        match self.tx.send(job) {
+        let queued = QueuedJob {
+            job,
+            enqueued: Instant::now(),
+        };
+        match self.tx.send(queued) {
             Ok(()) => Ok(()),
-            Err(mpsc::SendError(job)) => {
+            Err(mpsc::SendError(queued)) => {
                 self.inflight.fetch_sub(samples, Ordering::SeqCst);
-                Err(job)
+                Err(queued.job)
             }
         }
+    }
+
+    /// Samples currently enqueued-but-unevaluated (the backpressure
+    /// level) — scraped as the `serve.inflight` gauge.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
     }
 }
 
@@ -111,26 +131,30 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Spawns `workers` evaluation threads applying `policy`.
     /// `max_inflight` caps queued samples across the pool
-    /// (backpressure); `collector` observes the pool when given.
+    /// (backpressure); `collector` observes the pool's trial plane and
+    /// `metrics` its live plane (each worker records into its own
+    /// shard) when given.
     pub fn start(
         workers: usize,
         policy: CoalescePolicy,
         max_inflight: usize,
         collector: Option<Arc<dyn xbar_obs::Collector>>,
+        metrics: Option<&ServeMetrics>,
     ) -> Self {
-        let (tx, rx) = mpsc::channel::<Job>();
+        let (tx, rx) = mpsc::channel::<QueuedJob>();
         let rx = Arc::new(Mutex::new(rx));
         let inflight = Arc::new(AtomicUsize::new(0));
         let handles = (0..workers.max(1))
-            .map(|_| {
+            .map(|index| {
                 let rx = Arc::clone(&rx);
                 let inflight = Arc::clone(&inflight);
                 let collector = collector.clone();
+                let shard = metrics.map(|m| m.worker_shard(index));
                 std::thread::spawn(move || match collector {
                     Some(collector) => xbar_obs::with_scope(collector, None, || {
-                        worker_loop(&rx, &inflight, policy)
+                        worker_loop(&rx, &inflight, policy, shard.as_deref())
                     }),
-                    None => worker_loop(&rx, &inflight, policy),
+                    None => worker_loop(&rx, &inflight, policy, shard.as_deref()),
                 })
             })
             .collect();
@@ -160,7 +184,12 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, inflight: &AtomicUsize, policy: CoalescePolicy) {
+fn worker_loop(
+    rx: &Mutex<mpsc::Receiver<QueuedJob>>,
+    inflight: &AtomicUsize,
+    policy: CoalescePolicy,
+    shard: Option<&MetricsShard>,
+) {
     loop {
         // One worker at a time owns the receiver, from blocking recv
         // through batch accumulation; it releases before evaluating, so
@@ -169,22 +198,22 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, inflight: &AtomicUsize, policy: 
         // progressing toward release — blocked recv ends when a job
         // arrives, accumulation ends on size or deadline — so waiters
         // starve for at most one flush window.
-        let (jobs, samples) = {
+        let (queued, samples) = {
             let queue = rx.lock().expect("queue lock");
             let first = match queue.recv() {
                 Ok(job) => job,
                 // Every sender gone: drained, exit.
                 Err(mpsc::RecvError) => return,
             };
-            let mut jobs = vec![first];
-            let mut samples = jobs[0].inputs.len();
+            let mut queued = vec![first];
+            let mut samples = queued[0].job.inputs.len();
             if policy.enabled {
                 let deadline = Instant::now() + policy.flush_after;
                 while samples < policy.max_batch {
                     match queue.try_recv() {
                         Ok(job) => {
-                            samples += job.inputs.len();
-                            jobs.push(job);
+                            samples += job.job.inputs.len();
+                            queued.push(job);
                         }
                         Err(mpsc::TryRecvError::Empty) => {
                             if Instant::now() >= deadline {
@@ -196,16 +225,36 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, inflight: &AtomicUsize, policy: 
                     }
                 }
             }
-            (jobs, samples)
+            (queued, samples)
         };
-        evaluate(&jobs);
+        if let Some(shard) = shard {
+            // Flush reason: did the batch fill, or did it go out early
+            // (deadline expiry, queue drain, coalescing disabled)?
+            let reason = if samples >= policy.max_batch {
+                names::SERVE_FLUSH_SIZE
+            } else {
+                names::SERVE_FLUSH_DEADLINE
+            };
+            shard.counter_add(xbar_obs::metrics::SERVER_SCOPE, reason, 1);
+            let now = Instant::now();
+            for q in &queued {
+                let wait = now.saturating_duration_since(q.enqueued);
+                shard.record(
+                    &q.job.victim,
+                    names::SERVE_QUEUE_WAIT_NS,
+                    wait.as_nanos() as u64,
+                );
+            }
+        }
+        let jobs: Vec<Job> = queued.into_iter().map(|q| q.job).collect();
+        evaluate(&jobs, shard);
         inflight.fetch_sub(samples, Ordering::SeqCst);
     }
 }
 
 /// Evaluates a flush group: one keyed batch per victim, results split
 /// back per job.
-fn evaluate(jobs: &[Job]) {
+fn evaluate(jobs: &[Job], shard: Option<&MetricsShard>) {
     // Group job indices by victim name, preserving arrival order.
     let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
     for (i, job) in jobs.iter().enumerate() {
@@ -214,7 +263,7 @@ fn evaluate(jobs: &[Job]) {
             None => groups.push((&job.victim, vec![i])),
         }
     }
-    for (_, members) in &groups {
+    for (victim, members) in &groups {
         let oracle = &jobs[members[0]].oracle;
         let mut inputs: Vec<&[f64]> = Vec::new();
         let mut keys: Vec<QueryKey> = Vec::new();
@@ -224,6 +273,12 @@ fn evaluate(jobs: &[Job]) {
         }
         xbar_obs::count(names::SERVE_COALESCED_BATCH, 1);
         xbar_obs::observe(names::SERVE_BATCH_OCCUPANCY, inputs.len() as f64);
+        if let Some(shard) = shard {
+            // The occupancy histogram's *sum* is the total samples
+            // evaluated for this victim (deterministic); its count and
+            // spread describe how coalescing happened to batch them.
+            shard.record(victim, names::SERVE_FLUSH_OCCUPANCY, inputs.len() as u64);
+        }
         match oracle.observe_batch_keyed(&inputs, &keys) {
             Ok(mut observations) => {
                 for &i in members {
@@ -288,7 +343,7 @@ mod tests {
     #[test]
     fn coalesced_results_match_direct_keyed_evaluation() {
         let oracle = victim();
-        let pool = WorkerPool::start(2, CoalescePolicy::default(), 1024, None);
+        let pool = WorkerPool::start(2, CoalescePolicy::default(), 1024, None, None);
         let coalescer = pool.coalescer();
         let inputs_a = vec![vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]];
         let inputs_b = vec![vec![-0.1, 0.7, 0.0]];
@@ -317,7 +372,7 @@ mod tests {
     fn backpressure_rejects_without_losing_jobs() {
         let oracle = victim();
         // One worker, tiny in-flight cap.
-        let pool = WorkerPool::start(1, CoalescePolicy::default(), 2, None);
+        let pool = WorkerPool::start(1, CoalescePolicy::default(), 2, None, None);
         let coalescer = pool.coalescer();
         let (job_big, _rx) = job(&oracle, 1, 0, vec![vec![0.0; 3]; 3]);
         // 3 samples > cap of 2: rejected, job returned intact.
@@ -334,7 +389,7 @@ mod tests {
     #[test]
     fn shutdown_drains_pending_jobs() {
         let oracle = victim();
-        let pool = WorkerPool::start(1, CoalescePolicy::default(), 4096, None);
+        let pool = WorkerPool::start(1, CoalescePolicy::default(), 4096, None, None);
         let coalescer = pool.coalescer();
         let receivers: Vec<_> = (0..32)
             .map(|i| {

@@ -32,6 +32,10 @@
 //!   queries, flushing on size or deadline.
 //! * [`server`] — [`Server`]: the TCP accept loop, admission control,
 //!   backpressure, and graceful drain.
+//! * [`metrics`] — the live telemetry plane's shard layout
+//!   ([`metrics::ServeMetrics`]): per-worker and per-handler metric
+//!   shards merged on scrape, exposed through the read-only `stats` op
+//!   and the periodic `--metrics` snapshot file.
 //! * [`client`] — [`Client`]: a small blocking client used by the
 //!   bench driver, the CI smoke test, and the integration tests.
 
@@ -40,12 +44,14 @@
 
 pub mod client;
 pub mod coalesce;
+pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod session;
 
 pub use client::Client;
+pub use metrics::{ServeMetrics, METRICS_RECORD_KIND};
 pub use protocol::{codes, Request, Response, SessionStatus};
 pub use registry::VictimRegistry;
 pub use server::{ServeConfig, Server};

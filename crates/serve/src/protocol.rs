@@ -62,11 +62,16 @@ pub mod codes {
 ///   (optional, `None` = unlimited).
 /// * `"query"` — issue a batch: `session` + non-empty `inputs`.
 /// * `"close"` — detach a session (its state persists for resume).
+/// * `"stats"` — scrape the live metrics plane. Read-only: consumes no
+///   budget, needs no session, and is admitted even when the session
+///   table is full or the server is draining. `format` selects the
+///   encoding: absent/`"json"` fills [`Response::stats`], `"prom"`
+///   fills [`Response::text`] with Prometheus exposition format.
 /// * `"shutdown"` — ask the server to drain and exit (used by the
 ///   bench driver and CI smoke test).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
-    /// Operation: `hello` | `query` | `close` | `shutdown`.
+    /// Operation: `hello` | `query` | `close` | `stats` | `shutdown`.
     pub op: String,
     /// Session id (client-chosen, stable across reconnects).
     pub session: Option<String>,
@@ -78,6 +83,8 @@ pub struct Request {
     pub budget: Option<u64>,
     /// Query inputs, one vector per query (`query`).
     pub inputs: Option<Vec<Vec<f64>>>,
+    /// Output encoding for `stats`: `"json"` (default) or `"prom"`.
+    pub format: Option<String>,
 }
 
 impl Request {
@@ -90,6 +97,7 @@ impl Request {
             seed: None,
             budget: None,
             inputs: None,
+            format: None,
         }
     }
 }
@@ -124,6 +132,10 @@ pub struct Response {
     pub status: Option<SessionStatus>,
     /// The batch's results, in input order (`query`).
     pub records: Option<Vec<QueryRecord>>,
+    /// Live metrics snapshot (`stats` with JSON format).
+    pub stats: Option<serde::Value>,
+    /// Pre-rendered text payload (`stats` with `"prom"` format).
+    pub text: Option<String>,
 }
 
 impl Response {
@@ -136,6 +148,8 @@ impl Response {
             error: None,
             status: None,
             records: None,
+            stats: None,
+            text: None,
         }
     }
 
@@ -148,6 +162,8 @@ impl Response {
             error: Some(message.into()),
             status: None,
             records: None,
+            stats: None,
+            text: None,
         }
     }
 
@@ -162,6 +178,20 @@ impl Response {
     #[must_use]
     pub fn with_records(mut self, records: Vec<QueryRecord>) -> Self {
         self.records = Some(records);
+        self
+    }
+
+    /// Builder-style setter for [`Response::stats`].
+    #[must_use]
+    pub fn with_stats(mut self, stats: serde::Value) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Builder-style setter for [`Response::text`].
+    #[must_use]
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.text = Some(text.into());
         self
     }
 }
@@ -179,6 +209,31 @@ mod tests {
         let back: Request = serde_json::from_str(&line).unwrap();
         assert_eq!(back, req);
         assert!(back.inputs.is_none());
+    }
+
+    #[test]
+    fn stats_response_roundtrips_arbitrary_value() {
+        let snapshot = serde::Value::Object(vec![(
+            "victims".to_string(),
+            serde::Value::Object(vec![(
+                "mnist".to_string(),
+                serde::Value::Object(vec![(
+                    "counters".to_string(),
+                    serde::Value::Object(vec![(
+                        "serve.queries".to_string(),
+                        serde::Value::U64(42),
+                    )]),
+                )]),
+            )]),
+        )]);
+        let resp = Response::success("stats").with_stats(snapshot.clone());
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.stats, Some(snapshot));
+        let prom = Response::success("stats").with_text("# TYPE x counter\nx 1\n");
+        let line = serde_json::to_string(&prom).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.text.as_deref(), Some("# TYPE x counter\nx 1\n"));
     }
 
     #[test]

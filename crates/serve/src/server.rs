@@ -4,15 +4,19 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use xbar_core::oracle::QueryKey;
+use xbar_obs::json::JsonValue;
+use xbar_obs::metrics::SERVER_SCOPE;
 use xbar_obs::names;
+use xbar_runtime::jsonl::JsonlAppender;
 
 use crate::coalesce::{CoalescePolicy, Coalescer, Job, WorkerPool};
+use crate::metrics::{json_to_value, ServeMetrics, METRICS_RECORD_KIND};
 use crate::protocol::{codes, Request, Response};
 use crate::registry::VictimRegistry;
 use crate::session::SessionManager;
@@ -33,6 +37,12 @@ pub struct ServeConfig {
     pub journal: Option<PathBuf>,
     /// Observability sink for the server's threads (`None` = unobserved).
     pub collector: Option<Arc<dyn xbar_obs::Collector>>,
+    /// Periodic live-metrics snapshot file (`None` = no snapshots). A
+    /// [`METRICS_RECORD_KIND`] JSONL record is appended every
+    /// [`ServeConfig::metrics_every`], plus a final one on drain.
+    pub metrics: Option<PathBuf>,
+    /// Interval between periodic metrics snapshots.
+    pub metrics_every: Duration,
 }
 
 impl Default for ServeConfig {
@@ -44,6 +54,8 @@ impl Default for ServeConfig {
             coalesce: CoalescePolicy::default(),
             journal: None,
             collector: None,
+            metrics: None,
+            metrics_every: Duration::from_secs(1),
         }
     }
 }
@@ -52,6 +64,27 @@ struct Shared {
     registry: VictimRegistry,
     sessions: Mutex<SessionManager>,
     shutdown: AtomicBool,
+    metrics: ServeMetrics,
+}
+
+impl Shared {
+    /// Refreshes the point-in-time gauges and returns a coherent merged
+    /// snapshot of the live metrics plane. Safe at any lifecycle point:
+    /// during drain the session lock and shard locks still exist, so a
+    /// scrape racing a shutdown sees a consistent (if final) picture.
+    fn scrape(&self, coalescer: &Coalescer) -> xbar_obs::MetricsSnapshot {
+        let attached = self
+            .sessions
+            .lock()
+            .expect("sessions lock")
+            .attached_count();
+        self.metrics.refresh_gauges(
+            attached,
+            coalescer.inflight(),
+            self.shutdown.load(Ordering::SeqCst),
+        );
+        self.metrics.registry().snapshot()
+    }
 }
 
 /// A running campaign service.
@@ -66,6 +99,7 @@ pub struct Server {
     shared: Arc<Shared>,
     pool: Option<WorkerPool>,
     accept_handle: Option<JoinHandle<()>>,
+    metrics_handle: Option<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
 }
@@ -78,20 +112,24 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
-        let sessions = match &config.journal {
+        let metrics = ServeMetrics::new(config.workers);
+        let mut sessions = match &config.journal {
             Some(path) => SessionManager::with_journal(config.max_sessions, path)?,
             None => SessionManager::new(config.max_sessions),
         };
+        sessions.set_metrics_shard(metrics.server_shard());
         let shared = Arc::new(Shared {
             registry,
             sessions: Mutex::new(sessions),
             shutdown: AtomicBool::new(false),
+            metrics: metrics.clone(),
         });
         let pool = WorkerPool::start(
             config.workers,
             config.coalesce,
             config.max_inflight,
             config.collector.clone(),
+            Some(&metrics),
         );
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
@@ -107,11 +145,26 @@ impl Server {
             })
         };
 
+        let metrics_handle = match &config.metrics {
+            Some(path) => {
+                let appender = JsonlAppender::create(path)
+                    .map_err(|e| crate::ServeError::Protocol(e.to_string()))?;
+                let shared = Arc::clone(&shared);
+                let coalescer = pool.coalescer();
+                let every = config.metrics_every;
+                Some(std::thread::spawn(move || {
+                    snapshot_loop(appender, &shared, &coalescer, every)
+                }))
+            }
+            None => None,
+        };
+
         Ok(Server {
             addr: local_addr,
             shared,
             pool: Some(pool),
             accept_handle: Some(accept_handle),
+            metrics_handle,
             handlers,
             conns,
         })
@@ -157,10 +210,49 @@ impl Server {
         for handle in handles {
             let _ = handle.join();
         }
-        // 3. Every sender is gone: the workers drain the queue and exit.
+        // 3. The snapshot thread sees the shutdown flag, writes its
+        //    final snapshot, and drops its coalescer clone.
+        if let Some(handle) = self.metrics_handle.take() {
+            let _ = handle.join();
+        }
+        // 4. Every sender is gone: the workers drain the queue and exit.
         if let Some(pool) = self.pool.take() {
             pool.shutdown();
         }
+    }
+}
+
+/// Appends one [`METRICS_RECORD_KIND`] snapshot record to the metrics
+/// file every `every`, polling the shutdown flag between ticks, and a
+/// final record once drain begins. Records carry a monotone `seq` so
+/// consumers can assert snapshot counts only ever grow.
+fn snapshot_loop(
+    mut appender: JsonlAppender,
+    shared: &Shared,
+    coalescer: &Coalescer,
+    every: Duration,
+) {
+    let mut seq = 0u64;
+    let write_snapshot = |seq: u64, appender: &mut JsonlAppender| {
+        let snapshot = shared.scrape(coalescer);
+        let mut record = JsonValue::object();
+        record
+            .push("kind", METRICS_RECORD_KIND)
+            .push("seq", seq)
+            .push("stats", snapshot.to_json());
+        let _ = appender.write_line(&record.render());
+    };
+    loop {
+        let deadline = Instant::now() + every;
+        while Instant::now() < deadline {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                write_snapshot(seq, &mut appender);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25).min(every));
+        }
+        write_snapshot(seq, &mut appender);
+        seq += 1;
     }
 }
 
@@ -172,6 +264,9 @@ fn accept_loop(
     conns: &Arc<Mutex<Vec<TcpStream>>>,
     collector: Option<Arc<dyn xbar_obs::Collector>>,
 ) {
+    // Connection ordinal, used only to spread handlers over the
+    // metrics shard pool.
+    let ordinal = AtomicUsize::new(0);
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -184,11 +279,14 @@ fn accept_loop(
                 let shared = Arc::clone(shared);
                 let coalescer = coalescer.clone();
                 let collector = collector.clone();
+                let shard = shared
+                    .metrics
+                    .handler_shard(ordinal.fetch_add(1, Ordering::Relaxed));
                 let handle = std::thread::spawn(move || match collector {
                     Some(collector) => xbar_obs::with_scope(collector, None, || {
-                        handle_connection(stream, &shared, &coalescer)
+                        handle_connection(stream, &shared, &coalescer, &shard)
                     }),
-                    None => handle_connection(stream, &shared, &coalescer),
+                    None => handle_connection(stream, &shared, &coalescer, &shard),
                 });
                 handlers.lock().expect("handlers lock").push(handle);
             }
@@ -200,7 +298,12 @@ fn accept_loop(
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared, coalescer: &Coalescer) {
+fn handle_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    coalescer: &Coalescer,
+    shard: &xbar_obs::MetricsShard,
+) {
     let mut writer = match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
@@ -217,6 +320,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, coalescer: &Coalescer) 
         if line.trim().is_empty() {
             continue;
         }
+        let started = Instant::now();
         let response = {
             let _span = xbar_obs::span(names::SPAN_SERVE_REQUEST);
             match serde_json::from_str::<Request>(&line) {
@@ -224,6 +328,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, coalescer: &Coalescer) 
                 Err(e) => Response::failure("?", codes::USAGE, format!("bad request: {e}")),
             }
         };
+        record_request_metrics(shard, &response, started);
         let Ok(mut line) = serde_json::to_string(&response) else {
             break;
         };
@@ -238,6 +343,33 @@ fn handle_connection(stream: TcpStream, shared: &Shared, coalescer: &Coalescer) 
     }
 }
 
+/// Records the live-metrics view of one handled request: a request
+/// counter, end-to-end latency, per-code rejection counters, and — for
+/// successful queries — the per-victim query count. Attribution is by
+/// the victim the request resolved to ([`SERVER_SCOPE`] when it never
+/// resolved one: stats/shutdown ops, usage errors, unknown sessions).
+fn record_request_metrics(shard: &xbar_obs::MetricsShard, response: &Response, started: Instant) {
+    let victim = response
+        .status
+        .as_ref()
+        .map_or(SERVER_SCOPE, |status| status.victim.as_str());
+    shard.counter_add(victim, names::SERVE_REQUESTS, 1);
+    shard.record(
+        victim,
+        names::SERVE_REQUEST_NS,
+        started.elapsed().as_nanos() as u64,
+    );
+    if response.ok {
+        if response.op == "query" {
+            let queries = response.records.as_ref().map_or(0, Vec::len) as u64;
+            shard.counter_add(victim, names::SERVE_QUERIES, queries);
+        }
+    } else if let Some(code) = &response.code {
+        let name = format!("{}{code}", names::SERVE_REJECT_PREFIX);
+        shard.counter_add(victim, &name, 1);
+    }
+}
+
 fn handle_request(
     request: &Request,
     shared: &Shared,
@@ -247,6 +379,24 @@ fn handle_request(
     let op = request.op.as_str();
     let draining = shared.shutdown.load(Ordering::SeqCst);
     match op {
+        // `stats` is read-only and consumes no budget or admission
+        // slot, so it is answered unconditionally — before the drain
+        // check (operators scrape *during* drain to watch it finish)
+        // and regardless of session-table occupancy.
+        "stats" => {
+            let snapshot = shared.scrape(coalescer);
+            match request.format.as_deref() {
+                Some("prom") => Response::success(op).with_text(snapshot.to_prometheus()),
+                None | Some("json") => {
+                    Response::success(op).with_stats(json_to_value(&snapshot.to_json()))
+                }
+                Some(other) => Response::failure(
+                    op,
+                    codes::USAGE,
+                    format!("unknown stats format {other:?} (expected \"json\" or \"prom\")"),
+                ),
+            }
+        }
         "hello" if draining => Response::failure(op, codes::SHUTTING_DOWN, "server is draining"),
         "query" if draining => Response::failure(op, codes::SHUTTING_DOWN, "server is draining"),
         "hello" => {

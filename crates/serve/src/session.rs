@@ -17,8 +17,11 @@
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
+use xbar_obs::MetricsShard;
 use xbar_runtime::jsonl::{read_jsonl, JsonlAppender};
 
 use crate::protocol::{codes, SessionStatus};
@@ -95,6 +98,7 @@ pub struct SessionManager {
     attached: HashMap<String, SessionState>,
     detached: HashMap<String, SessionState>,
     journal: Option<JsonlAppender>,
+    metrics: Option<Arc<MetricsShard>>,
 }
 
 impl SessionManager {
@@ -106,7 +110,16 @@ impl SessionManager {
             attached: HashMap::new(),
             detached: HashMap::new(),
             journal: None,
+            metrics: None,
         }
+    }
+
+    /// Installs a live-metrics shard: every durable journal write is
+    /// timed into `serve.journal_write_ns` under the session's victim.
+    /// Callers already serialise on the session-table lock, so one
+    /// shared shard adds no contention.
+    pub fn set_metrics_shard(&mut self, shard: Arc<MetricsShard>) {
+        self.metrics = Some(shard);
     }
 
     /// A persistent manager journaling to `path`. An existing journal
@@ -289,9 +302,16 @@ impl SessionManager {
                 budget: state.budget,
                 used: state.used,
             };
-            journal
-                .write(&record)
-                .map_err(|e| Reject::new(codes::INTERNAL, format!("journal write: {e}")))?;
+            let started = Instant::now();
+            let written = journal.write(&record);
+            if let Some(shard) = &self.metrics {
+                shard.record(
+                    &state.victim,
+                    xbar_obs::names::SERVE_JOURNAL_WRITE_NS,
+                    started.elapsed().as_nanos() as u64,
+                );
+            }
+            written.map_err(|e| Reject::new(codes::INTERNAL, format!("journal write: {e}")))?;
         }
         Ok(())
     }
