@@ -26,7 +26,7 @@ use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
 use xbar_core::pixel_attack::{single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources};
 use xbar_core::probe::{probe_column_norms, probe_norms_compressed};
 use xbar_core::sweep::{attack_and_eval, method_reps};
-use xbar_crossbar::backend::BackendKind;
+use xbar_crossbar::backend::BackendSpec;
 use xbar_crossbar::device::DeviceModel;
 use xbar_crossbar::power::PowerModel;
 use xbar_faults::{FaultInjection, FaultKey, FaultSpec, TransientInjection, TransientSpec};
@@ -123,7 +123,7 @@ pub struct Fig4TrialOutput {
 /// results are bit-identical across backends.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig4Runner {
-    backend: BackendKind,
+    backend: BackendSpec,
     faults: Option<FaultSpec>,
     transients: Option<TransientSpec>,
 }
@@ -131,9 +131,9 @@ pub struct Fig4Runner {
 impl Fig4Runner {
     /// A runner evaluating oracles with the given backend.
     #[must_use]
-    pub fn new(backend: BackendKind) -> Self {
+    pub fn new(backend: impl Into<BackendSpec>) -> Self {
         Fig4Runner {
-            backend,
+            backend: backend.into(),
             faults: None,
             transients: None,
         }
@@ -289,7 +289,7 @@ pub struct Fig5RunOutput {
 /// bit-identical across backends.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fig5Runner {
-    backend: BackendKind,
+    backend: BackendSpec,
     faults: Option<FaultSpec>,
     transients: Option<TransientSpec>,
 }
@@ -297,9 +297,9 @@ pub struct Fig5Runner {
 impl Fig5Runner {
     /// A runner evaluating oracles with the given backend.
     #[must_use]
-    pub fn new(backend: BackendKind) -> Self {
+    pub fn new(backend: impl Into<BackendSpec>) -> Self {
         Fig5Runner {
-            backend,
+            backend: backend.into(),
             faults: None,
             transients: None,
         }
@@ -485,7 +485,7 @@ pub struct AblationOutput {
 pub struct AblationsRunner {
     victim: TrainedVictim,
     strength: f64,
-    backend: BackendKind,
+    backend: BackendSpec,
     faults: Option<FaultSpec>,
     transients: Option<TransientSpec>,
 }
@@ -495,12 +495,12 @@ impl AblationsRunner {
     /// otherwise) at attack strength 4, as in the serial binary, and
     /// evaluates oracles with `backend` (a pure execution detail —
     /// results are bit-identical across backends).
-    pub fn new(quick: bool, backend: BackendKind) -> Self {
+    pub fn new(quick: bool, backend: impl Into<BackendSpec>) -> Self {
         let num_samples = if quick { 800 } else { 3000 };
         AblationsRunner {
             victim: train_victim(DatasetKind::Digits, HeadKind::SoftmaxCe, num_samples, 21),
             strength: 4.0,
-            backend,
+            backend: backend.into(),
             faults: None,
             transients: None,
         }

@@ -19,7 +19,7 @@ use xbar_core::oracle::{Oracle, OracleConfig, OutputAccess};
 use xbar_core::pixel_attack::{single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources};
 use xbar_core::probe::probe_column_norms;
 use xbar_core::report::{fmt, format_table};
-use xbar_crossbar::backend::BackendKind;
+use xbar_crossbar::backend::BackendSpec;
 use xbar_faults::{FaultInjection, FaultKey, FaultSpec};
 use xbar_runtime::{Campaign, TrialContext, TrialRunner};
 use xbar_stats::aggregate::RunSummary;
@@ -176,13 +176,13 @@ pub struct FaultSweepRunner {
     victim: TrainedVictim,
     strength: f64,
     test_eval: usize,
-    backend: BackendKind,
+    backend: BackendSpec,
 }
 
 impl FaultSweepRunner {
     /// Trains the shared victim with [`fault_sweep_params`] sizes at
     /// attack strength 4.
-    pub fn new(quick: bool, backend: BackendKind) -> Self {
+    pub fn new(quick: bool, backend: impl Into<BackendSpec>) -> Self {
         let (num_samples, test_eval, _) = fault_sweep_params(quick);
         FaultSweepRunner {
             victim: train_victim(
@@ -193,7 +193,7 @@ impl FaultSweepRunner {
             ),
             strength: 4.0,
             test_eval,
-            backend,
+            backend: backend.into(),
         }
     }
 
@@ -393,6 +393,7 @@ pub fn run_fault_sweep(opts: &CampaignOptions) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xbar_crossbar::backend::BackendKind;
     use xbar_runtime::{run_campaign, ExecutorConfig, NullSink};
 
     #[test]

@@ -23,7 +23,7 @@ use crate::campaign::{
 };
 use crate::{train_victim, write_json, DatasetKind, HeadKind};
 use xbar_core::report::{fmt, fmt_with_significance, format_table};
-use xbar_crossbar::backend::BackendKind;
+use xbar_crossbar::backend::BackendSpec;
 use xbar_faults::{FaultSpec, TransientSpec};
 use xbar_stats::aggregate::RunSummary;
 use xbar_stats::ttest::welch_t_test;
@@ -77,9 +77,10 @@ pub struct CampaignOptions {
     /// Results JSON path; `None` uses the figure's default under
     /// `results/`.
     pub json_out: Option<String>,
-    /// Oracle evaluation backend. A pure execution detail: results are
-    /// bit-identical across backends.
-    pub backend: BackendKind,
+    /// Oracle evaluation backend (kind, tile sizes, thread count). A
+    /// pure execution detail: results are bit-identical across
+    /// backends.
+    pub backend: BackendSpec,
     /// Optional fault spec injected into every trial's deployed
     /// crossbar, keyed by `(campaign_seed, trial_index)`; `None` runs
     /// on pristine hardware.
@@ -108,7 +109,7 @@ impl CampaignOptions {
             progress: ProgressMode::Stderr,
             progress_every: 1,
             json_out: None,
-            backend: BackendKind::Naive,
+            backend: BackendSpec::default(),
             faults: None,
             transients: None,
             tolerate_failures: false,

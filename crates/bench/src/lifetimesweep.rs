@@ -26,7 +26,7 @@ use xbar_core::oracle::{DriftSchedule, Oracle, OracleConfig, OutputAccess};
 use xbar_core::pixel_attack::{single_pixel_attack_batch, PixelAttackMethod, PixelAttackResources};
 use xbar_core::probe::RecalibrationPolicy;
 use xbar_core::report::{fmt, format_table};
-use xbar_crossbar::backend::BackendKind;
+use xbar_crossbar::backend::BackendSpec;
 use xbar_faults::{FaultInjection, FaultKey, FaultSpec, TransientInjection, TransientSpec};
 use xbar_runtime::{permanent_error, Campaign, TrialContext, TrialRunner};
 use xbar_stats::aggregate::RunSummary;
@@ -179,7 +179,7 @@ pub struct LifetimeSweepRunner {
     victim: TrainedVictim,
     strength: f64,
     test_eval: usize,
-    backend: BackendKind,
+    backend: BackendSpec,
     policy: RecalibrationPolicy,
     quick: bool,
 }
@@ -187,7 +187,7 @@ pub struct LifetimeSweepRunner {
 impl LifetimeSweepRunner {
     /// Trains the shared victim with [`lifetime_sweep_params`] sizes at
     /// attack strength 4, recalibrating under `policy`.
-    pub fn new(quick: bool, backend: BackendKind, policy: RecalibrationPolicy) -> Self {
+    pub fn new(quick: bool, backend: impl Into<BackendSpec>, policy: RecalibrationPolicy) -> Self {
         let (num_samples, test_eval, _) = lifetime_sweep_params(quick);
         LifetimeSweepRunner {
             victim: train_victim(
@@ -198,7 +198,7 @@ impl LifetimeSweepRunner {
             ),
             strength: 4.0,
             test_eval,
-            backend,
+            backend: backend.into(),
             policy,
             quick,
         }
@@ -501,6 +501,7 @@ pub fn run_lifetime_sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xbar_crossbar::backend::BackendKind;
     use xbar_runtime::{run_campaign, ExecutorConfig, FailureClass, NullSink};
 
     #[test]

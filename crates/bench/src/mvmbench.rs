@@ -1,12 +1,20 @@
-//! The `xbar bench mvm` microbenchmark: naive vs blocked batched MVM.
+//! The `xbar bench mvm` microbenchmark: a size x threads matrix over
+//! the evaluation backends.
 //!
-//! Times [`EvalBackend::mvm_batch`] for both backends on one
-//! crossbar-shaped workload (1024x256 outputs x inputs, batch 256 by
-//! default; smaller under `--quick`), verifies the outputs are
-//! bit-identical, and writes a machine-readable report — CI uploads it
-//! as the `BENCH_mvm.json` artifact. A third row times a
-//! [`FaultyBackend`] wrapping the blocked kernel under a representative
-//! fault plan, recording the fault-injection overhead.
+//! For each crossbar size in the matrix (up to 1024x1024 = 1,048,576
+//! devices in the full run; smaller under `--quick`) and each thread
+//! count in 1/2/4/8, one row times the naive, blocked, and parallel
+//! backends on warm [`PreparedEval`](xbar_crossbar::backend::PreparedEval)
+//! handles, verifies the outputs are bit-identical across backends, and
+//! records the prepare-hit vs prepare-miss cost of the prepared-handle
+//! API. A fault-lifecycle section times [`FaultyBackend`] deployment
+//! (plan compile, plan apply, faulted prepare+eval) on the largest
+//! size. CI uploads the report as the `BENCH_mvm.json` artifact and
+//! smoke-asserts `bit_identical` and `parallel_speedup` on every row.
+//!
+//! `host_threads` records the machine's available parallelism so the
+//! thread-scaling columns are interpretable: on a single-core host the
+//! 2/4/8-thread rows measure scheduling overhead, not speedup.
 
 use std::time::Instant;
 
@@ -14,37 +22,85 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use xbar_crossbar::array::CrossbarArray;
-use xbar_crossbar::backend::{BackendKind, EvalBackend};
+use xbar_crossbar::backend::{BackendKind, BackendSpec, EvalBackend};
 use xbar_crossbar::device::DeviceModel;
 use xbar_faults::{FaultKey, FaultSpec, FaultyBackend};
 use xbar_linalg::Matrix;
 
 use crate::write_json;
 
-/// The result of one naive-vs-blocked MVM comparison.
+/// The campaign seed pinning every array, batch, and fault draw.
+const MVM_BENCH_SEED: u64 = 77;
+
+/// Thread counts exercised for the parallel backend in every size row.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One (size x threads) cell of the benchmark matrix.
 #[derive(Debug, Clone, Serialize)]
-pub struct MvmBenchReport {
+pub struct MvmBenchRow {
     /// Crossbar output rows.
     pub outputs: usize,
     /// Crossbar input columns.
     pub inputs: usize,
-    /// Batch size (input vectors per `mvm_batch` call).
+    /// Devices in the array (`outputs * inputs`).
+    pub devices: usize,
+    /// Batch size (input vectors per batched call).
     pub batch: usize,
     /// Timed iterations per backend (after one warm-up).
     pub iterations: usize,
-    /// Mean nanoseconds per `mvm_batch` call, naive backend.
+    /// Parallel-backend thread count for this row.
+    pub threads: usize,
+    /// Mean nanoseconds per warm batched MVM, naive backend.
     pub naive_nanos: u64,
-    /// Mean nanoseconds per `mvm_batch` call, blocked backend.
+    /// Mean nanoseconds per warm batched MVM, blocked backend.
     pub blocked_nanos: u64,
-    /// `naive_nanos / blocked_nanos`.
-    pub speedup: f64,
-    /// Whether the two backends returned bit-identical outputs.
+    /// Mean nanoseconds per warm batched MVM, parallel backend at
+    /// `threads` threads.
+    pub parallel_nanos: u64,
+    /// `naive_nanos / parallel_nanos` — the smoke-tested speedup, safe
+    /// at any host core count because the tiled kernel beats the naive
+    /// per-vector loop even single-threaded.
+    pub parallel_speedup: f64,
+    /// `blocked_nanos / parallel_nanos` — the thread-scaling ratio.
+    /// Only exceeds 1.0 meaningfully when `host_threads` allows it.
+    pub parallel_over_blocked: f64,
+    /// Whether blocked and parallel outputs were bit-identical to the
+    /// naive backend on this row.
     pub bit_identical: bool,
-    /// Mean nanoseconds per `mvm_batch` call, [`FaultyBackend`] over the
-    /// blocked backend with a representative (1% stuck-on, 1% stuck-off,
-    /// σ=0.1 variation) fault plan.
+    /// Mean nanoseconds per `EvalBackend::prepare` (weight
+    /// materialisation plus array snapshot).
+    pub prepare_nanos: u64,
+    /// Batch size used for the prepare-hit vs prepare-miss probe
+    /// (small, so the prepare cost is visible against the evaluation).
+    pub prepared_probe_batch: usize,
+    /// Mean nanoseconds per prepare-miss probe batch: a fresh
+    /// `prepare` followed by one batched MVM (what every deprecated
+    /// per-batch entry point pays per call).
+    pub cold_batch_nanos: u64,
+    /// Mean nanoseconds per prepare-hit probe batch: one batched MVM
+    /// on a reused handle.
+    pub warm_batch_nanos: u64,
+    /// `cold_batch_nanos / warm_batch_nanos` — the payoff of reusing a
+    /// prepared handle across batches.
+    pub prepared_speedup: f64,
+}
+
+/// Fault-injection lifecycle timings on the largest benchmark size.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultLifecycleReport {
+    /// Crossbar output rows of the timed array.
+    pub outputs: usize,
+    /// Crossbar input columns of the timed array.
+    pub inputs: usize,
+    /// Batch size per timed call.
+    pub batch: usize,
+    /// Mean nanoseconds per prepare-miss batch through a
+    /// [`FaultyBackend`] (plan apply + prepare + batched MVM) over the
+    /// blocked kernel with a representative (1% stuck-on, 1% stuck-off,
+    /// sigma=0.1 variation) plan.
     pub faulty_nanos: u64,
-    /// `faulty_nanos / blocked_nanos`: the fault-injection overhead.
+    /// `faulty_nanos` over the bare blocked backend's prepare-miss
+    /// cost: the per-deployment fault-injection overhead.
     pub fault_overhead: f64,
     /// Whether a [`FaultyBackend`] carrying an *empty* fault plan
     /// returned outputs bit-identical to the bare blocked backend.
@@ -58,61 +114,156 @@ pub struct MvmBenchReport {
     pub fault_apply_nanos: u64,
 }
 
-fn time_backend(
-    backend: &dyn EvalBackend,
-    array: &CrossbarArray,
-    refs: &[&[f64]],
-    iterations: usize,
-) -> u64 {
-    let start = Instant::now();
-    for _ in 0..iterations {
-        std::hint::black_box(
-            backend
-                .mvm_batch(array, refs)
-                .expect("benchmark inputs are well-formed"),
-        );
-    }
-    (start.elapsed().as_nanos() / iterations as u128) as u64
+/// The full benchmark report: one row per (size x threads) cell plus
+/// the fault lifecycle section.
+#[derive(Debug, Clone, Serialize)]
+pub struct MvmBenchReport {
+    /// Whether the reduced `--quick` matrix was run.
+    pub quick: bool,
+    /// The seed pinning every draw.
+    pub seed: u64,
+    /// The host's available parallelism when the benchmark ran. Thread
+    /// counts above this measure oversubscription, not speedup.
+    pub host_threads: usize,
+    /// The (size x threads) matrix, sizes ascending, threads ascending
+    /// within a size.
+    pub rows: Vec<MvmBenchRow>,
+    /// Fault-injection lifecycle timings on the largest size.
+    pub faults: FaultLifecycleReport,
 }
 
-/// Runs the microbenchmark, prints a summary line, and persists the
-/// report (default `results/BENCH_mvm.json`).
-///
-/// # Errors
-///
-/// Fails if the crossbar cannot be programmed or if the two backends
-/// disagree on any output bit.
-pub fn run_mvm_bench(quick: bool, json_out: Option<&str>) -> Result<MvmBenchReport, String> {
-    let (outputs, inputs, batch, iterations) = if quick {
-        (256, 128, 64, 3)
-    } else {
-        (1024, 256, 256, 5)
-    };
-    let mut rng = ChaCha8Rng::seed_from_u64(77);
-    let w = Matrix::random_uniform(outputs, inputs, -1.0, 1.0, &mut rng);
+/// Mean nanoseconds per call of `f` over `iterations` timed calls
+/// (callers warm up separately).
+fn time_mean<R>(iterations: usize, mut f: impl FnMut() -> R) -> u64 {
+    let start = Instant::now();
+    for _ in 0..iterations {
+        std::hint::black_box(f());
+    }
+    (start.elapsed().as_nanos() / iterations.max(1) as u128) as u64
+}
+
+/// One benchmark size: programs the array once and emits a row per
+/// thread count.
+fn bench_size(
+    outputs: usize,
+    inputs: usize,
+    batch: usize,
+    iterations: usize,
+    rng: &mut ChaCha8Rng,
+) -> Result<Vec<MvmBenchRow>, String> {
+    let w = Matrix::random_uniform(outputs, inputs, -1.0, 1.0, rng);
     let array =
-        CrossbarArray::program(&w, &DeviceModel::ideal(), &mut rng).map_err(|e| e.to_string())?;
-    let samples = Matrix::random_uniform(batch, inputs, 0.0, 1.0, &mut rng);
+        CrossbarArray::program(&w, &DeviceModel::ideal(), rng).map_err(|e| e.to_string())?;
+    let samples = Matrix::random_uniform(batch, inputs, 0.0, 1.0, rng);
     let refs: Vec<&[f64]> = (0..batch).map(|b| samples.row(b)).collect();
 
     let naive = BackendKind::Naive.build();
     let blocked = BackendKind::Blocked.build();
+    let prepared_naive = naive.prepare(&array).map_err(|e| e.to_string())?;
+    let prepared_blocked = blocked.prepare(&array).map_err(|e| e.to_string())?;
 
     // Warm-up doubles as the correctness check: exact equality, not
-    // approximate — the blocked kernel's contract is bit-identity.
-    let out_naive = naive.mvm_batch(&array, &refs).map_err(|e| e.to_string())?;
-    let out_blocked = blocked
-        .mvm_batch(&array, &refs)
+    // approximate — the tiled kernels' contract is bit-identity.
+    let out_naive = naive
+        .mvm_prepared(&prepared_naive, &array, &refs)
         .map_err(|e| e.to_string())?;
-    let bit_identical = out_naive == out_blocked;
+    let blocked_identical = out_naive
+        == blocked
+            .mvm_prepared(&prepared_blocked, &array, &refs)
+            .map_err(|e| e.to_string())?;
 
-    // The faulty row: a representative non-trivial plan over the
-    // blocked kernel, plus the zero-fault bit-identity contract.
-    let key = FaultKey::new(77, 0);
-    let plan = FaultSpec::none()
+    let naive_nanos = time_mean(iterations, || {
+        naive
+            .mvm_prepared(&prepared_naive, &array, &refs)
+            .expect("benchmark inputs are well-formed")
+    });
+    let blocked_nanos = time_mean(iterations, || {
+        blocked
+            .mvm_prepared(&prepared_blocked, &array, &refs)
+            .expect("benchmark inputs are well-formed")
+    });
+
+    // A small probe batch keeps the prepare cost visible against the
+    // evaluation, as in the oracle's query-sized batches.
+    let probe = batch.clamp(1, 8);
+    let probe_refs = &refs[..probe];
+
+    let mut rows = Vec::with_capacity(THREAD_COUNTS.len());
+    for threads in THREAD_COUNTS {
+        let parallel = BackendSpec::new(BackendKind::Parallel)
+            .with_threads(threads)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let prepared = parallel.prepare(&array).map_err(|e| e.to_string())?;
+        let out_parallel = parallel
+            .mvm_prepared(&prepared, &array, &refs)
+            .map_err(|e| e.to_string())?;
+        let bit_identical = blocked_identical && out_naive == out_parallel;
+
+        let parallel_nanos = time_mean(iterations, || {
+            parallel
+                .mvm_prepared(&prepared, &array, &refs)
+                .expect("benchmark inputs are well-formed")
+        });
+        let prepare_nanos = time_mean(iterations, || {
+            parallel.prepare(&array).expect("array shape is fixed")
+        });
+        let cold_batch_nanos = time_mean(iterations, || {
+            let fresh = parallel.prepare(&array).expect("array shape is fixed");
+            parallel
+                .mvm_prepared(&fresh, &array, probe_refs)
+                .expect("benchmark inputs are well-formed")
+        });
+        let warm_batch_nanos = time_mean(iterations, || {
+            parallel
+                .mvm_prepared(&prepared, &array, probe_refs)
+                .expect("benchmark inputs are well-formed")
+        });
+
+        rows.push(MvmBenchRow {
+            outputs,
+            inputs,
+            devices: outputs * inputs,
+            batch,
+            iterations,
+            threads,
+            naive_nanos,
+            blocked_nanos,
+            parallel_nanos,
+            parallel_speedup: naive_nanos as f64 / parallel_nanos.max(1) as f64,
+            parallel_over_blocked: blocked_nanos as f64 / parallel_nanos.max(1) as f64,
+            bit_identical,
+            prepare_nanos,
+            prepared_probe_batch: probe,
+            cold_batch_nanos,
+            warm_batch_nanos,
+            prepared_speedup: cold_batch_nanos as f64 / warm_batch_nanos.max(1) as f64,
+        });
+    }
+    Ok(rows)
+}
+
+/// Fault-injection lifecycle timings on one array.
+fn bench_faults(
+    outputs: usize,
+    inputs: usize,
+    batch: usize,
+    iterations: usize,
+    rng: &mut ChaCha8Rng,
+) -> Result<FaultLifecycleReport, String> {
+    let w = Matrix::random_uniform(outputs, inputs, -1.0, 1.0, rng);
+    let array =
+        CrossbarArray::program(&w, &DeviceModel::ideal(), rng).map_err(|e| e.to_string())?;
+    let samples = Matrix::random_uniform(batch, inputs, 0.0, 1.0, rng);
+    let refs: Vec<&[f64]> = (0..batch).map(|b| samples.row(b)).collect();
+
+    let blocked = BackendKind::Blocked.build();
+    let key = FaultKey::new(MVM_BENCH_SEED, 0);
+    let fault_spec = FaultSpec::none()
         .with_stuck_on_rate(0.01)
         .with_stuck_off_rate(0.01)
-        .with_variation_sigma(0.1)
+        .with_variation_sigma(0.1);
+    let plan = fault_spec
         .compile(outputs, inputs, key)
         .map_err(|e| e.to_string())?;
     let faulty = FaultyBackend::from_kind(BackendKind::Blocked, plan.clone());
@@ -122,76 +273,125 @@ pub fn run_mvm_bench(quick: bool, json_out: Option<&str>) -> Result<MvmBenchRepo
             .compile(outputs, inputs, key)
             .map_err(|e| e.to_string())?,
     );
-    let faulty_noop_bit_identical =
-        noop.mvm_batch(&array, &refs).map_err(|e| e.to_string())? == out_blocked;
 
-    let naive_nanos = time_backend(naive.as_ref(), &array, &refs, iterations);
-    let blocked_nanos = time_backend(blocked.as_ref(), &array, &refs, iterations);
-    let faulty_nanos = time_backend(&faulty, &array, &refs, iterations);
-    let speedup = naive_nanos as f64 / blocked_nanos.max(1) as f64;
-    let fault_overhead = faulty_nanos as f64 / blocked_nanos.max(1) as f64;
+    // The zero-fault bit-identity contract, on prepared handles.
+    let prepared_blocked = blocked.prepare(&array).map_err(|e| e.to_string())?;
+    let prepared_noop = noop.prepare(&array).map_err(|e| e.to_string())?;
+    let faulty_noop_bit_identical = blocked
+        .mvm_prepared(&prepared_blocked, &array, &refs)
+        .map_err(|e| e.to_string())?
+        == noop
+            .mvm_prepared(&prepared_noop, &array, &refs)
+            .map_err(|e| e.to_string())?;
 
-    // Plan lifecycle rows: what a campaign pays per trial to draw a
-    // fault realisation (compile) and to bake it into an array (apply).
-    let fault_spec = FaultSpec::none()
-        .with_stuck_on_rate(0.01)
-        .with_stuck_off_rate(0.01)
-        .with_variation_sigma(0.1);
-    let fault_compile_nanos = {
-        let start = Instant::now();
-        for _ in 0..iterations {
-            std::hint::black_box(
-                fault_spec
-                    .compile(outputs, inputs, key)
-                    .expect("spec validated above"),
-            );
-        }
-        (start.elapsed().as_nanos() / iterations as u128) as u64
-    };
-    let fault_apply_nanos = {
-        let start = Instant::now();
-        for _ in 0..iterations {
-            std::hint::black_box(plan.apply(&array).expect("shapes match"));
-        }
-        (start.elapsed().as_nanos() / iterations as u128) as u64
-    };
+    // Both sides timed prepare-miss (fresh handle per call), so the
+    // ratio isolates what fault deployment adds to a deployment.
+    let blocked_cold_nanos = time_mean(iterations, || {
+        let fresh = blocked.prepare(&array).expect("array shape is fixed");
+        blocked
+            .mvm_prepared(&fresh, &array, &refs)
+            .expect("benchmark inputs are well-formed")
+    });
+    let faulty_nanos = time_mean(iterations, || {
+        let fresh = faulty.prepare(&array).expect("array shape is fixed");
+        faulty
+            .mvm_prepared(&fresh, &array, &refs)
+            .expect("benchmark inputs are well-formed")
+    });
+    let fault_compile_nanos = time_mean(iterations, || {
+        fault_spec
+            .compile(outputs, inputs, key)
+            .expect("spec validated above")
+    });
+    let fault_apply_nanos = time_mean(iterations, || plan.apply(&array).expect("shapes match"));
 
-    let report = MvmBenchReport {
+    Ok(FaultLifecycleReport {
         outputs,
         inputs,
         batch,
-        iterations,
-        naive_nanos,
-        blocked_nanos,
-        speedup,
-        bit_identical,
         faulty_nanos,
-        fault_overhead,
+        fault_overhead: faulty_nanos as f64 / blocked_cold_nanos.max(1) as f64,
         faulty_noop_bit_identical,
         fault_compile_nanos,
         fault_apply_nanos,
+    })
+}
+
+/// Runs the benchmark matrix, prints one summary line per row, and
+/// persists the report (default `results/BENCH_mvm.json`).
+///
+/// # Errors
+///
+/// Fails if a crossbar cannot be programmed or if any backend disagrees
+/// with the naive outputs on any bit.
+pub fn run_mvm_bench(quick: bool, json_out: Option<&str>) -> Result<MvmBenchReport, String> {
+    // (outputs, inputs, batch, iterations); sizes ascending. The full
+    // matrix tops out at 1024x1024 = 1,048,576 devices.
+    let sizes: &[(usize, usize, usize, usize)] = if quick {
+        &[(128, 64, 32, 3), (256, 128, 64, 3)]
+    } else {
+        &[(256, 128, 64, 5), (512, 512, 128, 3), (1024, 1024, 256, 3)]
     };
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(MVM_BENCH_SEED);
+    let mut rows = Vec::new();
+    for &(outputs, inputs, batch, iterations) in sizes {
+        rows.extend(bench_size(outputs, inputs, batch, iterations, &mut rng)?);
+    }
+    let &(outputs, inputs, batch, iterations) = sizes.last().expect("matrix is non-empty");
+    let faults = bench_faults(outputs, inputs, batch, iterations, &mut rng)?;
+
+    let report = MvmBenchReport {
+        quick,
+        seed: MVM_BENCH_SEED,
+        host_threads,
+        rows,
+        faults,
+    };
+    for row in &report.rows {
+        println!(
+            "mvm {}x{} ({} devices) batch={} threads={}: naive {:.3} ms, blocked {:.3} ms, \
+             parallel {:.3} ms ({:.2}x naive, {:.2}x blocked), prepared warm/cold {:.3}/{:.3} ms \
+             ({:.2}x), bit-identical: {}",
+            row.outputs,
+            row.inputs,
+            row.devices,
+            row.batch,
+            row.threads,
+            row.naive_nanos as f64 / 1e6,
+            row.blocked_nanos as f64 / 1e6,
+            row.parallel_nanos as f64 / 1e6,
+            row.parallel_speedup,
+            row.parallel_over_blocked,
+            row.warm_batch_nanos as f64 / 1e6,
+            row.cold_batch_nanos as f64 / 1e6,
+            row.prepared_speedup,
+            row.bit_identical,
+        );
+    }
+    println!("host threads: {host_threads} (thread counts above this measure oversubscription)");
     println!(
-        "mvm_batch {outputs}x{inputs} batch={batch}: naive {:.3} ms, blocked {:.3} ms, \
-         speedup {speedup:.2}x, bit-identical: {bit_identical}",
-        naive_nanos as f64 / 1e6,
-        blocked_nanos as f64 / 1e6,
-    );
-    println!(
-        "faulty(blocked) {:.3} ms, fault overhead {fault_overhead:.2}x, \
-         zero-fault bit-identical: {faulty_noop_bit_identical}",
-        faulty_nanos as f64 / 1e6,
-    );
-    println!(
-        "fault plan: compile {:.3} ms, apply {:.3} ms",
-        fault_compile_nanos as f64 / 1e6,
-        fault_apply_nanos as f64 / 1e6,
+        "faults {}x{}: faulty(blocked) {:.3} ms, overhead {:.2}x, compile {:.3} ms, \
+         apply {:.3} ms, zero-fault bit-identical: {}",
+        report.faults.outputs,
+        report.faults.inputs,
+        report.faults.faulty_nanos as f64 / 1e6,
+        report.faults.fault_overhead,
+        report.faults.fault_compile_nanos as f64 / 1e6,
+        report.faults.fault_apply_nanos as f64 / 1e6,
+        report.faults.faulty_noop_bit_identical,
     );
     write_json(json_out.unwrap_or("results/BENCH_mvm.json"), &report);
-    if !bit_identical {
-        return Err("blocked backend diverged from naive outputs".into());
+    if let Some(bad) = report.rows.iter().find(|r| !r.bit_identical) {
+        return Err(format!(
+            "backend outputs diverged from naive at {}x{} threads={}",
+            bad.outputs, bad.inputs, bad.threads
+        ));
     }
-    if !faulty_noop_bit_identical {
+    if !report.faults.faulty_noop_bit_identical {
         return Err("zero-fault FaultyBackend diverged from blocked outputs".into());
     }
     Ok(report)
@@ -202,20 +402,41 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_bench_reports_bit_identical_outputs() {
+    fn quick_bench_reports_a_bit_identical_matrix() {
         let dir = std::env::temp_dir().join(format!("xbar_mvmbench_{}", std::process::id()));
         let path = dir.join("BENCH_mvm.json");
         let report = run_mvm_bench(true, path.to_str()).unwrap();
-        assert!(report.bit_identical);
-        assert!(report.faulty_noop_bit_identical);
-        assert!(report.naive_nanos > 0 && report.blocked_nanos > 0 && report.faulty_nanos > 0);
-        assert!(report.fault_overhead > 0.0);
-        assert!(report.fault_compile_nanos > 0 && report.fault_apply_nanos > 0);
+
+        // 2 quick sizes x 4 thread counts.
+        assert_eq!(report.rows.len(), 8);
+        assert!(report.host_threads >= 1);
+        for row in &report.rows {
+            assert!(
+                row.bit_identical,
+                "{}x{} t={}",
+                row.outputs, row.inputs, row.threads
+            );
+            assert_eq!(row.devices, row.outputs * row.inputs);
+            assert!(row.naive_nanos > 0 && row.blocked_nanos > 0 && row.parallel_nanos > 0);
+            assert!(row.parallel_speedup > 0.0 && row.parallel_over_blocked > 0.0);
+            assert!(row.prepare_nanos > 0 && row.cold_batch_nanos > 0 && row.warm_batch_nanos > 0);
+            assert!(row.prepared_speedup > 0.0);
+            assert!(row.prepared_probe_batch >= 1 && row.prepared_probe_batch <= row.batch);
+        }
+        assert_eq!(
+            report.rows.iter().map(|r| r.threads).collect::<Vec<_>>(),
+            [1, 2, 4, 8, 1, 2, 4, 8]
+        );
+        assert!(report.faults.faulty_noop_bit_identical);
+        assert!(report.faults.fault_overhead > 0.0);
+        assert!(report.faults.fault_compile_nanos > 0 && report.faults.fault_apply_nanos > 0);
+
         let json = std::fs::read_to_string(&path).unwrap();
-        assert!(json.contains("\"bit_identical\""));
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.contains("\"host_threads\""));
+        assert!(json.contains("\"parallel_speedup\""));
+        assert!(json.contains("\"prepared_speedup\""));
         assert!(json.contains("\"fault_overhead\""));
-        assert!(json.contains("\"fault_compile_nanos\""));
-        assert!(json.contains("\"fault_apply_nanos\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

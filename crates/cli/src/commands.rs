@@ -85,14 +85,17 @@ COMMANDS:
             runtime (checkpointed and resumable)
             --figure fig4|fig5|ablations [--threads N] [--resume]
             [--journal FILE] [--out FILE] [--retries N] [--quick]
-            [--backend naive|blocked] [--trace FILE] [--faults SPEC.json]
+            [--backend naive|blocked|parallel[:N]] [--trace FILE]
+            [--faults SPEC.json]
             [--transients FLIP[,JITTER]] [--progress stderr|json|none]
             [--progress-every N]
   bench     micro-benchmarks
-            mvm [--quick] [--out FILE]   naive vs blocked batched MVM +
-                                         FaultyBackend overhead row
-                                         (bit-identity checked; writes
-                                         results/BENCH_mvm.json)
+            mvm [--quick] [--out FILE]   size x threads backend matrix:
+                                         naive vs blocked vs parallel
+                                         batched MVM, prepared-handle
+                                         hit/miss cost, FaultyBackend
+                                         overhead (bit-identity checked;
+                                         writes results/BENCH_mvm.json)
             serve [--quick] [--out FILE] campaign-service throughput at
                                          1/8/64 concurrent sessions,
                                          coalescing on vs off (writes
@@ -101,6 +104,7 @@ COMMANDS:
             host --model FILE [--name NAME] [--addr HOST:PORT]
                  [--workers N] [--max-sessions N] [--max-inflight N]
                  [--no-coalesce] [--journal FILE] [--seed S]
+                 [--backend naive|blocked|parallel[:N]]
                  [--access none|label|raw] [--power-noise X]
                  [--read-sigma X] [--metrics FILE] [--metrics-every MS]
             serve the model until a client sends the shutdown op;
@@ -116,7 +120,8 @@ COMMANDS:
             (--prom prints Prometheus text exposition instead)
   faults    deterministic device fault injection
             sweep [--quick] [--threads N] [--out FILE] [--resume]
-                  [--journal FILE] [--retries N] [--backend naive|blocked]
+                  [--journal FILE] [--retries N]
+                  [--backend naive|blocked|parallel[:N]]
                   [--trace FILE] [--progress stderr|json|none]
                   [--progress-every N]
             attack-success-vs-fault-rate robustness curves over stuck-at,
@@ -124,7 +129,8 @@ COMMANDS:
             results/faults-sweep.json; bit-identical at any thread count)
   lifetime  device-lifetime robustness
             sweep [--quick] [--threads N] [--out FILE] [--resume]
-                  [--journal FILE] [--retries N] [--backend naive|blocked]
+                  [--journal FILE] [--retries N]
+                  [--backend naive|blocked|parallel[:N]]
                   [--recalibrate never|every:N|stale:X] [--trace FILE]
                   [--progress stderr|json|none] [--progress-every N]
             (drift time x transient rate x defense) cross-sweep with
@@ -202,6 +208,22 @@ fn parse_recalibrate(text: &str) -> Result<xbar_core::probe::RecalibrationPolicy
     Err(format!("--recalibrate: expected never|every:N|stale:X, got {text:?}").into())
 }
 
+/// Parses `--backend naive|blocked|parallel[:THREADS]` into a
+/// [`xbar_crossbar::backend::BackendSpec`] — the one place the grammar
+/// lives, shared by `campaign`, the sweeps, and `serve host`. The
+/// `default` kind applies when the flag is absent.
+fn backend_spec(
+    args: &ParsedArgs,
+    default: xbar_crossbar::backend::BackendKind,
+) -> Result<xbar_crossbar::backend::BackendSpec, CliError> {
+    match args.get("backend") {
+        None => Ok(xbar_crossbar::backend::BackendSpec::new(default)),
+        Some(raw) => raw
+            .parse()
+            .map_err(|e: String| -> CliError { format!("--backend: {e}").into() }),
+    }
+}
+
 /// Parses the executor options shared by `campaign` and `faults sweep`.
 /// The journal is always kept (it is what `--resume` reads); the default
 /// path is per campaign so grids don't clobber each other.
@@ -223,7 +245,7 @@ fn campaign_options(
     opts.progress = args.get_or("progress", ProgressMode::Stderr)?;
     opts.progress_every = args.get_or("progress-every", 1usize)?.max(1);
     // Pure execution detail: results are bit-identical across backends.
-    opts.backend = args.get_or("backend", xbar_crossbar::backend::BackendKind::Naive)?;
+    opts.backend = backend_spec(args, xbar_crossbar::backend::BackendKind::Naive)?;
     let journal = args
         .get("journal")
         .filter(|j| !j.is_empty())
@@ -327,11 +349,12 @@ fn cmd_serve_host(args: &ParsedArgs) -> Result<(), CliError> {
         .map(std::path::PathBuf::from);
     let metrics_every =
         std::time::Duration::from_millis(args.get_or("metrics-every", 1000u64)?.max(1));
+    let backend = backend_spec(args, BackendKind::Blocked)?;
     let net = persist::load_network(&model_path)?;
     let cfg = OracleConfig::ideal()
         .with_access(access)
         .with_device(device)
-        .with_backend(BackendKind::Blocked)
+        .with_backend(backend)
         .with_power(PowerModel::default().with_noise(power_noise));
     let oracle = Oracle::new(net, &cfg, seed)?;
     let dim = oracle.num_inputs();
@@ -1162,6 +1185,13 @@ mod tests {
             "quantum",
         ]))
         .is_err());
+        // Malformed backend specs: a non-numeric thread count, and a
+        // thread suffix on a kind that takes none.
+        for bad in ["parallel:x", "parallel:-1", "naive:2", "blocked:4", ""] {
+            let err =
+                dispatch(&parse(&["campaign", "--figure", "fig4", "--backend", bad])).unwrap_err();
+            assert!(err.to_string().contains("--backend"), "{bad:?} -> {err}");
+        }
     }
 
     #[test]
@@ -1215,6 +1245,18 @@ mod tests {
             "lots",
         ]))
         .is_err());
+        // A malformed backend spec is rejected before the model file is
+        // even read — the error names the flag, not the missing file.
+        let err = dispatch(&parse(&[
+            "serve",
+            "host",
+            "--model",
+            "/nonexistent/m.json",
+            "--backend",
+            "parallel:x",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--backend"), "{err}");
         // stats: an unresolvable address fails without hanging.
         assert!(dispatch(&parse(&["serve", "stats", "--addr", "not an addr"])).is_err());
         // drive: missing address / dimension and malformed counts fail

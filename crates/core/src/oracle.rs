@@ -5,8 +5,9 @@ use crate::{AttackError, Result};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
 use xbar_crossbar::array::CrossbarArray;
-use xbar_crossbar::backend::BackendKind;
+use xbar_crossbar::backend::{BackendKind, BackendSpec, EvalBackend, PreparedEval};
 use xbar_crossbar::device::DeviceModel;
 use xbar_crossbar::power::PowerModel;
 use xbar_crossbar::CrossbarError;
@@ -130,8 +131,9 @@ pub struct OracleConfig {
     pub query_budget: Option<usize>,
     /// Evaluation backend used for batched queries and evaluation.
     /// Backends are bit-identical by contract, so this is a pure
-    /// performance knob.
-    pub backend: BackendKind,
+    /// performance knob (kind, tile sizes, and — for the parallel
+    /// kernel — thread count).
+    pub backend: BackendSpec,
     /// Optional device faults injected at deployment: the spec is
     /// compiled under its key and applied to the freshly programmed
     /// array, so queries, evaluation, and
@@ -157,7 +159,7 @@ impl OracleConfig {
             power: PowerModel::default(),
             access: OutputAccess::Raw,
             query_budget: None,
-            backend: BackendKind::Naive,
+            backend: BackendSpec::new(BackendKind::Naive),
             faults: None,
             transients: None,
             drift: DriftSchedule::never(),
@@ -192,10 +194,12 @@ impl OracleConfig {
         self
     }
 
-    /// Builder-style setter for the evaluation backend.
+    /// Builder-style setter for the evaluation backend. Accepts either
+    /// a bare [`BackendKind`] (default tile sizes, auto threads) or a
+    /// full [`BackendSpec`].
     #[must_use]
-    pub fn with_backend(mut self, backend: BackendKind) -> Self {
-        self.backend = backend;
+    pub fn with_backend(mut self, backend: impl Into<BackendSpec>) -> Self {
+        self.backend = backend.into();
         self
     }
 
@@ -252,6 +256,55 @@ pub struct QueryRecord {
     pub observation: Observation,
 }
 
+/// One prepared evaluation session: the built backend plus the
+/// [`PreparedEval`] handle it materialised for one conductance
+/// generation of the deployed array.
+struct PreparedSession {
+    backend: Box<dyn EvalBackend>,
+    prepared: PreparedEval,
+}
+
+/// Lazily built, generation-checked cache of the oracle's
+/// [`PreparedSession`] — the piece that lets `query_batch`,
+/// `observe_batch_keyed`, and `eval_predict_batch` amortise the
+/// `O(M·N)` weight materialisation across batches. Shared via `Arc` so
+/// concurrent keyed observers on an `Arc<Oracle>` (the serve coalescer)
+/// reuse one handle without holding the lock across evaluation.
+///
+/// Clones start empty: a cloned oracle re-prepares on first use, which
+/// costs one materialisation and can never alias another oracle's
+/// state.
+struct PreparedCache {
+    slot: Mutex<Option<Arc<PreparedSession>>>,
+}
+
+impl Default for PreparedCache {
+    fn default() -> Self {
+        PreparedCache {
+            slot: Mutex::new(None),
+        }
+    }
+}
+
+impl Clone for PreparedCache {
+    fn clone(&self) -> Self {
+        PreparedCache::default()
+    }
+}
+
+impl std::fmt::Debug for PreparedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let generation = self
+            .slot
+            .lock()
+            .ok()
+            .and_then(|slot| slot.as_ref().map(|s| s.prepared.generation()));
+        f.debug_struct("PreparedCache")
+            .field("generation", &generation)
+            .finish()
+    }
+}
+
 /// The victim: a trained [`SingleLayerNet`] programmed onto a
 /// [`CrossbarArray`], exposing queries according to an [`OracleConfig`].
 ///
@@ -272,6 +325,9 @@ pub struct Oracle {
     queries_issued: u64,
     drift_epoch: u64,
     seed: u64,
+    /// Cached prepared-evaluation session for the deployed array's
+    /// current conductance generation (see [`PreparedCache`]).
+    prepared: PreparedCache,
 }
 
 impl Oracle {
@@ -307,6 +363,7 @@ impl Oracle {
             let plan = injection.compile(xbar.num_outputs(), xbar.num_inputs())?;
             xbar = plan.apply(&xbar)?;
         }
+        config.backend.validate()?;
         Ok(Oracle {
             net,
             xbar,
@@ -316,6 +373,7 @@ impl Oracle {
             queries_issued: 0,
             drift_epoch: 0,
             seed,
+            prepared: PreparedCache::default(),
         })
     }
 
@@ -562,6 +620,7 @@ impl Oracle {
             queries_issued: 0,
             drift_epoch: 0,
             seed,
+            prepared: PreparedCache::default(),
         }
     }
 
@@ -615,6 +674,33 @@ impl Oracle {
         self.observe_keyed_unchecked(inputs, keys)
     }
 
+    /// The prepared-evaluation session for the deployed array's current
+    /// conductance generation, building (and caching) it on first use.
+    ///
+    /// The cache key is [`CrossbarArray::generation`]: re-programming,
+    /// fault application, and drift-time advance all replace `self.xbar`
+    /// through `map_conductances`/`FaultPlan::apply`, which bump the
+    /// generation — so a stale session can never be returned, only
+    /// rebuilt. Works under `&self` so concurrent keyed observers on an
+    /// `Arc<Oracle>` (the serve coalescer) share one handle.
+    fn prepared_session(&self) -> Result<Arc<PreparedSession>> {
+        let mut slot = self
+            .prepared
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(session) = slot.as_ref() {
+            if session.prepared.generation() == self.xbar.generation() {
+                return Ok(Arc::clone(session));
+            }
+        }
+        let backend = self.config.backend.build()?;
+        let prepared = backend.prepare(&self.xbar)?;
+        let session = Arc::new(PreparedSession { backend, prepared });
+        *slot = Some(Arc::clone(&session));
+        Ok(session)
+    }
+
     /// The shared evaluation core: sample `i`'s noise (and transient
     /// perturbation) is keyed by `keys[i]`. Inputs are assumed validated
     /// and the deployed array assumed current for every key.
@@ -623,9 +709,8 @@ impl Oracle {
         inputs: &[&[f64]],
         keys: &[QueryKey],
     ) -> Result<Vec<Observation>> {
-        use xbar_crossbar::backend::EvalBackend;
         let transients = self.config.active_transients();
-        let backend: Box<dyn EvalBackend> = self.config.backend.build();
+        let session = self.prepared_session()?;
         let noisy_power = self.config.power.noise_sigma > 0.0;
         let needs_forward = self.config.access != OutputAccess::None;
         let noisy_read = needs_forward && self.xbar.device().read_sigma > 0.0;
@@ -653,9 +738,9 @@ impl Oracle {
             (powers, Some(outs))
         } else {
             let raws = if noisy_power {
-                self.keyed_noisy_power(backend.as_ref(), transients, inputs, keys)?
+                self.keyed_noisy_power(&session, transients, inputs, keys)?
             } else {
-                self.keyed_power(backend.as_ref(), transients, inputs, keys)?
+                self.keyed_power(&session, transients, inputs, keys)?
             };
             let powers = raws
                 .iter()
@@ -665,9 +750,9 @@ impl Oracle {
             let outs = if !needs_forward {
                 None
             } else if noisy_read {
-                Some(self.keyed_noisy_mvm(backend.as_ref(), transients, inputs, keys)?)
+                Some(self.keyed_noisy_mvm(&session, transients, inputs, keys)?)
             } else {
-                Some(self.keyed_mvm(backend.as_ref(), transients, inputs, keys)?)
+                Some(self.keyed_mvm(&session, transients, inputs, keys)?)
             };
             (powers, outs)
         };
@@ -709,28 +794,40 @@ impl Oracle {
     }
 
     // The four keyed evaluation shapes. With transients active each
-    // sample reads its own perturbed array, so every sample becomes a
-    // single-sample batch under its key's index — exactly what
-    // `xbar_faults::TransientBackend` does for contiguous indices, but
-    // valid for the arbitrary per-sample keys of a coalesced batch.
-    // Without transients the whole batch goes to the backend in one
-    // call; backends are bit-identical per sample by contract, so both
-    // shapes yield the same floats.
+    // sample reads its own perturbed array — a fresh conductance
+    // generation that can never hit the cached handle — so every sample
+    // becomes a single-sample prepare + evaluate under its key's index:
+    // exactly what `xbar_faults::TransientBackend` does for contiguous
+    // indices, but valid for the arbitrary per-sample keys of a
+    // coalesced batch. Without transients the whole batch goes to the
+    // cached prepared session in one call; backends are bit-identical
+    // per sample by contract, so both shapes yield the same floats.
 
     fn keyed_power(
         &self,
-        backend: &dyn xbar_crossbar::backend::EvalBackend,
+        session: &PreparedSession,
         transients: Option<xbar_faults::TransientInjection>,
         inputs: &[&[f64]],
         keys: &[QueryKey],
     ) -> Result<Vec<f64>> {
         match transients {
-            None => Ok(backend.power_batch(&self.config.power, &self.xbar, inputs)?),
+            None => Ok(session.backend.power_prepared(
+                &self.config.power,
+                &session.prepared,
+                &self.xbar,
+                inputs,
+            )?),
             Some(injection) => {
                 let mut out = Vec::with_capacity(inputs.len());
                 for (i, input) in inputs.iter().enumerate() {
                     let perturbed = injection.perturbed(&self.xbar, keys[i].index);
-                    out.extend(backend.power_batch(&self.config.power, &perturbed, &[input])?);
+                    let p = session.backend.prepare(&perturbed)?;
+                    out.extend(session.backend.power_prepared(
+                        &self.config.power,
+                        &p,
+                        &perturbed,
+                        &[input],
+                    )?);
                 }
                 Ok(out)
             }
@@ -739,14 +836,15 @@ impl Oracle {
 
     fn keyed_noisy_power(
         &self,
-        backend: &dyn xbar_crossbar::backend::EvalBackend,
+        session: &PreparedSession,
         transients: Option<xbar_faults::TransientInjection>,
         inputs: &[&[f64]],
         keys: &[QueryKey],
     ) -> Result<Vec<f64>> {
         match transients {
-            None => Ok(backend.noisy_power_batch(
+            None => Ok(session.backend.noisy_power_prepared(
                 &self.config.power,
+                &session.prepared,
                 &self.xbar,
                 inputs,
                 &mut |i| Self::stream_rng(keys[i].seed, keys[i].index),
@@ -755,8 +853,10 @@ impl Oracle {
                 let mut out = Vec::with_capacity(inputs.len());
                 for (i, input) in inputs.iter().enumerate() {
                     let perturbed = injection.perturbed(&self.xbar, keys[i].index);
-                    out.extend(backend.noisy_power_batch(
+                    let p = session.backend.prepare(&perturbed)?;
+                    out.extend(session.backend.noisy_power_prepared(
                         &self.config.power,
+                        &p,
                         &perturbed,
                         &[input],
                         &mut |_| Self::stream_rng(keys[i].seed, keys[i].index),
@@ -769,18 +869,21 @@ impl Oracle {
 
     fn keyed_mvm(
         &self,
-        backend: &dyn xbar_crossbar::backend::EvalBackend,
+        session: &PreparedSession,
         transients: Option<xbar_faults::TransientInjection>,
         inputs: &[&[f64]],
         keys: &[QueryKey],
     ) -> Result<Vec<Vec<f64>>> {
         match transients {
-            None => Ok(backend.mvm_batch(&self.xbar, inputs)?),
+            None => Ok(session
+                .backend
+                .mvm_prepared(&session.prepared, &self.xbar, inputs)?),
             Some(injection) => {
                 let mut out = Vec::with_capacity(inputs.len());
                 for (i, input) in inputs.iter().enumerate() {
                     let perturbed = injection.perturbed(&self.xbar, keys[i].index);
-                    out.extend(backend.mvm_batch(&perturbed, &[input])?);
+                    let p = session.backend.prepare(&perturbed)?;
+                    out.extend(session.backend.mvm_prepared(&p, &perturbed, &[input])?);
                 }
                 Ok(out)
             }
@@ -789,22 +892,29 @@ impl Oracle {
 
     fn keyed_noisy_mvm(
         &self,
-        backend: &dyn xbar_crossbar::backend::EvalBackend,
+        session: &PreparedSession,
         transients: Option<xbar_faults::TransientInjection>,
         inputs: &[&[f64]],
         keys: &[QueryKey],
     ) -> Result<Vec<Vec<f64>>> {
         match transients {
-            None => Ok(backend.noisy_mvm_batch(&self.xbar, inputs, &mut |i| {
-                Self::stream_rng(keys[i].seed, keys[i].index)
-            })?),
+            None => Ok(session.backend.noisy_mvm_prepared(
+                &session.prepared,
+                &self.xbar,
+                inputs,
+                &mut |i| Self::stream_rng(keys[i].seed, keys[i].index),
+            )?),
             Some(injection) => {
                 let mut out = Vec::with_capacity(inputs.len());
                 for (i, input) in inputs.iter().enumerate() {
                     let perturbed = injection.perturbed(&self.xbar, keys[i].index);
-                    out.extend(backend.noisy_mvm_batch(&perturbed, &[input], &mut |_| {
-                        Self::stream_rng(keys[i].seed, keys[i].index)
-                    })?);
+                    let p = session.backend.prepare(&perturbed)?;
+                    out.extend(session.backend.noisy_mvm_prepared(
+                        &p,
+                        &perturbed,
+                        &[input],
+                        &mut |_| Self::stream_rng(keys[i].seed, keys[i].index),
+                    )?);
                 }
                 Ok(out)
             }
@@ -825,9 +935,11 @@ impl Oracle {
         if inputs.rows() == 0 {
             return Ok(Vec::new());
         }
-        let backend = self.config.backend.build();
+        let session = self.prepared_session()?;
         let rows: Vec<&[f64]> = (0..inputs.rows()).map(|i| inputs.row(i)).collect();
-        let mut outs = backend.mvm_batch(&self.xbar, &rows)?;
+        let mut outs = session
+            .backend
+            .mvm_prepared(&session.prepared, &self.xbar, &rows)?;
         Ok(outs
             .iter_mut()
             .map(|y| {
@@ -863,6 +975,57 @@ mod tests {
 
     fn power(o: &mut Oracle, u: &[f64]) -> f64 {
         o.query(u).unwrap().observation.power
+    }
+
+    #[test]
+    fn prepared_session_is_cached_and_invalidated_by_redeployment() {
+        use xbar_faults::{FaultInjection, FaultKey, FaultSpec};
+
+        // Stable hardware: consecutive batches share one session (same
+        // Arc, no re-materialisation).
+        let oracle = toy_oracle(OutputAccess::Raw);
+        let s1 = oracle.prepared_session().unwrap();
+        let s2 = oracle.prepared_session().unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!(s1.prepared.generation(), oracle.xbar.generation());
+
+        // A clone starts with an empty cache but an identical array
+        // generation (clones are the same conductances).
+        let cloned = oracle.clone();
+        let s3 = cloned.prepared_session().unwrap();
+        assert!(!Arc::ptr_eq(&s1, &s3));
+        assert_eq!(s3.prepared.generation(), s1.prepared.generation());
+
+        // Drift redeployment replaces the array (fresh generation), so
+        // the cached session is rebuilt — never served stale.
+        let net = SingleLayerNet::from_weights(
+            Matrix::from_rows(&[&[1.0, -0.5, 0.2], &[0.25, 0.5, -1.0]]),
+            Activation::Identity,
+        );
+        let device = DeviceModel {
+            g_min: 0.02,
+            g_max: 1.0,
+            ..DeviceModel::ideal()
+        };
+        let cfg = OracleConfig::ideal()
+            .with_device(device)
+            .with_backend(BackendSpec::new(BackendKind::Blocked))
+            .with_faults(FaultInjection::new(
+                FaultSpec::none().with_drift(0.1, 0.05, 1.0),
+                FaultKey::new(7, 0),
+            ))
+            .with_drift_schedule(DriftSchedule::every(2, 10.0));
+        let mut o = Oracle::new(net, &cfg, 1).unwrap();
+        let u = [0.8, 0.5, 0.9];
+        o.query(&u).unwrap();
+        let before = o.prepared_session().unwrap().prepared.generation();
+        assert_eq!(before, o.xbar.generation());
+        for _ in 0..4 {
+            o.query(&u).unwrap();
+        }
+        let after = o.prepared_session().unwrap().prepared.generation();
+        assert_eq!(after, o.xbar.generation());
+        assert_ne!(before, after, "drift redeployment must rebuild the session");
     }
 
     #[test]
@@ -989,7 +1152,11 @@ mod tests {
         let mut seq = Oracle::new(net.clone(), &cfg, 42).unwrap();
         let one_by_one: Vec<QueryRecord> = refs.iter().map(|u| seq.query(u).unwrap()).collect();
 
-        for backend in [BackendKind::Naive, BackendKind::Blocked] {
+        for backend in [
+            BackendSpec::new(BackendKind::Naive),
+            BackendSpec::new(BackendKind::Blocked),
+            BackendSpec::new(BackendKind::Parallel).with_threads(3),
+        ] {
             let cfg_b = cfg.with_backend(backend);
             // One big batch.
             let mut o = Oracle::new(net.clone(), &cfg_b, 42).unwrap();
@@ -1100,7 +1267,11 @@ mod tests {
 
         let mut seq = Oracle::new(net.clone(), &cfg, 42).unwrap();
         let one_by_one: Vec<QueryRecord> = refs.iter().map(|u| seq.query(u).unwrap()).collect();
-        for backend in [BackendKind::Naive, BackendKind::Blocked] {
+        for backend in [
+            BackendSpec::new(BackendKind::Naive),
+            BackendSpec::new(BackendKind::Blocked),
+            BackendSpec::new(BackendKind::Parallel).with_threads(2),
+        ] {
             let mut o = Oracle::new(net.clone(), &cfg.with_backend(backend), 42).unwrap();
             let mut split = o.query_batch(&refs[..4]).unwrap();
             split.extend(o.query_batch(&refs[4..]).unwrap());
@@ -1158,8 +1329,14 @@ mod tests {
         assert_eq!(seq.drift_time(), 1.0 + 2.0 * 50.0);
         assert_eq!(seq.queries_issued(), 8);
 
-        // One big batch spanning both epoch boundaries is bit-identical.
-        for backend in [BackendKind::Naive, BackendKind::Blocked] {
+        // One big batch spanning both epoch boundaries is bit-identical
+        // — each drift redeployment bumps the array generation, so the
+        // cached prepared session is rebuilt rather than reused stale.
+        for backend in [
+            BackendSpec::new(BackendKind::Naive),
+            BackendSpec::new(BackendKind::Blocked),
+            BackendSpec::new(BackendKind::Parallel).with_threads(2),
+        ] {
             let mut o = Oracle::new(net.clone(), &cfg.with_backend(backend), 42).unwrap();
             assert_eq!(o.query_batch(&refs).unwrap(), one_by_one, "{backend}");
         }
@@ -1256,7 +1433,7 @@ mod tests {
     /// served victim can carry (noisy power, noisy reads, transient
     /// faults, permanent faults) — the hardest case for keyed-batch
     /// equivalence.
-    fn serveable_oracle(access: OutputAccess, backend: BackendKind) -> Oracle {
+    fn serveable_oracle(access: OutputAccess, backend: impl Into<BackendSpec>) -> Oracle {
         use xbar_faults::{FaultInjection, FaultKey, FaultSpec, TransientInjection, TransientSpec};
         let net = SingleLayerNet::from_weights(
             Matrix::from_rows(&[&[1.0, -0.5, 0.2], &[0.25, 0.5, -1.0]]),
@@ -1304,7 +1481,11 @@ mod tests {
             OutputAccess::LabelOnly,
             OutputAccess::Raw,
         ] {
-            for backend in [BackendKind::Naive, BackendKind::Blocked] {
+            for backend in [
+                BackendSpec::new(BackendKind::Naive),
+                BackendSpec::new(BackendKind::Blocked),
+                BackendSpec::new(BackendKind::Parallel).with_threads(2),
+            ] {
                 let deployed = serveable_oracle(access, backend);
                 let inputs = probe_inputs(5);
                 let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();

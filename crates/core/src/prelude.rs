@@ -26,4 +26,6 @@ pub use crate::recovery::{
 };
 pub use crate::surrogate::{collect_queries, train_surrogate, QueryDataset, SurrogateConfig};
 pub use crate::{AttackError, Result};
-pub use xbar_crossbar::backend::{BackendKind, BatchConfig, EvalBackend};
+pub use xbar_crossbar::backend::{
+    BackendKind, BackendSpec, BatchConfig, EvalBackend, PreparedEval,
+};

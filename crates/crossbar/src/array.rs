@@ -6,7 +6,18 @@ use crate::mapping::WeightMapping;
 use crate::{CrossbarError, Result};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use xbar_linalg::Matrix;
+
+/// Process-wide source of conductance-generation fingerprints. Starts
+/// at 1 so generation 0 can never name a live array (a useful sentinel
+/// for "never prepared").
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh, process-unique conductance generation.
+fn next_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// An `M x N` NVM crossbar array holding one neural-network layer as
 /// differential conductance pairs.
@@ -30,12 +41,70 @@ use xbar_linalg::Matrix;
 /// assert!((xbar.mvm(&[0.2, 0.4])[0] - 0.0).abs() < 1e-12);
 /// # Ok::<(), xbar_crossbar::CrossbarError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CrossbarArray {
     g_plus: Matrix,
     g_minus: Matrix,
     mapping: WeightMapping,
     device: DeviceModel,
+    /// Conductance-generation fingerprint: process-unique, reassigned
+    /// whenever the conductances could have changed (programming,
+    /// [`Self::map_conductances`], deserialisation). Cloning keeps the
+    /// generation — a clone holds bit-identical conductances, so a
+    /// [`crate::backend::PreparedEval`] built from one is valid for the
+    /// other. Excluded from equality and serialisation.
+    generation: u64,
+}
+
+/// Equality compares the physical state (conductances, mapping, device)
+/// and ignores the [`CrossbarArray::generation`] fingerprint: two arrays
+/// holding the same conductances are the same hardware no matter how
+/// they were produced.
+impl PartialEq for CrossbarArray {
+    fn eq(&self, other: &Self) -> bool {
+        self.g_plus == other.g_plus
+            && self.g_minus == other.g_minus
+            && self.mapping == other.mapping
+            && self.device == other.device
+    }
+}
+
+impl Serialize for CrossbarArray {
+    fn serialize(&self) -> serde::Value {
+        // Mirrors the derive layout (field order preserved); the
+        // generation fingerprint is a process-local cache key and is
+        // deliberately not persisted.
+        serde::Value::Object(vec![
+            (String::from("g_plus"), self.g_plus.serialize()),
+            (String::from("g_minus"), self.g_minus.serialize()),
+            (String::from("mapping"), self.mapping.serialize()),
+            (String::from("device"), self.device.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for CrossbarArray {
+    fn deserialize(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let obj = value.as_object().ok_or_else(|| {
+            serde::DeError::custom(format!(
+                "expected object for struct CrossbarArray, found {}",
+                value.type_name()
+            ))
+        })?;
+        Ok(CrossbarArray {
+            g_plus: Deserialize::deserialize(serde::__get_field(obj, "g_plus"))
+                .map_err(|e| e.in_field("g_plus"))?,
+            g_minus: Deserialize::deserialize(serde::__get_field(obj, "g_minus"))
+                .map_err(|e| e.in_field("g_minus"))?,
+            mapping: Deserialize::deserialize(serde::__get_field(obj, "mapping"))
+                .map_err(|e| e.in_field("mapping"))?,
+            device: Deserialize::deserialize(serde::__get_field(obj, "device"))
+                .map_err(|e| e.in_field("device"))?,
+            // A deserialised array is new hardware as far as any live
+            // prepared state is concerned.
+            generation: next_generation(),
+        })
+    }
 }
 
 impl CrossbarArray {
@@ -67,6 +136,7 @@ impl CrossbarArray {
             g_minus,
             mapping,
             device: *device,
+            generation: next_generation(),
         })
     }
 
@@ -105,7 +175,23 @@ impl CrossbarArray {
             g_minus,
             mapping,
             device: *device,
+            generation: next_generation(),
         })
+    }
+
+    /// The array's conductance-generation fingerprint.
+    ///
+    /// Process-unique and reassigned by every operation that can change
+    /// the conductances: programming, [`Self::map_conductances`] (and
+    /// therefore fault-plan application, transient perturbation, and
+    /// drift-time advance, which are built on it), and deserialisation.
+    /// Clones keep their source's generation because they hold
+    /// bit-identical conductances. [`crate::backend::PreparedEval`] uses
+    /// this as its cache key: a prepared handle whose generation no
+    /// longer matches the array is stale and is rejected, never silently
+    /// reused.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of output rows `M`.
@@ -168,6 +254,11 @@ impl CrossbarArray {
         for (idx, g) in out.g_minus.as_mut_slice().iter_mut().enumerate() {
             *g = f(offset + idx, *g);
         }
+        // Even an identity map yields a fresh generation: the fingerprint
+        // tracks *possible* change, and a false invalidation only costs
+        // one re-prepare while a false hit would silently reuse stale
+        // weights.
+        out.generation = next_generation();
         out
     }
 
@@ -478,6 +569,31 @@ mod tests {
         let zeroed = xbar.map_conductances(|idx, g| if idx == 0 { 0.0 } else { g });
         assert_eq!(zeroed.g_plus()[(0, 0)], 0.0);
         assert_eq!(zeroed.g_minus()[(0, 0)], xbar.g_minus()[(0, 0)]);
+    }
+
+    #[test]
+    fn generation_fingerprints_conductance_change() {
+        let w = Matrix::from_rows(&[&[0.5, -1.0], &[0.25, 0.75]]);
+        let a = ideal_array(&w);
+        let b = ideal_array(&w);
+        // Every programming produces distinct hardware.
+        assert_ne!(a.generation(), b.generation());
+        // Clones hold bit-identical conductances and keep the
+        // fingerprint; equality ignores it entirely.
+        assert_eq!(a.clone().generation(), a.generation());
+        assert_eq!(a, b);
+        // Any conductance map — even the identity — is a new generation.
+        let mapped = a.map_conductances(|_, g| g);
+        assert_ne!(mapped.generation(), a.generation());
+        assert_eq!(mapped, a);
+        // A serialisation round trip is new hardware to live prepared
+        // state, and the persisted form carries no generation field.
+        let value = serde::Serialize::serialize(&a);
+        let obj = value.as_object().unwrap();
+        assert!(obj.iter().all(|(k, _)| k != "generation"));
+        let back: CrossbarArray = serde::Deserialize::deserialize(&value).unwrap();
+        assert_eq!(back, a);
+        assert_ne!(back.generation(), a.generation());
     }
 
     #[test]

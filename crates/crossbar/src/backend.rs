@@ -5,29 +5,48 @@
 //! per-vector entry points ([`CrossbarArray::checked_mvm`],
 //! [`PowerModel::exact`]) re-materialise the effective weight matrix and
 //! the per-line conductance totals on every call; a batch of `B` inputs
-//! pays that `O(M·N)` setup `B` times. [`EvalBackend`] lifts the same
-//! operations to batches so a backend can amortise the setup:
+//! pays that `O(M·N)` setup `B` times. The evaluation API is organised
+//! around a *prepared handle* that pays the setup once:
+//!
+//! * [`EvalBackend::prepare`] materialises a [`PreparedEval`] — the
+//!   effective weights, the per-line conductance totals, and a snapshot
+//!   of the array — fingerprinted by the array's conductance
+//!   [`CrossbarArray::generation`].
+//! * The `*_prepared` methods evaluate batches against that handle. A
+//!   handle whose generation no longer matches the driving array (the
+//!   array was re-programmed, fault-applied, or drifted since) is
+//!   rejected with [`CrossbarError::StalePrepared`] — never silently
+//!   reused.
+//!
+//! Three backends implement the trait:
 //!
 //! * [`NaiveBackend`] — the reference implementation: a straight loop
-//!   over the existing per-vector calls.
-//! * [`BlockedBackend`] — materialises the effective weights (or line
-//!   conductances) once per batch and runs a cache-blocked kernel over
-//!   `outputs x batch` tiles. Every output cell is still one full-length
-//!   ascending-index [`xbar_linalg::vec_ops::dot`] — the identical
-//!   floating-point reduction the per-vector path performs — so outputs
-//!   are **bit-identical** to [`NaiveBackend`], not merely close.
+//!   over the existing per-vector calls against the prepared snapshot.
+//! * [`BlockedBackend`] — evaluates from the prepared weights (or line
+//!   conductances) with a cache-blocked kernel over `outputs x batch`
+//!   tiles. Every output cell is still one full-length ascending-index
+//!   [`xbar_linalg::vec_ops::dot`] — the identical floating-point
+//!   reduction the per-vector path performs — so outputs are
+//!   **bit-identical** to [`NaiveBackend`], not merely close.
+//! * [`ParallelBackend`] — the blocked kernel tiled over batch chunks
+//!   (or output-row blocks for small batches) across a scoped thread
+//!   pool. Threads only change *which* worker computes a cell, never
+//!   the reduction inside it, so outputs stay bit-identical to
+//!   [`NaiveBackend`] at any thread count.
 //!
 //! Noisy variants take a per-sample RNG-stream factory (sample index →
 //! fresh [`ChaCha8Rng`]), so per-device noise draws depend only on the
 //! sample's own stream. Results are therefore bit-identical to the
 //! sequential path at any thread count and any batch partitioning.
 //!
-//! Both backends emit the same observability events — one
+//! All backends emit the same observability events — one
 //! [`xbar_obs::names::XBAR_MVM_BATCH`] count and one
 //! [`xbar_obs::names::XBAR_BATCH_OCCUPANCY`] observation per batch, plus
 //! the per-sample analog-MVM / power-read counts the per-vector path
-//! already emits — so campaign traces do not depend on the backend
-//! choice.
+//! already emits, always on the calling thread — so campaign traces do
+//! not depend on the backend choice or thread count.
+//! [`EvalBackend::prepare`] emits no events: preparation is a caching
+//! detail, not a hardware operation.
 
 use crate::array::CrossbarArray;
 use crate::power::PowerModel;
@@ -35,6 +54,7 @@ use crate::{CrossbarError, Result};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use xbar_linalg::vec_ops::dot;
+use xbar_linalg::Matrix;
 
 /// A per-sample RNG-stream factory: maps the index of a sample within
 /// the batch to the RNG that sample's noise draws must come from.
@@ -45,7 +65,7 @@ use xbar_linalg::vec_ops::dot;
 pub type RngStreams<'a> = &'a mut dyn FnMut(usize) -> ChaCha8Rng;
 
 /// Which [`EvalBackend`] implementation to use — the value carried by
-/// configs and CLI flags.
+/// configs and CLI flags (usually inside a [`BackendSpec`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum BackendKind {
     /// Per-vector loop over the existing sequential calls.
@@ -53,15 +73,21 @@ pub enum BackendKind {
     Naive,
     /// Cache-blocked batch kernel (bit-identical outputs).
     Blocked,
+    /// The blocked kernel fanned out across a scoped thread pool
+    /// (bit-identical outputs at any thread count).
+    Parallel,
 }
 
 impl BackendKind {
     /// Constructs the backend this kind names, with default
-    /// [`BatchConfig`].
+    /// [`BatchConfig`] (and, for [`BackendKind::Parallel`], auto thread
+    /// count). Use [`BackendSpec::build`] to carry explicit tile sizes
+    /// or a thread count.
     pub fn build(self) -> Box<dyn EvalBackend> {
         match self {
             BackendKind::Naive => Box::new(NaiveBackend),
             BackendKind::Blocked => Box::new(BlockedBackend::default()),
+            BackendKind::Parallel => Box::new(ParallelBackend::default()),
         }
     }
 
@@ -70,6 +96,7 @@ impl BackendKind {
         match self {
             BackendKind::Naive => "naive",
             BackendKind::Blocked => "blocked",
+            BackendKind::Parallel => "parallel",
         }
     }
 }
@@ -87,14 +114,16 @@ impl std::str::FromStr for BackendKind {
         match s {
             "naive" => Ok(BackendKind::Naive),
             "blocked" => Ok(BackendKind::Blocked),
+            "parallel" => Ok(BackendKind::Parallel),
             other => Err(format!(
-                "unknown backend {other:?} (expected naive or blocked)"
+                "unknown backend {other:?} (expected naive, blocked, or parallel)"
             )),
         }
     }
 }
 
-/// Tile sizes for the [`BlockedBackend`] kernel.
+/// Tile sizes for the blocked kernel ([`BlockedBackend`] and
+/// [`ParallelBackend`] workers).
 ///
 /// The defaults keep one tile of effective weights plus the tile's
 /// input/output slices within a typical L1/L2 working set. Tiling never
@@ -153,71 +182,399 @@ impl BatchConfig {
     }
 }
 
+/// A complete, serializable backend selection: which kernel, its tile
+/// sizes, and (for [`BackendKind::Parallel`]) the worker thread count.
+///
+/// This is the one value configs and CLI flags carry; `--backend` flags
+/// parse it via [`std::str::FromStr`] with the grammar
+/// `naive | blocked | parallel[:THREADS]` (`parallel` alone, or
+/// `THREADS == 0`, auto-sizes to the host's available parallelism).
+///
+/// ```
+/// use xbar_crossbar::backend::{BackendKind, BackendSpec};
+///
+/// let spec: BackendSpec = "parallel:4".parse()?;
+/// assert_eq!(spec.kind, BackendKind::Parallel);
+/// assert_eq!(spec.threads, 4);
+/// assert!("blocked:4".parse::<BackendSpec>().is_err());
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BackendSpec {
+    /// Which kernel to run.
+    pub kind: BackendKind,
+    /// Tile sizes for the blocked/parallel kernels (ignored by
+    /// [`BackendKind::Naive`]).
+    pub batch: BatchConfig,
+    /// Worker threads for [`BackendKind::Parallel`]; `0` auto-sizes to
+    /// the host's available parallelism. Ignored by the other kinds.
+    pub threads: usize,
+}
+
+impl BackendSpec {
+    /// A spec for `kind` with default tile sizes and auto threads.
+    pub fn new(kind: BackendKind) -> Self {
+        BackendSpec {
+            kind,
+            batch: BatchConfig::default(),
+            threads: 0,
+        }
+    }
+
+    /// Builder-style setter for the tile sizes.
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Builder-style setter for the parallel worker count (`0` = auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Validates the spec without building it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BatchConfig::validate`].
+    pub fn validate(&self) -> Result<()> {
+        self.batch.validate()
+    }
+
+    /// Constructs the backend this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BatchConfig::validate`].
+    pub fn build(&self) -> Result<Box<dyn EvalBackend>> {
+        Ok(match self.kind {
+            BackendKind::Naive => Box::new(NaiveBackend),
+            BackendKind::Blocked => Box::new(BlockedBackend::new(self.batch)?),
+            BackendKind::Parallel => Box::new(ParallelBackend::new(self.batch, self.threads)?),
+        })
+    }
+}
+
+impl From<BackendKind> for BackendSpec {
+    fn from(kind: BackendKind) -> Self {
+        BackendSpec::new(kind)
+    }
+}
+
+impl std::fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.kind == BackendKind::Parallel && self.threads > 0 {
+            write!(f, "parallel:{}", self.threads)
+        } else {
+            f.write_str(self.kind.label())
+        }
+    }
+}
+
+impl std::str::FromStr for BackendSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        let (kind_str, threads) = match s.split_once(':') {
+            None => (s, None),
+            Some((kind, threads)) => (kind, Some(threads)),
+        };
+        let kind: BackendKind = kind_str.parse()?;
+        match threads {
+            None => Ok(BackendSpec::new(kind)),
+            Some(t) => {
+                if kind != BackendKind::Parallel {
+                    return Err(format!(
+                        "backend {kind_str:?} does not take a thread count \
+                         (the :N suffix applies to parallel only)"
+                    ));
+                }
+                let threads: usize = t.parse().map_err(|_| {
+                    format!(
+                        "invalid thread count {t:?} in backend spec \
+                         (expected parallel:N with N a non-negative integer)"
+                    )
+                })?;
+                Ok(BackendSpec::new(kind).with_threads(threads))
+            }
+        }
+    }
+}
+
+/// A materialised evaluation handle for one conductance generation of
+/// one array: the effective weight matrix, the per-line conductance
+/// totals, and a snapshot of the array itself (so noisy per-device
+/// reads and decorated backends evaluate the exact state that was
+/// prepared).
+///
+/// Built by [`EvalBackend::prepare`] and consumed by the `*_prepared`
+/// methods. The handle is keyed by [`CrossbarArray::generation`]: every
+/// `*_prepared` call checks the driving array's current generation
+/// against the one the handle was prepared from and fails with
+/// [`CrossbarError::StalePrepared`] on mismatch — stale reuse after
+/// re-programming, [`CrossbarArray::map_conductances`] (fault-plan
+/// application, transient perturbation), or drift-time advance is an
+/// error, never silently wrong numbers.
+#[derive(Debug, Clone)]
+pub struct PreparedEval {
+    generation: u64,
+    array: CrossbarArray,
+    weights: Matrix,
+    conductances: Vec<f64>,
+}
+
+impl PreparedEval {
+    /// Materialises a handle for the array's current generation: one
+    /// `O(M·N)` pass building the effective weights, the per-line
+    /// conductance totals, and the snapshot.
+    pub fn new(array: &CrossbarArray) -> Self {
+        PreparedEval {
+            generation: array.generation(),
+            weights: array.effective_weights(),
+            conductances: array.input_line_conductances(),
+            array: array.clone(),
+        }
+    }
+
+    /// The conductance generation this handle was prepared from.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The snapshot of the array the handle was prepared from.
+    ///
+    /// `*_prepared` methods evaluate against this snapshot (the driving
+    /// array argument is only the staleness witness) — which is what
+    /// lets decorating backends prepare from a *derived* array (e.g. a
+    /// faulted copy) and still be driven with the source array.
+    pub fn array(&self) -> &CrossbarArray {
+        &self.array
+    }
+
+    /// The materialised effective weights,
+    /// [`CrossbarArray::effective_weights`] of the snapshot.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The materialised per-line conductance totals,
+    /// [`CrossbarArray::input_line_conductances`] of the snapshot.
+    pub fn line_conductances(&self) -> &[f64] {
+        &self.conductances
+    }
+
+    /// Re-keys the handle to a different source generation.
+    ///
+    /// For decorating backends only: a decorator that prepares from a
+    /// derived array (e.g. [`FaultyBackend`](crate::backend) wrappers in
+    /// `xbar-faults` preparing from the faulted copy) re-keys the handle
+    /// to the *source* array's generation, so staleness is tracked
+    /// against the array callers actually hold.
+    pub fn rekey(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// Fails unless `array`'s current conductance generation matches the
+    /// one this handle was prepared from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::StalePrepared`] on mismatch.
+    pub fn ensure_current(&self, array: &CrossbarArray) -> Result<()> {
+        if array.generation() != self.generation {
+            return Err(CrossbarError::StalePrepared {
+                prepared: self.generation,
+                current: array.generation(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Batched evaluation of one programmed crossbar array.
 ///
 /// All implementations must produce outputs bit-identical to looping the
 /// corresponding per-vector call over the batch in order, and must emit
 /// the same observability events while doing so.
+///
+/// The primary entry points are [`EvalBackend::prepare`] plus the
+/// `*_prepared` methods; the handle-free `*_batch` methods are
+/// deprecated prepare-once wrappers kept for one release.
 pub trait EvalBackend: Send + Sync + std::fmt::Debug {
     /// Which [`BackendKind`] this backend implements.
     fn kind(&self) -> BackendKind;
 
-    /// Noiseless differential MVM for a batch of inputs — the batched
-    /// [`CrossbarArray::checked_mvm`].
+    /// Materialises a [`PreparedEval`] for the array's current
+    /// conductance generation. Emits no observability events.
+    ///
+    /// Decorating backends (fault injection) override this to prepare
+    /// from their derived array and re-key the handle to the source
+    /// generation — see [`PreparedEval::rekey`].
     ///
     /// # Errors
     ///
-    /// Returns [`CrossbarError::InputLenMismatch`] if any input has the
-    /// wrong length (checked up front; no partial work happens).
-    fn mvm_batch(&self, array: &CrossbarArray, inputs: &[&[f64]]) -> Result<Vec<Vec<f64>>>;
+    /// Decorator implementations propagate derivation errors (e.g. a
+    /// fault plan compiled for a different shape).
+    fn prepare(&self, array: &CrossbarArray) -> Result<PreparedEval> {
+        Ok(PreparedEval::new(array))
+    }
 
-    /// Noiseless measured power for a batch of inputs — the batched
-    /// [`PowerModel::exact`].
+    /// Noiseless differential MVM for a batch of inputs against a
+    /// prepared handle — the batched [`CrossbarArray::checked_mvm`].
+    ///
+    /// `array` is the staleness witness: evaluation reads only the
+    /// handle's materialised state.
     ///
     /// # Errors
     ///
-    /// Returns [`CrossbarError::InputLenMismatch`] if any input has the
-    /// wrong length (checked up front; no partial work happens).
-    fn power_batch(
+    /// * [`CrossbarError::StalePrepared`] if `array`'s generation no
+    ///   longer matches the handle.
+    /// * [`CrossbarError::InputLenMismatch`] if any input has the wrong
+    ///   length (checked up front; no partial work happens).
+    fn mvm_prepared(
+        &self,
+        prepared: &PreparedEval,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+    ) -> Result<Vec<Vec<f64>>>;
+
+    /// Noiseless measured power for a batch of inputs against a
+    /// prepared handle — the batched [`PowerModel::exact`].
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalBackend::mvm_prepared`].
+    fn power_prepared(
         &self,
         model: &PowerModel,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
     ) -> Result<Vec<f64>>;
 
     /// Differential MVM with per-read device noise for a batch of
-    /// inputs. Sample `i`'s noise draws come from `streams(i)` only, so
-    /// results match the sequential per-vector loop at any thread count.
+    /// inputs against a prepared handle. Sample `i`'s noise draws come
+    /// from `streams(i)` only, so results match the sequential
+    /// per-vector loop at any thread count.
     ///
     /// # Errors
     ///
-    /// Returns [`CrossbarError::InputLenMismatch`] if any input has the
-    /// wrong length (checked up front; no partial work happens).
-    fn noisy_mvm_batch(
+    /// As [`EvalBackend::mvm_prepared`].
+    fn noisy_mvm_prepared(
         &self,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
         streams: RngStreams<'_>,
     ) -> Result<Vec<Vec<f64>>>;
 
-    /// Noisy measured power for a batch of inputs; sample `i`'s
-    /// measurement noise comes from `streams(i)` only.
+    /// Noisy measured power for a batch of inputs against a prepared
+    /// handle; sample `i`'s measurement noise comes from `streams(i)`
+    /// only.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalBackend::mvm_prepared`].
+    fn noisy_power_prepared(
+        &self,
+        model: &PowerModel,
+        prepared: &PreparedEval,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        streams: RngStreams<'_>,
+    ) -> Result<Vec<f64>>;
+
+    /// Prepare-once wrapper around [`EvalBackend::mvm_prepared`].
     ///
     /// # Errors
     ///
     /// Returns [`CrossbarError::InputLenMismatch`] if any input has the
     /// wrong length (checked up front; no partial work happens).
+    #[deprecated(
+        since = "0.1.0",
+        note = "prepare once with EvalBackend::prepare and call mvm_prepared; \
+                this wrapper re-materialises the weights on every batch and \
+                will be removed next release"
+    )]
+    fn mvm_batch(&self, array: &CrossbarArray, inputs: &[&[f64]]) -> Result<Vec<Vec<f64>>> {
+        let prepared = self.prepare(array)?;
+        self.mvm_prepared(&prepared, array, inputs)
+    }
+
+    /// Prepare-once wrapper around [`EvalBackend::power_prepared`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLenMismatch`] if any input has the
+    /// wrong length (checked up front; no partial work happens).
+    #[deprecated(
+        since = "0.1.0",
+        note = "prepare once with EvalBackend::prepare and call power_prepared; \
+                this wrapper re-materialises the line conductances on every \
+                batch and will be removed next release"
+    )]
+    fn power_batch(
+        &self,
+        model: &PowerModel,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+    ) -> Result<Vec<f64>> {
+        let prepared = self.prepare(array)?;
+        self.power_prepared(model, &prepared, array, inputs)
+    }
+
+    /// Prepare-once wrapper around [`EvalBackend::noisy_mvm_prepared`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLenMismatch`] if any input has the
+    /// wrong length (checked up front; no partial work happens).
+    #[deprecated(
+        since = "0.1.0",
+        note = "prepare once with EvalBackend::prepare and call \
+                noisy_mvm_prepared; this wrapper re-prepares on every batch \
+                and will be removed next release"
+    )]
+    fn noisy_mvm_batch(
+        &self,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        streams: RngStreams<'_>,
+    ) -> Result<Vec<Vec<f64>>> {
+        let prepared = self.prepare(array)?;
+        self.noisy_mvm_prepared(&prepared, array, inputs, streams)
+    }
+
+    /// Prepare-once wrapper around
+    /// [`EvalBackend::noisy_power_prepared`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InputLenMismatch`] if any input has the
+    /// wrong length (checked up front; no partial work happens).
+    #[deprecated(
+        since = "0.1.0",
+        note = "prepare once with EvalBackend::prepare and call \
+                noisy_power_prepared; this wrapper re-prepares on every batch \
+                and will be removed next release"
+    )]
     fn noisy_power_batch(
         &self,
         model: &PowerModel,
         array: &CrossbarArray,
         inputs: &[&[f64]],
         streams: RngStreams<'_>,
-    ) -> Result<Vec<f64>>;
+    ) -> Result<Vec<f64>> {
+        let prepared = self.prepare(array)?;
+        self.noisy_power_prepared(model, &prepared, array, inputs, streams)
+    }
 }
 
 /// Rejects the whole batch before any work (or counting) happens, so
-/// both backends fail identically and traces never record partial
+/// all backends fail identically and traces never record partial
 /// batches.
 fn validate_batch(array: &CrossbarArray, inputs: &[&[f64]]) -> Result<()> {
     let n = array.num_inputs();
@@ -239,7 +596,7 @@ fn record_batch(inputs: &[&[f64]]) {
     xbar_obs::observe(xbar_obs::names::XBAR_BATCH_OCCUPANCY, inputs.len() as f64);
 }
 
-/// Per-sample noisy MVM loop shared by both backends: the per-device
+/// Per-sample noisy MVM loop shared by all backends: the per-device
 /// draw order inside one sample cannot be restructured without changing
 /// results, so batching buys nothing here beyond stream isolation.
 fn noisy_mvm_per_sample(
@@ -257,7 +614,7 @@ fn noisy_mvm_per_sample(
         .collect()
 }
 
-/// Per-sample noisy power loop shared by both backends.
+/// Per-sample noisy power loop shared by all backends.
 fn noisy_power_per_sample(
     model: &PowerModel,
     array: &CrossbarArray,
@@ -274,7 +631,41 @@ fn noisy_power_per_sample(
         .collect()
 }
 
-/// The reference backend: a straight loop over the per-vector calls.
+/// The tiled noiseless MVM kernel over output rows `row0..row1`,
+/// writing sample `s`'s row `i` into `out[s][i - row0]`.
+///
+/// This is the one kernel [`BlockedBackend`] and every
+/// [`ParallelBackend`] worker run: each output cell is one full-length
+/// ascending-index [`dot`] — the identical reduction `checked_mvm`'s
+/// `matvec` performs — so tile boundaries and work partitioning never
+/// change a single bit of the result.
+fn mvm_tiles_into(
+    w_eff: &Matrix,
+    inputs: &[&[f64]],
+    row0: usize,
+    row1: usize,
+    config: BatchConfig,
+    out: &mut [Vec<f64>],
+) {
+    let bo = config.block_outputs.max(1);
+    let bs = config.block_samples.max(1);
+    for s0 in (0..inputs.len()).step_by(bs) {
+        let s1 = (s0 + bs).min(inputs.len());
+        let mut i0 = row0;
+        while i0 < row1 {
+            let i1 = (i0 + bo).min(row1);
+            for (sample_out, input) in out[s0..s1].iter_mut().zip(&inputs[s0..s1]) {
+                for (k, cell) in sample_out[i0 - row0..i1 - row0].iter_mut().enumerate() {
+                    *cell = dot(w_eff.row(i0 + k), input);
+                }
+            }
+            i0 = i1;
+        }
+    }
+}
+
+/// The reference backend: a straight loop over the per-vector calls
+/// against the prepared snapshot.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NaiveBackend;
 
@@ -283,61 +674,70 @@ impl EvalBackend for NaiveBackend {
         BackendKind::Naive
     }
 
-    fn mvm_batch(&self, array: &CrossbarArray, inputs: &[&[f64]]) -> Result<Vec<Vec<f64>>> {
-        validate_batch(array, inputs)?;
+    fn mvm_prepared(
+        &self,
+        prepared: &PreparedEval,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+    ) -> Result<Vec<Vec<f64>>> {
+        prepared.ensure_current(array)?;
+        validate_batch(prepared.array(), inputs)?;
         record_batch(inputs);
         inputs
             .iter()
-            .map(|input| array.checked_mvm(input))
+            .map(|input| prepared.array().checked_mvm(input))
             .collect()
     }
 
-    fn power_batch(
+    fn power_prepared(
         &self,
         model: &PowerModel,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
     ) -> Result<Vec<f64>> {
-        validate_batch(array, inputs)?;
+        prepared.ensure_current(array)?;
+        validate_batch(prepared.array(), inputs)?;
         record_batch(inputs);
         inputs
             .iter()
-            .map(|input| model.exact(array, input))
+            .map(|input| model.exact(prepared.array(), input))
             .collect()
     }
 
-    fn noisy_mvm_batch(
+    fn noisy_mvm_prepared(
         &self,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
         streams: RngStreams<'_>,
     ) -> Result<Vec<Vec<f64>>> {
-        validate_batch(array, inputs)?;
+        prepared.ensure_current(array)?;
+        validate_batch(prepared.array(), inputs)?;
         record_batch(inputs);
-        noisy_mvm_per_sample(array, inputs, streams)
+        noisy_mvm_per_sample(prepared.array(), inputs, streams)
     }
 
-    fn noisy_power_batch(
+    fn noisy_power_prepared(
         &self,
         model: &PowerModel,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
         streams: RngStreams<'_>,
     ) -> Result<Vec<f64>> {
-        validate_batch(array, inputs)?;
+        prepared.ensure_current(array)?;
+        validate_batch(prepared.array(), inputs)?;
         record_batch(inputs);
-        noisy_power_per_sample(model, array, inputs, streams)
+        noisy_power_per_sample(model, prepared.array(), inputs, streams)
     }
 }
 
 /// The cache-blocked batch backend.
 ///
-/// `mvm_batch` materialises [`CrossbarArray::effective_weights`] once
-/// per batch (the per-vector path pays that `O(M·N)` subtraction, scale,
-/// and allocation per sample) and walks `outputs x batch` tiles so a
-/// tile of weight rows stays cache-resident across the tile's samples.
-/// `power_batch` likewise computes
-/// [`CrossbarArray::input_line_conductances`] once per batch. Each
+/// Noiseless evaluation reads the handle's materialised weights (or
+/// line conductances) and walks `outputs x batch` tiles so a tile of
+/// weight rows stays cache-resident across the tile's samples. Each
 /// output cell is one full-length ascending-index dot product, so every
 /// number equals the per-vector path's bit for bit.
 #[derive(Debug, Clone, Copy, Default)]
@@ -367,79 +767,274 @@ impl EvalBackend for BlockedBackend {
         BackendKind::Blocked
     }
 
-    fn mvm_batch(&self, array: &CrossbarArray, inputs: &[&[f64]]) -> Result<Vec<Vec<f64>>> {
-        validate_batch(array, inputs)?;
+    fn mvm_prepared(
+        &self,
+        prepared: &PreparedEval,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+    ) -> Result<Vec<Vec<f64>>> {
+        prepared.ensure_current(array)?;
+        validate_batch(prepared.array(), inputs)?;
         record_batch(inputs);
         // One analog MVM per sample, exactly like the per-vector path.
         xbar_obs::count(xbar_obs::names::XBAR_ANALOG_MVM, inputs.len() as u64);
-        let w_eff = array.effective_weights();
-        let m = array.num_outputs();
+        let m = prepared.weights().rows();
         let mut out: Vec<Vec<f64>> = inputs.iter().map(|_| vec![0.0; m]).collect();
-        let bo = self.config.block_outputs.max(1);
-        let bs = self.config.block_samples.max(1);
-        for s0 in (0..inputs.len()).step_by(bs) {
-            let s1 = (s0 + bs).min(inputs.len());
-            for i0 in (0..m).step_by(bo) {
-                let i1 = (i0 + bo).min(m);
-                for (sample_out, input) in out[s0..s1].iter_mut().zip(&inputs[s0..s1]) {
-                    for (i, cell) in sample_out[i0..i1].iter_mut().enumerate() {
-                        // Identical reduction to `checked_mvm`'s
-                        // `matvec`: one full-length ascending-index dot.
-                        *cell = dot(w_eff.row(i0 + i), input);
-                    }
+        mvm_tiles_into(prepared.weights(), inputs, 0, m, self.config, &mut out);
+        Ok(out)
+    }
+
+    fn power_prepared(
+        &self,
+        model: &PowerModel,
+        prepared: &PreparedEval,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+    ) -> Result<Vec<f64>> {
+        prepared.ensure_current(array)?;
+        validate_batch(prepared.array(), inputs)?;
+        record_batch(inputs);
+        // One power read per sample, exactly like the per-vector path.
+        xbar_obs::count(xbar_obs::names::XBAR_POWER_READ, inputs.len() as u64);
+        let conductances = prepared.line_conductances();
+        Ok(inputs
+            .iter()
+            .map(|input| {
+                // Same accumulation as `total_current`, amortising the
+                // per-line conductance totals across batches.
+                model.v_dd * dot(conductances, input)
+            })
+            .collect())
+    }
+
+    fn noisy_mvm_prepared(
+        &self,
+        prepared: &PreparedEval,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        streams: RngStreams<'_>,
+    ) -> Result<Vec<Vec<f64>>> {
+        prepared.ensure_current(array)?;
+        validate_batch(prepared.array(), inputs)?;
+        record_batch(inputs);
+        noisy_mvm_per_sample(prepared.array(), inputs, streams)
+    }
+
+    fn noisy_power_prepared(
+        &self,
+        model: &PowerModel,
+        prepared: &PreparedEval,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        streams: RngStreams<'_>,
+    ) -> Result<Vec<f64>> {
+        prepared.ensure_current(array)?;
+        validate_batch(prepared.array(), inputs)?;
+        record_batch(inputs);
+        noisy_power_per_sample(model, prepared.array(), inputs, streams)
+    }
+}
+
+/// The multi-threaded blocked backend: the same tiled kernel as
+/// [`BlockedBackend`], fanned out over a scoped thread pool.
+///
+/// Noiseless MVM partitions the batch into contiguous sample chunks,
+/// one per worker, each writing a disjoint slice of the output; when
+/// the batch is smaller than the pool, workers instead take contiguous
+/// output-row blocks. Either way every output cell is still one
+/// full-length ascending-index [`dot`] computed by exactly one worker,
+/// so results are **bit-identical** to [`NaiveBackend`] at any thread
+/// count — parallelism only changes which thread computes a cell, never
+/// the reduction inside it.
+///
+/// Noisy variants stay sequential per sample: the per-sample RNG-stream
+/// factory is an exclusive closure, and per-device draw order is part
+/// of the contract.
+///
+/// All observability events are emitted on the calling thread before
+/// work is fanned out (the obs collector scope is thread-local), so
+/// traces are identical to the other backends' at any thread count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelBackend {
+    config: BatchConfig,
+    threads: usize,
+}
+
+impl ParallelBackend {
+    /// A parallel backend with the given tile sizes and worker count
+    /// (`threads == 0` auto-sizes to the host's available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BatchConfig::validate`].
+    pub fn new(config: BatchConfig, threads: usize) -> Result<Self> {
+        config.validate()?;
+        Ok(ParallelBackend { config, threads })
+    }
+
+    /// The tile sizes in effect.
+    pub fn config(&self) -> BatchConfig {
+        self.config
+    }
+
+    /// The configured worker count (`0` = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The worker count actually used: the configured count, or the
+    /// host's available parallelism when configured as `0`.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }
+    }
+}
+
+impl EvalBackend for ParallelBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Parallel
+    }
+
+    fn mvm_prepared(
+        &self,
+        prepared: &PreparedEval,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+    ) -> Result<Vec<Vec<f64>>> {
+        prepared.ensure_current(array)?;
+        validate_batch(prepared.array(), inputs)?;
+        // All events on the calling thread: obs scopes are thread-local
+        // and must not lose worker-side counts.
+        record_batch(inputs);
+        xbar_obs::count(xbar_obs::names::XBAR_ANALOG_MVM, inputs.len() as u64);
+        let w_eff = prepared.weights();
+        let m = w_eff.rows();
+        let config = self.config;
+        let mut out: Vec<Vec<f64>> = inputs.iter().map(|_| vec![0.0; m]).collect();
+        let threads = self
+            .resolved_threads()
+            .min(inputs.len().max(1))
+            .min(m.max(1));
+        if threads <= 1 || inputs.is_empty() {
+            mvm_tiles_into(w_eff, inputs, 0, m, config, &mut out);
+            return Ok(out);
+        }
+        if inputs.len() >= threads {
+            // Wide batch: contiguous sample chunks, one per worker,
+            // each writing its own disjoint output slice.
+            let chunk = inputs.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (input_chunk, out_chunk) in inputs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        mvm_tiles_into(w_eff, input_chunk, 0, m, config, out_chunk);
+                    });
+                }
+            });
+        } else {
+            // Narrow batch: contiguous output-row blocks, one per
+            // worker, computed into worker-local buffers and stitched
+            // back (an O(M·B) copy against O(M·N·B) compute).
+            let rows_per = m.div_ceil(threads);
+            let partials = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..m)
+                    .step_by(rows_per)
+                    .map(|row0| {
+                        let row1 = (row0 + rows_per).min(m);
+                        scope.spawn(move || {
+                            let mut local: Vec<Vec<f64>> =
+                                inputs.iter().map(|_| vec![0.0; row1 - row0]).collect();
+                            mvm_tiles_into(w_eff, inputs, row0, row1, config, &mut local);
+                            (row0, local)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("parallel mvm worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (row0, local) in partials {
+                for (sample_out, rows) in out.iter_mut().zip(local) {
+                    sample_out[row0..row0 + rows.len()].copy_from_slice(&rows);
                 }
             }
         }
         Ok(out)
     }
 
-    fn power_batch(
+    fn power_prepared(
         &self,
         model: &PowerModel,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
     ) -> Result<Vec<f64>> {
-        validate_batch(array, inputs)?;
+        prepared.ensure_current(array)?;
+        validate_batch(prepared.array(), inputs)?;
         record_batch(inputs);
-        // One power read per sample, exactly like the per-vector path.
         xbar_obs::count(xbar_obs::names::XBAR_POWER_READ, inputs.len() as u64);
-        let conductances = array.input_line_conductances();
-        Ok(inputs
-            .iter()
-            .map(|input| {
-                // Same accumulation as `total_current`, amortising the
-                // per-line conductance totals across the batch.
-                model.v_dd * dot(&conductances, input)
-            })
-            .collect())
+        let conductances = prepared.line_conductances();
+        let v_dd = model.v_dd;
+        let threads = self.resolved_threads();
+        let mut out = vec![0.0; inputs.len()];
+        if threads <= 1 || inputs.len() < 2 * threads {
+            // One O(N) dot per sample: not worth a fan-out below a few
+            // samples per worker.
+            for (o, input) in out.iter_mut().zip(inputs) {
+                *o = v_dd * dot(conductances, input);
+            }
+            return Ok(out);
+        }
+        let chunk = inputs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (input_chunk, out_chunk) in inputs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (o, input) in out_chunk.iter_mut().zip(input_chunk) {
+                        *o = v_dd * dot(conductances, input);
+                    }
+                });
+            }
+        });
+        Ok(out)
     }
 
-    fn noisy_mvm_batch(
+    fn noisy_mvm_prepared(
         &self,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
         streams: RngStreams<'_>,
     ) -> Result<Vec<Vec<f64>>> {
-        validate_batch(array, inputs)?;
+        prepared.ensure_current(array)?;
+        validate_batch(prepared.array(), inputs)?;
         record_batch(inputs);
-        noisy_mvm_per_sample(array, inputs, streams)
+        noisy_mvm_per_sample(prepared.array(), inputs, streams)
     }
 
-    fn noisy_power_batch(
+    fn noisy_power_prepared(
         &self,
         model: &PowerModel,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
         streams: RngStreams<'_>,
     ) -> Result<Vec<f64>> {
-        validate_batch(array, inputs)?;
+        prepared.ensure_current(array)?;
+        validate_batch(prepared.array(), inputs)?;
         record_batch(inputs);
-        noisy_power_per_sample(model, array, inputs, streams)
+        noisy_power_per_sample(model, prepared.array(), inputs, streams)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `*_batch` wrappers stay covered until removal:
+    // several tests below drive them deliberately.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::device::DeviceModel;
     use rand::SeedableRng;
@@ -478,6 +1073,117 @@ mod tests {
         for (input, row) in refs.iter().zip(&naive) {
             assert_eq!(row, &xbar.checked_mvm(input).unwrap());
         }
+    }
+
+    #[test]
+    fn parallel_mvm_is_bit_identical_at_any_thread_count() {
+        let xbar = array(19, 23, 11);
+        let model = PowerModel::default();
+        for b in [1usize, 3, 16] {
+            let inputs = batch(23, b, 12);
+            let refs = refs(&inputs);
+            let naive = NaiveBackend.mvm_batch(&xbar, &refs).unwrap();
+            let p_naive = NaiveBackend.power_batch(&model, &xbar, &refs).unwrap();
+            // 0 = auto; 1 = inline; small and oversubscribed pools; both
+            // the sample-chunk (b >= threads) and row-block (b < threads)
+            // paths are crossed.
+            for threads in [0usize, 1, 2, 3, 8, 32] {
+                let parallel = ParallelBackend::new(BatchConfig::default(), threads).unwrap();
+                assert_eq!(
+                    parallel.mvm_batch(&xbar, &refs).unwrap(),
+                    naive,
+                    "mvm b={b} threads={threads}"
+                );
+                assert_eq!(
+                    parallel.power_batch(&model, &xbar, &refs).unwrap(),
+                    p_naive,
+                    "power b={b} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_handles_are_reusable_across_batches() {
+        let xbar = array(9, 14, 21);
+        let first = batch(14, 6, 22);
+        let second = batch(14, 3, 23);
+        for spec in [
+            BackendSpec::new(BackendKind::Naive),
+            BackendSpec::new(BackendKind::Blocked),
+            BackendSpec::new(BackendKind::Parallel).with_threads(2),
+        ] {
+            let backend = spec.build().unwrap();
+            let prepared = backend.prepare(&xbar).unwrap();
+            assert_eq!(prepared.generation(), xbar.generation());
+            for inputs in [&first, &second] {
+                let refs = refs(inputs);
+                let warm = backend.mvm_prepared(&prepared, &xbar, &refs).unwrap();
+                assert_eq!(warm, backend.mvm_batch(&xbar, &refs).unwrap(), "{spec}");
+                let model = PowerModel::default();
+                let p_warm = backend
+                    .power_prepared(&model, &prepared, &xbar, &refs)
+                    .unwrap();
+                assert_eq!(
+                    p_warm,
+                    backend.power_batch(&model, &xbar, &refs).unwrap(),
+                    "{spec}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stale_prepared_handles_are_rejected() {
+        let xbar = array(5, 7, 31);
+        let inputs = batch(7, 2, 32);
+        let refs = refs(&inputs);
+        let model = PowerModel::default();
+        let mut stream = |_: usize| ChaCha8Rng::seed_from_u64(9);
+        for kind in [
+            BackendKind::Naive,
+            BackendKind::Blocked,
+            BackendKind::Parallel,
+        ] {
+            let backend = kind.build();
+            let prepared = backend.prepare(&xbar).unwrap();
+            // Even an identity conductance map invalidates the handle.
+            let remapped = xbar.map_conductances(|_, g| g);
+            let err = backend.mvm_prepared(&prepared, &remapped, &refs);
+            assert!(
+                matches!(err, Err(CrossbarError::StalePrepared { .. })),
+                "{kind}: {err:?}"
+            );
+            assert!(backend
+                .power_prepared(&model, &prepared, &remapped, &refs)
+                .is_err());
+            assert!(backend
+                .noisy_mvm_prepared(&prepared, &remapped, &refs, &mut stream)
+                .is_err());
+            assert!(backend
+                .noisy_power_prepared(&model, &prepared, &remapped, &refs, &mut stream)
+                .is_err());
+            // The handle still serves the generation it was built from.
+            assert!(backend.mvm_prepared(&prepared, &xbar, &refs).is_ok());
+        }
+    }
+
+    #[test]
+    fn rekeyed_handles_follow_the_new_source() {
+        let xbar = array(4, 5, 41);
+        let derived = xbar.map_conductances(|_, g| g * 0.5);
+        let backend = BlockedBackend::default();
+        let mut prepared = backend.prepare(&derived).unwrap();
+        prepared.rekey(xbar.generation());
+        let inputs = batch(5, 3, 42);
+        let refs = refs(&inputs);
+        // Driven with the source array, evaluated from the derived
+        // snapshot — the decorator contract.
+        let out = backend.mvm_prepared(&prepared, &xbar, &refs).unwrap();
+        for (input, row) in refs.iter().zip(&out) {
+            assert_eq!(row, &derived.checked_mvm(input).unwrap());
+        }
+        assert!(backend.mvm_prepared(&prepared, &derived, &refs).is_err());
     }
 
     #[test]
@@ -529,10 +1235,17 @@ mod tests {
         let naive = NaiveBackend
             .noisy_mvm_batch(&xbar, &refs, &mut { stream })
             .unwrap();
-        let blocked = BlockedBackend::default()
-            .noisy_mvm_batch(&xbar, &refs, &mut { stream })
-            .unwrap();
-        assert_eq!(naive, blocked);
+        for backend in [
+            Box::new(BlockedBackend::default()) as Box<dyn EvalBackend>,
+            Box::new(ParallelBackend::new(BatchConfig::default(), 4).unwrap()),
+        ] {
+            assert_eq!(
+                naive,
+                backend
+                    .noisy_mvm_batch(&xbar, &refs, &mut { stream })
+                    .unwrap()
+            );
+        }
         // Sequential reference with the same streams.
         for (i, input) in refs.iter().enumerate() {
             let mut r = stream(i);
@@ -555,7 +1268,11 @@ mod tests {
         let good = vec![0.5; 6];
         let bad = vec![0.5; 5];
         let refs: Vec<&[f64]> = vec![&good, &bad];
-        for backend in [BackendKind::Naive.build(), BackendKind::Blocked.build()] {
+        for backend in [
+            BackendKind::Naive.build(),
+            BackendKind::Blocked.build(),
+            BackendKind::Parallel.build(),
+        ] {
             assert!(matches!(
                 backend.mvm_batch(&xbar, &refs),
                 Err(CrossbarError::InputLenMismatch {
@@ -573,22 +1290,81 @@ mod tests {
     fn empty_batches_are_fine() {
         let xbar = array(3, 4, 10);
         let refs: Vec<&[f64]> = Vec::new();
-        assert!(NaiveBackend.mvm_batch(&xbar, &refs).unwrap().is_empty());
-        assert!(BlockedBackend::default()
-            .mvm_batch(&xbar, &refs)
-            .unwrap()
-            .is_empty());
+        for backend in [
+            BackendKind::Naive.build(),
+            BackendKind::Blocked.build(),
+            BackendKind::Parallel.build(),
+        ] {
+            assert!(backend.mvm_batch(&xbar, &refs).unwrap().is_empty());
+        }
     }
 
     #[test]
     fn kind_roundtrips_through_strings() {
-        for kind in [BackendKind::Naive, BackendKind::Blocked] {
+        for kind in [
+            BackendKind::Naive,
+            BackendKind::Blocked,
+            BackendKind::Parallel,
+        ] {
             assert_eq!(kind.label().parse::<BackendKind>().unwrap(), kind);
             assert_eq!(kind.to_string(), kind.label());
             assert_eq!(kind.build().kind(), kind);
         }
         assert!("gpu".parse::<BackendKind>().is_err());
         assert_eq!(BackendKind::default(), BackendKind::Naive);
+    }
+
+    #[test]
+    fn backend_spec_parses_and_roundtrips() {
+        assert_eq!(
+            "naive".parse::<BackendSpec>().unwrap(),
+            BackendSpec::new(BackendKind::Naive)
+        );
+        assert_eq!(
+            "blocked".parse::<BackendSpec>().unwrap(),
+            BackendSpec::new(BackendKind::Blocked)
+        );
+        assert_eq!(
+            "parallel".parse::<BackendSpec>().unwrap(),
+            BackendSpec::new(BackendKind::Parallel)
+        );
+        let spec: BackendSpec = "parallel:8".parse().unwrap();
+        assert_eq!(spec.kind, BackendKind::Parallel);
+        assert_eq!(spec.threads, 8);
+        // Display round-trips through FromStr.
+        for s in ["naive", "blocked", "parallel", "parallel:8"] {
+            let spec: BackendSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s);
+            assert_eq!(spec.to_string().parse::<BackendSpec>().unwrap(), spec);
+        }
+        // Malformed specs fail loudly.
+        for bad in [
+            "gpu",
+            "parallel:x",
+            "parallel:-1",
+            "naive:2",
+            "blocked:4",
+            "",
+        ] {
+            assert!(bad.parse::<BackendSpec>().is_err(), "{bad:?}");
+        }
+        // From<BackendKind> keeps old call sites working.
+        let from_kind: BackendSpec = BackendKind::Blocked.into();
+        assert_eq!(from_kind, BackendSpec::new(BackendKind::Blocked));
+        assert_eq!(BackendSpec::default().kind, BackendKind::Naive);
+    }
+
+    #[test]
+    fn spec_build_validates_batch_config() {
+        let bad = BackendSpec::new(BackendKind::Blocked)
+            .with_batch(BatchConfig::default().with_block_outputs(0));
+        assert!(bad.validate().is_err());
+        assert!(bad.build().is_err());
+        let good = BackendSpec::new(BackendKind::Parallel)
+            .with_batch(BatchConfig::default().with_block_outputs(8))
+            .with_threads(2);
+        assert!(good.validate().is_ok());
+        assert_eq!(good.build().unwrap().kind(), BackendKind::Parallel);
     }
 
     #[test]
@@ -600,5 +1376,7 @@ mod tests {
             .with_block_outputs(8)
             .with_block_samples(4);
         assert_eq!(BlockedBackend::new(cfg).unwrap().config(), cfg);
+        assert_eq!(ParallelBackend::new(cfg, 3).unwrap().resolved_threads(), 3);
+        assert!(ParallelBackend::new(cfg, 0).unwrap().resolved_threads() >= 1);
     }
 }

@@ -22,6 +22,18 @@ pub enum CrossbarError {
         /// Why the mapping failed.
         reason: &'static str,
     },
+    /// A [`crate::backend::PreparedEval`] was used against an array whose
+    /// conductance generation no longer matches the one it was prepared
+    /// from — the array was re-programmed, fault-applied, drifted, or
+    /// otherwise re-mapped since. The handle must be rebuilt with
+    /// [`crate::backend::EvalBackend::prepare`]; evaluation never falls
+    /// back to the stale weights.
+    StalePrepared {
+        /// Generation the handle was prepared from.
+        prepared: u64,
+        /// The array's current generation.
+        current: u64,
+    },
 }
 
 impl fmt::Display for CrossbarError {
@@ -36,6 +48,12 @@ impl fmt::Display for CrossbarError {
             CrossbarError::UnmappableWeights { reason } => {
                 write!(f, "weights cannot be mapped to conductances: {reason}")
             }
+            CrossbarError::StalePrepared { prepared, current } => write!(
+                f,
+                "stale prepared evaluation: handle was prepared from array \
+                 generation {prepared} but the array is now generation {current} \
+                 (re-prepare after re-programming, fault application, or drift)"
+            ),
         }
     }
 }
@@ -55,6 +73,10 @@ mod tests {
             },
             CrossbarError::InvalidConfig { name: "g_max" },
             CrossbarError::UnmappableWeights { reason: "empty" },
+            CrossbarError::StalePrepared {
+                prepared: 1,
+                current: 2,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -7,14 +7,17 @@
 //! let w = xbar_linalg::Matrix::from_rows(&[&[0.5, -1.0]]);
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
 //! let xbar = CrossbarArray::program(&w, &DeviceModel::ideal(), &mut rng)?;
-//! let out = BackendKind::Blocked.build().mvm_batch(&xbar, &[&[1.0, 0.0]])?;
+//! let backend = BackendKind::Blocked.build();
+//! let prepared = backend.prepare(&xbar)?;
+//! let out = backend.mvm_prepared(&prepared, &xbar, &[&[1.0, 0.0]])?;
 //! assert!((out[0][0] - 0.5).abs() < 1e-9);
 //! # Ok::<(), CrossbarError>(())
 //! ```
 
 pub use crate::array::CrossbarArray;
 pub use crate::backend::{
-    BackendKind, BatchConfig, BlockedBackend, EvalBackend, NaiveBackend, RngStreams,
+    BackendKind, BackendSpec, BatchConfig, BlockedBackend, EvalBackend, NaiveBackend,
+    ParallelBackend, PreparedEval, RngStreams,
 };
 pub use crate::device::DeviceModel;
 pub use crate::mapping::WeightMapping;

@@ -1,15 +1,27 @@
-//! Property-based tests of the evaluation backends: the blocked kernel
-//! must be *bit-identical* to the naive per-vector loop — not merely
-//! close — for every crossbar shape, batch size, tile configuration,
-//! seed, and noise stream. Exact `==` on the floats everywhere.
+//! Property-based tests of the evaluation backends: the blocked and
+//! parallel kernels must be *bit-identical* to the naive per-vector
+//! loop — not merely close — for every crossbar shape, batch size, tile
+//! configuration, thread count, batch split, seed, and noise stream.
+//! Exact `==` on the floats everywhere. Plus the prepared-handle
+//! staleness contract: reuse across `map_conductances` (the primitive
+//! under re-programming, fault application, and drift redeployment) is
+//! an error, never silently wrong numbers.
+
+// The deprecated `*_batch` wrappers stay covered until removal: the
+// equivalence properties drive both the wrappers and the prepared
+// entry points.
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use xbar_crossbar::array::CrossbarArray;
-use xbar_crossbar::backend::{BatchConfig, BlockedBackend, EvalBackend, NaiveBackend};
+use xbar_crossbar::backend::{
+    BatchConfig, BlockedBackend, EvalBackend, NaiveBackend, ParallelBackend,
+};
 use xbar_crossbar::device::DeviceModel;
 use xbar_crossbar::power::PowerModel;
+use xbar_crossbar::CrossbarError;
 use xbar_linalg::Matrix;
 
 fn programmed(m: usize, n: usize, seed: u64, device: &DeviceModel) -> CrossbarArray {
@@ -124,11 +136,111 @@ proptest! {
         }
     }
 
-    /// Malformed batches fail identically on both backends: a single
-    /// wrong-length row rejects the whole batch, on every backend, with
-    /// no partial work.
+    /// The parallel kernel == naive, bit for bit, at any thread count
+    /// (including auto and heavy oversubscription), any tile
+    /// configuration, and any split of the batch — both the sample-chunk
+    /// path (wide batches) and the row-block path (narrow batches) are
+    /// crossed as `batch` and `threads` vary.
     #[test]
-    fn length_errors_reject_whole_batch_on_both_backends(
+    fn parallel_matches_naive_across_thread_counts_and_splits(
+        m in 1usize..12,
+        n in 1usize..12,
+        batch in 1usize..10,
+        threads in 0usize..9,
+        block_outputs in 1usize..8,
+        split_at in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let array = programmed(m, n, seed, &DeviceModel::ideal());
+        let inputs = sample_batch(batch, n, seed);
+        let refs: Vec<&[f64]> = (0..batch).map(|b| inputs.row(b)).collect();
+
+        let naive = NaiveBackend;
+        let parallel = ParallelBackend::new(
+            BatchConfig::default().with_block_outputs(block_outputs),
+            threads,
+        )
+        .unwrap();
+
+        let out_naive = naive.mvm_batch(&array, &refs).unwrap();
+        let whole = parallel.mvm_batch(&array, &refs).unwrap();
+        prop_assert_eq!(&out_naive, &whole);
+
+        let model = PowerModel::default();
+        prop_assert_eq!(
+            naive.power_batch(&model, &array, &refs).unwrap(),
+            parallel.power_batch(&model, &array, &refs).unwrap()
+        );
+
+        // Splitting the batch at an arbitrary point and evaluating the
+        // halves separately (reusing one prepared handle) changes
+        // nothing.
+        let cut = split_at % (batch + 1);
+        let prepared = parallel.prepare(&array).unwrap();
+        let mut halves = parallel.mvm_prepared(&prepared, &array, &refs[..cut]).unwrap();
+        halves.extend(parallel.mvm_prepared(&prepared, &array, &refs[cut..]).unwrap());
+        prop_assert_eq!(&out_naive, &halves);
+    }
+
+    /// The staleness contract: once the array's conductances change —
+    /// `map_conductances` is the primitive beneath re-programming,
+    /// `FaultPlan::apply`, transient perturbation, and drift
+    /// redeployment — every prepared handle taken before the change is
+    /// rejected with `StalePrepared` on all four entry points. Never
+    /// silently wrong numbers: the error is returned before any
+    /// evaluation work.
+    #[test]
+    fn stale_prepared_reuse_is_impossible(
+        m in 1usize..8,
+        n in 1usize..10,
+        batch in 1usize..6,
+        backend_pick in 0usize..3,
+        identity_map in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let device = DeviceModel::ideal().with_read_sigma(0.01);
+        let array = programmed(m, n, seed, &device);
+        let inputs = sample_batch(batch, n, seed);
+        let refs: Vec<&[f64]> = (0..batch).map(|b| inputs.row(b)).collect();
+        let backend: Box<dyn EvalBackend> = match backend_pick {
+            0 => Box::new(NaiveBackend),
+            1 => Box::new(BlockedBackend::default()),
+            _ => Box::new(ParallelBackend::new(BatchConfig::default(), 2).unwrap()),
+        };
+
+        let prepared = backend.prepare(&array).unwrap();
+        prop_assert_eq!(prepared.generation(), array.generation());
+
+        // Even an identity remap is a new generation: a false hit would
+        // silently reuse stale weights, a false miss only costs one
+        // re-prepare.
+        let changed = if identity_map {
+            array.map_conductances(|_, g| g)
+        } else {
+            array.map_conductances(|_, g| g * 0.9)
+        };
+        let model = PowerModel::default();
+        let err = backend.mvm_prepared(&prepared, &changed, &refs);
+        prop_assert!(matches!(err, Err(CrossbarError::StalePrepared { .. })), "{:?}", err);
+        prop_assert!(backend.power_prepared(&model, &prepared, &changed, &refs).is_err());
+        prop_assert!(backend
+            .noisy_mvm_prepared(&prepared, &changed, &refs, &mut streams(seed))
+            .is_err());
+        prop_assert!(backend
+            .noisy_power_prepared(&model, &prepared, &changed, &refs, &mut streams(seed))
+            .is_err());
+
+        // A fresh handle for the new generation works, and the old
+        // handle still serves its own generation.
+        let refreshed = backend.prepare(&changed).unwrap();
+        prop_assert!(backend.mvm_prepared(&refreshed, &changed, &refs).is_ok());
+        prop_assert!(backend.mvm_prepared(&prepared, &array, &refs).is_ok());
+    }
+
+    /// Malformed batches fail identically on every backend: a single
+    /// wrong-length row rejects the whole batch with no partial work.
+    #[test]
+    fn length_errors_reject_whole_batch_on_all_backends(
         m in 1usize..5,
         n in 2usize..8,
         batch in 1usize..5,
@@ -143,6 +255,7 @@ proptest! {
         for backend in [
             Box::new(NaiveBackend) as Box<dyn EvalBackend>,
             Box::new(BlockedBackend::default()),
+            Box::new(ParallelBackend::new(BatchConfig::default(), 2).unwrap()),
         ] {
             prop_assert!(backend.mvm_batch(&array, &refs).is_err());
             prop_assert!(backend

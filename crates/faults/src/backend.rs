@@ -1,22 +1,28 @@
 //! [`FaultyBackend`]: fault injection as an [`EvalBackend`] wrapper.
 
 use xbar_crossbar::array::CrossbarArray;
-use xbar_crossbar::backend::{BackendKind, EvalBackend, RngStreams};
+use xbar_crossbar::backend::{BackendKind, EvalBackend, PreparedEval, RngStreams};
 use xbar_crossbar::power::PowerModel;
 use xbar_crossbar::CrossbarError;
 
 use crate::plan::FaultPlan;
 
 /// An [`EvalBackend`] decorator that applies a [`FaultPlan`] to the
-/// array before delegating every batch to the wrapped backend.
+/// array at [`EvalBackend::prepare`] time and evaluates every batch
+/// against the faulted copy.
 ///
 /// With a no-op plan (compiled from an empty [`crate::FaultSpec`]) the
 /// wrapper delegates directly — no copy, no fault events — so outputs
 /// *and* traces are bit-identical to the bare backend; the property
 /// tests in `tests/proptest_faults.rs` pin that contract. With a real
-/// plan, each batch call pays one `O(M·N)` faulted-copy materialisation
+/// plan, `prepare` pays one `O(M·N)` faulted-copy materialisation
 /// (measured by `xbar bench mvm` as the fault-injection overhead row)
-/// plus the wrapped backend's own cost.
+/// and re-keys the handle to the *source* array's generation
+/// ([`PreparedEval::rekey`]), so callers keep driving evaluation with
+/// the array they hold while every number comes from the faulted
+/// snapshot inside the handle. Staleness tracks the source array: if it
+/// is re-programmed or re-mapped, the handle is rejected and the plan
+/// is re-applied on the next `prepare`.
 #[derive(Debug)]
 pub struct FaultyBackend {
     inner: Box<dyn EvalBackend>,
@@ -61,59 +67,69 @@ impl EvalBackend for FaultyBackend {
         self.inner.kind()
     }
 
-    fn mvm_batch(
+    fn prepare(&self, array: &CrossbarArray) -> xbar_crossbar::Result<PreparedEval> {
+        match self.faulted(array)? {
+            None => self.inner.prepare(array),
+            Some(faulted) => {
+                let mut prepared = self.inner.prepare(&faulted)?;
+                // Staleness tracks the array callers actually hold, not
+                // the derived faulted copy inside the handle.
+                prepared.rekey(array.generation());
+                Ok(prepared)
+            }
+        }
+    }
+
+    fn mvm_prepared(
         &self,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
     ) -> xbar_crossbar::Result<Vec<Vec<f64>>> {
-        match self.faulted(array)? {
-            None => self.inner.mvm_batch(array, inputs),
-            Some(faulted) => self.inner.mvm_batch(&faulted, inputs),
-        }
+        // The handle already holds the faulted snapshot; the inner
+        // backend checks staleness against the (rekeyed) generation.
+        self.inner.mvm_prepared(prepared, array, inputs)
     }
 
-    fn power_batch(
+    fn power_prepared(
         &self,
         model: &PowerModel,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
     ) -> xbar_crossbar::Result<Vec<f64>> {
-        match self.faulted(array)? {
-            None => self.inner.power_batch(model, array, inputs),
-            Some(faulted) => self.inner.power_batch(model, &faulted, inputs),
-        }
+        self.inner.power_prepared(model, prepared, array, inputs)
     }
 
-    fn noisy_mvm_batch(
+    fn noisy_mvm_prepared(
         &self,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
         streams: RngStreams<'_>,
     ) -> xbar_crossbar::Result<Vec<Vec<f64>>> {
-        match self.faulted(array)? {
-            None => self.inner.noisy_mvm_batch(array, inputs, streams),
-            Some(faulted) => self.inner.noisy_mvm_batch(&faulted, inputs, streams),
-        }
+        self.inner
+            .noisy_mvm_prepared(prepared, array, inputs, streams)
     }
 
-    fn noisy_power_batch(
+    fn noisy_power_prepared(
         &self,
         model: &PowerModel,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
         streams: RngStreams<'_>,
     ) -> xbar_crossbar::Result<Vec<f64>> {
-        match self.faulted(array)? {
-            None => self.inner.noisy_power_batch(model, array, inputs, streams),
-            Some(faulted) => self
-                .inner
-                .noisy_power_batch(model, &faulted, inputs, streams),
-        }
+        self.inner
+            .noisy_power_prepared(model, prepared, array, inputs, streams)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `*_batch` wrappers stay covered until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::{FaultKey, FaultSpec};
     use rand::SeedableRng;
@@ -223,6 +239,32 @@ mod tests {
             bare.noisy_power_batch(&model, &faulted, &refs, &mut { stream })
                 .unwrap()
         );
+    }
+
+    #[test]
+    fn prepared_handles_carry_the_faulted_snapshot() {
+        let xbar = programmed(5, 7, 13);
+        let inputs = batch(7, 4, 14);
+        let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        let spec = FaultSpec::none().with_variation_sigma(0.25);
+        let plan = spec.compile(5, 7, FaultKey::new(3, 4)).unwrap();
+        let faulted = plan.apply(&xbar).unwrap();
+        let faulty = FaultyBackend::from_kind(BackendKind::Blocked, plan);
+
+        // The handle is keyed to the *source* array it was prepared
+        // from, yet evaluates the faulted snapshot.
+        let prepared = faulty.prepare(&xbar).unwrap();
+        assert_eq!(prepared.generation(), xbar.generation());
+        let warm = faulty.mvm_prepared(&prepared, &xbar, &refs).unwrap();
+        let bare = BackendKind::Blocked.build();
+        assert_eq!(warm, bare.mvm_batch(&faulted, &refs).unwrap());
+
+        // Re-mapping the source array stales the handle.
+        let remapped = xbar.map_conductances(|_, g| g);
+        assert!(matches!(
+            faulty.mvm_prepared(&prepared, &remapped, &refs),
+            Err(CrossbarError::StalePrepared { .. })
+        ));
     }
 
     #[test]

@@ -86,12 +86,6 @@ pub fn check_ir_drop_compose(
     ir: &xbar_crossbar::irdrop::IrDropConfig,
 ) -> Result<()> {
     if spec.line_resistance > 0.0 && ir.r_wire > 0.0 && !ir.allow_with_line_faults {
-        debug_assert!(
-            false,
-            "IR-drop solve (r_wire={}) combined with fault-layer line_resistance={} \
-             without allow_with_line_faults — the wire physics would be double-counted",
-            ir.r_wire, spec.line_resistance
-        );
         return Err(FaultsError::InvalidSpec {
             name: "line_resistance",
         });
@@ -167,5 +161,36 @@ mod tests {
             reason: "not an object".into(),
         };
         assert!(e.to_string().contains("not an object"));
+    }
+
+    #[test]
+    fn ir_drop_and_line_resistance_do_not_silently_compose() {
+        use xbar_crossbar::irdrop::IrDropConfig;
+
+        let both = FaultSpec::none().with_line_resistance(0.5);
+        let ir = IrDropConfig {
+            r_wire: 0.1,
+            ..IrDropConfig::default()
+        };
+        // Double-counted wire physics is rejected at validate time ...
+        assert!(matches!(
+            check_ir_drop_compose(&both, &ir),
+            Err(FaultsError::InvalidSpec {
+                name: "line_resistance"
+            })
+        ));
+        // ... unless the IR-drop config opts in explicitly ...
+        let opted_in = IrDropConfig {
+            allow_with_line_faults: true,
+            ..ir
+        };
+        assert!(check_ir_drop_compose(&both, &opted_in).is_ok());
+        // ... and either model alone is always fine.
+        assert!(check_ir_drop_compose(&FaultSpec::none(), &ir).is_ok());
+        let no_wire = IrDropConfig {
+            r_wire: 0.0,
+            ..IrDropConfig::default()
+        };
+        assert!(check_ir_drop_compose(&both, &no_wire).is_ok());
     }
 }

@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use xbar_crossbar::array::CrossbarArray;
-use xbar_crossbar::backend::{BackendKind, EvalBackend, RngStreams};
+use xbar_crossbar::backend::{BackendKind, EvalBackend, PreparedEval, RngStreams};
 use xbar_crossbar::power::PowerModel;
 
 use crate::plan::{gaussian, splitmix64, FaultKey};
@@ -244,78 +244,105 @@ impl EvalBackend for TransientBackend {
         self.inner.kind()
     }
 
-    fn mvm_batch(
+    fn prepare(&self, array: &CrossbarArray) -> xbar_crossbar::Result<PreparedEval> {
+        // The handle snapshots the *unperturbed* array; per-sample
+        // perturbed copies are materialised (and prepared) per query at
+        // evaluation time — they are unique to one query by design and
+        // can never be cached across batches.
+        self.inner.prepare(array)
+    }
+
+    fn mvm_prepared(
         &self,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
     ) -> xbar_crossbar::Result<Vec<Vec<f64>>> {
         if self.injection.spec.is_empty() {
-            return self.inner.mvm_batch(array, inputs);
+            return self.inner.mvm_prepared(prepared, array, inputs);
         }
+        prepared.ensure_current(array)?;
         let mut out = Vec::with_capacity(inputs.len());
         for (i, input) in inputs.iter().enumerate() {
-            let perturbed = self.perturbed(array, i);
-            out.extend(self.inner.mvm_batch(&perturbed, &[input])?);
+            let perturbed = self.perturbed(prepared.array(), i);
+            let p = self.inner.prepare(&perturbed)?;
+            out.extend(self.inner.mvm_prepared(&p, &perturbed, &[input])?);
         }
         Ok(out)
     }
 
-    fn power_batch(
+    fn power_prepared(
         &self,
         model: &PowerModel,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
     ) -> xbar_crossbar::Result<Vec<f64>> {
         if self.injection.spec.is_empty() {
-            return self.inner.power_batch(model, array, inputs);
+            return self.inner.power_prepared(model, prepared, array, inputs);
         }
+        prepared.ensure_current(array)?;
         let mut out = Vec::with_capacity(inputs.len());
         for (i, input) in inputs.iter().enumerate() {
-            let perturbed = self.perturbed(array, i);
-            out.extend(self.inner.power_batch(model, &perturbed, &[input])?);
+            let perturbed = self.perturbed(prepared.array(), i);
+            let p = self.inner.prepare(&perturbed)?;
+            out.extend(self.inner.power_prepared(model, &p, &perturbed, &[input])?);
         }
         Ok(out)
     }
 
-    fn noisy_mvm_batch(
+    fn noisy_mvm_prepared(
         &self,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
         streams: RngStreams<'_>,
     ) -> xbar_crossbar::Result<Vec<Vec<f64>>> {
         if self.injection.spec.is_empty() {
-            return self.inner.noisy_mvm_batch(array, inputs, streams);
+            return self
+                .inner
+                .noisy_mvm_prepared(prepared, array, inputs, streams);
         }
+        prepared.ensure_current(array)?;
         let mut out = Vec::with_capacity(inputs.len());
         for (i, input) in inputs.iter().enumerate() {
-            let perturbed = self.perturbed(array, i);
+            let perturbed = self.perturbed(prepared.array(), i);
+            let p = self.inner.prepare(&perturbed)?;
             // Sample i keeps its own noise stream regardless of the
             // per-sample delegation.
             out.extend(
                 self.inner
-                    .noisy_mvm_batch(&perturbed, &[input], &mut |_| streams(i))?,
+                    .noisy_mvm_prepared(&p, &perturbed, &[input], &mut |_| streams(i))?,
             );
         }
         Ok(out)
     }
 
-    fn noisy_power_batch(
+    fn noisy_power_prepared(
         &self,
         model: &PowerModel,
+        prepared: &PreparedEval,
         array: &CrossbarArray,
         inputs: &[&[f64]],
         streams: RngStreams<'_>,
     ) -> xbar_crossbar::Result<Vec<f64>> {
         if self.injection.spec.is_empty() {
-            return self.inner.noisy_power_batch(model, array, inputs, streams);
+            return self
+                .inner
+                .noisy_power_prepared(model, prepared, array, inputs, streams);
         }
+        prepared.ensure_current(array)?;
         let mut out = Vec::with_capacity(inputs.len());
         for (i, input) in inputs.iter().enumerate() {
-            let perturbed = self.perturbed(array, i);
-            out.extend(
-                self.inner
-                    .noisy_power_batch(model, &perturbed, &[input], &mut |_| streams(i))?,
-            );
+            let perturbed = self.perturbed(prepared.array(), i);
+            let p = self.inner.prepare(&perturbed)?;
+            out.extend(self.inner.noisy_power_prepared(
+                model,
+                &p,
+                &perturbed,
+                &[input],
+                &mut |_| streams(i),
+            )?);
         }
         Ok(out)
     }
@@ -323,6 +350,9 @@ impl EvalBackend for TransientBackend {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `*_batch` wrappers stay covered until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use xbar_crossbar::device::DeviceModel;
     use xbar_linalg::Matrix;

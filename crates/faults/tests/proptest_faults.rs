@@ -11,6 +11,13 @@
 //!   the wrapped backend at any base query index.
 //! * At a fixed key, every device's drift factor is monotonically
 //!   non-increasing in `drift_time` (hardware only decays).
+//! * A `PreparedEval` handle taken through a fault-plan application is
+//!   stale — reuse is an error, never silently unfaulted numbers.
+
+// The deprecated `*_batch` wrappers stay covered until removal: the
+// equivalence properties below drive both the wrappers and the
+// prepared entry points.
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -203,6 +210,48 @@ proptest! {
                 device, a, b, t1, t1 + dt
             );
         }
+    }
+
+    /// Staleness across fault application: a handle prepared from the
+    /// pristine array must be rejected against the faulted copy (and
+    /// vice versa) — generation mismatch is an error, never silently
+    /// wrong (unfaulted) numbers. A handle prepared *through* the
+    /// decorator stays keyed to the pristine array and keeps serving
+    /// faulted results.
+    #[test]
+    fn fault_apply_invalidates_prepared_handles(
+        m in 2usize..9,
+        n in 2usize..9,
+        batch in 1usize..6,
+        seed in any::<u64>(),
+        trial in any::<u64>(),
+    ) {
+        let array = programmed(m, n, seed, &DeviceModel::ideal());
+        let inputs = sample_batch(batch, n, seed);
+        let refs: Vec<&[f64]> = (0..batch).map(|b| inputs.row(b)).collect();
+        let spec = FaultSpec::none().with_variation_sigma(0.2);
+        let plan = spec.compile(m, n, FaultKey::new(seed, trial)).unwrap();
+        let faulted = plan.apply(&array).unwrap();
+
+        let bare = BackendKind::Blocked.build();
+        let pristine_handle = bare.prepare(&array).unwrap();
+        // Driving a pristine handle with the faulted array fails …
+        prop_assert!(matches!(
+            bare.mvm_prepared(&pristine_handle, &faulted, &refs),
+            Err(xbar_crossbar::CrossbarError::StalePrepared { .. })
+        ));
+        // … and so does the reverse.
+        let faulted_handle = bare.prepare(&faulted).unwrap();
+        prop_assert!(bare.mvm_prepared(&faulted_handle, &array, &refs).is_err());
+
+        // The decorator's handle is keyed to the pristine array and
+        // evaluates the faulted snapshot.
+        let faulty = FaultyBackend::from_kind(BackendKind::Blocked, plan);
+        let through = faulty.prepare(&array).unwrap();
+        prop_assert_eq!(
+            faulty.mvm_prepared(&through, &array, &refs).unwrap(),
+            bare.mvm_prepared(&faulted_handle, &faulted, &refs).unwrap()
+        );
     }
 
     /// Rate fidelity: on a large array the realised stuck fractions sit
