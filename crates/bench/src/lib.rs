@@ -38,10 +38,16 @@
 //! [`servebench`] backs `xbar bench serve`: campaign-service
 //! throughput at 1/8/64 concurrent sessions, cross-session batch
 //! coalescing on vs off, behind CI's `BENCH_serve.json` artifact.
+//!
+//! [`infersweep`] backs `xbar infer sweep`: Bayesian column-norm
+//! recovery from noisy power readings ([`xbar_infer`]) across query
+//! budget, measurement noise, and chain count, with posterior-guided
+//! attacks and credible-interval attack bands.
 
 pub mod campaign;
 pub mod faultsweep;
 pub mod figures;
+pub mod infersweep;
 pub mod lifetimesweep;
 pub mod mvmbench;
 pub mod servebench;

@@ -74,8 +74,8 @@ pub struct MvmBenchRow {
     /// (small, so the prepare cost is visible against the evaluation).
     pub prepared_probe_batch: usize,
     /// Mean nanoseconds per prepare-miss probe batch: a fresh
-    /// `prepare` followed by one batched MVM (what every deprecated
-    /// per-batch entry point pays per call).
+    /// `prepare` followed by one batched MVM (what a caller that
+    /// re-prepares on every batch pays per call).
     pub cold_batch_nanos: u64,
     /// Mean nanoseconds per prepare-hit probe batch: one batched MVM
     /// on a reused handle.

@@ -6,8 +6,8 @@
 //! client sessions issuing single-query requests, and records
 //! aggregate queries/sec per configuration — CI uploads the report as
 //! the `BENCH_serve.json` artifact. The interesting row is 64
-//! sessions: cross-session coalescing fills one blocked `mvm_batch`
-//! from unrelated clients' queries, amortising the per-call crossbar
+//! sessions: cross-session coalescing fills one blocked evaluation
+//! batch from unrelated clients' queries, amortising the per-call crossbar
 //! traversal that single-query evaluation pays 64 times over.
 
 use std::time::Instant;
@@ -180,7 +180,7 @@ pub fn run_serve_bench(quick: bool, json_out: Option<&str>) -> Result<ServeBench
     // A power-only victim — the paper's attacker model (power side
     // channel, no output access) and the shape coalescing amortises:
     // the blocked backend materialises the array's input-line
-    // conductance totals once per `power_batch`, so a single-query
+    // conductance totals once per power batch, so a single-query
     // batch pays the full O(outputs x inputs) reduction per query
     // while a coalesced batch pays it once for every session in the
     // batch. Noise sources stay off so evaluation takes the batched

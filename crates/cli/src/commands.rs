@@ -29,12 +29,13 @@ pub type CliError = Box<dyn std::error::Error>;
 /// Returns the subcommand's failure, or an [`ArgsError`] for an unknown
 /// command.
 pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
-    // Only `trace`, `bench`, `faults`, `lifetime` and `serve` take
-    // positional arguments (their action, plus the trace path).
+    // Only `trace`, `bench`, `faults`, `lifetime`, `infer` and `serve`
+    // take positional arguments (their action, plus the trace path).
     if args.command != "trace"
         && args.command != "bench"
         && args.command != "faults"
         && args.command != "lifetime"
+        && args.command != "infer"
         && args.command != "serve"
     {
         args.expect_no_positionals()?;
@@ -49,6 +50,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<(), CliError> {
         "bench" => cmd_bench(args),
         "faults" => cmd_faults(args),
         "lifetime" => cmd_lifetime(args),
+        "infer" => cmd_infer(args),
         "serve" => cmd_serve(args),
         "trace" => cmd_trace(args),
         "help" => {
@@ -136,6 +138,17 @@ COMMANDS:
             (drift time x transient rate x defense) cross-sweep with
             probe recalibration and graceful degradation — failed cells
             are journaled and skipped (writes results/lifetime-sweep.json)
+  infer     Bayesian weight recovery from the power side channel
+            sweep [--quick] [--threads N] [--out FILE] [--resume]
+                  [--journal FILE] [--retries N]
+                  [--backend naive|blocked|parallel[:N]]
+                  [--trace FILE] [--progress stderr|json|none]
+                  [--progress-every N]
+            MCMC posterior over column 1-norms from noisy power
+            readings, swept over query budget x noise x chain count;
+            reports coverage, credible-interval widths, split-R-hat
+            convergence and posterior-guided attack bands (writes
+            results/infer-sweep.json; bit-identical at any thread count)
   trace     inspect an xbar-obs JSONL trace written by --trace
             summarize FILE   per-stage totals: counters per trial,
                              value series, span counts and wall times;
@@ -542,6 +555,19 @@ fn cmd_lifetime(args: &ParsedArgs) -> Result<(), CliError> {
              [--recalibrate never|every:N|stale:X]"
                 .into(),
         ),
+    }
+}
+
+fn cmd_infer(args: &ParsedArgs) -> Result<(), CliError> {
+    match args.positional(0) {
+        Some("sweep") => {
+            let opts = campaign_options(args, "results/infer-sweep-journal.jsonl")?;
+            xbar_bench::infersweep::run_infer_sweep(&opts).map_err(|e| -> CliError { e.into() })
+        }
+        Some(other) => Err(format!("unknown infer action {other:?} (expected: sweep)").into()),
+        None => {
+            Err("usage: xbar infer sweep [--quick] [--threads N] [--out FILE] [--resume]".into())
+        }
     }
 }
 
@@ -1391,6 +1417,16 @@ mod tests {
         // Bad executor and recalibration options fail before any work.
         assert!(dispatch(&parse(&["lifetime", "sweep", "--threads", "lots"])).is_err());
         assert!(dispatch(&parse(&["lifetime", "sweep", "--recalibrate", "sometimes"])).is_err());
+    }
+
+    #[test]
+    fn infer_argument_validation() {
+        // Missing and unknown infer actions are rejected.
+        assert!(dispatch(&parse(&["infer"])).is_err());
+        assert!(dispatch(&parse(&["infer", "frobnicate"])).is_err());
+        // Bad executor options are rejected before any work starts.
+        assert!(dispatch(&parse(&["infer", "sweep", "--threads", "lots"])).is_err());
+        assert!(dispatch(&parse(&["infer", "sweep", "--backend", "quantum"])).is_err());
     }
 
     #[test]

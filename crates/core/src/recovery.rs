@@ -255,6 +255,103 @@ mod tests {
     }
 
     #[test]
+    fn recalibrated_recovery_tracks_drifting_hardware() {
+        use crate::oracle::DriftSchedule;
+        use xbar_faults::{FaultInjection, FaultKey, FaultSpec};
+
+        // A drifting deployment: every 50 queries the drift clock
+        // advances by 1.0 and the conductances decay toward g_min.
+        let w = Matrix::random_uniform(2, 3, 0.2, 1.0, &mut rng());
+        let net = SingleLayerNet::from_weights(w.clone(), Activation::Identity);
+        let cfg = OracleConfig::ideal()
+            .with_access(OutputAccess::Raw)
+            .with_faults(FaultInjection::new(
+                FaultSpec::none().with_drift(0.3, 0.0, 1.0),
+                FaultKey::new(11, 0),
+            ))
+            .with_drift_schedule(DriftSchedule::every(50, 1.0));
+        let mut o = Oracle::new(net, &cfg, 29).unwrap();
+        let policy = RecalibrationPolicy::on_staleness(5.0);
+
+        // First recovery always measures; it sees the t=1.0 hardware.
+        let t0 = o.drift_time();
+        let first = recover_columns_recalibrated(&mut o, 1.0, &policy, None, t0, 0)
+            .unwrap()
+            .expect("first recovery measures");
+        let issued = o.queries_issued();
+
+        // Fresh: drift has not advanced past the staleness threshold.
+        let again =
+            recover_columns_recalibrated(&mut o, 1.0, &policy, Some(&first), t0, issued).unwrap();
+        assert!(again.is_none(), "estimate is still fresh");
+
+        // Age the deployment well past the threshold.
+        let probe = [0.4, 0.7, 0.2];
+        for _ in 0..300 {
+            o.query(&probe).unwrap();
+        }
+        assert!(o.drift_time() - t0 >= 5.0);
+        let recalibrated =
+            recover_columns_recalibrated(&mut o, 1.0, &policy, Some(&first), t0, issued)
+                .unwrap()
+                .expect("staleness threshold crossed");
+
+        // The hardware decayed between the scans, so the estimates
+        // genuinely differ ...
+        assert!(relative_error(&recalibrated, &first).unwrap() > 0.01);
+        // ... and the recalibrated estimate predicts the *current*
+        // oracle better than the stale one. Compare one-query
+        // predictions against the live output.
+        let observed = o.query(&probe).unwrap().observation.output.unwrap();
+        let predict = |est: &Matrix| -> f64 {
+            (0..est.rows())
+                .map(|i| {
+                    let yhat: f64 = est.row(i).iter().zip(&probe).map(|(wij, u)| wij * u).sum();
+                    (yhat - observed[i]).abs()
+                })
+                .sum()
+        };
+        assert!(
+            predict(&recalibrated) < predict(&first),
+            "recalibrated estimate must track the decayed hardware: fresh err {} vs stale err {}",
+            predict(&recalibrated),
+            predict(&first)
+        );
+    }
+
+    #[test]
+    fn never_policy_keeps_stale_estimate_under_drift() {
+        use crate::oracle::DriftSchedule;
+        use xbar_faults::{FaultInjection, FaultKey, FaultSpec};
+
+        let w = Matrix::random_uniform(2, 3, 0.2, 1.0, &mut rng());
+        let net = SingleLayerNet::from_weights(w.clone(), Activation::Identity);
+        let cfg = OracleConfig::ideal()
+            .with_access(OutputAccess::Raw)
+            .with_faults(FaultInjection::new(
+                FaultSpec::none().with_drift(0.3, 0.0, 1.0),
+                FaultKey::new(11, 0),
+            ))
+            .with_drift_schedule(DriftSchedule::every(10, 1.0));
+        let mut o = Oracle::new(net, &cfg, 31).unwrap();
+        let policy = RecalibrationPolicy::never();
+        let t0 = o.drift_time();
+        let first = recover_columns_recalibrated(&mut o, 1.0, &policy, None, t0, 0)
+            .unwrap()
+            .expect("first recovery measures");
+        let issued = o.queries_issued();
+        for _ in 0..100 {
+            o.query(&[0.4, 0.7, 0.2]).unwrap();
+        }
+        // Heavily drifted, but the policy never declares staleness: the
+        // caller keeps serving the stale estimate — exactly the failure
+        // mode `on_staleness` exists to prevent.
+        let again =
+            recover_columns_recalibrated(&mut o, 1.0, &policy, Some(&first), t0, issued).unwrap();
+        assert!(again.is_none());
+    }
+
+    #[test]
     fn relative_error_validation() {
         let a = Matrix::ones(2, 2);
         assert!(relative_error(&a, &Matrix::ones(2, 3)).is_err());

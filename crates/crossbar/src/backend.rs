@@ -400,9 +400,9 @@ impl PreparedEval {
 /// corresponding per-vector call over the batch in order, and must emit
 /// the same observability events while doing so.
 ///
-/// The primary entry points are [`EvalBackend::prepare`] plus the
-/// `*_prepared` methods; the handle-free `*_batch` methods are
-/// deprecated prepare-once wrappers kept for one release.
+/// The entry points are [`EvalBackend::prepare`] plus the `*_prepared`
+/// methods: prepare once per deployed array generation, then evaluate
+/// any number of batches against the handle.
 pub trait EvalBackend: Send + Sync + std::fmt::Debug {
     /// Which [`BackendKind`] this backend implements.
     fn kind(&self) -> BackendKind;
@@ -486,91 +486,6 @@ pub trait EvalBackend: Send + Sync + std::fmt::Debug {
         inputs: &[&[f64]],
         streams: RngStreams<'_>,
     ) -> Result<Vec<f64>>;
-
-    /// Prepare-once wrapper around [`EvalBackend::mvm_prepared`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CrossbarError::InputLenMismatch`] if any input has the
-    /// wrong length (checked up front; no partial work happens).
-    #[deprecated(
-        since = "0.1.0",
-        note = "prepare once with EvalBackend::prepare and call mvm_prepared; \
-                this wrapper re-materialises the weights on every batch and \
-                will be removed next release"
-    )]
-    fn mvm_batch(&self, array: &CrossbarArray, inputs: &[&[f64]]) -> Result<Vec<Vec<f64>>> {
-        let prepared = self.prepare(array)?;
-        self.mvm_prepared(&prepared, array, inputs)
-    }
-
-    /// Prepare-once wrapper around [`EvalBackend::power_prepared`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CrossbarError::InputLenMismatch`] if any input has the
-    /// wrong length (checked up front; no partial work happens).
-    #[deprecated(
-        since = "0.1.0",
-        note = "prepare once with EvalBackend::prepare and call power_prepared; \
-                this wrapper re-materialises the line conductances on every \
-                batch and will be removed next release"
-    )]
-    fn power_batch(
-        &self,
-        model: &PowerModel,
-        array: &CrossbarArray,
-        inputs: &[&[f64]],
-    ) -> Result<Vec<f64>> {
-        let prepared = self.prepare(array)?;
-        self.power_prepared(model, &prepared, array, inputs)
-    }
-
-    /// Prepare-once wrapper around [`EvalBackend::noisy_mvm_prepared`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CrossbarError::InputLenMismatch`] if any input has the
-    /// wrong length (checked up front; no partial work happens).
-    #[deprecated(
-        since = "0.1.0",
-        note = "prepare once with EvalBackend::prepare and call \
-                noisy_mvm_prepared; this wrapper re-prepares on every batch \
-                and will be removed next release"
-    )]
-    fn noisy_mvm_batch(
-        &self,
-        array: &CrossbarArray,
-        inputs: &[&[f64]],
-        streams: RngStreams<'_>,
-    ) -> Result<Vec<Vec<f64>>> {
-        let prepared = self.prepare(array)?;
-        self.noisy_mvm_prepared(&prepared, array, inputs, streams)
-    }
-
-    /// Prepare-once wrapper around
-    /// [`EvalBackend::noisy_power_prepared`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CrossbarError::InputLenMismatch`] if any input has the
-    /// wrong length (checked up front; no partial work happens).
-    #[deprecated(
-        since = "0.1.0",
-        note = "prepare once with EvalBackend::prepare and call \
-                noisy_power_prepared; this wrapper re-prepares on every batch \
-                and will be removed next release"
-    )]
-    fn noisy_power_batch(
-        &self,
-        model: &PowerModel,
-        array: &CrossbarArray,
-        inputs: &[&[f64]],
-        streams: RngStreams<'_>,
-    ) -> Result<Vec<f64>> {
-        let prepared = self.prepare(array)?;
-        self.noisy_power_prepared(model, &prepared, array, inputs, streams)
-    }
 }
 
 /// Rejects the whole batch before any work (or counting) happens, so
@@ -1031,14 +946,53 @@ impl EvalBackend for ParallelBackend {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated `*_batch` wrappers stay covered until removal:
-    // several tests below drive them deliberately.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::device::DeviceModel;
     use rand::SeedableRng;
     use xbar_linalg::Matrix;
+
+    // Prepare-once shorthands: the tests below compare backends on
+    // single batches, where "prepare, evaluate, drop" is the whole
+    // lifecycle.
+    fn mvm<B: EvalBackend + ?Sized>(
+        backend: &B,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+    ) -> Result<Vec<Vec<f64>>> {
+        let prepared = backend.prepare(array)?;
+        backend.mvm_prepared(&prepared, array, inputs)
+    }
+
+    fn power<B: EvalBackend + ?Sized>(
+        backend: &B,
+        model: &PowerModel,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+    ) -> Result<Vec<f64>> {
+        let prepared = backend.prepare(array)?;
+        backend.power_prepared(model, &prepared, array, inputs)
+    }
+
+    fn noisy_mvm<B: EvalBackend + ?Sized>(
+        backend: &B,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        streams: RngStreams<'_>,
+    ) -> Result<Vec<Vec<f64>>> {
+        let prepared = backend.prepare(array)?;
+        backend.noisy_mvm_prepared(&prepared, array, inputs, streams)
+    }
+
+    fn noisy_power<B: EvalBackend + ?Sized>(
+        backend: &B,
+        model: &PowerModel,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        streams: RngStreams<'_>,
+    ) -> Result<Vec<f64>> {
+        let prepared = backend.prepare(array)?;
+        backend.noisy_power_prepared(model, &prepared, array, inputs, streams)
+    }
 
     fn array(m: usize, n: usize, seed: u64) -> CrossbarArray {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -1066,8 +1020,8 @@ mod tests {
         let xbar = array(13, 29, 1);
         let inputs = batch(29, 37, 2);
         let refs = refs(&inputs);
-        let naive = NaiveBackend.mvm_batch(&xbar, &refs).unwrap();
-        let blocked = BlockedBackend::default().mvm_batch(&xbar, &refs).unwrap();
+        let naive = mvm(&NaiveBackend, &xbar, &refs).unwrap();
+        let blocked = mvm(&BlockedBackend::default(), &xbar, &refs).unwrap();
         assert_eq!(naive, blocked);
         // And both equal the sequential per-vector loop.
         for (input, row) in refs.iter().zip(&naive) {
@@ -1082,20 +1036,20 @@ mod tests {
         for b in [1usize, 3, 16] {
             let inputs = batch(23, b, 12);
             let refs = refs(&inputs);
-            let naive = NaiveBackend.mvm_batch(&xbar, &refs).unwrap();
-            let p_naive = NaiveBackend.power_batch(&model, &xbar, &refs).unwrap();
+            let naive = mvm(&NaiveBackend, &xbar, &refs).unwrap();
+            let p_naive = power(&NaiveBackend, &model, &xbar, &refs).unwrap();
             // 0 = auto; 1 = inline; small and oversubscribed pools; both
             // the sample-chunk (b >= threads) and row-block (b < threads)
             // paths are crossed.
             for threads in [0usize, 1, 2, 3, 8, 32] {
                 let parallel = ParallelBackend::new(BatchConfig::default(), threads).unwrap();
                 assert_eq!(
-                    parallel.mvm_batch(&xbar, &refs).unwrap(),
+                    mvm(&parallel, &xbar, &refs).unwrap(),
                     naive,
                     "mvm b={b} threads={threads}"
                 );
                 assert_eq!(
-                    parallel.power_batch(&model, &xbar, &refs).unwrap(),
+                    power(&parallel, &model, &xbar, &refs).unwrap(),
                     p_naive,
                     "power b={b} threads={threads}"
                 );
@@ -1119,14 +1073,14 @@ mod tests {
             for inputs in [&first, &second] {
                 let refs = refs(inputs);
                 let warm = backend.mvm_prepared(&prepared, &xbar, &refs).unwrap();
-                assert_eq!(warm, backend.mvm_batch(&xbar, &refs).unwrap(), "{spec}");
+                assert_eq!(warm, mvm(backend.as_ref(), &xbar, &refs).unwrap(), "{spec}");
                 let model = PowerModel::default();
                 let p_warm = backend
                     .power_prepared(&model, &prepared, &xbar, &refs)
                     .unwrap();
                 assert_eq!(
                     p_warm,
-                    backend.power_batch(&model, &xbar, &refs).unwrap(),
+                    power(backend.as_ref(), &model, &xbar, &refs).unwrap(),
                     "{spec}"
                 );
             }
@@ -1192,10 +1146,8 @@ mod tests {
         let inputs = batch(31, 25, 4);
         let refs = refs(&inputs);
         let model = PowerModel::default();
-        let naive = NaiveBackend.power_batch(&model, &xbar, &refs).unwrap();
-        let blocked = BlockedBackend::default()
-            .power_batch(&model, &xbar, &refs)
-            .unwrap();
+        let naive = power(&NaiveBackend, &model, &xbar, &refs).unwrap();
+        let blocked = power(&BlockedBackend::default(), &model, &xbar, &refs).unwrap();
         assert_eq!(naive, blocked);
         for (input, p) in refs.iter().zip(&naive) {
             assert_eq!(*p, model.exact(&xbar, input).unwrap());
@@ -1214,8 +1166,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            tiny.mvm_batch(&xbar, &refs).unwrap(),
-            NaiveBackend.mvm_batch(&xbar, &refs).unwrap()
+            mvm(&tiny, &xbar, &refs).unwrap(),
+            mvm(&NaiveBackend, &xbar, &refs).unwrap()
         );
     }
 
@@ -1232,18 +1184,14 @@ mod tests {
             r.set_stream(i as u64);
             r
         };
-        let naive = NaiveBackend
-            .noisy_mvm_batch(&xbar, &refs, &mut { stream })
-            .unwrap();
+        let naive = noisy_mvm(&NaiveBackend, &xbar, &refs, &mut { stream }).unwrap();
         for backend in [
             Box::new(BlockedBackend::default()) as Box<dyn EvalBackend>,
             Box::new(ParallelBackend::new(BatchConfig::default(), 4).unwrap()),
         ] {
             assert_eq!(
                 naive,
-                backend
-                    .noisy_mvm_batch(&xbar, &refs, &mut { stream })
-                    .unwrap()
+                noisy_mvm(backend.as_ref(), &xbar, &refs, &mut { stream }).unwrap()
             );
         }
         // Sequential reference with the same streams.
@@ -1253,12 +1201,11 @@ mod tests {
         }
 
         let model = PowerModel::default().with_noise(0.1);
-        let p_naive = NaiveBackend
-            .noisy_power_batch(&model, &xbar, &refs, &mut { stream })
-            .unwrap();
-        let p_blocked = BlockedBackend::default()
-            .noisy_power_batch(&model, &xbar, &refs, &mut { stream })
-            .unwrap();
+        let p_naive = noisy_power(&NaiveBackend, &model, &xbar, &refs, &mut { stream }).unwrap();
+        let p_blocked = noisy_power(&BlockedBackend::default(), &model, &xbar, &refs, &mut {
+            stream
+        })
+        .unwrap();
         assert_eq!(p_naive, p_blocked);
     }
 
@@ -1274,15 +1221,13 @@ mod tests {
             BackendKind::Parallel.build(),
         ] {
             assert!(matches!(
-                backend.mvm_batch(&xbar, &refs),
+                mvm(backend.as_ref(), &xbar, &refs),
                 Err(CrossbarError::InputLenMismatch {
                     expected: 6,
                     got: 5
                 })
             ));
-            assert!(backend
-                .power_batch(&PowerModel::default(), &xbar, &refs)
-                .is_err());
+            assert!(power(backend.as_ref(), &PowerModel::default(), &xbar, &refs).is_err());
         }
     }
 
@@ -1295,7 +1240,7 @@ mod tests {
             BackendKind::Blocked.build(),
             BackendKind::Parallel.build(),
         ] {
-            assert!(backend.mvm_batch(&xbar, &refs).unwrap().is_empty());
+            assert!(mvm(backend.as_ref(), &xbar, &refs).unwrap().is_empty());
         }
     }
 

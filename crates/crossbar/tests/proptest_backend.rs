@@ -7,11 +7,6 @@
 //! under re-programming, fault application, and drift redeployment) is
 //! an error, never silently wrong numbers.
 
-// The deprecated `*_batch` wrappers stay covered until removal: the
-// equivalence properties drive both the wrappers and the prepared
-// entry points.
-#![allow(deprecated)]
-
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -48,6 +43,48 @@ fn streams(seed: u64) -> impl FnMut(usize) -> ChaCha8Rng {
     }
 }
 
+/// Prepare-once shorthand: the equivalence properties compare backends
+/// on single batches, where "prepare, evaluate, drop" is the lifecycle.
+fn mvm<B: EvalBackend + ?Sized>(
+    backend: &B,
+    array: &CrossbarArray,
+    inputs: &[&[f64]],
+) -> Result<Vec<Vec<f64>>, CrossbarError> {
+    let prepared = backend.prepare(array)?;
+    backend.mvm_prepared(&prepared, array, inputs)
+}
+
+fn power<B: EvalBackend + ?Sized>(
+    backend: &B,
+    model: &PowerModel,
+    array: &CrossbarArray,
+    inputs: &[&[f64]],
+) -> Result<Vec<f64>, CrossbarError> {
+    let prepared = backend.prepare(array)?;
+    backend.power_prepared(model, &prepared, array, inputs)
+}
+
+fn noisy_mvm<B: EvalBackend + ?Sized>(
+    backend: &B,
+    array: &CrossbarArray,
+    inputs: &[&[f64]],
+    mut streams: impl FnMut(usize) -> ChaCha8Rng,
+) -> Result<Vec<Vec<f64>>, CrossbarError> {
+    let prepared = backend.prepare(array)?;
+    backend.noisy_mvm_prepared(&prepared, array, inputs, &mut streams)
+}
+
+fn noisy_power<B: EvalBackend + ?Sized>(
+    backend: &B,
+    model: &PowerModel,
+    array: &CrossbarArray,
+    inputs: &[&[f64]],
+    mut streams: impl FnMut(usize) -> ChaCha8Rng,
+) -> Result<Vec<f64>, CrossbarError> {
+    let prepared = backend.prepare(array)?;
+    backend.noisy_power_prepared(model, &prepared, array, inputs, &mut streams)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -75,13 +112,13 @@ proptest! {
         )
         .unwrap();
 
-        let out_naive = naive.mvm_batch(&array, &refs).unwrap();
-        let out_blocked = blocked.mvm_batch(&array, &refs).unwrap();
+        let out_naive = mvm(&naive, &array, &refs).unwrap();
+        let out_blocked = mvm(&blocked, &array, &refs).unwrap();
         prop_assert_eq!(&out_naive, &out_blocked);
 
         let model = PowerModel::default();
-        let p_naive = naive.power_batch(&model, &array, &refs).unwrap();
-        let p_blocked = blocked.power_batch(&model, &array, &refs).unwrap();
+        let p_naive = power(&naive, &model, &array, &refs).unwrap();
+        let p_blocked = power(&blocked, &model, &array, &refs).unwrap();
         prop_assert_eq!(&p_naive, &p_blocked);
 
         // Every batch entry equals the sequential per-vector call
@@ -116,17 +153,13 @@ proptest! {
         )
         .unwrap();
 
-        let nv = naive.noisy_mvm_batch(&array, &refs, &mut streams(seed)).unwrap();
-        let bv = blocked.noisy_mvm_batch(&array, &refs, &mut streams(seed)).unwrap();
+        let nv = noisy_mvm(&naive, &array, &refs, streams(seed)).unwrap();
+        let bv = noisy_mvm(&blocked, &array, &refs, streams(seed)).unwrap();
         prop_assert_eq!(&nv, &bv);
 
         let model = PowerModel::default().with_noise(0.02).with_averages(2);
-        let np = naive
-            .noisy_power_batch(&model, &array, &refs, &mut streams(seed ^ 0x5))
-            .unwrap();
-        let bp = blocked
-            .noisy_power_batch(&model, &array, &refs, &mut streams(seed ^ 0x5))
-            .unwrap();
+        let np = noisy_power(&naive, &model, &array, &refs, streams(seed ^ 0x5)).unwrap();
+        let bp = noisy_power(&blocked, &model, &array, &refs, streams(seed ^ 0x5)).unwrap();
         prop_assert_eq!(&np, &bp);
 
         let mut make = streams(seed);
@@ -162,14 +195,14 @@ proptest! {
         )
         .unwrap();
 
-        let out_naive = naive.mvm_batch(&array, &refs).unwrap();
-        let whole = parallel.mvm_batch(&array, &refs).unwrap();
+        let out_naive = mvm(&naive, &array, &refs).unwrap();
+        let whole = mvm(&parallel, &array, &refs).unwrap();
         prop_assert_eq!(&out_naive, &whole);
 
         let model = PowerModel::default();
         prop_assert_eq!(
-            naive.power_batch(&model, &array, &refs).unwrap(),
-            parallel.power_batch(&model, &array, &refs).unwrap()
+            power(&naive, &model, &array, &refs).unwrap(),
+            power(&parallel, &model, &array, &refs).unwrap()
         );
 
         // Splitting the batch at an arbitrary point and evaluating the
@@ -257,9 +290,8 @@ proptest! {
             Box::new(BlockedBackend::default()),
             Box::new(ParallelBackend::new(BatchConfig::default(), 2).unwrap()),
         ] {
-            prop_assert!(backend.mvm_batch(&array, &refs).is_err());
-            prop_assert!(backend
-                .power_batch(&PowerModel::default(), &array, &refs)
+            prop_assert!(mvm(backend.as_ref(), &array, &refs).is_err());
+            prop_assert!(power(backend.as_ref(), &PowerModel::default(), &array, &refs)
                 .is_err());
         }
     }

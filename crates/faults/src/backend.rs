@@ -127,15 +127,53 @@ impl EvalBackend for FaultyBackend {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated `*_batch` wrappers stay covered until removal.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::{FaultKey, FaultSpec};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use xbar_crossbar::device::DeviceModel;
     use xbar_linalg::Matrix;
+
+    // Prepare-once shorthands for single-batch equivalence checks.
+    fn mvm<B: EvalBackend + ?Sized>(
+        backend: &B,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+    ) -> xbar_crossbar::Result<Vec<Vec<f64>>> {
+        let prepared = backend.prepare(array)?;
+        backend.mvm_prepared(&prepared, array, inputs)
+    }
+
+    fn power<B: EvalBackend + ?Sized>(
+        backend: &B,
+        model: &PowerModel,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+    ) -> xbar_crossbar::Result<Vec<f64>> {
+        let prepared = backend.prepare(array)?;
+        backend.power_prepared(model, &prepared, array, inputs)
+    }
+
+    fn noisy_mvm<B: EvalBackend + ?Sized>(
+        backend: &B,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        mut streams: impl FnMut(usize) -> ChaCha8Rng,
+    ) -> xbar_crossbar::Result<Vec<Vec<f64>>> {
+        let prepared = backend.prepare(array)?;
+        backend.noisy_mvm_prepared(&prepared, array, inputs, &mut streams)
+    }
+
+    fn noisy_power<B: EvalBackend + ?Sized>(
+        backend: &B,
+        model: &PowerModel,
+        array: &CrossbarArray,
+        inputs: &[&[f64]],
+        mut streams: impl FnMut(usize) -> ChaCha8Rng,
+    ) -> xbar_crossbar::Result<Vec<f64>> {
+        let prepared = backend.prepare(array)?;
+        backend.noisy_power_prepared(model, &prepared, array, inputs, &mut streams)
+    }
 
     fn programmed(m: usize, n: usize, seed: u64) -> CrossbarArray {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -167,13 +205,13 @@ mod tests {
             let faulty = FaultyBackend::from_kind(kind, plan.clone());
             assert_eq!(faulty.kind(), kind);
             assert_eq!(
-                faulty.mvm_batch(&xbar, &refs).unwrap(),
-                bare.mvm_batch(&xbar, &refs).unwrap()
+                mvm(&faulty, &xbar, &refs).unwrap(),
+                mvm(bare.as_ref(), &xbar, &refs).unwrap()
             );
             let model = PowerModel::default();
             assert_eq!(
-                faulty.power_batch(&model, &xbar, &refs).unwrap(),
-                bare.power_batch(&model, &xbar, &refs).unwrap()
+                power(&faulty, &model, &xbar, &refs).unwrap(),
+                power(bare.as_ref(), &model, &xbar, &refs).unwrap()
             );
         }
     }
@@ -191,18 +229,18 @@ mod tests {
         let faulty = FaultyBackend::from_kind(BackendKind::Blocked, plan);
         let bare = BackendKind::Blocked.build();
         assert_eq!(
-            faulty.mvm_batch(&xbar, &refs).unwrap(),
-            bare.mvm_batch(&faulted, &refs).unwrap()
+            mvm(&faulty, &xbar, &refs).unwrap(),
+            mvm(bare.as_ref(), &faulted, &refs).unwrap()
         );
         let model = PowerModel::default();
         assert_eq!(
-            faulty.power_batch(&model, &xbar, &refs).unwrap(),
-            bare.power_batch(&model, &faulted, &refs).unwrap()
+            power(&faulty, &model, &xbar, &refs).unwrap(),
+            power(bare.as_ref(), &model, &faulted, &refs).unwrap()
         );
         // And the faulted array really differs from the pristine one.
         assert_ne!(
-            faulty.mvm_batch(&xbar, &refs).unwrap(),
-            bare.mvm_batch(&xbar, &refs).unwrap()
+            mvm(&faulty, &xbar, &refs).unwrap(),
+            mvm(bare.as_ref(), &xbar, &refs).unwrap()
         );
     }
 
@@ -225,19 +263,13 @@ mod tests {
         let faulty = FaultyBackend::from_kind(BackendKind::Naive, plan);
         let bare = BackendKind::Naive.build();
         assert_eq!(
-            faulty
-                .noisy_mvm_batch(&xbar, &refs, &mut { stream })
-                .unwrap(),
-            bare.noisy_mvm_batch(&faulted, &refs, &mut { stream })
-                .unwrap()
+            noisy_mvm(&faulty, &xbar, &refs, stream).unwrap(),
+            noisy_mvm(bare.as_ref(), &faulted, &refs, stream).unwrap()
         );
         let model = PowerModel::default().with_noise(0.05);
         assert_eq!(
-            faulty
-                .noisy_power_batch(&model, &xbar, &refs, &mut { stream })
-                .unwrap(),
-            bare.noisy_power_batch(&model, &faulted, &refs, &mut { stream })
-                .unwrap()
+            noisy_power(&faulty, &model, &xbar, &refs, stream).unwrap(),
+            noisy_power(bare.as_ref(), &model, &faulted, &refs, stream).unwrap()
         );
     }
 
@@ -257,7 +289,7 @@ mod tests {
         assert_eq!(prepared.generation(), xbar.generation());
         let warm = faulty.mvm_prepared(&prepared, &xbar, &refs).unwrap();
         let bare = BackendKind::Blocked.build();
-        assert_eq!(warm, bare.mvm_batch(&faulted, &refs).unwrap());
+        assert_eq!(warm, mvm(bare.as_ref(), &faulted, &refs).unwrap());
 
         // Re-mapping the source array stales the handle.
         let remapped = xbar.map_conductances(|_, g| g);
@@ -278,7 +310,7 @@ mod tests {
         let inputs = batch(4, 2, 8);
         let refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
         assert!(matches!(
-            faulty.mvm_batch(&xbar, &refs),
+            mvm(&faulty, &xbar, &refs),
             Err(CrossbarError::InvalidConfig {
                 name: "fault_plan_shape"
             })

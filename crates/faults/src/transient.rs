@@ -350,9 +350,6 @@ impl EvalBackend for TransientBackend {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated `*_batch` wrappers stay covered until removal.
-    #![allow(deprecated)]
-
     use super::*;
     use xbar_crossbar::device::DeviceModel;
     use xbar_linalg::Matrix;
@@ -426,18 +423,33 @@ mod tests {
         let inputs = Matrix::random_uniform(6, 7, -1.0, 1.0, &mut rng);
         let refs: Vec<&[f64]> = (0..6).map(|b| inputs.row(b)).collect();
 
+        fn mvm(
+            backend: &TransientBackend,
+            array: &CrossbarArray,
+            refs: &[&[f64]],
+        ) -> Vec<Vec<f64>> {
+            let prepared = backend.prepare(array).unwrap();
+            backend.mvm_prepared(&prepared, array, refs).unwrap()
+        }
+
         // One batch of six at base 100 ...
-        let whole = TransientBackend::from_kind(BackendKind::Naive, injection, 100)
-            .mvm_batch(&array, &refs)
-            .unwrap();
+        let whole = mvm(
+            &TransientBackend::from_kind(BackendKind::Naive, injection, 100),
+            &array,
+            &refs,
+        );
         // ... must equal two batches of three at bases 100 and 103,
         // and the blocked backend must agree bit for bit.
-        let first = TransientBackend::from_kind(BackendKind::Blocked, injection, 100)
-            .mvm_batch(&array, &refs[..3])
-            .unwrap();
-        let second = TransientBackend::from_kind(BackendKind::Blocked, injection, 103)
-            .mvm_batch(&array, &refs[3..])
-            .unwrap();
+        let first = mvm(
+            &TransientBackend::from_kind(BackendKind::Blocked, injection, 100),
+            &array,
+            &refs[..3],
+        );
+        let second = mvm(
+            &TransientBackend::from_kind(BackendKind::Blocked, injection, 103),
+            &array,
+            &refs[3..],
+        );
         let split: Vec<Vec<f64>> = first.into_iter().chain(second).collect();
         assert_eq!(whole, split);
     }

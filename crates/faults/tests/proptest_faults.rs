@@ -14,11 +14,6 @@
 //! * A `PreparedEval` handle taken through a fault-plan application is
 //!   stale — reuse is an error, never silently unfaulted numbers.
 
-// The deprecated `*_batch` wrappers stay covered until removal: the
-// equivalence properties below drive both the wrappers and the
-// prepared entry points.
-#![allow(deprecated)]
-
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -53,6 +48,48 @@ fn streams(seed: u64) -> impl FnMut(usize) -> ChaCha8Rng {
     }
 }
 
+/// Prepare-once shorthands: the zero-fault equivalence properties
+/// compare a decorated backend against the bare one on single batches.
+fn mvm<B: EvalBackend + ?Sized>(
+    backend: &B,
+    array: &CrossbarArray,
+    inputs: &[&[f64]],
+) -> xbar_crossbar::Result<Vec<Vec<f64>>> {
+    let prepared = backend.prepare(array)?;
+    backend.mvm_prepared(&prepared, array, inputs)
+}
+
+fn power<B: EvalBackend + ?Sized>(
+    backend: &B,
+    model: &PowerModel,
+    array: &CrossbarArray,
+    inputs: &[&[f64]],
+) -> xbar_crossbar::Result<Vec<f64>> {
+    let prepared = backend.prepare(array)?;
+    backend.power_prepared(model, &prepared, array, inputs)
+}
+
+fn noisy_mvm<B: EvalBackend + ?Sized>(
+    backend: &B,
+    array: &CrossbarArray,
+    inputs: &[&[f64]],
+    mut streams: impl FnMut(usize) -> ChaCha8Rng,
+) -> xbar_crossbar::Result<Vec<Vec<f64>>> {
+    let prepared = backend.prepare(array)?;
+    backend.noisy_mvm_prepared(&prepared, array, inputs, &mut streams)
+}
+
+fn noisy_power<B: EvalBackend + ?Sized>(
+    backend: &B,
+    model: &PowerModel,
+    array: &CrossbarArray,
+    inputs: &[&[f64]],
+    mut streams: impl FnMut(usize) -> ChaCha8Rng,
+) -> xbar_crossbar::Result<Vec<f64>> {
+    let prepared = backend.prepare(array)?;
+    backend.noisy_power_prepared(model, &prepared, array, inputs, &mut streams)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -80,23 +117,21 @@ proptest! {
             let bare = kind.build();
             let faulty = FaultyBackend::from_kind(kind, plan.clone());
             prop_assert_eq!(
-                faulty.mvm_batch(&array, &refs).unwrap(),
-                bare.mvm_batch(&array, &refs).unwrap()
+                mvm(&faulty, &array, &refs).unwrap(),
+                mvm(bare.as_ref(), &array, &refs).unwrap()
             );
             let model = PowerModel::default().with_noise(0.02);
             prop_assert_eq!(
-                faulty.power_batch(&model, &array, &refs).unwrap(),
-                bare.power_batch(&model, &array, &refs).unwrap()
+                power(&faulty, &model, &array, &refs).unwrap(),
+                power(bare.as_ref(), &model, &array, &refs).unwrap()
             );
             prop_assert_eq!(
-                faulty.noisy_mvm_batch(&array, &refs, &mut streams(seed)).unwrap(),
-                bare.noisy_mvm_batch(&array, &refs, &mut streams(seed)).unwrap()
+                noisy_mvm(&faulty, &array, &refs, streams(seed)).unwrap(),
+                noisy_mvm(bare.as_ref(), &array, &refs, streams(seed)).unwrap()
             );
             prop_assert_eq!(
-                faulty
-                    .noisy_power_batch(&model, &array, &refs, &mut streams(seed ^ 0x5))
-                    .unwrap(),
-                bare.noisy_power_batch(&model, &array, &refs, &mut streams(seed ^ 0x5))
+                noisy_power(&faulty, &model, &array, &refs, streams(seed ^ 0x5)).unwrap(),
+                noisy_power(bare.as_ref(), &model, &array, &refs, streams(seed ^ 0x5))
                     .unwrap()
             );
         }
@@ -155,23 +190,21 @@ proptest! {
             let bare = kind.build();
             let transient = TransientBackend::from_kind(kind, injection, base_query);
             prop_assert_eq!(
-                transient.mvm_batch(&array, &refs).unwrap(),
-                bare.mvm_batch(&array, &refs).unwrap()
+                mvm(&transient, &array, &refs).unwrap(),
+                mvm(bare.as_ref(), &array, &refs).unwrap()
             );
             let model = PowerModel::default().with_noise(0.02);
             prop_assert_eq!(
-                transient.power_batch(&model, &array, &refs).unwrap(),
-                bare.power_batch(&model, &array, &refs).unwrap()
+                power(&transient, &model, &array, &refs).unwrap(),
+                power(bare.as_ref(), &model, &array, &refs).unwrap()
             );
             prop_assert_eq!(
-                transient.noisy_mvm_batch(&array, &refs, &mut streams(seed)).unwrap(),
-                bare.noisy_mvm_batch(&array, &refs, &mut streams(seed)).unwrap()
+                noisy_mvm(&transient, &array, &refs, streams(seed)).unwrap(),
+                noisy_mvm(bare.as_ref(), &array, &refs, streams(seed)).unwrap()
             );
             prop_assert_eq!(
-                transient
-                    .noisy_power_batch(&model, &array, &refs, &mut streams(seed ^ 0x5))
-                    .unwrap(),
-                bare.noisy_power_batch(&model, &array, &refs, &mut streams(seed ^ 0x5))
+                noisy_power(&transient, &model, &array, &refs, streams(seed ^ 0x5)).unwrap(),
+                noisy_power(bare.as_ref(), &model, &array, &refs, streams(seed ^ 0x5))
                     .unwrap()
             );
         }

@@ -26,8 +26,8 @@ pub const XBAR_POWER_READ: &str = "xbar.power_read";
 /// One iterative IR-drop nodal solve.
 pub const XBAR_IR_DROP_SOLVE: &str = "xbar.ir_drop_solve";
 
-/// One batched evaluation call (`EvalBackend::mvm_batch` and friends),
-/// regardless of how many samples the batch carried.
+/// One batched evaluation call (`EvalBackend::mvm_prepared` and
+/// friends), regardless of how many samples the batch carried.
 pub const XBAR_MVM_BATCH: &str = "xbar.mvm_batch";
 
 /// Observation (value series): number of samples in each batched
@@ -103,6 +103,29 @@ pub const SPAN_FAULT_TRIAL: &str = "faults.sweep_trial";
 /// Span: one device-lifetime sweep trial (deploy decaying oracle, probe,
 /// recalibrate, attack, evaluate).
 pub const SPAN_LIFETIME_TRIAL: &str = "lifetime.sweep_trial";
+
+/// One power observation collected for posterior inference
+/// (`xbar-infer`), through either the budgeted or the keyed oracle
+/// entry point.
+pub const INFER_OBSERVATION: &str = "infer.observation";
+
+/// One MCMC transition applied (any kernel), summed across chains.
+pub const INFER_MCMC_STEP: &str = "infer.mcmc_step";
+
+/// One likelihood (or posterior) density evaluation spent by an MCMC
+/// transition, summed across chains.
+pub const INFER_LIKELIHOOD_EVAL: &str = "infer.likelihood_eval";
+
+/// One MCMC chain run to completion.
+pub const INFER_CHAIN: &str = "infer.chain";
+
+/// Span: a multi-chain posterior sampling run (`run_chains`), covering
+/// every chain and the join.
+pub const SPAN_INFER_CHAINS: &str = "infer.chains";
+
+/// Span: one posterior-inference sweep trial (collect observations,
+/// sample chains, summarise, attack, evaluate).
+pub const SPAN_INFER_TRIAL: &str = "infer.sweep_trial";
 
 /// One attack session admitted by the campaign service (`xbar serve`),
 /// counting resumes as well as fresh sessions.

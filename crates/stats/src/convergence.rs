@@ -1,0 +1,311 @@
+//! MCMC convergence diagnostics: effective sample size and split-R̂.
+//!
+//! These gate the posterior chains of `xbar-infer`: a sweep cell's
+//! credible intervals are only trusted once its chains mix
+//! (split-R̂ ≈ 1) and retain enough independent information
+//! (ESS well above the handful needed for stable quantiles).
+//!
+//! * [`ess`] — effective sample size of one chain via Geyer's initial
+//!   monotone positive sequence estimator of the integrated
+//!   autocorrelation time.
+//! * [`multichain_ess`] — total ESS pooled across independent chains.
+//! * [`split_rhat`] — the split-chain potential scale reduction factor
+//!   (Gelman–Rubin R̂ on half-chains, which also catches within-chain
+//!   trends that whole-chain R̂ misses).
+
+use crate::{Result, StatsError};
+
+/// Autocovariance of `x` at `lag`, normalised by `n` (the biased
+/// estimator, which is the standard choice inside ESS because it keeps
+/// the spectral estimate positive semi-definite).
+fn autocovariance(x: &[f64], mean: f64, lag: usize) -> f64 {
+    let n = x.len();
+    let mut acc = 0.0;
+    for t in 0..n - lag {
+        acc += (x[t] - mean) * (x[t + lag] - mean);
+    }
+    acc / n as f64
+}
+
+/// Effective sample size of a single chain.
+///
+/// Estimates the integrated autocorrelation time with Geyer's initial
+/// monotone positive sequence: successive autocorrelations are summed
+/// in pairs `Γ_k = ρ_{2k} + ρ_{2k+1}`, truncated at the first
+/// non-positive pair and forced monotone non-increasing. For an i.i.d.
+/// chain the estimate is ≈ `n`; for an AR(1) chain with coefficient φ
+/// it approaches `n·(1−φ)/(1+φ)`.
+///
+/// The returned value is clamped to `[1, n]`.
+///
+/// # Errors
+///
+/// * [`StatsError::TooFewSamples`] for fewer than 4 samples.
+/// * [`StatsError::ZeroVariance`] for a constant chain.
+pub fn ess(chain: &[f64]) -> Result<f64> {
+    let n = chain.len();
+    if n < 4 {
+        return Err(StatsError::TooFewSamples { needed: 4, got: n });
+    }
+    let mean = chain.iter().sum::<f64>() / n as f64;
+    let gamma0 = autocovariance(chain, mean, 0);
+    if gamma0 <= 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    // Sum paired autocorrelations while the pairs stay positive and
+    // monotone non-increasing.
+    let mut tau = 1.0; // 1 + 2·Σρ_t, with ρ_0's pair partner ρ_1 below.
+    let mut prev_pair = f64::INFINITY;
+    let mut lag = 1;
+    while lag + 1 < n {
+        let pair =
+            (autocovariance(chain, mean, lag) + autocovariance(chain, mean, lag + 1)) / gamma0;
+        if pair <= 0.0 {
+            break;
+        }
+        let pair = pair.min(prev_pair);
+        tau += 2.0 * pair;
+        prev_pair = pair;
+        lag += 2;
+    }
+    Ok((n as f64 / tau).clamp(1.0, n as f64))
+}
+
+/// Total effective sample size across independent chains: the sum of
+/// each chain's [`ess`].
+///
+/// # Errors
+///
+/// * [`StatsError::TooFewSamples`] if no chain is given.
+/// * Propagates per-chain [`ess`] errors.
+pub fn multichain_ess(chains: &[Vec<f64>]) -> Result<f64> {
+    if chains.is_empty() {
+        return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
+    }
+    let mut total = 0.0;
+    for chain in chains {
+        total += ess(chain)?;
+    }
+    Ok(total)
+}
+
+/// Split-chain potential scale reduction factor (split-R̂).
+///
+/// Each chain is halved (dropping one trailing sample from odd-length
+/// chains), and the classic Gelman–Rubin statistic is computed over the
+/// resulting `2m` half-chains:
+///
+/// ```text
+/// R̂ = sqrt( ((n−1)/n · W + B/n) / W )
+/// ```
+///
+/// where `W` is the mean within-sequence variance and `B/n` the
+/// between-sequence variance of the half-chain means. Values near 1
+/// indicate the chains agree with each other *and* with their own
+/// halves; a chain that trends (burn-in not discarded, poor mixing)
+/// inflates R̂ even when only one chain is supplied.
+///
+/// Degenerate inputs: if every half-chain is constant, the statistic is
+/// `1.0` when they are all the same constant and `∞` otherwise.
+///
+/// # Errors
+///
+/// * [`StatsError::TooFewSamples`] if no chain is given or any chain
+///   has fewer than 4 samples (each half needs at least 2).
+pub fn split_rhat(chains: &[Vec<f64>]) -> Result<f64> {
+    if chains.is_empty() {
+        return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
+    }
+    let half = chains.iter().map(Vec::len).min().unwrap_or(0) / 2;
+    if half < 2 {
+        return Err(StatsError::TooFewSamples {
+            needed: 4,
+            got: half * 2,
+        });
+    }
+    let mut sequences: Vec<&[f64]> = Vec::with_capacity(chains.len() * 2);
+    for chain in chains {
+        // Truncate every chain to the shortest chain's even length so
+        // the half-chains are balanced.
+        sequences.push(&chain[..half]);
+        sequences.push(&chain[half..2 * half]);
+    }
+    let m = sequences.len() as f64;
+    let n = half as f64;
+    let means: Vec<f64> = sequences
+        .iter()
+        .map(|s| s.iter().sum::<f64>() / n)
+        .collect();
+    let variances: Vec<f64> = sequences
+        .iter()
+        .zip(&means)
+        .map(|(s, &mu)| s.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / (n - 1.0))
+        .collect();
+    let w = variances.iter().sum::<f64>() / m;
+    let grand = means.iter().sum::<f64>() / m;
+    let b_over_n = means
+        .iter()
+        .map(|&mu| (mu - grand) * (mu - grand))
+        .sum::<f64>()
+        / (m - 1.0);
+    if w <= 0.0 {
+        return Ok(if b_over_n <= 0.0 { 1.0 } else { f64::INFINITY });
+    }
+    let var_plus = (n - 1.0) / n * w + b_over_n;
+    Ok((var_plus / w).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic uniform(0,1) source: SplitMix-style 64-bit mixer.
+    /// Keeps the crate free of an RNG dependency.
+    fn uniform(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Approximately standard-normal draws (sum of 12 uniforms − 6).
+    fn gaussian(seed: u64) -> impl FnMut() -> f64 {
+        let mut u = uniform(seed);
+        move || (0..12).map(|_| u()).sum::<f64>() - 6.0
+    }
+
+    fn iid_chain(n: usize, seed: u64) -> Vec<f64> {
+        let mut g = gaussian(seed);
+        (0..n).map(|_| g()).collect()
+    }
+
+    /// AR(1) fixture with known integrated autocorrelation time
+    /// `(1+φ)/(1−φ)`.
+    fn ar1_chain(n: usize, phi: f64, seed: u64) -> Vec<f64> {
+        let mut g = gaussian(seed);
+        let innovation = (1.0 - phi * phi).sqrt();
+        let mut x = g();
+        (0..n)
+            .map(|_| {
+                x = phi * x + innovation * g();
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn iid_chain_has_near_full_ess() {
+        let n = 4000;
+        let e = ess(&iid_chain(n, 1)).unwrap();
+        assert!(
+            e > 0.6 * n as f64 && e <= n as f64,
+            "iid ESS {e} should be close to n={n}"
+        );
+    }
+
+    #[test]
+    fn ar1_ess_matches_known_autocorrelation_time() {
+        let n = 8000;
+        let phi = 0.9;
+        let expected = n as f64 * (1.0 - phi) / (1.0 + phi); // ≈ n/19
+        let e = ess(&ar1_chain(n, phi, 2)).unwrap();
+        assert!(
+            e > expected / 3.0 && e < expected * 3.0,
+            "AR(1) ESS {e} should be within 3x of {expected}"
+        );
+    }
+
+    #[test]
+    fn correlation_reduces_ess() {
+        let n = 4000;
+        let iid = ess(&iid_chain(n, 3)).unwrap();
+        let correlated = ess(&ar1_chain(n, 0.95, 3)).unwrap();
+        assert!(
+            correlated < iid / 4.0,
+            "AR(0.95) ESS {correlated} should be far below iid {iid}"
+        );
+    }
+
+    #[test]
+    fn multichain_ess_sums_chains() {
+        let a = iid_chain(1000, 4);
+        let b = iid_chain(1000, 5);
+        let total = multichain_ess(&[a.clone(), b.clone()]).unwrap();
+        let sum = ess(&a).unwrap() + ess(&b).unwrap();
+        assert!((total - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ess_rejects_degenerate_chains() {
+        assert_eq!(
+            ess(&[1.0, 1.0]),
+            Err(StatsError::TooFewSamples { needed: 4, got: 2 })
+        );
+        assert_eq!(ess(&[2.5; 64]), Err(StatsError::ZeroVariance));
+        assert_eq!(
+            multichain_ess(&[]),
+            Err(StatsError::TooFewSamples { needed: 1, got: 0 })
+        );
+    }
+
+    #[test]
+    fn well_mixed_chains_have_rhat_near_one() {
+        let chains: Vec<Vec<f64>> = (0..4).map(|c| iid_chain(2000, 10 + c)).collect();
+        let r = split_rhat(&chains).unwrap();
+        assert!(
+            (r - 1.0).abs() < 0.05,
+            "iid chains should give R̂ ≈ 1, got {r}"
+        );
+    }
+
+    #[test]
+    fn shifted_chain_inflates_rhat() {
+        let mut chains: Vec<Vec<f64>> = (0..3).map(|c| iid_chain(1000, 20 + c)).collect();
+        let shifted: Vec<f64> = iid_chain(1000, 23).iter().map(|v| v + 5.0).collect();
+        chains.push(shifted);
+        let r = split_rhat(&chains).unwrap();
+        assert!(r > 1.5, "disagreeing chains should inflate R̂, got {r}");
+    }
+
+    #[test]
+    fn single_trending_chain_is_caught_by_the_split() {
+        // A linear trend: both halves have the same shape but different
+        // means — exactly what the split construction exists to catch.
+        let trend: Vec<f64> = (0..1000).map(|i| i as f64 * 0.01).collect();
+        let r = split_rhat(&[trend]).unwrap();
+        assert!(r > 1.1, "trending chain should fail split-R̂, got {r}");
+    }
+
+    #[test]
+    fn constant_chains_degenerate_cleanly() {
+        assert_eq!(split_rhat(&[vec![3.0; 10], vec![3.0; 10]]).unwrap(), 1.0);
+        assert!(split_rhat(&[vec![1.0; 10], vec![2.0; 10]])
+            .unwrap()
+            .is_infinite());
+    }
+
+    #[test]
+    fn split_rhat_rejects_short_or_missing_chains() {
+        assert_eq!(
+            split_rhat(&[]),
+            Err(StatsError::TooFewSamples { needed: 1, got: 0 })
+        );
+        assert_eq!(
+            split_rhat(&[vec![1.0, 2.0, 3.0]]),
+            Err(StatsError::TooFewSamples { needed: 4, got: 2 })
+        );
+        // One short chain limits every chain (balanced halves).
+        assert!(split_rhat(&[iid_chain(100, 30), vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn odd_lengths_are_truncated_not_rejected() {
+        let r = split_rhat(&[iid_chain(1001, 40), iid_chain(999, 41)]).unwrap();
+        assert!((r - 1.0).abs() < 0.1);
+    }
+}

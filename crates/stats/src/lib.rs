@@ -13,6 +13,8 @@
 //! * [`ttest`] — Welch's and Student's t-tests with two-sided p-values;
 //!   used for Figure 5's statistical-significance asterisks.
 //! * [`aggregate`] — mean ± std aggregation across independent runs.
+//! * [`convergence`] — MCMC effective sample size and split-R̂; gates the
+//!   posterior chains of `xbar-infer`.
 //!
 //! # Example
 //!
@@ -28,6 +30,7 @@
 #![deny(unsafe_code)]
 
 pub mod aggregate;
+pub mod convergence;
 pub mod correlation;
 pub mod descriptive;
 pub mod special;
